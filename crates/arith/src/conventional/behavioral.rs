@@ -1,0 +1,160 @@
+//! Behavioral carry-chain timing model of conventional (LSB-first)
+//! arithmetic.
+//!
+//! The conventional counterpart of
+//! [`StagedMultiplier`](crate::online::StagedMultiplier): a ripple-carry
+//! adder is a cascade of full adders, each one full-adder delay `μ_FA`; we
+//! iterate the carry chain as a synchronous wave from the reset state and
+//! sample after `b` waves. Where the online operator's stale samples are
+//! wrong in the *least* significant digits, the ripple adder's stale samples
+//! are wrong wherever a long carry chain had not yet arrived — including the
+//! MSB.
+
+/// A ripple-carry adder viewed as a wave of full-adder delays.
+#[derive(Clone, Debug)]
+pub struct StagedRippleAdder {
+    a: u64,
+    b: u64,
+    width: u32,
+}
+
+impl StagedRippleAdder {
+    /// An adder for two `width`-bit operands (raw bit patterns; two's
+    /// complement semantics are the caller's interpretation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    #[must_use]
+    pub fn new(a: u64, b: u64, width: u32) -> Self {
+        assert!(width >= 1 && width <= 63, "unsupported width");
+        let mask = (1u64 << width) - 1;
+        StagedRippleAdder { a: a & mask, b: b & mask, width }
+    }
+
+    /// The sampled sum after `ticks` full-adder delays from the all-zero
+    /// carry reset: each tick lets every carry advance one position.
+    #[must_use]
+    pub fn sample(&self, ticks: u32) -> u64 {
+        let mask = (1u64 << self.width) - 1;
+        let mut carries: u64 = 0; // carry INTO each bit position
+        for _ in 0..ticks {
+            // carry out of position i = maj(a_i, b_i, c_i), arrives at i+1.
+            let maj = (self.a & self.b) | (carries & (self.a ^ self.b));
+            carries = (maj << 1) & mask;
+        }
+        (self.a ^ self.b ^ carries) & mask
+    }
+
+    /// The correct (settled) sum, modulo `2^width`.
+    #[must_use]
+    pub fn settled(&self) -> u64 {
+        self.a.wrapping_add(self.b) & ((1u64 << self.width) - 1)
+    }
+
+    /// Number of full-adder delays until the output stops changing — the
+    /// longest carry chain for these operands, plus the initial sum level.
+    #[must_use]
+    pub fn settling_ticks(&self) -> u32 {
+        let correct = self.settled();
+        let mut last_change = 0;
+        for t in 0..=self.width {
+            if self.sample(t) == correct {
+                // Verify it stays settled (carry waves are monotone here).
+                last_change = t;
+                break;
+            }
+        }
+        last_change
+    }
+
+    /// The length of the longest carry-propagation chain for these operands
+    /// (the classic combinational measure).
+    #[must_use]
+    pub fn longest_carry_chain(&self) -> u32 {
+        let gen = self.a & self.b; // positions that generate a carry
+        let prop = self.a ^ self.b; // positions that propagate one
+        let mut best = 0u32;
+        for start in 0..self.width {
+            if gen >> start & 1 == 1 {
+                let mut len = 1;
+                let mut i = start + 1;
+                while i < self.width && prop >> i & 1 == 1 {
+                    len += 1;
+                    i += 1;
+                }
+                best = best.max(len);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settled_equals_modular_sum() {
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                let add = StagedRippleAdder::new(a, b, 5);
+                assert_eq!(add.settled(), (a + b) & 31);
+                assert_eq!(add.sample(5), add.settled(), "width waves always settle");
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_chain_needs_full_width() {
+        // 0111…1 + 1 carries across the whole word.
+        let add = StagedRippleAdder::new((1 << 7) - 1, 1, 8);
+        assert_eq!(add.longest_carry_chain(), 7);
+        assert_ne!(add.sample(3), add.settled(), "early sample wrong in MSBs");
+        // The early error is in the HIGH bits: low bits settle first.
+        let early = add.sample(3);
+        let correct = add.settled();
+        let diff = early ^ correct;
+        assert!(diff >= 1 << 3, "error must be confined to high bits, diff={diff:b}");
+    }
+
+    #[test]
+    fn no_chain_settles_immediately() {
+        let add = StagedRippleAdder::new(0b0101, 0b1010, 4);
+        assert_eq!(add.longest_carry_chain(), 0);
+        assert_eq!(add.sample(1), add.settled());
+    }
+
+    #[test]
+    fn settling_matches_chain_length() {
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let add = StagedRippleAdder::new(a, b, 6);
+                // Settling (in FA waves) is bounded by chain length + 1.
+                assert!(
+                    add.settling_ticks() <= add.longest_carry_chain() + 1,
+                    "a={a:b} b={b:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overclocking_error_is_msb_heavy() {
+        // Statistical signature of conventional arithmetic: when sampling
+        // early, the expected error magnitude is large relative to the ulp
+        // because errors sit in high bits.
+        let mut total_err = 0i64;
+        let mut count = 0;
+        for a in 0..256u64 {
+            let add = StagedRippleAdder::new(a, 255 - a + 1, 8);
+            let early = add.sample(2);
+            let diff = early as i64 - add.settled() as i64;
+            total_err += diff.abs();
+            count += 1;
+        }
+        // a + (256−a) = 256 ≡ 0 mod 256: maximal chains everywhere, so the
+        // average early-sample error must be enormous (≫ 1 ulp).
+        assert!(total_err / count > 16, "avg err {}", total_err / count);
+    }
+}

@@ -1,0 +1,211 @@
+//! Two's-complement fixed-point formats for the conventional datapath.
+
+use ola_redundant::Q;
+use std::fmt;
+
+/// A fixed-point two's-complement format: `frac_bits` fractional bits plus
+/// one sign bit, representing multiples of `2^-frac_bits` in `[−1, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use ola_arith::conventional::TcFormat;
+/// use ola_redundant::Q;
+///
+/// let fmt = TcFormat::new(7); // Q1.7: 8 bits total
+/// let bits = fmt.encode(Q::new(-3, 2))?; // -0.75
+/// assert_eq!(fmt.decode(&bits), Q::new(-3, 2));
+/// # Ok::<(), ola_arith::conventional::EncodeTcError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TcFormat {
+    frac_bits: u32,
+}
+
+/// Error returned when a value is not representable in a [`TcFormat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeTcError {
+    /// The offending value.
+    pub value: Q,
+    /// The target format.
+    pub format: TcFormat,
+}
+
+impl fmt::Display for EncodeTcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} is not representable in two's complement with {} fractional bits",
+            self.value,
+            self.format.frac_bits()
+        )
+    }
+}
+
+impl std::error::Error for EncodeTcError {}
+
+impl TcFormat {
+    /// A format with `frac_bits` fractional bits (width `frac_bits + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits` is 0 or exceeds 62.
+    #[must_use]
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits >= 1 && frac_bits <= 62, "unsupported fraction width");
+        TcFormat { frac_bits }
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total bit width including the sign bit.
+    #[must_use]
+    pub fn width(self) -> usize {
+        self.frac_bits as usize + 1
+    }
+
+    /// Smallest representable increment.
+    #[must_use]
+    pub fn ulp(self) -> Q {
+        Q::pow2_neg(self.frac_bits)
+    }
+
+    /// Encodes an exact value as LSB-first bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeTcError`] if `value` is not a multiple of the ulp or
+    /// lies outside `[−1, 1)`.
+    pub fn encode(self, value: Q) -> Result<Vec<bool>, EncodeTcError> {
+        let raw = self.raw_of(value).ok_or(EncodeTcError { value, format: self })?;
+        Ok(self.encode_raw(raw))
+    }
+
+    /// Encodes a raw integer (`value = raw · ulp`) as LSB-first bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside `[−2^frac_bits, 2^frac_bits)`.
+    #[must_use]
+    pub fn encode_raw(self, raw: i64) -> Vec<bool> {
+        let lim = 1i64 << self.frac_bits;
+        assert!(raw >= -lim && raw < lim, "raw value {raw} out of range");
+        (0..self.width()).map(|i| raw >> i & 1 == 1).collect()
+    }
+
+    /// Decodes LSB-first bits into the exact value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from [`TcFormat::width`].
+    #[must_use]
+    pub fn decode(self, bits: &[bool]) -> Q {
+        Q::new(i128::from(self.decode_raw(bits)), self.frac_bits)
+    }
+
+    /// Decodes LSB-first bits into the raw signed integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from [`TcFormat::width`].
+    #[must_use]
+    pub fn decode_raw(self, bits: &[bool]) -> i64 {
+        assert_eq!(bits.len(), self.width(), "bit-width mismatch");
+        let mut v: i64 = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v |= 1 << i;
+            }
+        }
+        if bits[self.width() - 1] {
+            v -= 1 << self.width();
+        }
+        v
+    }
+
+    /// The nearest representable value (round half away from zero, clamped
+    /// to the representable range) — used to quantize filter coefficients.
+    #[must_use]
+    pub fn quantize(self, value: Q) -> Q {
+        let scaled = value << self.frac_bits; // value · 2^f
+        let num = scaled.numerator();
+        let sc = scaled.scale();
+        let raw = if sc == 0 {
+            num
+        } else {
+            let half = 1i128 << (sc - 1);
+            if num >= 0 {
+                (num + half) >> sc
+            } else {
+                -((-num + half) >> sc)
+            }
+        };
+        let lim = 1i128 << self.frac_bits;
+        let raw = raw.clamp(-lim, lim - 1);
+        Q::new(raw, self.frac_bits)
+    }
+
+    fn raw_of(self, value: Q) -> Option<i64> {
+        let raw = value.scaled_to(self.frac_bits)?;
+        let lim = 1i128 << self.frac_bits;
+        if raw >= -lim && raw < lim {
+            Some(raw as i64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_q1_4_value() {
+        let fmt = TcFormat::new(4);
+        for raw in -16i64..16 {
+            let bits = fmt.encode_raw(raw);
+            assert_eq!(fmt.decode_raw(&bits), raw);
+            assert_eq!(fmt.decode(&bits), Q::new(i128::from(raw), 4));
+        }
+    }
+
+    #[test]
+    fn encode_checks_range_and_granularity() {
+        let fmt = TcFormat::new(4);
+        assert!(fmt.encode(Q::ONE).is_err());
+        assert!(fmt.encode(Q::new(-1, 0) - Q::new(1, 4)).is_err());
+        assert!(fmt.encode(Q::new(1, 5)).is_err()); // finer than ulp
+        assert!(fmt.encode(Q::new(-1, 0)).is_ok()); // exactly −1
+        let e = fmt.encode(Q::ONE).unwrap_err();
+        assert!(e.to_string().contains("4 fractional bits"));
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let fmt = TcFormat::new(3);
+        // 3/16 scaled to eighths is 1.5; half-away-from-zero gives 2/8 = 1/4.
+        assert_eq!(fmt.quantize(Q::new(3, 4)), Q::new(1, 2));
+        assert_eq!(fmt.quantize(Q::new(-3, 4)), Q::new(-1, 2));
+        assert_eq!(fmt.quantize(Q::new(1, 3)), Q::new(1, 3));
+        assert_eq!(fmt.quantize(Q::ONE), Q::new(7, 3)); // clamp to max
+    }
+
+    #[test]
+    fn ulp_and_width() {
+        let fmt = TcFormat::new(7);
+        assert_eq!(fmt.width(), 8);
+        assert_eq!(fmt.ulp(), Q::pow2_neg(7));
+        assert_eq!(fmt.frac_bits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_raw_checks_range() {
+        let _ = TcFormat::new(4).encode_raw(16);
+    }
+}

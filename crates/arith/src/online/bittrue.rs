@@ -1,0 +1,338 @@
+//! Bit-true model of the digit-parallel (unrolled) online multiplier.
+//!
+//! [`om_stage`] reproduces, signal for signal, one stage of Figure 3(b):
+//!
+//! ```text
+//!            x_{j+δ+1}   Y[j+1]      y_{j+δ+1}   X[j]
+//!                 └─ SDVM ─┘              └─ SDVM ─┘
+//!                     A                        B
+//!                     └───── online adder ─────┘        (2 FA levels)
+//!                                H = 2^-δ (A + B)
+//!     P[j] ───────────── online adder ──────────┘        (2 FA levels)
+//!                                W
+//!                     ┌── selection (short CPA) ──→ z_j
+//!                     └── P[j+1] = 2(W − z_j)     (top-digit recode + wires)
+//! ```
+//!
+//! All vectors are borrow-save ([`BsVector`]); the residual update is the
+//! *top-digit recode*: only the digits covered by the selection estimate are
+//! rewritten, the tail passes through as wires. This is what makes the
+//! residual path two FA delays per stage — the `μ` of the paper's timing
+//! model — and it is why residual chains propagate MSD→LSD.
+
+use crate::online::{bs_add, estimate, select_exact, Selection, DELTA};
+use ola_redundant::{BsVector, Digit, Q, SdNumber};
+
+/// All signals produced by one multiplier stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageIo {
+    /// The residual `W[j] = P[j] + H[j]` (borrow-save).
+    pub w: BsVector,
+    /// The next residual `P[j+1] = 2(W[j] − z_j)` (borrow-save).
+    pub p_out: BsVector,
+    /// The selected output digit `z_j`.
+    pub z: Digit,
+    /// True if the top-digit recode saturated (impossible for estimate
+    /// granularities ≥ 3; possible in under-provisioned ablations).
+    pub saturated: bool,
+}
+
+/// Granularity (fractional positions) used for the residual top-digit
+/// recode under a policy. The recode must at least cover the provably
+/// convergent estimate width.
+fn recode_granularity(policy: Selection) -> i32 {
+    match policy {
+        Selection::Exact => 3,
+        Selection::Estimate { frac_digits } => frac_digits,
+    }
+}
+
+/// Evaluates stage `j ∈ −δ ..= n−1` of an `n`-digit unrolled multiplier.
+///
+/// `p_in` is the incoming residual `P[j]` (pass an empty vector for the
+/// first stage). Operand digits beyond position `j+δ+1` are not examined —
+/// exactly like the hardware's appending logic.
+#[must_use]
+pub fn om_stage(
+    x: &SdNumber,
+    y: &SdNumber,
+    j: i32,
+    p_in: &BsVector,
+    policy: Selection,
+) -> StageIo {
+    let delta = DELTA as i32;
+    debug_assert!(j >= -delta && j <= x.len() as i32 - 1);
+    let idx = (j + delta + 1) as usize;
+    let xd = x.digit(idx);
+    let yd = y.digit(idx);
+
+    // Online input windows (appending logic): Y[j+1] ends at digit j+δ+1,
+    // X[j] one earlier. Digits beyond N are zero, so clamp the windows.
+    let y_j1 = operand_window(y, idx);
+    let x_j = operand_window(x, idx - 1);
+
+    // SDVM: ±operand or zero, selected by the newly appended digit.
+    let a = sdvm(xd, &y_j1);
+    let b = sdvm(yd, &x_j);
+
+    // H = 2^-δ (A + B); the online adder gives msd position 0, shifting by
+    // δ moves it to position δ.
+    let h = bs_add(&a, &b).shifted(-(delta));
+
+    // W = P + H.
+    let w = bs_add(p_in, &h);
+
+    // Selection.
+    let t = recode_granularity(policy);
+    let w_hat = estimate(&w, t);
+    let z = match policy {
+        Selection::Exact => select_exact(w.value()),
+        Selection::Estimate { .. } => select_exact(w_hat),
+    };
+
+    // P[j+1] = 2(W − z): recode the estimate window, wire the tail through.
+    let (p_out, saturated) = residual_update(&w, w_hat, z, t);
+    debug_assert!(
+        saturated || p_out.value() == (w.value() - z.weighted(0)) << 1,
+        "residual update must be exact"
+    );
+    StageIo { w, p_out, z, saturated }
+}
+
+fn operand_window(v: &SdNumber, last_digit: usize) -> BsVector {
+    let len = last_digit.min(v.len());
+    let mut out = BsVector::zero(1, len);
+    for i in 1..=len {
+        out.set_digit(i as i32, v.digit(i));
+    }
+    out
+}
+
+/// Signed-digit vector multiple: `d · v` for `d ∈ {−1, 0, 1}` — muxes only.
+#[must_use]
+pub fn sdvm(d: Digit, v: &BsVector) -> BsVector {
+    match d {
+        Digit::Zero => BsVector::zero(v.msd_pos(), v.len()),
+        Digit::One => v.clone(),
+        Digit::NegOne => v.negated(),
+    }
+}
+
+fn residual_update(w: &BsVector, w_hat: Q, z: Digit, t: i32) -> (BsVector, bool) {
+    // E' = (Ŵ − z) · 2^t: the new top of the residual, in units of 2^-t.
+    let e_prime = (w_hat - z.weighted(0))
+        .scaled_to(t as u32)
+        .expect("estimate is a multiple of 2^-t by construction");
+    let max = (1i128 << t) - 1;
+    let saturated = e_prime.abs() > max;
+    let e = e_prime.clamp(-max, max);
+
+    // P' spans positions 0 .. max(t, w.end − 1) − 1 … concretely:
+    //  positions 0..=t−1   ← greedy recode of E'
+    //  positions t..       ← W's positions t+1.. shifted up by one.
+    let tail_end = (w.end_pos() - 1).max(t);
+    let mut p = BsVector::zero(0, tail_end as usize);
+    let mut rem = e; // remainder in units of 2^-t
+    for pos in 0..t {
+        let weight = 1i128 << (t - 1 - pos); // 2^{t-1-pos} units
+        let d = if 2 * rem >= weight {
+            Digit::One
+        } else if 2 * rem <= -weight {
+            Digit::NegOne
+        } else {
+            Digit::Zero
+        };
+        rem -= i128::from(d.value()) * weight;
+        p.set_digit(pos, d);
+    }
+    debug_assert!(saturated || rem == 0, "recode must be exact when in range");
+    let _ = rem;
+    for pos in t..tail_end {
+        let (bp, bn) = w.bits(pos + 1);
+        p.set_bits(pos, bp, bn);
+    }
+    (p, saturated)
+}
+
+/// Result of a bit-true digit-parallel multiplication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitTrueProduct {
+    /// Output digits `z_j`, `j = −δ ..= n−1`, MSD first.
+    pub digits: Vec<Digit>,
+    /// Final residual `P[N]` (borrow-save).
+    pub residual: BsVector,
+    /// Per-stage signals, first stage first.
+    pub stages: Vec<StageIo>,
+}
+
+impl BitTrueProduct {
+    /// The exact value `Z = Σ z_j 2^-(j+1)`.
+    #[must_use]
+    pub fn value(&self) -> Q {
+        digits_value(&self.digits)
+    }
+}
+
+/// Value of a `z_{−δ} .. z_{n−1}` digit vector (digit `z_j` has weight
+/// `2^-(j+1)`; see [`online_mult`](crate::online::online_mult)).
+#[must_use]
+pub fn digits_value(digits: &[Digit]) -> Q {
+    let mut acc = Q::ZERO;
+    for (k, &d) in digits.iter().enumerate() {
+        let w = k as i32 - DELTA as i32 + 1; // digit weight 2^-w
+        acc += match w.cmp(&0) {
+            std::cmp::Ordering::Less => d.weighted(0) << (-w) as u32,
+            _ => d.weighted(w as u32),
+        };
+    }
+    acc
+}
+
+/// Runs the full unrolled multiplier (all `n + δ` stages) bit-true.
+///
+/// # Panics
+///
+/// Panics if the operands differ in length or are empty.
+#[must_use]
+pub fn bittrue_mult(x: &SdNumber, y: &SdNumber, policy: Selection) -> BitTrueProduct {
+    let n = x.len();
+    assert_eq!(n, y.len(), "operands must have equal digit counts");
+    assert!(n > 0, "operands must be non-empty");
+    let delta = DELTA as i32;
+    let mut p = BsVector::zero(0, 0);
+    let mut digits = Vec::with_capacity(n + DELTA);
+    let mut stages = Vec::with_capacity(n + DELTA);
+    for j in -delta..=(n as i32 - 1) {
+        let io = om_stage(x, y, j, &p, policy);
+        p = io.p_out.clone();
+        digits.push(io.z);
+        stages.push(io);
+    }
+    BitTrueProduct { digits, residual: p, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_redundant::random;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(x: &SdNumber, y: &SdNumber, policy: Selection, c_bound: Q) {
+        let n = x.len();
+        let prod = bittrue_mult(x, y, policy);
+        let exact = x.value() * y.value();
+        assert!(
+            prod.stages.iter().all(|s| !s.saturated),
+            "recode saturation at t≥3 must be impossible (x={x:?} y={y:?})"
+        );
+        // Residual bound |P[j]| ≤ c at every stage.
+        for s in &prod.stages {
+            assert!(
+                s.p_out.value().abs() <= c_bound,
+                "|P| = {} exceeds {:?} (x={x:?} y={y:?})",
+                s.p_out.value(),
+                c_bound
+            );
+            assert!(
+                s.w.value().abs() <= c_bound + Q::new(1, 2),
+                "|W| exceeds bound (x={x:?} y={y:?})"
+            );
+        }
+        // Exact invariant: x·y − Z = 2^-(N+1) · P[N].
+        assert_eq!(
+            exact - prod.value(),
+            prod.residual.value() >> (n as u32 + 1),
+            "invariant broken (x={x:?} y={y:?})"
+        );
+    }
+
+    #[test]
+    fn exhaustive_three_digit_operands() {
+        for n in 1..=3usize {
+            let limit = (1i128 << n) - 1;
+            for xv in -limit..=limit {
+                for yv in -limit..=limit {
+                    let x = SdNumber::from_value(Q::new(xv, n as u32), n).unwrap();
+                    let y = SdNumber::from_value(Q::new(yv, n as u32), n).unwrap();
+                    check(&x, &y, Selection::default(), Q::new(3, 1));
+                    check(&x, &y, Selection::Exact, Q::new(3, 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_operands_all_widths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for n in [4usize, 6, 8, 12, 16, 32] {
+            for _ in 0..120 {
+                let x = random::uniform_digits(&mut rng, n);
+                let y = random::uniform_digits(&mut rng, n);
+                check(&x, &y, Selection::default(), Q::new(3, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn random_noncanonical_encodings() {
+        // Digit-uniform inputs exercise non-canonical encodings; also verify
+        // against the golden recurrence *value* within the accuracy bound.
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for _ in 0..300 {
+            let x = random::uniform_digits(&mut rng, 8);
+            let y = random::uniform_digits(&mut rng, 8);
+            let bt = bittrue_mult(&x, &y, Selection::default());
+            let exact = x.value() * y.value();
+            let bound = Q::new(3, 1) >> 9;
+            assert!((exact - bt.value()).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn wider_estimates_also_converge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for t in [3u32, 4, 5, 8] {
+            let policy = Selection::Estimate { frac_digits: t as i32 };
+            for _ in 0..60 {
+                let x = random::uniform_digits(&mut rng, 10);
+                let y = random::uniform_digits(&mut rng, 10);
+                check(&x, &y, policy, Q::new(3, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sdvm_selects_plus_minus_zero() {
+        let v = BsVector::from_sd(&SdNumber::from_value(Q::new(5, 3), 3).unwrap());
+        assert_eq!(sdvm(Digit::One, &v).value(), v.value());
+        assert_eq!(sdvm(Digit::NegOne, &v).value(), -v.value());
+        assert_eq!(sdvm(Digit::Zero, &v).value(), Q::ZERO);
+        assert_eq!(sdvm(Digit::Zero, &v).len(), v.len());
+    }
+
+    #[test]
+    fn first_stage_accepts_empty_residual() {
+        let x = SdNumber::from_value(Q::new(3, 3), 3).unwrap();
+        let io = om_stage(&x, &x, -(DELTA as i32), &BsVector::zero(0, 0), Selection::default());
+        assert_eq!(io.z, Digit::Zero, "first stage can never select ±1");
+    }
+
+    #[test]
+    fn digits_value_weights_indices_correctly() {
+        // z_{-3}..z_{1} = [0,0,0,1,-1]: value = 2^-1 - 2^-2 = 1/4.
+        let digits = vec![Digit::Zero, Digit::Zero, Digit::Zero, Digit::One, Digit::NegOne];
+        assert_eq!(digits_value(&digits), Q::new(1, 2));
+    }
+
+    #[test]
+    fn residual_tail_passes_through_unchanged() {
+        // A deep tail digit of W must appear, shifted, in P'.
+        let mut w = BsVector::zero(-1, 10); // positions -1..=8
+        w.set_digit(7, Digit::One);
+        let (p, sat) = residual_update(&w, Q::ZERO, Digit::Zero, 3);
+        assert!(!sat);
+        assert_eq!(p.digit(6), Digit::One, "W pos 7 → P pos 6");
+        assert_eq!(p.value(), w.value() << 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Online (MSD-first) arithmetic over the radix-2 signed-digit system.
+//!
+//! Three models of the same operators, each serving a different purpose:
+//!
+//! | model | module | purpose |
+//! |---|---|---|
+//! | golden (exact `Q` recurrence) | [`online_mult`] | mathematical reference |
+//! | bit-true (borrow-save signals) | [`bittrue_mult`] | mirrors the netlist signal-for-signal |
+//! | stage-wave (delay-μ stages) | [`StagedMultiplier`] | the paper's overclocking timing model |
+//!
+//! The digit-parallel online **adder** is [`bs_add`]; its constant two-FA
+//! depth is why the paper treats adders as timing-violation-free.
+
+mod adder;
+mod bittrue;
+mod div;
+mod mult;
+mod select;
+mod staged;
+
+pub use adder::{bs_add, mmp, ppm, SerialAdder};
+pub use bittrue::{bittrue_mult, digits_value, om_stage, sdvm, BitTrueProduct, StageIo};
+pub use div::{online_div, DivideDomainError, OnlineQuotient, DELTA_DIV};
+pub use mult::{online_mult, OnlineProduct, SerialMultiplier, DELTA};
+pub use select::{estimate, select, select_exact, Selection};
+pub use staged::{StagedMultiplier, WaveState};

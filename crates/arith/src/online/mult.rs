@@ -1,0 +1,386 @@
+//! Online multiplication — Algorithm 1 of the paper, golden model.
+//!
+//! The recurrence (radix 2, digit set {−1, 0, 1}, online delay δ = 3), for
+//! `j = −δ .. N−1`:
+//!
+//! ```text
+//! H[j]   = 2^-δ · (x_{j+δ+1} · Y[j+1]  +  y_{j+δ+1} · X[j])
+//! W[j]   = P[j] + H[j]
+//! z_j    = sel(W[j])
+//! P[j+1] = 2 · (W[j] − z_j)
+//! ```
+//!
+//! This module evaluates it with *exact* dyadic-rational arithmetic — the
+//! mathematical reference against which the bit-true datapath and the
+//! netlists are verified. The residual invariant (checked in the tests) is
+//! `W[j] = 2^{j+1}·(X[j+1]·Y[j+1] − Z[j−1])`, which gives the digit
+//! selected at stage `j` the weight `2^-(j+1)` and, after the final
+//! iteration, `x·y − Z = 2^-(N+1) · P[N]` with `|P| ≤ 3/2`: the result is
+//! accurate to within `3·2^-(N+2)`.
+
+use crate::online::{select_exact, Selection};
+use ola_redundant::{Digit, OnTheFlyConverter, Q, SdNumber};
+
+/// The online delay δ for the radix-2 multiplier with digit set {−1, 0, 1}.
+pub const DELTA: usize = 3;
+
+/// Result of an online multiplication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnlineProduct {
+    digits: Vec<Digit>,
+    n: usize,
+    residual: Q,
+}
+
+impl OnlineProduct {
+    /// Output digits `z_j` for `j = −δ ..= N−1`, MSD first (the digit for
+    /// `j` has weight `2^-(j+1)`; the leading digits are zero in practice —
+    /// the paper removes their selection logic entirely).
+    #[must_use]
+    pub fn digits(&self) -> &[Digit] {
+        &self.digits
+    }
+
+    /// The digit `z_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside `−δ ..= N−1`.
+    #[must_use]
+    pub fn digit(&self, j: i32) -> Digit {
+        let idx = j + DELTA as i32;
+        assert!(idx >= 0 && (idx as usize) < self.digits.len(), "digit index {j} out of range");
+        self.digits[idx as usize]
+    }
+
+    /// The exact value `Z = Σ z_j 2^-(j+1)`.
+    #[must_use]
+    pub fn value(&self) -> Q {
+        let mut c = OnTheFlyConverter::new();
+        for &d in &self.digits {
+            c.push(d);
+        }
+        // The converter weights digit k (0-based) by 2^-(k+1); digit k is
+        // z_j with j = k − δ and true weight 2^-(j+1) = 2^δ · 2^-(k+1).
+        c.value() << DELTA as u32
+    }
+
+    /// The final residual `P[N]`; `x·y − Z = 2^-(N+1) · P[N]`.
+    #[must_use]
+    pub fn residual(&self) -> Q {
+        self.residual
+    }
+
+    /// The exact representation error `x·y − Z` implied by the residual.
+    #[must_use]
+    pub fn error(&self) -> Q {
+        self.residual >> (self.n as u32 + 1)
+    }
+}
+
+/// Multiplies two `N`-digit operands with Algorithm 1 and a choice of
+/// selection policy evaluated on the *exact* residual.
+///
+/// For [`Selection::Exact`] the residual bound is `|P| ≤ 1`; for the
+/// hardware estimate (`frac_digits ≥ 3`) it is `|P| ≤ 3/2`. Both yield
+/// `|x·y − Z| ≤ |P|·2^-(N+1)`.
+///
+/// # Panics
+///
+/// Panics if the operands have different lengths or are empty.
+#[must_use]
+pub fn online_mult(x: &SdNumber, y: &SdNumber, policy: Selection) -> OnlineProduct {
+    let n = x.len();
+    assert_eq!(n, y.len(), "operands must have equal digit counts");
+    assert!(n > 0, "operands must be non-empty");
+    let delta = DELTA as i32;
+
+    let mut p = Q::ZERO;
+    let mut digits = Vec::with_capacity(n + DELTA);
+    for j in -delta..=(n as i32 - 1) {
+        let idx = (j + delta + 1) as usize;
+        let xd = x.digit(idx);
+        let yd = y.digit(idx);
+        let y_j1 = y.prefix_value(idx); // Y[j+1]: digits 1..=j+δ+1
+        let x_j = x.prefix_value(idx - 1); // X[j]: digits 1..=j+δ
+        let h = (y_j1 * i64::from(xd.value()) + x_j * i64::from(yd.value())) >> DELTA as u32;
+        let w = p + h;
+        let z = match policy {
+            Selection::Exact => select_exact(w),
+            Selection::Estimate { frac_digits } => {
+                // Truncate the exact W to the estimate granularity the
+                // hardware would see. Truncation toward −∞ at 2^-t matches
+                // the worst-case tail sign analysis; the bit-true model's
+                // borrow-save truncation is validated against this in
+                // `bittrue`.
+                select_exact(truncate_toward_neg_inf(w, frac_digits as u32))
+            }
+        };
+        digits.push(z);
+        p = (w - z.weighted(0)) << 1;
+    }
+    OnlineProduct { digits, n, residual: p }
+}
+
+fn truncate_toward_neg_inf(w: Q, frac_bits: u32) -> Q {
+    // floor(w · 2^t) / 2^t
+    let shifted = w << frac_bits;
+    let num = shifted.numerator();
+    let scale = shifted.scale();
+    let floored = num >> scale; // arithmetic shift = floor for negatives
+    Q::new(floored, 0) >> frac_bits
+}
+
+/// A digit-serial online multiplier: push one digit pair per cycle, receive
+/// one result digit per cycle after the online delay.
+///
+/// This is the original (non-unrolled) operating mode of online arithmetic:
+/// the data flow of Figure 1. Exactly `N` [`push`](Self::push) calls
+/// followed by [`finish`](Self::finish) reproduce
+/// [`online_mult`] digit for digit.
+///
+/// # Examples
+///
+/// ```
+/// use ola_arith::online::{online_mult, SerialMultiplier, Selection};
+/// use ola_redundant::{Q, SdNumber};
+///
+/// let x = SdNumber::from_value(Q::new(5, 4), 4)?;
+/// let y = SdNumber::from_value(Q::new(-7, 4), 4)?;
+/// let mut serial = SerialMultiplier::new(4, Selection::Exact);
+/// for i in 1..=4 {
+///     serial.push(x.digit(i), y.digit(i));
+/// }
+/// let product = serial.finish();
+/// assert_eq!(product.value(), online_mult(&x, &y, Selection::Exact).value());
+/// # Ok::<(), ola_redundant::RangeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SerialMultiplier {
+    n: usize,
+    policy: Selection,
+    x: Vec<Digit>,
+    y: Vec<Digit>,
+    p: Q,
+    emitted: Vec<Digit>,
+}
+
+impl SerialMultiplier {
+    /// A serial multiplier for `n`-digit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, policy: Selection) -> Self {
+        assert!(n > 0, "operands must be non-empty");
+        SerialMultiplier {
+            n,
+            policy,
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            p: Q::ZERO,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Feeds the next (MSD-first) digit pair and returns the result digit
+    /// emitted this cycle (`z_j` for `j = pushes − δ − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n` pairs are pushed.
+    pub fn push(&mut self, xd: Digit, yd: Digit) -> Digit {
+        assert!(self.x.len() < self.n, "all {} digit pairs already pushed", self.n);
+        self.x.push(xd);
+        self.y.push(yd);
+        self.step(xd, yd)
+    }
+
+    /// Flushes the pipeline (δ zero-feed cycles) and returns the product.
+    #[must_use]
+    pub fn finish(mut self) -> OnlineProduct {
+        assert_eq!(self.x.len(), self.n, "push all {} digit pairs before finishing", self.n);
+        for _ in 0..DELTA {
+            self.x.push(Digit::Zero);
+            self.y.push(Digit::Zero);
+            self.step(Digit::Zero, Digit::Zero);
+        }
+        OnlineProduct { digits: self.emitted, n: self.n, residual: self.p }
+    }
+
+    fn step(&mut self, xd: Digit, yd: Digit) -> Digit {
+        let t = self.x.len(); // digits consumed so far (index j+δ+1)
+        let y_j1 = prefix(&self.y, t);
+        let x_j = prefix(&self.x, t - 1);
+        let h = (y_j1 * i64::from(xd.value()) + x_j * i64::from(yd.value())) >> DELTA as u32;
+        let w = self.p + h;
+        let z = match self.policy {
+            Selection::Exact => select_exact(w),
+            Selection::Estimate { frac_digits } => {
+                select_exact(truncate_toward_neg_inf(w, frac_digits as u32))
+            }
+        };
+        self.emitted.push(z);
+        self.p = (w - z.weighted(0)) << 1;
+        z
+    }
+}
+
+fn prefix(digits: &[Digit], k: usize) -> Q {
+    let mut acc: i128 = 0;
+    for &d in &digits[..k.min(digits.len())] {
+        acc = (acc << 1) + i128::from(d.value());
+    }
+    Q::new(acc, k.min(digits.len()) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_redundant::random;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_invariants(x: &SdNumber, y: &SdNumber, policy: Selection, p_bound: Q) {
+        let prod = online_mult(x, y, policy);
+        let exact = x.value() * y.value();
+        // Residual bound.
+        assert!(
+            prod.residual().abs() <= p_bound,
+            "residual {:?} exceeds bound {:?} for x={x:?} y={y:?}",
+            prod.residual(),
+            p_bound,
+        );
+        // Invariant: x·y − Z = 2^-N · P[N] exactly.
+        assert_eq!(exact - prod.value(), prod.error(), "x={x:?} y={y:?}");
+        // Accuracy.
+        let bound = p_bound >> (x.len() as u32 + 1);
+        assert!(
+            (exact - prod.value()).abs() <= bound,
+            "error too large for x={x:?} y={y:?}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_small_operands_exact_selection() {
+        for n in 1..=3usize {
+            let limit = (1i128 << n) - 1;
+            for xv in -limit..=limit {
+                for yv in -limit..=limit {
+                    let x = SdNumber::from_value(Q::new(xv, n as u32), n).unwrap();
+                    let y = SdNumber::from_value(Q::new(yv, n as u32), n).unwrap();
+                    check_invariants(&x, &y, Selection::Exact, Q::ONE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_operands_estimate_selection() {
+        let policy = Selection::default();
+        for n in 1..=3usize {
+            let limit = (1i128 << n) - 1;
+            for xv in -limit..=limit {
+                for yv in -limit..=limit {
+                    let x = SdNumber::from_value(Q::new(xv, n as u32), n).unwrap();
+                    let y = SdNumber::from_value(Q::new(yv, n as u32), n).unwrap();
+                    check_invariants(&x, &y, policy, Q::new(3, 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_operands_both_selections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [4usize, 8, 12, 16, 24, 32] {
+            for _ in 0..200 {
+                let x = random::uniform_digits(&mut rng, n);
+                let y = random::uniform_digits(&mut rng, n);
+                check_invariants(&x, &y, Selection::Exact, Q::ONE);
+                check_invariants(&x, &y, Selection::default(), Q::new(3, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn leading_digits_are_zero() {
+        // The first δ output digits (j ≤ 0) should always be zero — the
+        // paper removes their selection logic. Verified over random inputs.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..500 {
+            let x = random::uniform_digits(&mut rng, 8);
+            let y = random::uniform_digits(&mut rng, 8);
+            for policy in [Selection::Exact, Selection::default()] {
+                let prod = online_mult(&x, &y, policy);
+                // Digits with weight ≥ 1 (selected while |W| is provably
+                // below 1/2) are always zero: j = −δ and −δ+1.
+                for j in -(DELTA as i32)..=-2 {
+                    assert_eq!(prod.digit(j), Digit::Zero, "z_{j} nonzero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for n in [1usize, 2, 5, 8, 13] {
+            for _ in 0..50 {
+                let x = random::uniform_digits(&mut rng, n);
+                let y = random::uniform_digits(&mut rng, n);
+                for policy in [Selection::Exact, Selection::default()] {
+                    let mut serial = SerialMultiplier::new(n, policy);
+                    for i in 1..=n {
+                        serial.push(x.digit(i), y.digit(i));
+                    }
+                    let s = serial.finish();
+                    let p = online_mult(&x, &y, policy);
+                    assert_eq!(s, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digit_indexing() {
+        let x = SdNumber::from_value(Q::new(3, 3), 3).unwrap();
+        let prod = online_mult(&x, &x, Selection::Exact);
+        assert_eq!(prod.digits().len(), 3 + DELTA);
+        assert_eq!(prod.digit(-(DELTA as i32)), prod.digits()[0]);
+        assert_eq!(prod.digit(2), *prod.digits().last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn digit_out_of_range_panics() {
+        let x = SdNumber::from_value(Q::new(1, 2), 2).unwrap();
+        let prod = online_mult(&x, &x, Selection::Exact);
+        let _ = prod.digit(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal digit counts")]
+    fn mismatched_lengths_panic() {
+        let x = SdNumber::zero(3);
+        let y = SdNumber::zero(4);
+        let _ = online_mult(&x, &y, Selection::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "already pushed")]
+    fn serial_overflow_panics() {
+        let mut s = SerialMultiplier::new(1, Selection::Exact);
+        let _ = s.push(Digit::Zero, Digit::Zero);
+        let _ = s.push(Digit::Zero, Digit::Zero);
+    }
+
+    #[test]
+    fn truncation_is_floor_at_granularity() {
+        assert_eq!(truncate_toward_neg_inf(Q::new(7, 4), 2), Q::new(1, 2));
+        assert_eq!(truncate_toward_neg_inf(Q::new(-7, 4), 2), Q::new(-1, 1));
+        assert_eq!(truncate_toward_neg_inf(Q::new(3, 2), 2), Q::new(3, 2));
+        assert_eq!(truncate_toward_neg_inf(Q::ZERO, 3), Q::ZERO);
+    }
+}

@@ -1,0 +1,130 @@
+//! The result-digit selection function of the online multiplier (Eq. (3)).
+
+use ola_redundant::{BsVector, Digit, Q};
+
+/// How a multiplier stage selects its output digit from the residual `W`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Selection {
+    /// Compare the *exact* value of `W` against ±1/2 (Eq. (3) literally).
+    /// This is the golden-model behaviour; hardware cannot afford it because
+    /// an exact comparison needs a full-width carry-propagate adder.
+    Exact,
+    /// Compare a truncated estimate `Ŵ` of `W` — the value of its digits
+    /// down to fractional position `frac_digits` — against ±1/2. Hardware
+    /// selection: only a short carry-propagate adder over the top digits.
+    ///
+    /// `frac_digits = 3` is the narrowest estimate for which the recurrence
+    /// provably converges with online delay δ = 3 (residual bound
+    /// `|P| ≤ 3/2`); the paper's "1 integer and 1 fractional bit" wording
+    /// refers to the non-redundant estimate after that short adder.
+    Estimate {
+        /// Least significant fractional position included in the estimate.
+        frac_digits: i32,
+    },
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::Estimate { frac_digits: 3 }
+    }
+}
+
+/// Eq. (3): `z = 1` if `w ≥ 1/2`; `z = 0` if `−1/2 ≤ w < 1/2`; `z = −1`
+/// otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use ola_arith::online::select_exact;
+/// use ola_redundant::{Digit, Q};
+///
+/// assert_eq!(select_exact(Q::new(1, 1)), Digit::One);      // 1/2
+/// assert_eq!(select_exact(Q::new(-1, 1)), Digit::Zero);    // -1/2 (inclusive)
+/// assert_eq!(select_exact(Q::new(-3, 2)), Digit::NegOne);  // -3/4
+/// ```
+#[must_use]
+pub fn select_exact(w: Q) -> Digit {
+    if w.cmp_frac(1, 1).is_ge() {
+        Digit::One
+    } else if w.cmp_frac(-1, 1).is_ge() {
+        Digit::Zero
+    } else {
+        Digit::NegOne
+    }
+}
+
+/// The truncated estimate `Ŵ`: the exact value of `w`'s digits from its MSD
+/// down to fractional position `frac_digits` inclusive.
+#[must_use]
+pub fn estimate(w: &BsVector, frac_digits: i32) -> Q {
+    let mut acc = Q::ZERO;
+    for (pos, d) in w.iter_digits() {
+        if pos > frac_digits {
+            break;
+        }
+        acc += match pos.cmp(&0) {
+            std::cmp::Ordering::Less => d.weighted(0) << (-pos) as u32,
+            _ => d.weighted(pos as u32),
+        };
+    }
+    acc
+}
+
+/// Applies a [`Selection`] policy to a residual.
+#[must_use]
+pub fn select(w: &BsVector, policy: Selection) -> Digit {
+    match policy {
+        Selection::Exact => select_exact(w.value()),
+        Selection::Estimate { frac_digits } => select_exact(estimate(w, frac_digits)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_redundant::SdNumber;
+
+    #[test]
+    fn exact_selection_thresholds() {
+        assert_eq!(select_exact(Q::ONE), Digit::One);
+        assert_eq!(select_exact(Q::new(1, 1)), Digit::One);
+        assert_eq!(select_exact(Q::new(7, 4)), Digit::Zero); // 7/16 < 1/2
+        assert_eq!(select_exact(Q::ZERO), Digit::Zero);
+        assert_eq!(select_exact(Q::new(-1, 1)), Digit::Zero);
+        assert_eq!(select_exact(Q::new(-9, 4)), Digit::NegOne); // -9/16
+        assert_eq!(select_exact(-Q::ONE), Digit::NegOne);
+    }
+
+    #[test]
+    fn estimate_truncates_low_digits() {
+        // Canonical 7/16 = 0.1 0 1̄ 1; truncating to 2 fractional digits keeps
+        // 0.1 0 = 1/2, and matches the prefix value.
+        let canon = SdNumber::from_value(Q::new(7, 4), 4).unwrap();
+        let w = BsVector::from_sd(&canon);
+        assert_eq!(estimate(&w, 2), Q::new(1, 1));
+        let est = estimate(&BsVector::from_sd(&canon), 2);
+        assert_eq!(est, canon.prefix_value(2));
+    }
+
+    #[test]
+    fn estimate_includes_integer_positions() {
+        let mut w = BsVector::zero(-1, 6); // positions -1..=4
+        w.set_digit(-1, Digit::One); // +2
+        w.set_digit(1, Digit::NegOne); // -1/2
+        w.set_digit(4, Digit::One); // +1/16, beyond estimate
+        assert_eq!(estimate(&w, 3), Q::new(3, 1));
+        assert_eq!(w.value(), Q::new(3, 1) + Q::new(1, 4));
+    }
+
+    #[test]
+    fn estimate_equals_value_when_window_covered() {
+        let w = BsVector::from_sd(&SdNumber::from_value(Q::new(-5, 4), 4).unwrap());
+        assert_eq!(estimate(&w, 4), w.value());
+        assert_eq!(select(&w, Selection::Estimate { frac_digits: 4 }), select_exact(w.value()));
+    }
+
+    #[test]
+    fn default_policy_is_hardware_estimate() {
+        assert_eq!(Selection::default(), Selection::Estimate { frac_digits: 3 });
+    }
+}

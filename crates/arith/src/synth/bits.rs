@@ -1,0 +1,230 @@
+//! Little-endian two's-complement bit-vector gadgets over a [`Netlist`].
+//!
+//! Used for the short carry-propagate adders inside the online multiplier's
+//! selection function and for the conventional baselines. All vectors are
+//! LSB-first; the last bit is the sign.
+
+use ola_netlist::cells::full_adder;
+use ola_netlist::{NetId, Netlist};
+
+/// Encodes the signed constant `k` as `width` bits.
+///
+/// # Panics
+///
+/// Panics if `k` does not fit `width` bits in two's complement.
+pub fn encode_const(nl: &mut Netlist, k: i64, width: usize) -> Vec<NetId> {
+    assert!(width >= 1 && width <= 63, "unsupported constant width {width}");
+    assert!(
+        k >= -(1 << (width - 1)) && k < (1 << (width - 1)),
+        "constant {k} does not fit {width} bits"
+    );
+    (0..width).map(|i| nl.constant(k >> i & 1 == 1)).collect()
+}
+
+/// Sign-extends (or truncates) a vector to `width` bits.
+pub fn sign_extend(nl: &mut Netlist, a: &[NetId], width: usize) -> Vec<NetId> {
+    let sign = match a.last() {
+        Some(&s) => s,
+        None => nl.constant(false),
+    };
+    (0..width).map(|i| a.get(i).copied().unwrap_or(sign)).collect()
+}
+
+/// Ripple-carry addition of two equal-width vectors; returns
+/// `(sum_bits, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn ripple_add(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "ripple_add operand widths differ");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(nl, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Full-precision signed addition: result width `max(|a|, |b|) + 1`, never
+/// wraps.
+pub fn add_signed(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    let width = a.len().max(b.len()) + 1;
+    let ax = sign_extend(nl, a, width);
+    let bx = sign_extend(nl, b, width);
+    let zero = nl.constant(false);
+    ripple_add(nl, &ax, &bx, zero).0
+}
+
+/// Signed addition of a constant: result width `|a| + 1`.
+pub fn add_const(nl: &mut Netlist, a: &[NetId], k: i64) -> Vec<NetId> {
+    let width = a.len() + 1;
+    let kb = encode_const(nl, k, width);
+    let ax = sign_extend(nl, a, width);
+    let zero = nl.constant(false);
+    ripple_add(nl, &ax, &kb, zero).0
+}
+
+/// `a ≥ k` for a signed vector and constant: the sign of `a − k` negated.
+pub fn is_ge_const(nl: &mut Netlist, a: &[NetId], k: i64) -> NetId {
+    let d = add_const(nl, a, -k);
+    let sign = *d.last().expect("non-empty");
+    nl.not(sign)
+}
+
+/// `a ≤ k` for a signed vector and constant: the sign of `a − (k+1)`.
+pub fn is_le_const(nl: &mut Netlist, a: &[NetId], k: i64) -> NetId {
+    let d = add_const(nl, a, -(k + 1));
+    *d.last().expect("non-empty")
+}
+
+/// Per-bit three-way select: `sel_p ? a : (sel_n ? b : c)`, sign-extending
+/// all operands to a common width.
+pub fn mux3(
+    nl: &mut Netlist,
+    sel_p: NetId,
+    a: &[NetId],
+    sel_n: NetId,
+    b: &[NetId],
+    c: &[NetId],
+) -> Vec<NetId> {
+    let width = a.len().max(b.len()).max(c.len());
+    let ax = sign_extend(nl, a, width);
+    let bx = sign_extend(nl, b, width);
+    let cx = sign_extend(nl, c, width);
+    (0..width)
+        .map(|i| {
+            let inner = nl.mux(sel_n, bx[i], cx[i]);
+            nl.mux(sel_p, ax[i], inner)
+        })
+        .collect()
+}
+
+/// Decodes a signed vector from simulated values (test/debug helper).
+#[must_use]
+pub fn decode_signed(bits: &[bool]) -> i64 {
+    let mut v: i64 = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            v |= 1 << i;
+        }
+    }
+    if let Some(true) = bits.last() {
+        v -= 1 << bits.len();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_vec(nl: &Netlist, inputs: &[bool], bits: &[NetId]) -> i64 {
+        let vals = nl.eval(inputs);
+        decode_signed(&bits.iter().map(|b| vals[b.index()]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn constants_encode_correctly() {
+        for k in -8i64..8 {
+            let mut nl = Netlist::new();
+            let bits = encode_const(&mut nl, k, 4);
+            assert_eq!(eval_vec(&nl, &[], &bits), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn add_signed_is_exact_over_small_ranges() {
+        for a in -4i64..4 {
+            for b in -4i64..4 {
+                let mut nl = Netlist::new();
+                let av = nl.input_bus("a", 3);
+                let bv = nl.input_bus("b", 3);
+                let s = add_signed(&mut nl, &av, &bv);
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push(a >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    inputs.push(b >> i & 1 == 1);
+                }
+                assert_eq!(eval_vec(&nl, &inputs, &s), a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_const_and_comparators() {
+        for a in -8i64..8 {
+            for k in -6i64..7 {
+                let mut nl = Netlist::new();
+                let av = nl.input_bus("a", 4);
+                let s = add_const(&mut nl, &av, k);
+                let ge = is_ge_const(&mut nl, &av, k);
+                let le = is_le_const(&mut nl, &av, k);
+                let inputs: Vec<bool> = (0..4).map(|i| a >> i & 1 == 1).collect();
+                let vals = nl.eval(&inputs);
+                assert_eq!(eval_vec(&nl, &inputs, &s), a + k);
+                assert_eq!(vals[ge.index()], a >= k, "a={a} k={k}");
+                assert_eq!(vals[le.index()], a <= k, "a={a} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux3_selects_with_priority() {
+        for code in 0..3u8 {
+            let mut nl = Netlist::new();
+            let sp = nl.input("sp");
+            let sn = nl.input("sn");
+            let a = encode_const(&mut nl, 3, 4);
+            let b = encode_const(&mut nl, -3, 4);
+            let c = encode_const(&mut nl, 0, 4);
+            let m = mux3(&mut nl, sp, &a, sn, &b, &c);
+            let (spv, snv) = match code {
+                0 => (true, false),
+                1 => (false, true),
+                _ => (false, false),
+            };
+            let expect = match code {
+                0 => 3,
+                1 => -3,
+                _ => 0,
+            };
+            assert_eq!(eval_vec(&nl, &[spv, snv], &m), expect);
+        }
+    }
+
+    #[test]
+    fn sign_extension_preserves_value() {
+        for a in -4i64..4 {
+            let mut nl = Netlist::new();
+            let av = nl.input_bus("a", 3);
+            let wide = sign_extend(&mut nl, &av, 8);
+            let inputs: Vec<bool> = (0..3).map(|i| a >> i & 1 == 1).collect();
+            assert_eq!(eval_vec(&nl, &inputs, &wide), a);
+        }
+    }
+
+    #[test]
+    fn decode_signed_handles_negatives() {
+        assert_eq!(decode_signed(&[true, false, false]), 1);
+        assert_eq!(decode_signed(&[false, false, true]), -4);
+        assert_eq!(decode_signed(&[true, true, true]), -1);
+        assert_eq!(decode_signed(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_constant_panics() {
+        let mut nl = Netlist::new();
+        let _ = encode_const(&mut nl, 8, 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Netlist synthesis of every operator in this crate.
+//!
+//! Generators return small structs bundling the [`Netlist`] with its I/O
+//! bookkeeping; feed them to [`ola_netlist::simulate`] for overclocked
+//! timing experiments, [`ola_netlist::analyze`] for rated frequencies, and
+//! [`ola_netlist::area::estimate`] for Table-4-style area comparisons.
+//!
+//! [`Netlist`]: ola_netlist::Netlist
+
+pub mod bits;
+mod bsnets;
+mod conventional;
+mod mac;
+mod online;
+
+pub use bsnets::{bs_add_gates, sdvm_gates, BsSignals};
+pub use conventional::{
+    array_multiplier, carry_select_adder, ripple_carry_adder, ArrayMultiplierCircuit,
+    CarrySelectAdderCircuit, RippleAdderCircuit,
+};
+pub use mac::{
+    decode_digit_planes, online_mac, traditional_mac, OnlineMacCircuit, TraditionalMacCircuit,
+};
+pub use online::{online_adder, online_multiplier, OnlineAdderCircuit, OnlineMultiplierCircuit};

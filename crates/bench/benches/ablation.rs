@@ -1,0 +1,159 @@
+//! Ablations of the design choices called out in `DESIGN.md` §5:
+//! selection-estimate width, delay-jitter amplitude, and the stage-wave vs
+//! gate-level timing backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ola_arith::online::{Selection, StagedMultiplier};
+use ola_arith::synth::online_multiplier;
+use ola_core::empirical::om_gate_level_curve;
+use ola_core::{montecarlo, InputModel};
+use ola_netlist::{analyze, area, simulate_from_zero, JitteredDelay, UnitDelay};
+use ola_redundant::random;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Selection-estimate width: wider estimates cost a longer selection CPA
+/// and more area but do not change the residual-path delay.
+fn ablation_selection_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selection_width");
+    g.sample_size(15);
+    for t in [3i32, 4, 6] {
+        let circuit = online_multiplier(8, t);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let ar = area::estimate(&circuit.netlist, 4);
+        eprintln!(
+            "[ablation] estimate t={t}: {} gates, {} LUTs, critical path {}",
+            circuit.netlist.logic_gate_count(),
+            ar.luts,
+            rep.critical_path()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(t as u64);
+        let x = random::uniform_digits(&mut rng, 8);
+        let y = random::uniform_digits(&mut rng, 8);
+        let inputs = circuit.encode_inputs(&x, &y);
+        g.bench_with_input(BenchmarkId::new("event_sim", t), &t, |b, _| {
+            b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)))
+        });
+        g.bench_with_input(BenchmarkId::new("staged_mc_100", t), &t, |b, &t| {
+            b.iter(|| {
+                montecarlo::om_monte_carlo(
+                    8,
+                    Selection::Estimate { frac_digits: t },
+                    InputModel::UniformDigits,
+                    100,
+                    5,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Jitter amplitude: how much place-and-route-style variation costs in
+/// observed settling (printed) and simulation time (measured).
+fn ablation_jitter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_jitter");
+    g.sample_size(10);
+    let circuit = online_multiplier(8, 3);
+    for amp in [0u64, 15, 40] {
+        let delay = JitteredDelay::new(UnitDelay, amp, 7);
+        let rated = analyze(&circuit.netlist, &delay).critical_path();
+        let curve = om_gate_level_curve(
+            &circuit,
+            &delay,
+            InputModel::UniformDigits,
+            &[rated * 7 / 10, rated],
+            30,
+            3,
+        );
+        eprintln!(
+            "[ablation] jitter ±{amp}: rated {rated}, max settle {}, err@0.7 {:.2e}",
+            curve.max_settle, curve.mean_abs_error[0]
+        );
+        g.bench_with_input(BenchmarkId::new("curve_30_samples", amp), &amp, |b, _| {
+            b.iter(|| {
+                om_gate_level_curve(
+                    &circuit,
+                    &delay,
+                    InputModel::UniformDigits,
+                    &[rated * 7 / 10],
+                    30,
+                    3,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Timing backend: the stage-wave abstraction vs full gate-level event
+/// simulation for the same overclocking question.
+fn ablation_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backend");
+    g.sample_size(15);
+    let n = 8;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let x = random::uniform_digits(&mut rng, n);
+    let y = random::uniform_digits(&mut rng, n);
+    g.bench_function("stage_wave_history", |b| {
+        b.iter(|| {
+            StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).sampled_values()
+        })
+    });
+    let circuit = online_multiplier(n, 3);
+    let inputs = circuit.encode_inputs(&x, &y);
+    g.bench_function("gate_level_full_waveform", |b| {
+        b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)))
+    });
+    g.finish();
+}
+
+/// Input statistics: digit-uniform (the model's assumption) vs
+/// value-uniform (canonical encodings, the "real data" direction) — fewer
+/// long chains means more error-free overclock headroom.
+fn ablation_input_statistics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_input_statistics");
+    g.sample_size(10);
+    for (name, model) in [
+        ("digit_uniform", InputModel::UniformDigits),
+        ("value_uniform", InputModel::UniformValue),
+        ("nonneg_value", InputModel::NonNegValue),
+    ] {
+        let worst = montecarlo::max_observed_settling(12, Selection::default(), model, 2000, 9);
+        let mc = montecarlo::om_monte_carlo(12, Selection::default(), model, 2000, 9);
+        let free = mc
+            .curve
+            .mean_abs_error
+            .iter()
+            .position(|&e| e == 0.0)
+            .unwrap_or(usize::MAX);
+        eprintln!(
+            "[ablation] {name}: worst settle {worst} waves, error-free budget {free} of 15"
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                montecarlo::om_monte_carlo(12, Selection::default(), black_box(model), 200, 9)
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Single-core-friendly measurement settings: the datapath simulations are
+/// macro-benchmarks, so short measurement windows already give stable
+/// numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = ablation_selection_width,ablation_jitter,ablation_backend,ablation_input_statistics
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Case-study throughput: the overclocked Gaussian filter's cost per image
+//! and the procedural benchmark-image generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ola_imaging::filter::{
+    filter_exact, FilterConfig, OnlineFilter, OverclockedFilter, TraditionalFilter,
+};
+use ola_imaging::synthetic::Benchmark;
+use ola_imaging::Kernel;
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_sweep_8x8");
+    g.sample_size(10);
+    let img = Benchmark::LenaLike.generate(8, 8, 1);
+    let online = OnlineFilter::new(FilterConfig::paper_default());
+    let trad = TraditionalFilter::new(FilterConfig::paper_default());
+    let o_ts = [online.rated_period() * 7 / 10, online.rated_period()];
+    let t_ts = [trad.rated_period() * 7 / 10, trad.rated_period()];
+    g.bench_function("online", |b| {
+        b.iter(|| online.apply_sweep(black_box(&img), &o_ts))
+    });
+    g.bench_function("traditional", |b| {
+        b.iter(|| trad.apply_sweep(black_box(&img), &t_ts))
+    });
+    g.finish();
+}
+
+fn bench_exact_filter(c: &mut Criterion) {
+    let img = Benchmark::SailboatLike.generate(64, 64, 2);
+    let kernel = Kernel::gaussian(3, 1.0, 8);
+    c.bench_function("filter_exact_64x64", |b| {
+        b.iter(|| filter_exact(black_box(&img), &kernel))
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image_generators");
+    for bench in Benchmark::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("generate_64x64", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| bench.generate(64, 64, black_box(3))),
+        );
+    }
+    g.finish();
+}
+
+
+/// Single-core-friendly measurement settings: the datapath simulations are
+/// macro-benchmarks, so short measurement windows already give stable
+/// numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = bench_filters,bench_exact_filter,bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Analytic-model evaluation speed (Algorithm 2 and friends) and the
+//! stage-wave Monte-Carlo engine's sample throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ola_arith::online::Selection;
+use ola_core::{baseline, model, montecarlo, InputModel};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic_model");
+    for n in [8usize, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("chain_scenarios", n), &n, |b, &n| {
+            b.iter(|| model::chain_scenarios(black_box(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("expected_error_sweep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for budget in 0..=(n + 3) {
+                    acc += model::expected_error(black_box(n), budget, 1.0);
+                }
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delay_profile", n), &n, |b, &n| {
+            b.iter(|| model::chain_delay_profile(black_box(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo");
+    g.sample_size(10);
+    for n in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("om_200_samples", n), &n, |b, &n| {
+            b.iter(|| {
+                montecarlo::om_monte_carlo(
+                    black_box(n),
+                    Selection::default(),
+                    InputModel::UniformDigits,
+                    200,
+                    9,
+                )
+            })
+        });
+    }
+    g.bench_function("rca_2000_samples_w16", |b| {
+        b.iter(|| baseline::rca_monte_carlo(16, 2000, 9))
+    });
+    g.finish();
+}
+
+fn bench_carry_cdf(c: &mut Criterion) {
+    c.bench_function("carry_chain_cdf_w64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in 0..64 {
+                acc += baseline::carry_chain_cdf(black_box(64), l);
+            }
+            acc
+        })
+    });
+}
+
+
+/// Single-core-friendly measurement settings: the datapath simulations are
+/// macro-benchmarks, so short measurement windows already give stable
+/// numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = bench_model,bench_montecarlo,bench_carry_cdf
+);
+criterion_main!(benches);

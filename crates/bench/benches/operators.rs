@@ -1,0 +1,94 @@
+//! Operator-level throughput: the golden, bit-true, stage-wave and
+//! gate-level models of the online multiplier, and the conventional
+//! baselines, across word lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ola_arith::conventional::StagedRippleAdder;
+use ola_arith::online::{bittrue_mult, online_mult, Selection, StagedMultiplier};
+use ola_arith::synth::{array_multiplier, online_multiplier};
+use ola_netlist::{simulate_from_zero, UnitDelay};
+use ola_redundant::{random, SdNumber};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn operands(n: usize) -> (SdNumber, SdNumber) {
+    let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+    (random::uniform_digits(&mut rng, n), random::uniform_digits(&mut rng, n))
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_multiplier_models");
+    for n in [8usize, 16, 32] {
+        let (x, y) = operands(n);
+        g.bench_with_input(BenchmarkId::new("golden", n), &n, |b, _| {
+            b.iter(|| online_mult(black_box(&x), black_box(&y), Selection::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("bittrue", n), &n, |b, _| {
+            b.iter(|| bittrue_mult(black_box(&x), black_box(&y), Selection::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("staged_settle", n), &n, |b, _| {
+            b.iter(|| {
+                StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).settled()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gate_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate_level_multipliers");
+    g.sample_size(20);
+    for n in [8usize, 12] {
+        let om = online_multiplier(n, 3);
+        let (x, y) = operands(n);
+        let inputs = om.encode_inputs(&x, &y);
+        g.bench_with_input(BenchmarkId::new("online_event_sim", n), &n, |b, _| {
+            b.iter(|| simulate_from_zero(&om.netlist, &UnitDelay, black_box(&inputs)))
+        });
+        g.bench_with_input(BenchmarkId::new("online_functional", n), &n, |b, _| {
+            b.iter(|| om.netlist.eval(black_box(&inputs)))
+        });
+        let am = array_multiplier(n + 1);
+        let am_inputs = am.encode_inputs(77, -93);
+        g.bench_with_input(BenchmarkId::new("array_event_sim", n), &n, |b, _| {
+            b.iter(|| simulate_from_zero(&am.netlist, &UnitDelay, black_box(&am_inputs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conventional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ripple_adder_wave");
+    for w in [16u32, 32] {
+        g.bench_with_input(BenchmarkId::new("sample_all_ticks", w), &w, |b, &w| {
+            let adder = StagedRippleAdder::new(0x5A5A, 0xA5A6, w);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for t in 0..=w {
+                    acc ^= adder.sample(black_box(t));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Single-core-friendly measurement settings: the datapath simulations are
+/// macro-benchmarks, so short measurement windows already give stable
+/// numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = bench_models,bench_gate_level,bench_conventional
+);
+criterion_main!(benches);

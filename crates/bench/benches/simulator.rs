@@ -1,0 +1,90 @@
+//! Substrate throughput: the event-driven simulator, static timing
+//! analysis, and the LUT-area estimator on realistic datapath netlists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ola_arith::synth::{array_multiplier, online_adder, online_multiplier};
+use ola_netlist::{analyze, area, simulate, JitteredDelay, Netlist, UnitDelay};
+use std::hint::black_box;
+
+fn ripple_chain(n: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut cur = nl.input("a");
+    for _ in 0..n {
+        let b = nl.input("b");
+        let x = nl.xor(cur, b);
+        cur = nl.and(x, b);
+    }
+    nl.set_output("z", vec![cur]);
+    nl
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_simulator");
+    for n in [64usize, 256, 1024] {
+        let nl = ripple_chain(n);
+        let prev = vec![false; n + 1];
+        let mut next = prev.clone();
+        next[0] = true;
+        for (i, v) in next.iter_mut().enumerate().skip(1) {
+            *v = i % 3 == 0;
+        }
+        g.bench_with_input(BenchmarkId::new("chain_flip", n), &n, |b, _| {
+            b.iter(|| simulate(&nl, &UnitDelay, black_box(&prev), black_box(&next)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sta_and_area(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+    let om = online_multiplier(8, 3);
+    let am = array_multiplier(9);
+    let oa = online_adder(32);
+    let jitter = JitteredDelay::new(UnitDelay, 20, 1);
+    g.bench_function("sta_online_mult_8", |b| {
+        b.iter(|| analyze(black_box(&om.netlist), &jitter))
+    });
+    g.bench_function("sta_array_mult_9", |b| {
+        b.iter(|| analyze(black_box(&am.netlist), &jitter))
+    });
+    g.bench_function("area_online_mult_8", |b| {
+        b.iter(|| area::estimate(black_box(&om.netlist), 4))
+    });
+    g.bench_function("area_online_adder_32", |b| {
+        b.iter(|| area::estimate(black_box(&oa.netlist), 4))
+    });
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(20);
+    for n in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("online_multiplier", n), &n, |b, &n| {
+            b.iter(|| online_multiplier(black_box(n), 3))
+        });
+        g.bench_with_input(BenchmarkId::new("array_multiplier", n), &n, |b, &n| {
+            b.iter(|| array_multiplier(black_box(n)))
+        });
+    }
+    g.finish();
+}
+
+
+/// Single-core-friendly measurement settings: the datapath simulations are
+/// macro-benchmarks, so short measurement windows already give stable
+/// numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets = bench_event_sim,bench_sta_and_area,bench_synthesis
+);
+criterion_main!(benches);

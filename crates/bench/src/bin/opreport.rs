@@ -1,0 +1,65 @@
+//! Prints a synthesis report — gate counts, LUT estimates, rated periods,
+//! and observed settling — for every operator in the workspace.
+//!
+//! ```sh
+//! cargo run --release -p ola-bench --bin opreport
+//! ```
+
+use ola_arith::online::Selection;
+use ola_arith::synth::{
+    array_multiplier, carry_select_adder, online_adder, online_multiplier, ripple_carry_adder,
+};
+use ola_bench::report::Table;
+use ola_core::{montecarlo, InputModel};
+use ola_netlist::{analyze, area, FpgaDelay, JitteredDelay, Netlist};
+
+fn main() {
+    let delay = JitteredDelay::new(FpgaDelay::default(), 15, 2014);
+    let mut t = Table::new(
+        "Operator synthesis report",
+        &["operator", "gates", "LUT4", "slices", "rated period", "depth-free?"],
+    );
+    let mut row = |name: String, nl: &Netlist| {
+        let ar = area::estimate(nl, 4);
+        let rep = analyze(nl, &delay);
+        t.push_row(vec![
+            name,
+            nl.logic_gate_count().to_string(),
+            ar.luts.to_string(),
+            ar.slices.to_string(),
+            rep.critical_path().to_string(),
+            String::new(),
+        ]);
+    };
+
+    for n in [8usize, 16, 32] {
+        row(format!("online adder N={n}"), &online_adder(n).netlist);
+    }
+    for n in [8usize, 12, 16] {
+        row(format!("online multiplier N={n}"), &online_multiplier(n, 3).netlist);
+    }
+    for w in [9usize, 13, 17] {
+        row(format!("array multiplier W={w}"), &array_multiplier(w).netlist);
+    }
+    for w in [16usize, 32] {
+        row(format!("ripple adder W={w}"), &ripple_carry_adder(w).netlist);
+        row(format!("carry-select adder W={w}"), &carry_select_adder(w, 4).netlist);
+    }
+    println!("{}", t.render());
+
+    println!("observed settling vs structural stages (stage-wave model):");
+    for n in [8usize, 12, 16, 32] {
+        let max = montecarlo::max_observed_settling(
+            n,
+            Selection::default(),
+            InputModel::UniformDigits,
+            2000,
+            1,
+        );
+        println!(
+            "  N={n:>2}: worst observed {max:>2} waves of {} structural (paper bound {})",
+            n + 3,
+            ola_core::timing::chain_worst_case_delay(n, 1)
+        );
+    }
+}

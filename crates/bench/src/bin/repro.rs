@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures. See `ola-bench` crate docs.
+
+use ola_bench::experiments::{self, CaseStudyContext, Scale};
+use ola_bench::report::Table;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+    let out_dir = Path::new("results");
+
+    let mut tables: Vec<Table> = Vec::new();
+    let wants = |k: &str| what.iter().any(|w| *w == "all" || *w == k);
+    let ctx_needed = wants("fig6") || wants("fig7") || wants("table1")
+        || wants("table2") || wants("table3");
+    let ctx = ctx_needed.then(|| CaseStudyContext::new(scale));
+
+    let mut timed = |name: &str, f: &mut dyn FnMut() -> Vec<Table>| {
+        let start = Instant::now();
+        let mut t = f();
+        eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+        tables.append(&mut t);
+    };
+
+    if wants("fig4") {
+        timed("fig4", &mut || experiments::fig4(scale));
+    }
+    if wants("fig5") {
+        timed("fig5", &mut || experiments::fig5(scale));
+    }
+    if let Some(ctx) = &ctx {
+        if wants("fig6") {
+            timed("fig6", &mut || vec![experiments::fig6(ctx)]);
+        }
+        if wants("fig7") {
+            timed("fig7", &mut || vec![experiments::fig7(ctx, out_dir)]);
+        }
+        if wants("table1") {
+            timed("table1", &mut || vec![experiments::table1(ctx)]);
+        }
+        if wants("table2") {
+            timed("table2", &mut || vec![experiments::table2(ctx)]);
+        }
+        if wants("table3") {
+            timed("table3", &mut || vec![experiments::table3(ctx)]);
+        }
+    }
+    if wants("table4") {
+        timed("table4", &mut || vec![experiments::table4()]);
+    }
+
+    for t in &tables {
+        println!("{}", t.render());
+        match t.write_csv(out_dir) {
+            Ok(p) => eprintln!("  csv: {}", p.display()),
+            Err(e) => eprintln!("  csv write failed: {e}"),
+        }
+    }
+    if tables.is_empty() {
+        eprintln!(
+            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|all] [--quick]"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 4: expectation of overclocking error — analytic model vs
+//! stage-wave Monte-Carlo (top row) and vs gate-level "FPGA" simulation
+//! with jittered delays (bottom row), for 8- and 12-digit multipliers.
+
+use super::Scale;
+use crate::report::{fmt_f, Table};
+use ola_arith::online::{Selection, DELTA};
+use ola_arith::synth::online_multiplier;
+use ola_core::empirical::om_gate_level_curve;
+use ola_core::{model, montecarlo, InputModel};
+use ola_netlist::{analyze, FpgaDelay, JitteredDelay};
+
+/// Runs the Figure-4 experiment. Returns one stage-domain table and one
+/// gate-level table per word length.
+#[must_use]
+pub fn fig4(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for n in [8usize, 12] {
+        tables.push(stage_domain(n, scale));
+        tables.push(gate_domain(n, scale));
+    }
+    tables
+}
+
+fn stage_domain(n: usize, scale: Scale) -> Table {
+    let mc = montecarlo::om_monte_carlo(
+        n,
+        Selection::default(),
+        InputModel::UniformDigits,
+        scale.mc_samples(),
+        41,
+    );
+    // Calibrate the model's per-digit error factor once per word length at
+    // the first overlapping point (the paper likewise matches curves up to
+    // the unmodelled absolute scale).
+    let gamma = calibrate_gamma(n, &mc.curve.mean_abs_error);
+    let mut t = Table::new(
+        format!("Fig4 stage domain N={n} (model vs Monte-Carlo)"),
+        &["b", "Ts/T0", "model E_ovc", "mc E_ovc", "mc violation rate"],
+    );
+    for (b, ts_norm, err, viol) in mc.curve.points() {
+        t.push_row(vec![
+            b.to_string(),
+            format!("{ts_norm:.3}"),
+            fmt_f(model::expected_error(n, b, gamma)),
+            fmt_f(err),
+            fmt_f(viol),
+        ]);
+    }
+    t
+}
+
+fn calibrate_gamma(n: usize, mc_err: &[f64]) -> f64 {
+    for (b, &e) in mc_err.iter().enumerate().skip(DELTA + 1) {
+        let m = model::expected_error(n, b, 1.0);
+        if e > 0.0 && m > 0.0 {
+            return e / m;
+        }
+    }
+    1.0
+}
+
+fn gate_domain(n: usize, scale: Scale) -> Table {
+    let circuit = online_multiplier(n, 3);
+    let delay = JitteredDelay::new(FpgaDelay::default(), 15, 2014);
+    let rated = analyze(&circuit.netlist, &delay).critical_path();
+    let points = scale.grid_points();
+    let ts: Vec<u64> = (1..=points).map(|k| rated * k as u64 / points as u64).collect();
+    let curve = om_gate_level_curve(
+        &circuit,
+        &delay,
+        InputModel::UniformDigits,
+        &ts,
+        scale.gate_samples(),
+        42,
+    );
+    let mut t = Table::new(
+        format!("Fig4 gate level N={n} (jittered-delay netlist)"),
+        &["Ts", "Ts/rated", "mean |error|", "violation rate"],
+    );
+    for (ts, norm, err, viol) in curve.points() {
+        t.push_row(vec![
+            ts.to_string(),
+            format!("{norm:.3}"),
+            fmt_f(err),
+            fmt_f(viol),
+        ]);
+    }
+    t
+}

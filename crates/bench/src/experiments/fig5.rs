@@ -1,0 +1,66 @@
+//! Figure 5: per-chain-delay profile — probability of each chain delay,
+//! the corresponding error magnitude, and their product, for
+//! N ∈ {8, 12, 16, 32} (analytic model next to the Monte-Carlo estimate).
+
+use super::Scale;
+use crate::report::{fmt_f, Table};
+use ola_arith::online::Selection;
+use ola_core::{model, montecarlo, InputModel};
+
+/// Runs the Figure-5 experiment: one table per word length.
+#[must_use]
+pub fn fig5(scale: Scale) -> Vec<Table> {
+    [8usize, 12, 16, 32]
+        .iter()
+        .map(|&n| profile_table(n, scale))
+        .collect()
+}
+
+fn profile_table(n: usize, scale: Scale) -> Table {
+    let analytic = model::chain_delay_profile(n);
+    let samples = if n >= 32 { scale.mc_samples() / 4 } else { scale.mc_samples() };
+    let mc = montecarlo::om_monte_carlo(
+        n,
+        Selection::default(),
+        InputModel::UniformDigits,
+        samples.max(500),
+        51,
+    );
+    // Note the two "probability" columns measure different things, as in
+    // the paper's narrative: the model column is the expected number of
+    // chains of delay d generated per multiplication (it can exceed 1 —
+    // chains overlap in an OM), while the Monte-Carlo column is the
+    // probability that the *slowest* chain settles at exactly d.
+    let mut t = Table::new(
+        format!("Fig5 chain delay profile N={n}"),
+        &[
+            "delay d",
+            "model E[#chains]",
+            "model eps_d",
+            "model E*eps",
+            "mc P(settle=d)",
+            "mc eps_d",
+            "mc P*eps",
+        ],
+    );
+    let max_d = analytic
+        .iter()
+        .map(|p| p.delay)
+        .chain(mc.profile.iter().map(|p| p.delay))
+        .max()
+        .unwrap_or(0);
+    for d in 1..=max_d {
+        let a = analytic.iter().find(|p| p.delay == d);
+        let m = mc.profile.iter().find(|p| p.delay == d);
+        t.push_row(vec![
+            d.to_string(),
+            a.map_or_else(|| "-".into(), |p| fmt_f(p.probability)),
+            a.map_or_else(|| "-".into(), |p| fmt_f(p.error_magnitude)),
+            a.map_or_else(|| "-".into(), |p| fmt_f(p.expectation())),
+            m.map_or_else(|| "-".into(), |p| fmt_f(p.probability)),
+            m.map_or_else(|| "-".into(), |p| fmt_f(p.error_magnitude)),
+            m.map_or_else(|| "-".into(), |p| fmt_f(p.expectation())),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,72 @@
+//! The reproduction experiments: one module per paper artifact family.
+//!
+//! Every function returns [`Table`](crate::report::Table)s that the `repro`
+//! binary prints and saves as CSV; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+
+mod casestudy;
+mod fig4;
+mod fig5;
+mod table4;
+
+pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
+pub use fig4::fig4;
+pub use fig5::fig5;
+pub use table4::table4;
+
+/// Experiment scale: `quick` shrinks sample counts and image sizes for CI;
+/// `full` approaches the paper's statistical depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small samples/images; minutes of runtime.
+    Quick,
+    /// Paper-scale statistics; tens of minutes on one core.
+    Full,
+}
+
+impl Scale {
+    /// Monte-Carlo sample count for stage-wave experiments.
+    #[must_use]
+    pub fn mc_samples(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Full => 20_000,
+        }
+    }
+
+    /// Sample count for gate-level operator sweeps.
+    #[must_use]
+    pub fn gate_samples(self) -> usize {
+        match self {
+            Scale::Quick => 60,
+            Scale::Full => 250,
+        }
+    }
+
+    /// Image side length for the table experiments.
+    #[must_use]
+    pub fn table_image_size(self) -> usize {
+        match self {
+            Scale::Quick => 16,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Image side length for the Figure 6/7 experiments.
+    #[must_use]
+    pub fn figure_image_size(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Number of clock periods in the coarse frequency grids.
+    #[must_use]
+    pub fn grid_points(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 20,
+        }
+    }
+}

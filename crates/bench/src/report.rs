@@ -1,0 +1,176 @@
+//! Plain-text tables and CSV output for the reproduction harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rectangular results table with a title, column headers and rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (printed above the grid and used as the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each row must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title and column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text grid.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, "| {cell:>w$} ");
+            }
+            let _ = writeln!(out, "|");
+        };
+        line(&mut out, &self.columns);
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}|");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV into `dir`, named after a slug of the title.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        let mut body = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let _ = writeln!(
+            body,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                body,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with a sensible fixed precision for the reports.
+#[must_use]
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a percentage.
+#[must_use]
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}%")
+    } else {
+        "N/A".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| long-name |"));
+        let rows: Vec<&str> = s.lines().skip(1).collect();
+        let lens: Vec<usize> = rows.iter().map(|r| r.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "aligned: {s}");
+    }
+
+    #[test]
+    fn csv_round_trip_basics() {
+        let dir = std::env::temp_dir().join("ola_report_test");
+        let mut t = Table::new("Csv, Test", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "2".into()]);
+        let path = t.write_csv(&dir).unwrap();
+        let body = fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("a,b\n"));
+        assert!(body.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(123.456), "123.5");
+        assert_eq!(fmt_f(0.5), "0.5000");
+        assert_eq!(fmt_f(1e-6), "1.000e-6");
+        assert_eq!(fmt_pct(12.345), "12.35%");
+        assert_eq!(fmt_pct(f64::NAN), "N/A");
+    }
+}

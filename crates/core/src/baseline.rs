@@ -1,0 +1,218 @@
+//! Overclocking behaviour of conventional (LSB-first) arithmetic — the
+//! comparison baseline.
+//!
+//! Two results back the paper's argument: the *probability* of a long carry
+//! chain in a ripple-carry adder decays geometrically with length (so
+//! conventional designs also violate rarely), but the *magnitude* of the
+//! resulting error grows geometrically with the chain length (errors land
+//! in the MSBs) — the two effects cancel and the error expectation stays
+//! roughly flat, unlike online arithmetic where the expectation collapses.
+
+use crate::parallel::parallel_accumulate;
+use ola_arith::conventional::StagedRippleAdder;
+use rand::Rng;
+
+/// Exact probability that the longest carry chain of a `width`-bit addition
+/// of two independent uniform operands is at most `l`.
+///
+/// Computed by dynamic programming over the classic
+/// generate (1/4) / propagate (1/2) / annihilate (1/4) position model.
+#[must_use]
+pub fn carry_chain_cdf(width: u32, l: u32) -> f64 {
+    if l >= width {
+        return 1.0;
+    }
+    // dp[c] = probability the chain ending at the current position has
+    // length exactly c (and the max so far is ≤ l).
+    let mut dp = vec![0.0f64; l as usize + 1];
+    dp[0] = 1.0;
+    for _ in 0..width {
+        let mut next = vec![0.0f64; l as usize + 1];
+        let total: f64 = dp.iter().sum();
+        // Generate: any state → chain of length 1 (if 1 ≤ l, else lost).
+        if 1 <= l {
+            next[1] += 0.25 * total;
+        }
+        // Annihilate: any state → 0.
+        next[0] += 0.25 * total;
+        // Propagate: extends active chains, keeps empty state empty.
+        next[0] += 0.5 * dp[0];
+        for c in 1..=l as usize {
+            if c + 1 <= l as usize {
+                next[c + 1] += 0.5 * dp[c];
+            }
+            // c + 1 > l → violation → probability mass drops out.
+        }
+        // Special case l = 0: generating at all is a violation.
+        if l == 0 {
+            // handled implicitly: the `1 <= l` guard dropped the mass.
+        }
+        dp = next;
+    }
+    dp.iter().sum()
+}
+
+/// Probability that a `width`-bit ripple-carry addition of uniform operands
+/// still has unfinished carries after `b` full-adder delays.
+#[must_use]
+pub fn rca_violation_probability(width: u32, b: u32) -> f64 {
+    // A carry chain of length c has fully arrived after c carry-wave steps,
+    // so a budget of b waves tolerates chains up to length b.
+    1.0 - carry_chain_cdf(width, b)
+}
+
+/// Monte-Carlo overclocking curve of a ripple-carry adder: mean |error| per
+/// full-adder budget, as a fraction of full scale (`2^width`).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct RcaCurve {
+    /// Operand width in bits.
+    pub width: u32,
+    /// `mean_abs_error[b]` — mean wrapped |sampled − correct| / 2^width.
+    pub mean_abs_error: Vec<f64>,
+    /// `violation_rate[b]`.
+    pub violation_rate: Vec<f64>,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// Runs the ripple-adder Monte-Carlo.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or the width is unsupported.
+#[must_use]
+pub fn rca_monte_carlo(width: u32, samples: usize, seed: u64) -> RcaCurve {
+    assert!(samples > 0);
+    assert!(width >= 1 && width <= 62);
+    let budgets = width as usize + 2;
+    let (err, viol, count) = parallel_accumulate(
+        samples,
+        seed,
+        || (vec![0.0f64; budgets], vec![0u64; budgets], 0usize),
+        |rng, (err, viol, count)| {
+            let a: u64 = rng.gen_range(0..1u64 << width);
+            let b: u64 = rng.gen_range(0..1u64 << width);
+            let adder = StagedRippleAdder::new(a, b, width);
+            let correct = adder.settled();
+            for (t, (e_slot, v_slot)) in err.iter_mut().zip(viol.iter_mut()).enumerate() {
+                let sampled = adder.sample(t as u32);
+                if sampled != correct {
+                    *v_slot += 1;
+                }
+                *e_slot += wrapped_error(sampled, correct, width);
+            }
+            *count += 1;
+        },
+        |(mut e1, mut v1, c1), (e2, v2, c2)| {
+            for i in 0..e1.len() {
+                e1[i] += e2[i];
+                v1[i] += v2[i];
+            }
+            (e1, v1, c1 + c2)
+        },
+    );
+    let s = count as f64;
+    RcaCurve {
+        width,
+        mean_abs_error: err.iter().map(|&e| e / s).collect(),
+        violation_rate: viol.iter().map(|&v| v as f64 / s).collect(),
+        samples: count,
+    }
+}
+
+/// |sampled − correct| as a fraction of full scale, in wrapped (two's
+/// complement) distance.
+fn wrapped_error(sampled: u64, correct: u64, width: u32) -> f64 {
+    let m = 1u64 << width;
+    let d = (sampled.wrapping_sub(correct)) & (m - 1);
+    let signed = if d >= m / 2 { d as i64 - m as i64 } else { d as i64 };
+    signed.unsigned_abs() as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_a_distribution() {
+        for w in [4u32, 8, 16] {
+            let mut last = 0.0;
+            for l in 0..=w {
+                let p = carry_chain_cdf(w, l);
+                assert!((0.0..=1.0 + 1e-12).contains(&p), "w={w} l={l} p={p}");
+                assert!(p >= last - 1e-12, "CDF must be monotone");
+                last = p;
+            }
+            assert!((carry_chain_cdf(w, w) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_exhaustive_enumeration() {
+        // Brute-force all 4-bit operand pairs.
+        let w = 4u32;
+        for l in 0..=w {
+            let mut ok = 0u32;
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    if StagedRippleAdder::new(a, b, w).longest_carry_chain() <= l {
+                        ok += 1;
+                    }
+                }
+            }
+            let expect = f64::from(ok) / 256.0;
+            let got = carry_chain_cdf(w, l);
+            assert!((got - expect).abs() < 1e-12, "l={l}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn violation_probability_decays_geometrically() {
+        let p4 = rca_violation_probability(32, 4);
+        let p8 = rca_violation_probability(32, 8);
+        let p16 = rca_violation_probability(32, 16);
+        assert!(p4 > p8 && p8 > p16);
+        assert!(p8 / p4 < 0.2, "roughly 2^-b decay: {p4} {p8}");
+        assert!(p16 > 0.0);
+        // Budget 0 violates whenever any carry is generated at all.
+        let p0 = rca_violation_probability(8, 0);
+        assert!(p0 > 0.8 && p0 <= 1.0, "p0 = {p0}");
+    }
+
+    #[test]
+    fn mc_curve_settles_and_matches_model_roughly() {
+        let mc = rca_monte_carlo(16, 4000, 11);
+        assert_eq!(*mc.mean_abs_error.last().unwrap(), 0.0);
+        assert_eq!(*mc.violation_rate.last().unwrap(), 0.0);
+        // MC violation rate tracks the analytic model within MC noise.
+        for b in [2usize, 4, 6] {
+            let model = rca_violation_probability(16, b as u32);
+            let mc_rate = mc.violation_rate[b];
+            assert!(
+                (model - mc_rate).abs() < 0.05,
+                "b={b}: model {model} vs mc {mc_rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn rca_error_expectation_is_flat_over_budgets() {
+        // The paper's contrast: for conventional arithmetic the error
+        // expectation stays roughly constant as the budget shrinks (until
+        // fully settled), because magnitude growth offsets probability
+        // decay. Check: between small budgets it varies by < 100× while the
+        // online multiplier's collapses by orders of magnitude.
+        let mc = rca_monte_carlo(16, 4000, 13);
+        let e2 = mc.mean_abs_error[2];
+        let e8 = mc.mean_abs_error[8];
+        assert!(e2 > 0.0 && e8 > 0.0);
+        assert!(e2 / e8 < 100.0, "flat-ish expectation: {e2} vs {e8}");
+    }
+
+    #[test]
+    fn wrapped_error_measures_distance() {
+        assert_eq!(wrapped_error(0, 0, 8), 0.0);
+        assert_eq!(wrapped_error(255, 0, 8), 1.0 / 256.0); // −1 vs 0
+        assert_eq!(wrapped_error(128, 0, 8), 0.5);
+    }
+}

@@ -1,0 +1,261 @@
+//! Gate-level ("FPGA") overclocking curves.
+//!
+//! The counterpart of the paper's post-place-and-route results (Figure 4,
+//! bottom row): instead of the stage-wave abstraction, run the synthesized
+//! netlists through the event-driven timing simulator under a (jittered)
+//! delay model and sample the output registers at a sweep of clock periods.
+
+use crate::montecarlo::InputModel;
+use crate::parallel::parallel_accumulate;
+use ola_arith::online::digits_value;
+use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
+use ola_netlist::{analyze, simulate_from_zero, DelayModel};
+use ola_redundant::Digit;
+use rand::Rng;
+
+/// Mean error per sampled clock period for one synthesized operator.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct GateLevelCurve {
+    /// The clock periods swept (time units).
+    pub ts: Vec<u64>,
+    /// Mean `|sampled − correct|` per period, on the operand value scale.
+    pub mean_abs_error: Vec<f64>,
+    /// Fraction of samples with any output error, per period.
+    pub violation_rate: Vec<f64>,
+    /// Structural critical path (rated period) from STA.
+    pub critical_path: u64,
+    /// Largest settling time observed across the samples.
+    pub max_settle: u64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+impl GateLevelCurve {
+    /// `(ts, ts/critical_path, mean_error, violation_rate)` tuples.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64, f64, f64)> + '_ {
+        self.ts
+            .iter()
+            .zip(self.mean_abs_error.iter().zip(&self.violation_rate))
+            .map(|(&t, (&e, &v))| (t, t as f64 / self.critical_path as f64, e, v))
+    }
+}
+
+#[derive(Clone)]
+struct Acc {
+    err: Vec<f64>,
+    viol: Vec<u64>,
+    max_settle: u64,
+    samples: usize,
+}
+
+fn merge(mut a: Acc, b: &Acc) -> Acc {
+    for i in 0..a.err.len() {
+        a.err[i] += b.err[i];
+        a.viol[i] += b.viol[i];
+    }
+    a.max_settle = a.max_settle.max(b.max_settle);
+    a.samples += b.samples;
+    a
+}
+
+/// Sweeps a synthesized online multiplier at the given clock periods.
+///
+/// # Panics
+///
+/// Panics if `ts_points` or `samples` is empty/zero.
+#[must_use]
+pub fn om_gate_level_curve<M: DelayModel + Sync>(
+    circuit: &OnlineMultiplierCircuit,
+    delay: &M,
+    model: InputModel,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+) -> GateLevelCurve {
+    assert!(!ts_points.is_empty() && samples > 0);
+    let zp = circuit.netlist.output("zp").to_vec();
+    let zn = circuit.netlist.output("zn").to_vec();
+    let n = circuit.n;
+    let acc = parallel_accumulate(
+        samples,
+        seed,
+        || Acc { err: vec![0.0; ts_points.len()], viol: vec![0; ts_points.len()], max_settle: 0, samples: 0 },
+        |rng, acc| {
+            let x = model.draw(rng, n);
+            let y = model.draw(rng, n);
+            let inputs = circuit.encode_inputs(&x, &y);
+            let res = simulate_from_zero(&circuit.netlist, delay, &inputs);
+            acc.max_settle = acc.max_settle.max(res.settle_time());
+            let correct = digits_value(&decode(&res.final_bus(&zp), &res.final_bus(&zn)));
+            for (i, &t) in ts_points.iter().enumerate() {
+                let digits = decode(&res.sample_bus(&zp, t), &res.sample_bus(&zn, t));
+                let v = digits_value(&digits);
+                if v != correct {
+                    acc.viol[i] += 1;
+                }
+                acc.err[i] += (v - correct).abs().to_f64();
+            }
+            acc.samples += 1;
+        },
+        merge,
+    );
+    finish(acc, ts_points, analyze(&circuit.netlist, delay).critical_path())
+}
+
+/// Sweeps a synthesized two's-complement array multiplier at the given
+/// clock periods. Operands are drawn uniformly over the full raw range;
+/// errors are reported on the fraction scale (`raw / 2^(width−1)` operands,
+/// products in `(−1, 1)`).
+///
+/// # Panics
+///
+/// Panics if `ts_points` or `samples` is empty/zero.
+#[must_use]
+pub fn array_gate_level_curve<M: DelayModel + Sync>(
+    circuit: &ArrayMultiplierCircuit,
+    delay: &M,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+) -> GateLevelCurve {
+    assert!(!ts_points.is_empty() && samples > 0);
+    let out = circuit.netlist.output("product").to_vec();
+    let w = circuit.width;
+    let lim = 1i64 << (w - 1);
+    let scale = ((2 * (w - 1)) as f64).exp2();
+    let acc = parallel_accumulate(
+        samples,
+        seed,
+        || Acc { err: vec![0.0; ts_points.len()], viol: vec![0; ts_points.len()], max_settle: 0, samples: 0 },
+        |rng, acc| {
+            let a = rng.gen_range(-lim..lim);
+            let b = rng.gen_range(-lim..lim);
+            let inputs = circuit.encode_inputs(a, b);
+            let res = simulate_from_zero(&circuit.netlist, delay, &inputs);
+            acc.max_settle = acc.max_settle.max(res.settle_time());
+            let correct = circuit.decode_product(&res.final_bus(&out));
+            debug_assert_eq!(correct, a * b);
+            for (i, &t) in ts_points.iter().enumerate() {
+                let v = circuit.decode_product(&res.sample_bus(&out, t));
+                if v != correct {
+                    acc.viol[i] += 1;
+                }
+                acc.err[i] += (v - correct).abs() as f64 / scale;
+            }
+            acc.samples += 1;
+        },
+        merge,
+    );
+    finish(acc, ts_points, analyze(&circuit.netlist, delay).critical_path())
+}
+
+fn decode(zp: &[bool], zn: &[bool]) -> Vec<Digit> {
+    zp.iter().zip(zn).map(|(&p, &n)| Digit::from_bits(p, n)).collect()
+}
+
+fn finish(acc: Acc, ts_points: &[u64], critical_path: u64) -> GateLevelCurve {
+    let s = acc.samples as f64;
+    GateLevelCurve {
+        ts: ts_points.to_vec(),
+        mean_abs_error: acc.err.iter().map(|&e| e / s).collect(),
+        violation_rate: acc.viol.iter().map(|&v| v as f64 / s).collect(),
+        critical_path,
+        max_settle: acc.max_settle,
+        samples: acc.samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_arith::synth::{array_multiplier, online_multiplier};
+    use ola_netlist::{JitteredDelay, UnitDelay};
+
+    #[test]
+    fn om_curve_settles_at_critical_path() {
+        let circuit = online_multiplier(6, 3);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let ts = vec![rep.critical_path() / 4, rep.critical_path() / 2, rep.critical_path()];
+        let curve =
+            om_gate_level_curve(&circuit, &UnitDelay, InputModel::UniformDigits, &ts, 40, 1);
+        assert_eq!(*curve.mean_abs_error.last().unwrap(), 0.0);
+        assert_eq!(*curve.violation_rate.last().unwrap(), 0.0);
+        assert!(curve.mean_abs_error[0] > 0.0, "hard undersampling must err");
+        assert!(curve.max_settle <= rep.critical_path());
+    }
+
+    #[test]
+    fn om_actual_settling_beats_structural_bound() {
+        // The headroom claim at gate level: observed settling is well below
+        // the structural critical path for wide operands.
+        let circuit = online_multiplier(12, 3);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let curve = om_gate_level_curve(
+            &circuit,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            &[rep.critical_path()],
+            60,
+            2,
+        );
+        assert!(
+            (curve.max_settle as f64) < 0.9 * rep.critical_path() as f64,
+            "settle {} vs critical {}",
+            curve.max_settle,
+            rep.critical_path()
+        );
+    }
+
+    #[test]
+    fn array_curve_behaves() {
+        let circuit = array_multiplier(6);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let ts = vec![rep.critical_path() / 3, rep.critical_path()];
+        let curve = array_gate_level_curve(&circuit, &UnitDelay, &ts, 60, 3);
+        assert_eq!(*curve.mean_abs_error.last().unwrap(), 0.0);
+        assert!(curve.mean_abs_error[0] > 0.0);
+    }
+
+    #[test]
+    fn online_errors_smaller_than_traditional_at_matched_underclock() {
+        // The paper's core comparison at operator level: sample both
+        // multipliers at 70% of their own rated period; online errors are
+        // orders of magnitude smaller.
+        let om = online_multiplier(8, 3);
+        let am = array_multiplier(9); // equal range: N+1 bits traditional
+        let delay = JitteredDelay::new(UnitDelay, 20, 99);
+        let om_rated = analyze(&om.netlist, &delay).critical_path();
+        let am_rated = analyze(&am.netlist, &delay).critical_path();
+        let om_curve = om_gate_level_curve(
+            &om,
+            &delay,
+            InputModel::UniformValue,
+            &[om_rated * 7 / 10],
+            80,
+            4,
+        );
+        let am_curve = array_gate_level_curve(&am, &delay, &[am_rated * 7 / 10], 80, 4);
+        let e_om = om_curve.mean_abs_error[0];
+        let e_am = am_curve.mean_abs_error[0];
+        assert!(
+            e_om < e_am / 5.0 || (e_om == 0.0 && e_am > 0.0),
+            "online {e_om} vs traditional {e_am}"
+        );
+    }
+
+    #[test]
+    fn jitter_changes_the_curve_but_not_correctness() {
+        let circuit = online_multiplier(6, 3);
+        let delay = JitteredDelay::new(UnitDelay, 30, 7);
+        let rep = analyze(&circuit.netlist, &delay);
+        let curve = om_gate_level_curve(
+            &circuit,
+            &delay,
+            InputModel::UniformDigits,
+            &[rep.critical_path()],
+            30,
+            5,
+        );
+        assert_eq!(*curve.mean_abs_error.last().unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # ola-core — overclocking analysis for online-arithmetic datapaths
+//!
+//! The primary contribution of the reproduced paper (*"Datapath Synthesis
+//! for Overclocking: Online Arithmetic for Latency-Accuracy Trade-offs"*,
+//! DAC 2014): quantifying what happens when a datapath built from online
+//! (MSD-first) operators is clocked faster than its critical path, and why
+//! that degrades so much more gracefully than conventional arithmetic.
+//!
+//! * [`timing`] — stage budgets `b = ⌈Ts/μ⌉`, structural vs chain-analysis
+//!   worst-case delay (the overclocking headroom);
+//! * [`model`] — the paper's probabilistic model: chain scenarios,
+//!   violation probability (Algorithm 2), per-delay profile (Figure 5) and
+//!   expected overclocking error (Eq. 12);
+//! * [`montecarlo`] — stage-wave Monte-Carlo verification (Figure 4 top);
+//! * [`empirical`] — gate-level netlist sweeps under jittered delays
+//!   (Figure 4 bottom, the "FPGA" results);
+//! * [`baseline`] — conventional ripple-carry behaviour: exact carry-chain
+//!   distribution and Monte-Carlo, showing the flat error expectation that
+//!   makes conventional overclocking catastrophic;
+//! * [`razor`] — Razor-style shadow-register error detection on top of the
+//!   stage-wave model (the related work the paper builds on);
+//! * [`sweep`] — max error-free frequency and error-budget solvers
+//!   (Tables 1–3);
+//! * [`metrics`] — MRE (Eq. 13), SNR, PSNR, geometric means.
+//!
+//! # Example: model vs Monte-Carlo (the Figure-4 experiment in miniature)
+//!
+//! ```
+//! use ola_arith::online::Selection;
+//! use ola_core::{model, montecarlo};
+//!
+//! let n = 8;
+//! let mc = montecarlo::om_monte_carlo(
+//!     n,
+//!     Selection::default(),
+//!     montecarlo::InputModel::UniformDigits,
+//!     300,
+//!     7,
+//! );
+//! // Both model and simulation agree: sampling after all chains settle is
+//! // error-free, and the error expectation decays as the budget grows.
+//! assert_eq!(*mc.curve.mean_abs_error.last().unwrap(), 0.0);
+//! assert_eq!(model::expected_error(n, n + 3, 1.0), 0.0);
+//! assert!(model::expected_error(n, 4, 1.0) > model::expected_error(n, 8, 1.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod empirical;
+pub mod metrics;
+pub mod model;
+pub mod montecarlo;
+mod parallel;
+pub mod razor;
+pub mod sweep;
+pub mod timing;
+
+pub use montecarlo::InputModel;

@@ -1,0 +1,176 @@
+//! Error metrics used by the paper's evaluation.
+
+/// Mean relative error in percent (Eq. (13)):
+/// `MRE = |E_error / E_out| × 100`, with `E_error` the mean error magnitude
+/// and `E_out` the mean magnitude of the correct outputs.
+///
+/// # Examples
+///
+/// ```
+/// use ola_core::metrics::mre_percent;
+/// let correct = [1.0, 2.0, 3.0];
+/// let actual = [1.0, 2.2, 2.9];
+/// let mre = mre_percent(&correct, &actual);
+/// assert!((mre - 5.0).abs() < 1e-9); // mean |err| 0.1, mean |out| 2.0
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn mre_percent(correct: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(correct.len(), actual.len(), "length mismatch");
+    assert!(!correct.is_empty(), "empty sample set");
+    let mean_err: f64 = correct
+        .iter()
+        .zip(actual)
+        .map(|(&c, &a)| (a - c).abs())
+        .sum::<f64>()
+        / correct.len() as f64;
+    let mean_out: f64 =
+        correct.iter().map(|&c| c.abs()).sum::<f64>() / correct.len() as f64;
+    if mean_out == 0.0 {
+        if mean_err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        mean_err / mean_out * 100.0
+    }
+}
+
+/// Signal-to-noise ratio in dB: `10·log10(Σ ref² / Σ (ref − test)²)`.
+/// Returns `f64::INFINITY` when the signals are identical.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn snr_db(reference: &[f64], test: &[f64]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty sample set");
+    let signal: f64 = reference.iter().map(|&r| r * r).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| (r - t) * (r - t))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Peak signal-to-noise ratio in dB for a given peak amplitude.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty, or `peak ≤ 0`.
+#[must_use]
+pub fn psnr_db(reference: &[f64], test: &[f64], peak: f64) -> f64 {
+    assert_eq!(reference.len(), test.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty sample set");
+    assert!(peak > 0.0, "peak must be positive");
+    let mse: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| (r - t) * (r - t))
+        .sum::<f64>()
+        / reference.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// Eq. (14): the relative reduction of MRE achieved by online arithmetic,
+/// `(MRE_trad − MRE_ol) / MRE_trad × 100`.
+#[must_use]
+pub fn mre_reduction_percent(mre_trad: f64, mre_ol: f64) -> f64 {
+    if mre_trad == 0.0 {
+        0.0
+    } else {
+        (mre_trad - mre_ol) / mre_trad * 100.0
+    }
+}
+
+/// Geometric mean of strictly positive values (used for the tables' summary
+/// columns). Non-positive entries are skipped, matching the paper's
+/// treatment of `N/A` cells.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mre_handles_exact_outputs() {
+        assert_eq!(mre_percent(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mre_is_scale_invariant() {
+        let c = [1.0, 2.0, 4.0];
+        let a = [1.1, 2.1, 4.1];
+        let c2: Vec<f64> = c.iter().map(|v| v * 7.0).collect();
+        let a2: Vec<f64> = a.iter().map(|v| v * 7.0).collect();
+        assert!((mre_percent(&c, &a) - mre_percent(&c2, &a2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_zero_signal_edge_cases() {
+        assert_eq!(mre_percent(&[0.0], &[0.0]), 0.0);
+        assert_eq!(mre_percent(&[0.0], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn snr_increases_as_noise_decreases() {
+        let r = [1.0, -1.0, 0.5, -0.5];
+        let noisy = [1.1, -0.9, 0.6, -0.4];
+        let cleaner = [1.01, -0.99, 0.51, -0.49];
+        assert!(snr_db(&r, &cleaner) > snr_db(&r, &noisy));
+        assert_eq!(snr_db(&r, &r), f64::INFINITY);
+    }
+
+    #[test]
+    fn snr_known_value() {
+        // Signal power 1, noise power 0.01 → 20 dB.
+        let r = [1.0];
+        let t = [0.9];
+        assert!((snr_db(&r, &t) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_uses_peak() {
+        let r = [0.0, 0.0];
+        let t = [0.1, -0.1];
+        let p255 = psnr_db(&r, &t, 255.0);
+        let p1 = psnr_db(&r, &t, 1.0);
+        assert!(p255 > p1);
+        assert_eq!(psnr_db(&r, &r, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn reduction_percent_matches_paper_shape() {
+        assert!((mre_reduction_percent(10.0, 1.0) - 90.0).abs() < 1e-12);
+        assert_eq!(mre_reduction_percent(0.0, 0.0), 0.0);
+        assert!(mre_reduction_percent(1.0, 2.0) < 0.0, "online worse → negative");
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12); // skips 0
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

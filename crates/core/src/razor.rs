@@ -1,0 +1,177 @@
+//! Razor-style timing-error detection over the stage-wave model.
+//!
+//! The paper's introduction cites Razor (Ernst et al., 2004): run the main
+//! register at an aggressive clock, add a *shadow register* clocked a
+//! margin later, and flag a timing violation whenever the two disagree.
+//! Combined with online arithmetic this yields a useful middle ground —
+//! detected-but-tolerated errors — so this module quantifies how well the
+//! shadow-margin detector covers the online multiplier's overclocking
+//! errors and what residual (undetected) error remains.
+
+use crate::parallel::parallel_accumulate;
+use crate::InputModel;
+use ola_arith::online::{Selection, StagedMultiplier};
+
+/// Detection statistics for a shadow-register scheme sampling at stage
+/// budget `b` with a shadow margin of `margin` extra stage delays.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct RazorReport {
+    /// Main-clock stage budget.
+    pub budget: usize,
+    /// Shadow margin in stage delays.
+    pub margin: usize,
+    /// Fraction of samples with a wrong main-register value.
+    pub error_rate: f64,
+    /// Fraction of erroneous samples the shadow comparison flagged.
+    pub detection_rate: f64,
+    /// Fraction of all samples flagged although the main value was correct
+    /// (false alarms: the shadow caught a *later* settling transition).
+    pub false_alarm_rate: f64,
+    /// Mean |error| of the errors the detector missed.
+    pub undetected_mean_error: f64,
+}
+
+/// Measures shadow-register detection on an `n`-digit online multiplier.
+///
+/// The main register samples after `budget` waves, the shadow after
+/// `budget + margin`; a mismatch raises the error flag. An error is
+/// *undetected* when the main value is wrong but main and shadow agree
+/// (the violating chain was still in flight past the shadow, too).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `samples == 0`.
+#[must_use]
+pub fn razor_report(
+    n: usize,
+    budget: usize,
+    margin: usize,
+    policy: Selection,
+    model: InputModel,
+    samples: usize,
+    seed: u64,
+) -> RazorReport {
+    assert!(n > 0 && samples > 0);
+    let (errors, detected, false_alarms, undetected_err, count) = parallel_accumulate(
+        samples,
+        seed,
+        || (0u64, 0u64, 0u64, 0.0f64, 0usize),
+        |rng, acc| {
+            let x = model.draw(rng, n);
+            let y = model.draw(rng, n);
+            let sm = StagedMultiplier::new(x, y, policy);
+            let vals = sm.sampled_values();
+            let correct = *vals.last().expect("non-empty");
+            let main = vals.get(budget).copied().unwrap_or(correct);
+            let shadow = vals.get(budget + margin).copied().unwrap_or(correct);
+            let wrong = main != correct;
+            let flagged = main != shadow;
+            if wrong {
+                acc.0 += 1;
+                if flagged {
+                    acc.1 += 1;
+                } else {
+                    acc.3 += (main - correct).abs().to_f64();
+                }
+            } else if flagged {
+                acc.2 += 1;
+            }
+            acc.4 += 1;
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3, a.4 + b.4),
+    );
+    let s = count as f64;
+    RazorReport {
+        budget,
+        margin,
+        error_rate: errors as f64 / s,
+        detection_rate: if errors > 0 { detected as f64 / errors as f64 } else { 1.0 },
+        false_alarm_rate: false_alarms as f64 / s,
+        undetected_mean_error: if errors > detected {
+            undetected_err / (errors - detected) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_margin_detects_everything() {
+        // A shadow at the structural depth always sees the settled value, so
+        // every main-register error is caught.
+        let n = 8;
+        let r = razor_report(
+            n,
+            5,
+            n + 3,
+            Selection::default(),
+            InputModel::UniformDigits,
+            600,
+            1,
+        );
+        assert!(r.error_rate > 0.0, "budget 5 must err sometimes");
+        assert_eq!(r.detection_rate, 1.0);
+        assert_eq!(r.undetected_mean_error, 0.0);
+    }
+
+    #[test]
+    fn zero_margin_detects_nothing() {
+        let r = razor_report(
+            8,
+            5,
+            0,
+            Selection::default(),
+            InputModel::UniformDigits,
+            300,
+            2,
+        );
+        assert_eq!(r.false_alarm_rate, 0.0);
+        if r.error_rate > 0.0 {
+            assert_eq!(r.detection_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn wider_margins_detect_more() {
+        let run = |margin| {
+            razor_report(
+                8,
+                5,
+                margin,
+                Selection::default(),
+                InputModel::UniformDigits,
+                800,
+                3,
+            )
+        };
+        let narrow = run(1);
+        let wide = run(4);
+        assert!(
+            wide.detection_rate >= narrow.detection_rate,
+            "wider shadow margin cannot detect less: {narrow:?} vs {wide:?}"
+        );
+    }
+
+    #[test]
+    fn undetected_errors_are_small() {
+        // The LSD-first property helps Razor too: whatever slips past the
+        // shadow is a *deep* chain, i.e. a tiny-magnitude error.
+        let r = razor_report(
+            12,
+            7,
+            2,
+            Selection::default(),
+            InputModel::UniformDigits,
+            800,
+            4,
+        );
+        assert!(
+            r.undetected_mean_error < 0.01,
+            "missed errors must be low-weight: {r:?}"
+        );
+    }
+}

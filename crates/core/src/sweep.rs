@@ -1,0 +1,111 @@
+//! Frequency-sweep utilities: max error-free frequency and error-budget
+//! solving (the machinery behind Tables 1–3).
+
+/// The largest frequency (smallest period) whose error metric stays within
+/// `budget`: returns the smallest `ts ∈ [lo, hi]` with `metric(ts) ≤ budget`,
+/// assuming `metric` is non-increasing in `ts` (slower clocks never hurt).
+///
+/// Returns `None` if even `hi` exceeds the budget.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn min_period_within_budget<F: FnMut(u64) -> f64>(
+    lo: u64,
+    hi: u64,
+    budget: f64,
+    mut metric: F,
+) -> Option<u64> {
+    assert!(lo <= hi, "empty search interval");
+    if metric(hi) > budget {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if metric(mid) <= budget {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// The maximum error-free period bound: smallest `ts` with zero error.
+pub fn min_error_free_period<F: FnMut(u64) -> f64>(lo: u64, hi: u64, metric: F) -> Option<u64> {
+    min_period_within_budget(lo, hi, 0.0, metric)
+}
+
+/// Relative frequency improvement in percent when the period shrinks from
+/// `t_base` to `t_fast`: `(t_base/t_fast − 1) × 100`.
+///
+/// # Panics
+///
+/// Panics if `t_fast == 0`.
+#[must_use]
+pub fn frequency_speedup_percent(t_base: u64, t_fast: u64) -> f64 {
+    assert!(t_fast > 0, "period must be positive");
+    (t_base as f64 / t_fast as f64 - 1.0) * 100.0
+}
+
+/// Evenly spaced normalized frequencies, e.g. `1.05, 1.10 … 1.25` for the
+/// tables' column headers.
+#[must_use]
+pub fn normalized_frequency_grid(start: f64, stop: f64, step: f64) -> Vec<f64> {
+    assert!(step > 0.0 && stop >= start);
+    let mut out = Vec::new();
+    let mut f = start;
+    while f <= stop + 1e-9 {
+        out.push((f * 1e9).round() / 1e9);
+        f += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_metric(threshold: u64) -> impl FnMut(u64) -> f64 {
+        move |ts| if ts >= threshold { 0.0 } else { (threshold - ts) as f64 }
+    }
+
+    #[test]
+    fn finds_exact_threshold() {
+        let got = min_error_free_period(1, 1000, step_metric(437));
+        assert_eq!(got, Some(437));
+    }
+
+    #[test]
+    fn respects_budget() {
+        // metric = threshold − ts when below; budget 5 admits ts ≥ 432.
+        let got = min_period_within_budget(1, 1000, 5.0, step_metric(437));
+        assert_eq!(got, Some(432));
+    }
+
+    #[test]
+    fn returns_none_when_unreachable() {
+        let got = min_period_within_budget(1, 10, 0.5, |_| 1.0);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn boundary_interval() {
+        assert_eq!(min_error_free_period(5, 5, |_| 0.0), Some(5));
+        assert_eq!(min_error_free_period(5, 5, |_| 1.0), None);
+    }
+
+    #[test]
+    fn speedup_percent() {
+        assert!((frequency_speedup_percent(110, 100) - 10.0).abs() < 1e-9);
+        assert_eq!(frequency_speedup_percent(100, 100), 0.0);
+        assert!(frequency_speedup_percent(90, 100) < 0.0);
+    }
+
+    #[test]
+    fn grid_matches_table_headers() {
+        let g = normalized_frequency_grid(1.05, 1.25, 0.05);
+        assert_eq!(g, vec![1.05, 1.10, 1.15, 1.20, 1.25]);
+    }
+}

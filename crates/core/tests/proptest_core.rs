@@ -1,0 +1,124 @@
+//! Property-based tests of the overclocking analysis layer.
+
+use ola_core::{baseline, metrics, model, sweep, timing};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stage_budget_is_tight_ceiling(ts in 1u64..100_000, mu in 1u64..1_000) {
+        let b = timing::stage_budget(ts, mu) as u64;
+        prop_assert!(b * mu >= ts);
+        prop_assert!((b - 1) * mu < ts);
+    }
+
+    #[test]
+    fn chain_worst_case_below_structural(n in 1usize..128, mu in 1u64..100) {
+        prop_assert!(timing::chain_worst_case_delay(n, mu) <= timing::structural_delay(n, mu));
+    }
+
+    #[test]
+    fn scenario_probability_mass_is_finite(n in 1usize..48) {
+        // Expected number of chains per multiplication is bounded by the
+        // per-stage generation probability (≤ 8/9 each).
+        let total: f64 = model::chain_scenarios(n).iter().map(|s| s.probability).sum();
+        prop_assert!(total <= (n as f64 + 3.0) * (8.0 / 9.0) + 1e-9);
+        prop_assert!(total >= 0.0);
+    }
+
+    #[test]
+    fn violation_probability_monotone_and_bounded(n in 2usize..32) {
+        let mut last = f64::INFINITY;
+        for b in 0..=(n + 4) {
+            for p in [
+                model::violation_probability_union(n, b),
+                model::violation_probability_independent(n, b),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&p), "n={n} b={b} p={p}");
+            }
+            let u = model::violation_probability_union(n, b);
+            prop_assert!(u <= last + 1e-12);
+            last = u;
+        }
+    }
+
+    #[test]
+    fn expected_error_monotone_in_budget(n in 2usize..32, gamma in 0.5f64..2.0) {
+        let mut last = f64::INFINITY;
+        for b in 0..=(n + 4) {
+            let e = model::expected_error(n, b, gamma);
+            prop_assert!(e >= 0.0 && e <= last + 1e-12);
+            last = e;
+        }
+        prop_assert_eq!(model::expected_error(n, n + 4, gamma), 0.0);
+    }
+
+    #[test]
+    fn carry_cdf_is_monotone_distribution(w in 1u32..64) {
+        let mut last = 0.0f64;
+        for l in 0..=w {
+            let p = baseline::carry_chain_cdf(w, l);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            prop_assert!(p >= last - 1e-12);
+            last = p;
+        }
+        prop_assert!((baseline::carry_chain_cdf(w, w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carry_violation_decreases_in_budget(w in 4u32..48) {
+        let mut last = 1.0f64 + 1e-12;
+        for b in 0..=w {
+            let p = baseline::rca_violation_probability(w, b);
+            prop_assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn snr_and_mre_agree_on_perfection(vals in prop::collection::vec(-1.0f64..1.0, 1..50)) {
+        prop_assert_eq!(metrics::mre_percent(&vals, &vals), 0.0);
+        prop_assert_eq!(metrics::snr_db(&vals, &vals), f64::INFINITY);
+    }
+
+    #[test]
+    fn snr_decreases_with_noise(
+        vals in prop::collection::vec(0.1f64..1.0, 4..40),
+        noise in 0.001f64..0.1,
+    ) {
+        let small: Vec<f64> = vals.iter().map(|v| v + noise / 2.0).collect();
+        let big: Vec<f64> = vals.iter().map(|v| v + noise).collect();
+        prop_assert!(metrics::snr_db(&vals, &small) > metrics::snr_db(&vals, &big));
+    }
+
+    #[test]
+    fn mre_reduction_is_exact_arithmetic(t in 0.001f64..100.0, o in 0.0f64..100.0) {
+        let r = metrics::mre_reduction_percent(t, o);
+        prop_assert!((r - (t - o) / t * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_between_min_and_max(vals in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = metrics::geometric_mean(&vals);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    #[test]
+    fn budget_search_finds_the_frontier(threshold in 10u64..1000, budget in 0.0f64..50.0) {
+        // Metric: max(0, threshold − ts), strictly decreasing until 0.
+        let metric = |ts: u64| (threshold.saturating_sub(ts)) as f64;
+        let got = sweep::min_period_within_budget(1, 2000, budget, metric);
+        let expect = threshold.saturating_sub(budget as u64).max(1);
+        prop_assert_eq!(got, Some(expect));
+    }
+
+    #[test]
+    fn normalized_frequency_round_trip(t0 in 100u64..100_000, nf in 1.0f64..2.0) {
+        let ts = timing::period_for_normalized_frequency(t0, nf);
+        let back = timing::normalized_frequency(ts, t0);
+        prop_assert!((back - nf).abs() / nf < 0.02);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ola-imaging — the overclocked Gaussian-filter case study
+//!
+//! Substrate + experiment crate for Section 4 of the reproduced paper
+//! (*"Datapath Synthesis for Overclocking: Online Arithmetic for
+//! Latency-Accuracy Trade-offs"*, DAC 2014):
+//!
+//! * [`Image`] — 8-bit grayscale images with PGM I/O;
+//! * [`synthetic`] — deterministic procedural stand-ins for the Lena /
+//!   Pepper / Sailboat / Tiffany benchmark images (see `DESIGN.md` for the
+//!   substitution rationale) plus the uniform-noise "UI inputs";
+//! * [`Kernel`] — quantized Gaussian convolution kernels;
+//! * [`filter`] — the two gate-level filter datapaths ([`OnlineFilter`],
+//!   [`TraditionalFilter`]) overclocked through the event-driven timing
+//!   simulator, producing the MRE / SNR numbers behind Figures 6–7 and
+//!   Tables 1–3.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ola_imaging::filter::{FilterConfig, OnlineFilter, OverclockedFilter};
+//! use ola_imaging::synthetic::Benchmark;
+//!
+//! let image = Benchmark::LenaLike.generate(64, 64, 1);
+//! let filter = OnlineFilter::new(FilterConfig::paper_default());
+//! let rated = filter.rated_period();
+//! let sweep = filter.apply_sweep(&image, &[rated * 9 / 10, rated]);
+//! println!("MRE at 1.11 f0: {:.4}%", sweep.runs[0].mre_percent);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod filter;
+mod image;
+mod kernel;
+pub mod synthetic;
+
+pub use filter::{FilterConfig, OnlineFilter, OverclockedFilter, TraditionalFilter};
+pub use image::Image;
+pub use kernel::Kernel;

@@ -1,0 +1,91 @@
+//! Property-based tests for the imaging substrate.
+
+use ola_imaging::synthetic::{synthesize, Benchmark, SyntheticSpec};
+use ola_imaging::{Image, Kernel};
+use ola_redundant::Q;
+use proptest::prelude::*;
+
+fn image_strategy() -> impl Strategy<Value = Image> {
+    (2usize..12, 2usize..12).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |px| Image::from_pixels(w, h, px))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pgm_round_trips(img in image_strategy()) {
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let back = Image::read_pgm(&buf[..]).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn clamped_reads_never_panic(img in image_strategy(), x in -50isize..50, y in -50isize..50) {
+        let v = img.get_clamped(x, y);
+        // The clamped pixel must exist somewhere in the image.
+        prop_assert!(img.pixels().contains(&v));
+    }
+
+    #[test]
+    fn statistics_are_well_defined(img in image_strategy()) {
+        prop_assert!((0.0..=255.0).contains(&img.mean()));
+        prop_assert!(img.stddev() >= 0.0 && img.stddev() <= 128.0);
+        prop_assert!((-1.0..=1.0).contains(&img.autocorrelation()));
+    }
+
+    #[test]
+    fn gaussian_kernels_are_normalized_and_positive(
+        size in prop::sample::select(vec![3usize, 5, 7]),
+        sigma in 0.5f64..3.0,
+    ) {
+        let k = Kernel::gaussian(size, sigma, 10);
+        prop_assert_eq!(k.taps(), size * size);
+        for &c in k.coefficients() {
+            prop_assert!(c >= Q::ZERO);
+        }
+        let gain = k.dc_gain().to_f64();
+        prop_assert!((gain - 1.0).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn wider_sigma_flattens_the_kernel(sigma in 0.6f64..1.4) {
+        let narrow = Kernel::gaussian(3, sigma, 10);
+        let wide = Kernel::gaussian(3, sigma + 1.0, 10);
+        // Peak-to-corner ratio shrinks as sigma grows.
+        let ratio = |k: &Kernel| k.at(0, 0).to_f64() / k.at(1, 1).to_f64().max(1e-9);
+        prop_assert!(ratio(&wide) < ratio(&narrow));
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_in_spec(seed in 0u64..1000) {
+        let spec = SyntheticSpec {
+            brightness: 120.0,
+            contrast: 40.0,
+            correlation: 8,
+            octaves: 3,
+            edges: 0.3,
+        };
+        let a = synthesize(32, 32, seed, spec);
+        let b = synthesize(32, 32, seed, spec);
+        prop_assert_eq!(&a, &b);
+        prop_assert!((a.mean() - 120.0).abs() < 30.0);
+        prop_assert!(a.autocorrelation() > 0.4, "corr {}", a.autocorrelation());
+    }
+
+    #[test]
+    fn benchmarks_generate_any_size(
+        w in 4usize..40,
+        h in 4usize..40,
+        seed in 0u64..100,
+    ) {
+        for b in Benchmark::ALL {
+            let img = b.generate(w, h, seed);
+            prop_assert_eq!(img.width(), w);
+            prop_assert_eq!(img.height(), h);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # ola-netlist — gate-level netlists with overclocked timing simulation
+//!
+//! Substrate crate for the `ola` workspace. The paper's empirical results
+//! come from post-place-and-route FPGA timing simulation; this crate is the
+//! software stand-in:
+//!
+//! * [`Netlist`] — structural combinational netlists (DAG by construction);
+//! * [`simulate`] — event-driven transport-delay simulation recording every
+//!   net's settling waveform, with [`SimResult::value_at`] answering *what
+//!   does a register clocked at period `Ts` capture?* — the overclocking
+//!   primitive;
+//! * [`analyze`] — static timing analysis (the "rated" frequency a tool
+//!   would report);
+//! * [`DelayModel`]s — [`UnitDelay`], [`FpgaDelay`], and [`JitteredDelay`]
+//!   standing in for place-and-route delay variation;
+//! * [`area::estimate`] — greedy LUT covering for Table-4-style area
+//!   comparisons;
+//! * [`cells`] — full adders and the PPM/MMP cells of borrow-save
+//!   arithmetic.
+//!
+//! # Example: observing a timing violation
+//!
+//! ```
+//! use ola_netlist::{simulate, Netlist, UnitDelay};
+//!
+//! // A 3-deep inverter chain; flipping the input reaches the output after
+//! // three gate delays.
+//! let mut nl = Netlist::new();
+//! let a = nl.input("a");
+//! let b = nl.not(a);
+//! let c = nl.not(b);
+//! let z = nl.not(c);
+//!
+//! let res = simulate(&nl, &UnitDelay, &[false], &[true]);
+//! let settled = res.final_value(z);
+//! let overclocked = res.value_at(z, 150); // sampled too early!
+//! assert_ne!(settled, overclocked);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod cells;
+mod delay;
+mod netlist;
+mod pipeline;
+mod sim;
+mod sta;
+pub mod vcd;
+
+pub use area::AreaReport;
+pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
+pub use netlist::{GateKind, NetId, Netlist};
+pub use pipeline::{Pipeline, PipelineStage};
+pub use sim::{simulate, simulate_from_zero, BusWaveforms, SimResult};
+pub use sta::{analyze, TimingReport};

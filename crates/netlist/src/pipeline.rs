@@ -1,0 +1,273 @@
+//! Registered pipelines of combinational stages, clocked — and
+//! overclocked — together.
+//!
+//! The paper's introduction observes that heavy pipelining raises clock
+//! frequency but not end-to-end latency, which is why overclocking (with
+//! graceful error behaviour) is attractive for latency-bound designs. This
+//! module makes that trade-off concrete: a [`Pipeline`] chains
+//! combinational netlists through registers; every stage is simulated with
+//! full timing each cycle, and registers capture whatever their stage's
+//! outputs happen to be at the clock period `Ts` — including mid-flight
+//! garbage when `Ts` is too short. Unlike single-shot simulation, register
+//! state carries across cycles, so each stage's previous inputs (not a
+//! global reset) define its settling trajectory — exactly like streaming
+//! hardware.
+
+use crate::{simulate, DelayModel, NetId, Netlist, TimingReport};
+
+/// One pipeline stage: a combinational netlist plus the name of the output
+/// bus that feeds the next stage's registers.
+#[derive(Clone, Debug)]
+pub struct PipelineStage {
+    netlist: Netlist,
+    output: String,
+}
+
+impl PipelineStage {
+    /// Wraps a netlist; `output` names the bus captured by the stage's
+    /// output register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no bus of that name.
+    #[must_use]
+    pub fn new(netlist: Netlist, output: &str) -> Self {
+        let _ = netlist.output(output); // validate
+        PipelineStage { netlist, output: output.to_owned() }
+    }
+
+    /// The stage's combinational netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    fn output_nets(&self) -> &[NetId] {
+        self.netlist.output(&self.output)
+    }
+
+    fn input_width(&self) -> usize {
+        self.netlist.inputs().len()
+    }
+
+    fn output_width(&self) -> usize {
+        self.output_nets().len()
+    }
+}
+
+/// A chain of register-separated combinational stages sharing one clock.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    stages: Vec<PipelineStage>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline, checking that each stage's output width matches
+    /// the next stage's input width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or widths do not chain.
+    #[must_use]
+    pub fn new(stages: Vec<PipelineStage>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        for pair in stages.windows(2) {
+            assert_eq!(
+                pair[0].output_width(),
+                pair[1].input_width(),
+                "stage output width must match next stage input width"
+            );
+        }
+        Pipeline { stages }
+    }
+
+    /// Number of stages (= latency in cycles).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Width of the pipeline's external input.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.stages[0].input_width()
+    }
+
+    /// Width of the pipeline's external output.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.stages.last().expect("non-empty").output_width()
+    }
+
+    /// The rated clock period: the worst stage's critical path.
+    #[must_use]
+    pub fn rated_period<M: DelayModel + ?Sized>(&self, delay: &M) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| crate::analyze(&s.netlist, delay).critical_path())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-stage timing reports.
+    #[must_use]
+    pub fn stage_timing<M: DelayModel + ?Sized>(&self, delay: &M) -> Vec<TimingReport> {
+        self.stages.iter().map(|s| crate::analyze(&s.netlist, delay)).collect()
+    }
+
+    /// Streams `inputs` through the pipeline at clock period `ts`.
+    ///
+    /// Returns one output vector per input vector (the pipeline is flushed
+    /// with repeats of the last input, so outputs align with inputs after
+    /// the `depth()`-cycle latency). Registers and stage inputs start from
+    /// all-zero — the paper's reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector width differs from [`input_width`].
+    ///
+    /// [`input_width`]: Pipeline::input_width
+    #[must_use]
+    pub fn run<M: DelayModel + ?Sized>(
+        &self,
+        delay: &M,
+        inputs: &[Vec<bool>],
+        ts: u64,
+    ) -> Vec<Vec<bool>> {
+        let depth = self.depth();
+        // regs[i] = current output register of stage i; prev_in[i] = the
+        // input vector stage i saw last cycle.
+        let mut prev_in: Vec<Vec<bool>> =
+            self.stages.iter().map(|s| vec![false; s.input_width()]).collect();
+        let mut regs: Vec<Vec<bool>> =
+            self.stages.iter().map(|s| vec![false; s.output_width()]).collect();
+        let mut out = Vec::with_capacity(inputs.len());
+
+        // Input fed at cycle c emerges from the last register at the end of
+        // cycle c + depth − 1.
+        let total_cycles = inputs.len() + depth - 1;
+        let last = inputs.last().cloned().unwrap_or_else(|| vec![false; self.input_width()]);
+        for cycle in 0..total_cycles {
+            let external: &Vec<bool> = inputs.get(cycle).unwrap_or(&last);
+            assert_eq!(external.len(), self.input_width(), "input width mismatch");
+            // Compute every stage's new register value from the *current*
+            // register file (all stages sample simultaneously).
+            let mut next_regs = Vec::with_capacity(depth);
+            for (i, stage) in self.stages.iter().enumerate() {
+                let stage_in: &Vec<bool> = if i == 0 { external } else { &regs[i - 1] };
+                let res = simulate(&stage.netlist, delay, &prev_in[i], stage_in);
+                next_regs.push(res.sample_bus(stage.output_nets(), ts));
+                prev_in[i] = stage_in.clone();
+            }
+            regs = next_regs;
+            if cycle + 1 >= depth {
+                out.push(regs[depth - 1].clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::full_adder;
+    use crate::UnitDelay;
+
+    /// A w-bit ripple incrementer stage: out = in + 1 (mod 2^w).
+    fn incrementer(w: usize) -> PipelineStage {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", w);
+        let mut carry = nl.constant(true);
+        let mut out = Vec::new();
+        for &bit in &a {
+            let zero = nl.constant(false);
+            let (s, c) = full_adder(&mut nl, bit, zero, carry);
+            out.push(s);
+            carry = c;
+        }
+        nl.set_output("z", out);
+        PipelineStage::new(nl, "z")
+    }
+
+    fn encode(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn decode(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+    }
+
+    #[test]
+    fn two_stage_increment_adds_two() {
+        let p = Pipeline::new(vec![incrementer(8), incrementer(8)]);
+        assert_eq!(p.depth(), 2);
+        let rated = p.rated_period(&UnitDelay);
+        let inputs: Vec<Vec<bool>> = (0..10u64).map(|v| encode(v * 7, 8)).collect();
+        let outs = p.run(&UnitDelay, &inputs, rated);
+        assert_eq!(outs.len(), inputs.len());
+        for (v, o) in (0..10u64).zip(&outs) {
+            assert_eq!(decode(o), (v * 7 + 2) & 0xFF, "v={v}");
+        }
+    }
+
+    #[test]
+    fn overclocked_pipeline_streams_errors_gracefully() {
+        let p = Pipeline::new(vec![incrementer(12), incrementer(12)]);
+        let rated = p.rated_period(&UnitDelay);
+        // 0xFFF + 1 ripples across the whole word: deep overclock breaks it.
+        let inputs = vec![encode(0xFFE, 12); 4];
+        let ok = p.run(&UnitDelay, &inputs, rated);
+        let broken = p.run(&UnitDelay, &inputs, rated / 4);
+        assert!(ok.iter().all(|o| decode(o) == 0x000), "0xFFE + 2 wraps to 0");
+        assert_ne!(decode(&broken[0]), 0x000, "early sampling must corrupt");
+    }
+
+    #[test]
+    fn register_state_carries_between_cycles() {
+        // With identical consecutive inputs, the second cycle has no
+        // switching activity at all, so even a deep overclock is clean from
+        // the second output onward.
+        let p = Pipeline::new(vec![incrementer(12)]);
+        let inputs = vec![encode(0xABC, 12); 3];
+        let outs = p.run(&UnitDelay, &inputs, 1);
+        assert_eq!(decode(&outs[1]), 0xABD);
+        assert_eq!(decode(&outs[2]), 0xABD);
+    }
+
+    #[test]
+    fn pipelining_raises_frequency_but_not_latency() {
+        // The intro's argument: two w/1-deep variants of the same function.
+        let deep = Pipeline::new(vec![incrementer(16), incrementer(16)]);
+        let flat = {
+            // One stage computing +2 via two chained incrementers.
+            let mut nl = Netlist::new();
+            let a = nl.input_bus("a", 16);
+            let mut bits = a;
+            for _ in 0..2 {
+                let mut carry = nl.constant(true);
+                let mut next = Vec::new();
+                for &bit in &bits {
+                    let zero = nl.constant(false);
+                    let (s, c) = full_adder(&mut nl, bit, zero, carry);
+                    next.push(s);
+                    carry = c;
+                }
+                bits = next;
+            }
+            nl.set_output("z", bits);
+            Pipeline::new(vec![PipelineStage::new(nl, "z")])
+        };
+        let f_deep = deep.rated_period(&UnitDelay);
+        let f_flat = flat.rated_period(&UnitDelay);
+        assert!(f_deep < f_flat, "pipelining shortens the clock period");
+        // But end-to-end latency (depth × period) does not improve.
+        assert!(2 * f_deep >= f_flat, "latency is not reduced by pipelining");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn mismatched_stage_widths_rejected() {
+        let _ = Pipeline::new(vec![incrementer(8), incrementer(9)]);
+    }
+}

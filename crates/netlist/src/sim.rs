@@ -1,0 +1,385 @@
+//! Event-driven timing simulation with overclocked sampling.
+//!
+//! This is the workspace's substitute for post-place-and-route FPGA timing
+//! simulation. Given the input vector of the *previous* clock cycle and the
+//! new input vector applied at `t = 0`, the simulator propagates changes
+//! through the netlist under a [`DelayModel`] (transport-delay semantics)
+//! and records the full settling waveform of every net.
+//! [`SimResult::value_at`] then answers the overclocking question: *what
+//! would a register clocked with period `Ts` capture?*
+
+use crate::{DelayModel, NetId, Netlist};
+use crate::netlist::eval_gate;
+
+/// The settling history of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    initial: Vec<bool>,
+    waveforms: Vec<Vec<(u64, bool)>>,
+    settle_time: u64,
+    events: usize,
+}
+
+impl SimResult {
+    /// The value of `net` at time `t` — what a register clocked `t` time
+    /// units after the inputs switched would capture.
+    #[must_use]
+    pub fn value_at(&self, net: NetId, t: u64) -> bool {
+        let wf = &self.waveforms[net.index()];
+        match wf.partition_point(|&(time, _)| time <= t) {
+            0 => self.initial[net.index()],
+            k => wf[k - 1].1,
+        }
+    }
+
+    /// The fully settled (correct) value of `net`.
+    #[must_use]
+    pub fn final_value(&self, net: NetId) -> bool {
+        match self.waveforms[net.index()].last() {
+            Some(&(_, v)) => v,
+            None => self.initial[net.index()],
+        }
+    }
+
+    /// Samples a bus at time `t`.
+    #[must_use]
+    pub fn sample_bus(&self, nets: &[NetId], t: u64) -> Vec<bool> {
+        nets.iter().map(|&n| self.value_at(n, t)).collect()
+    }
+
+    /// Samples the settled values of a bus.
+    #[must_use]
+    pub fn final_bus(&self, nets: &[NetId]) -> Vec<bool> {
+        nets.iter().map(|&n| self.final_value(n)).collect()
+    }
+
+    /// Time of the last transition anywhere in the netlist. Sampling at or
+    /// after this time is guaranteed error-free *for this input pair*.
+    #[must_use]
+    pub fn settle_time(&self) -> u64 {
+        self.settle_time
+    }
+
+    /// Time of the last transition on any of `nets` (settling time of an
+    /// output bus).
+    #[must_use]
+    pub fn settle_time_of(&self, nets: &[NetId]) -> u64 {
+        nets.iter()
+            .filter_map(|&n| self.waveforms[n.index()].last().map(|&(t, _)| t))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of applied transitions (simulator work; useful for benches).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events
+    }
+
+    /// The transition history `(time, new_value)` of one net.
+    #[must_use]
+    pub fn waveform(&self, net: NetId) -> &[(u64, bool)] {
+        &self.waveforms[net.index()]
+    }
+
+    /// The value of `net` before the inputs switched.
+    #[must_use]
+    pub fn initial_value(&self, net: NetId) -> bool {
+        self.initial[net.index()]
+    }
+
+    /// Extracts a compact, re-sampleable copy of one bus's waveforms.
+    #[must_use]
+    pub fn bus_waveforms(&self, nets: &[NetId]) -> BusWaveforms {
+        BusWaveforms {
+            initial: nets.iter().map(|&n| self.initial_value(n)).collect(),
+            waveforms: nets.iter().map(|&n| self.waveform(n).to_vec()).collect(),
+        }
+    }
+}
+
+/// The settling history of one output bus, detached from its simulation —
+/// small enough to memoize, sampleable at any time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BusWaveforms {
+    initial: Vec<bool>,
+    waveforms: Vec<Vec<(u64, bool)>>,
+}
+
+impl BusWaveforms {
+    /// Number of nets in the bus.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// True if the bus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty()
+    }
+
+    /// The bus values a register clocked at period `t` would capture.
+    #[must_use]
+    pub fn sample(&self, t: u64) -> Vec<bool> {
+        (0..self.len())
+            .map(|i| {
+                let wf = &self.waveforms[i];
+                match wf.partition_point(|&(time, _)| time <= t) {
+                    0 => self.initial[i],
+                    k => wf[k - 1].1,
+                }
+            })
+            .collect()
+    }
+
+    /// The settled bus values.
+    #[must_use]
+    pub fn settled(&self) -> Vec<bool> {
+        (0..self.len())
+            .map(|i| self.waveforms[i].last().map_or(self.initial[i], |&(_, v)| v))
+            .collect()
+    }
+}
+
+/// Simulates the transition from `prev_inputs` (settled before `t = 0`) to
+/// `new_inputs` (applied at `t = 0`).
+///
+/// All internal nets start at their settled value under `prev_inputs` —
+/// pass all-`false` as `prev_inputs` for the paper's "all internal signals
+/// reset to 0 initially" scenario.
+///
+/// # Panics
+///
+/// Panics if either input slice length differs from the netlist's input
+/// count.
+#[must_use]
+pub fn simulate<M: DelayModel + ?Sized>(
+    netlist: &Netlist,
+    delay: &M,
+    prev_inputs: &[bool],
+    new_inputs: &[bool],
+) -> SimResult {
+    assert_eq!(new_inputs.len(), netlist.inputs().len(), "new input arity");
+    let initial = netlist.eval(prev_inputs);
+    let mut current = initial.clone();
+    let fanout = netlist.fanout_lists();
+    let n = netlist.len();
+    let mut waveforms: Vec<Vec<(u64, bool)>> = vec![Vec::new(); n];
+
+    // Time-indexed bucket queue: delays are small integers, so a calendar
+    // of per-tick event lists beats a binary heap by a wide margin.
+    let mut buckets: Vec<Vec<(u32, bool)>> = vec![Vec::new()];
+    let mut pending = 0usize;
+
+    for (net, (&prev, &new)) in netlist
+        .inputs()
+        .iter()
+        .zip(prev_inputs.iter().zip(new_inputs))
+    {
+        if prev != new {
+            buckets[0].push((net.0, new));
+            pending += 1;
+        }
+    }
+
+    let mut settle_time = 0;
+    let mut events = 0usize;
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut dirty_flag = vec![false; n];
+
+    let mut t = 0usize;
+    while pending > 0 {
+        debug_assert!(t < buckets.len(), "pending events must exist");
+        if buckets[t].is_empty() {
+            t += 1;
+            continue;
+        }
+        // Apply every event scheduled for time `t`.
+        dirty.clear();
+        let batch = std::mem::take(&mut buckets[t]);
+        pending -= batch.len();
+        for (net, val) in batch {
+            let idx = net as usize;
+            if current[idx] != val {
+                current[idx] = val;
+                waveforms[idx].push((t as u64, val));
+                settle_time = settle_time.max(t as u64);
+                events += 1;
+                for &g in &fanout[idx] {
+                    if !dirty_flag[g.index()] {
+                        dirty_flag[g.index()] = true;
+                        dirty.push(g.0);
+                    }
+                }
+            }
+        }
+        // Re-evaluate affected gates and schedule their (possibly unchanged)
+        // outputs: scheduling equal values cancels stale in-flight events.
+        for &g in &dirty {
+            dirty_flag[g as usize] = false;
+            let gid = NetId(g);
+            let kind = netlist.kind(gid);
+            debug_assert!(kind.is_logic(), "inputs/constants have no fanin");
+            let newv = eval_gate(kind, netlist.gate_inputs(gid), &current);
+            let d = delay.gate_delay(kind, gid).max(1) as usize;
+            if t + d >= buckets.len() {
+                buckets.resize(t + d + 1, Vec::new());
+            }
+            buckets[t + d].push((g, newv));
+            pending += 1;
+        }
+    }
+
+    SimResult { initial, waveforms, settle_time, events }
+}
+
+/// Convenience wrapper: simulate from the all-zero previous input vector
+/// (the paper's reset assumption).
+#[must_use]
+pub fn simulate_from_zero<M: DelayModel + ?Sized>(
+    netlist: &Netlist,
+    delay: &M,
+    new_inputs: &[bool],
+) -> SimResult {
+    let zeros = vec![false; netlist.inputs().len()];
+    simulate(netlist, delay, &zeros, new_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitDelay;
+
+    const U: u64 = UnitDelay::UNIT;
+
+    fn xor_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let mut cur = a;
+        for _ in 0..n {
+            let b = nl.input("b");
+            cur = nl.xor(cur, b);
+        }
+        nl.set_output("z", vec![cur]);
+        nl
+    }
+
+    #[test]
+    fn final_values_match_functional_eval() {
+        let nl = xor_chain(5);
+        let inputs = [true, false, true, true, false, true];
+        let res = simulate_from_zero(&nl, &UnitDelay, &inputs);
+        let evald = nl.eval(&inputs);
+        let out = nl.output("z")[0];
+        assert_eq!(res.final_value(out), evald[out.index()]);
+    }
+
+    #[test]
+    fn settle_time_tracks_logic_depth() {
+        // Flipping the head input of an n-deep xor chain ripples through all
+        // n gates: settle time = n * unit delay.
+        let nl = xor_chain(6);
+        let mut prev = vec![false; 7];
+        let mut next = prev.clone();
+        next[0] = true;
+        let res = simulate(&nl, &UnitDelay, &prev, &next);
+        assert_eq!(res.settle_time(), 6 * U);
+        // Flipping only the last input touches one gate.
+        prev = vec![false; 7];
+        let mut next2 = prev.clone();
+        next2[6] = true;
+        let res2 = simulate(&nl, &UnitDelay, &prev, &next2);
+        assert_eq!(res2.settle_time(), U);
+    }
+
+    #[test]
+    fn early_sampling_reads_stale_values() {
+        let nl = xor_chain(4);
+        let prev = vec![false; 5];
+        let mut next = prev.clone();
+        next[0] = true; // output will become 1 after 4 gate delays
+        let res = simulate(&nl, &UnitDelay, &prev, &next);
+        let out = nl.output("z")[0];
+        assert!(!res.value_at(out, 0), "before propagation: old value");
+        assert!(!res.value_at(out, 4 * U - 1), "one tick early: still old");
+        assert!(res.value_at(out, 4 * U), "at arrival: new value");
+        assert!(res.final_value(out));
+    }
+
+    #[test]
+    fn no_input_change_means_no_events() {
+        let nl = xor_chain(3);
+        let inputs = [true, false, true, false];
+        let res = simulate(&nl, &UnitDelay, &inputs, &inputs);
+        assert_eq!(res.settle_time(), 0);
+        assert_eq!(res.event_count(), 0);
+        let out = nl.output("z")[0];
+        assert_eq!(res.value_at(out, 0), nl.eval(&inputs)[out.index()]);
+    }
+
+    #[test]
+    fn glitches_are_recorded() {
+        // z = a XOR a' where a' = NOT(NOT(a)): a rising edge causes a glitch
+        // on z because the inverter path is slower.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let z = nl.xor(a, n2);
+        nl.set_output("z", vec![z]);
+        let res = simulate(&nl, &UnitDelay, &[false], &[true]);
+        // a flips at 0; z sees a at U (goes 0^0=0 -> 1^0=1), n2 catches up at
+        // 2U, z returns to 0 at 3U.
+        assert!(!res.value_at(z, 0));
+        assert!(res.value_at(z, U));
+        assert!(res.value_at(z, 3 * U - 1));
+        assert!(!res.value_at(z, 3 * U));
+        assert!(!res.final_value(z));
+        assert_eq!(res.waveform(z).len(), 2, "one glitch pulse: up then down");
+    }
+
+    #[test]
+    fn cancelled_events_do_not_corrupt_state() {
+        // Same circuit; verify the settled value equals functional eval for
+        // both edges (exercises the schedule-equal-value cancellation path).
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let z = nl.and(a, n2);
+        nl.set_output("z", vec![z]);
+        for (p, q) in [(false, true), (true, false)] {
+            let res = simulate(&nl, &UnitDelay, &[p], &[q]);
+            assert_eq!(res.final_value(z), nl.eval(&[q])[z.index()]);
+        }
+    }
+
+    #[test]
+    fn sample_bus_orders_like_input() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.not(a);
+        let y = nl.not(b);
+        nl.set_output("z", vec![x, y]);
+        let res = simulate_from_zero(&nl, &UnitDelay, &[true, false]);
+        assert_eq!(res.sample_bus(&[x, y], U), vec![false, true]);
+        assert_eq!(res.final_bus(&[x, y]), vec![false, true]);
+    }
+
+    #[test]
+    fn settle_time_of_bus_subset() {
+        let nl = xor_chain(5);
+        let prev = vec![false; 6];
+        let mut next = prev.clone();
+        next[0] = true;
+        let res = simulate(&nl, &UnitDelay, &prev, &next);
+        let out = nl.output("z");
+        assert_eq!(res.settle_time_of(out), 5 * U);
+        // The first xor settles earlier than the chain output. Nets are
+        // created interleaved: a=0, then (b=1, xor=2), (b=3, xor=4), ...
+        let first_gate = NetId(2);
+        assert_eq!(res.settle_time_of(&[first_gate]), U);
+    }
+}

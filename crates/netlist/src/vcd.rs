@@ -1,0 +1,155 @@
+//! VCD (Value Change Dump) export of simulation waveforms.
+//!
+//! Lets the settling behaviour this library reasons about be inspected in
+//! any standard waveform viewer (GTKWave & co.): dump a [`SimResult`], open
+//! the file, and watch the carry chains race the clock edge.
+
+use crate::{NetId, Netlist, SimResult};
+use std::io::{self, Write};
+
+/// Writes the waveforms of the named output buses (plus the primary
+/// inputs) of one simulation as a VCD file.
+///
+/// Net names follow the bus names: `bus[i]` for the `i`-th net of the bus,
+/// `in[i]` for primary inputs. Time units are the delay model's abstract
+/// units, declared as `1ps`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_vcd<W: Write>(netlist: &Netlist, result: &SimResult, mut w: W) -> io::Result<()> {
+    // Collect (display name, net) pairs: inputs, then each output bus.
+    let mut signals: Vec<(String, NetId)> = netlist
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (format!("in[{i}]"), n))
+        .collect();
+    for (name, nets) in netlist.outputs() {
+        for (i, &n) in nets.iter().enumerate() {
+            signals.push((format!("{name}[{i}]"), n));
+        }
+    }
+
+    writeln!(w, "$timescale 1ps $end")?;
+    writeln!(w, "$scope module ola $end")?;
+    for (idx, (name, _)) in signals.iter().enumerate() {
+        writeln!(w, "$var wire 1 {} {} $end", ident(idx), name)?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+
+    // Initial values.
+    writeln!(w, "#0")?;
+    writeln!(w, "$dumpvars")?;
+    for (idx, (_, net)) in signals.iter().enumerate() {
+        writeln!(w, "{}{}", bit(result.initial_value(*net)), ident(idx))?;
+    }
+    writeln!(w, "$end")?;
+
+    // Merge all transitions into one time-ordered stream.
+    let mut events: Vec<(u64, usize, bool)> = Vec::new();
+    for (idx, (_, net)) in signals.iter().enumerate() {
+        for &(t, v) in result.waveform(*net) {
+            events.push((t, idx, v));
+        }
+    }
+    events.sort_unstable_by_key(|&(t, idx, _)| (t, idx));
+    let mut last_t = None;
+    for (t, idx, v) in events {
+        if last_t != Some(t) {
+            writeln!(w, "#{t}")?;
+            last_t = Some(t);
+        }
+        writeln!(w, "{}{}", bit(v), ident(idx))?;
+    }
+    // Close with a final timestamp so viewers show the settled span.
+    writeln!(w, "#{}", result.settle_time() + 1)?;
+    Ok(())
+}
+
+fn bit(v: bool) -> char {
+    if v {
+        '1'
+    } else {
+        '0'
+    }
+}
+
+/// Short printable VCD identifier for signal `idx` (base-94 over `!`..`~`).
+fn ident(mut idx: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (idx % 94) as u8) as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, UnitDelay};
+
+    fn demo() -> (Netlist, SimResult) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor(a, b);
+        let y = nl.and(a, x);
+        nl.set_output("z", vec![x, y]);
+        let res = simulate(&nl, &UnitDelay, &[false, false], &[true, true]);
+        (nl, res)
+    }
+
+    #[test]
+    fn vcd_has_header_and_transitions() {
+        let (nl, res) = demo();
+        let mut buf = Vec::new();
+        write_vcd(&nl, &res, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1 ! in[0] $end"));
+        assert!(text.contains("$var wire 1 # z[0] $end"));
+        assert!(text.contains("$dumpvars"));
+        assert!(text.contains("#0"));
+        // The inputs flip at t=0, so '1!' and '1\"' must appear.
+        assert!(text.contains("1!"));
+        assert!(text.contains("1\""));
+        // Events are time-ordered.
+        let times: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..300).map(ident).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn no_transitions_still_valid() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n = nl.not(a);
+        nl.set_output("z", vec![n]);
+        let res = simulate(&nl, &UnitDelay, &[true], &[true]);
+        let mut buf = Vec::new();
+        write_vcd(&nl, &res, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$enddefinitions"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the netlist substrate: on randomly generated
+//! DAG netlists, the event-driven simulator must settle to the functional
+//! evaluation, never later than the static timing bound, and sampling must
+//! be consistent with the recorded waveforms.
+
+use ola_netlist::{analyze, area, simulate, JitteredDelay, NetId, Netlist, UnitDelay};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: (kind selector, input selectors).
+type GateRecipe = (u8, u8, u8, u8);
+
+fn build_random_netlist(inputs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| nl.input(&format!("i{i}"))).collect();
+    for &(kind, a, b, c) in recipes {
+        let pick = |sel: u8, nets: &[NetId]| nets[sel as usize % nets.len()];
+        let x = pick(a, &nets);
+        let y = pick(b, &nets);
+        let z = pick(c, &nets);
+        let out = match kind % 8 {
+            0 => nl.not(x),
+            1 => nl.and(x, y),
+            2 => nl.or(x, y),
+            3 => nl.xor(x, y),
+            4 => nl.nand(x, y),
+            5 => nl.nor(x, y),
+            6 => nl.xnor(x, y),
+            _ => nl.mux(x, y, z),
+        };
+        nets.push(out);
+    }
+    let out_slice: Vec<NetId> = nets.iter().rev().take(4).copied().collect();
+    nl.set_output("z", out_slice);
+    nl
+}
+
+fn recipes() -> impl Strategy<Value = Vec<GateRecipe>> {
+    prop::collection::vec(
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_settles_to_functional_eval(
+        rs in recipes(),
+        prev_bits in any::<u32>(),
+        next_bits in any::<u32>(),
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let prev: Vec<bool> = (0..inputs).map(|i| prev_bits >> i & 1 == 1).collect();
+        let next: Vec<bool> = (0..inputs).map(|i| next_bits >> i & 1 == 1).collect();
+        let res = simulate(&nl, &UnitDelay, &prev, &next);
+        let want = nl.eval(&next);
+        for net in nl.nets() {
+            prop_assert_eq!(res.final_value(net), want[net.index()], "net {:?}", net);
+        }
+    }
+
+    #[test]
+    fn settling_never_exceeds_sta(
+        rs in recipes(),
+        prev_bits in any::<u32>(),
+        next_bits in any::<u32>(),
+        jitter in 0u64..40,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let delay = JitteredDelay::new(UnitDelay, jitter, 3);
+        let rep = analyze(&nl, &delay);
+        let prev: Vec<bool> = (0..inputs).map(|i| prev_bits >> i & 1 == 1).collect();
+        let next: Vec<bool> = (0..inputs).map(|i| next_bits >> i & 1 == 1).collect();
+        let res = simulate(&nl, &delay, &prev, &next);
+        prop_assert!(res.settle_time() <= rep.critical_path());
+    }
+
+    #[test]
+    fn sampling_after_settle_equals_final(
+        rs in recipes(),
+        next_bits in any::<u32>(),
+        extra in 0u64..1000,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let prev = vec![false; inputs];
+        let next: Vec<bool> = (0..inputs).map(|i| next_bits >> i & 1 == 1).collect();
+        let res = simulate(&nl, &UnitDelay, &prev, &next);
+        for &net in nl.output("z") {
+            prop_assert_eq!(
+                res.value_at(net, res.settle_time() + extra),
+                res.final_value(net)
+            );
+            // Time zero shows the previous settled state.
+            let before = nl.eval(&prev);
+            if res.waveform(net).first().map_or(true, |&(t, _)| t > 0) {
+                prop_assert_eq!(res.value_at(net, 0), before[net.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn area_estimate_is_sane(rs in recipes()) {
+        let nl = build_random_netlist(5, &rs);
+        let rep = area::estimate(&nl, 4);
+        prop_assert!(rep.luts <= rep.gates, "cover never exceeds gate count");
+        // Bigger LUTs should not cost substantially more (greedy covering
+        // admits small anomalies, so allow a little slack).
+        let rep6 = area::estimate(&nl, 6);
+        prop_assert!(rep6.luts <= rep.luts + 2);
+    }
+
+    #[test]
+    fn constant_folding_preserves_function(rs in recipes(), bits in any::<u32>()) {
+        // Building the same recipes against constant inputs must evaluate to
+        // the same outputs as feeding those constants at runtime.
+        let inputs = 6;
+        let dynamic = build_random_netlist(inputs, &rs);
+        let vals: Vec<bool> = (0..inputs).map(|i| bits >> i & 1 == 1).collect();
+        let dyn_eval = dynamic.eval(&vals);
+
+        let mut folded = Netlist::new();
+        let nets: Vec<NetId> = vals.iter().map(|&v| folded.constant(v)).collect();
+        let mut all = nets;
+        for &(kind, a, b, c) in &rs {
+            let pick = |sel: u8, nets: &[NetId]| nets[sel as usize % nets.len()];
+            let x = pick(a, &all);
+            let y = pick(b, &all);
+            let z = pick(c, &all);
+            let out = match kind % 8 {
+                0 => folded.not(x),
+                1 => folded.and(x, y),
+                2 => folded.or(x, y),
+                3 => folded.xor(x, y),
+                4 => folded.nand(x, y),
+                5 => folded.nor(x, y),
+                6 => folded.xnor(x, y),
+                _ => folded.mux(x, y, z),
+            };
+            all.push(out);
+        }
+        // Everything folded to constants: no logic gates remain.
+        prop_assert_eq!(folded.logic_gate_count(), 0);
+        let folded_vals = folded.eval(&[]);
+        // Compare the final four outputs (same selection as the builder).
+        let dyn_outs: Vec<bool> =
+            dynamic.output("z").iter().map(|n| dyn_eval[n.index()]).collect();
+        let fold_outs: Vec<bool> =
+            all.iter().rev().take(4).map(|n| folded_vals[n.index()]).collect();
+        prop_assert_eq!(dyn_outs, fold_outs);
+    }
+}

@@ -1,0 +1,194 @@
+//! Radix-2 signed digits: the redundant digit set {−1, 0, 1}.
+
+use crate::Q;
+use std::fmt;
+use std::ops::Neg;
+
+/// A radix-2 signed digit from the redundant set {−1, 0, 1}.
+///
+/// The paper writes the digit −1 as 1̄. The redundancy (two encodings exist
+/// for most values once digits are strung together) is what allows
+/// most-significant-digit-first computation: early digits may over- or
+/// under-estimate and later digits compensate.
+///
+/// # Examples
+///
+/// ```
+/// use ola_redundant::Digit;
+///
+/// let d = Digit::NegOne;
+/// assert_eq!(d.value(), -1);
+/// assert_eq!(-d, Digit::One);
+/// assert_eq!(Digit::try_from(0i8)?, Digit::Zero);
+/// # Ok::<(), ola_redundant::DigitRangeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Digit {
+    /// The digit −1 (written 1̄ in the paper).
+    NegOne,
+    /// The digit 0.
+    #[default]
+    Zero,
+    /// The digit 1.
+    One,
+}
+
+/// Error returned when converting an out-of-range integer into a [`Digit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DigitRangeError(pub i8);
+
+impl fmt::Display for DigitRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is not a radix-2 signed digit (-1, 0, 1)", self.0)
+    }
+}
+
+impl std::error::Error for DigitRangeError {}
+
+impl Digit {
+    /// All digits in ascending order; handy for exhaustive enumeration.
+    pub const ALL: [Digit; 3] = [Digit::NegOne, Digit::Zero, Digit::One];
+
+    /// The numeric value of the digit.
+    #[must_use]
+    pub fn value(self) -> i32 {
+        match self {
+            Digit::NegOne => -1,
+            Digit::Zero => 0,
+            Digit::One => 1,
+        }
+    }
+
+    /// True if this digit is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Digit::Zero
+    }
+
+    /// The digit's contribution at fractional position `pos` (weight `2^-pos`).
+    #[must_use]
+    pub fn weighted(self, pos: u32) -> Q {
+        match self {
+            Digit::Zero => Q::ZERO,
+            Digit::One => Q::pow2_neg(pos),
+            Digit::NegOne => -Q::pow2_neg(pos),
+        }
+    }
+
+    /// Borrow-save encoding `(p, n)` with `value = p − n`.
+    ///
+    /// The canonical encodings are used: 0 → (0,0), 1 → (1,0), −1 → (0,1).
+    #[must_use]
+    pub fn to_bits(self) -> (bool, bool) {
+        match self {
+            Digit::NegOne => (false, true),
+            Digit::Zero => (false, false),
+            Digit::One => (true, false),
+        }
+    }
+
+    /// Decodes a borrow-save bit pair `(p, n)` into its digit value `p − n`.
+    ///
+    /// The non-canonical pair (1,1) also decodes to zero — redundant encodings
+    /// arise naturally inside borrow-save adders.
+    #[must_use]
+    pub fn from_bits(p: bool, n: bool) -> Digit {
+        match (p, n) {
+            (true, false) => Digit::One,
+            (false, true) => Digit::NegOne,
+            _ => Digit::Zero,
+        }
+    }
+}
+
+impl Neg for Digit {
+    type Output = Digit;
+    fn neg(self) -> Digit {
+        match self {
+            Digit::NegOne => Digit::One,
+            Digit::Zero => Digit::Zero,
+            Digit::One => Digit::NegOne,
+        }
+    }
+}
+
+impl TryFrom<i8> for Digit {
+    type Error = DigitRangeError;
+    fn try_from(v: i8) -> Result<Self, Self::Error> {
+        match v {
+            -1 => Ok(Digit::NegOne),
+            0 => Ok(Digit::Zero),
+            1 => Ok(Digit::One),
+            other => Err(DigitRangeError(other)),
+        }
+    }
+}
+
+impl From<Digit> for i8 {
+    fn from(d: Digit) -> i8 {
+        d.value() as i8
+    }
+}
+
+impl fmt::Display for Digit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Digit::NegOne => f.write_str("1\u{0304}"), // 1 with combining macron
+            Digit::Zero => f.write_str("0"),
+            Digit::One => f.write_str("1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_through_i8() {
+        for d in Digit::ALL {
+            assert_eq!(Digit::try_from(i8::from(d)).unwrap(), d);
+        }
+        assert_eq!(Digit::try_from(2i8), Err(DigitRangeError(2)));
+        assert_eq!(Digit::try_from(-2i8), Err(DigitRangeError(-2)));
+    }
+
+    #[test]
+    fn negation_flips_sign() {
+        assert_eq!(-Digit::One, Digit::NegOne);
+        assert_eq!(-Digit::NegOne, Digit::One);
+        assert_eq!(-Digit::Zero, Digit::Zero);
+        for d in Digit::ALL {
+            assert_eq!((-d).value(), -d.value());
+        }
+    }
+
+    #[test]
+    fn bit_encoding_round_trips() {
+        for d in Digit::ALL {
+            let (p, n) = d.to_bits();
+            assert_eq!(Digit::from_bits(p, n), d);
+        }
+        // The redundant (1,1) pair decodes to zero.
+        assert_eq!(Digit::from_bits(true, true), Digit::Zero);
+    }
+
+    #[test]
+    fn weighted_values() {
+        assert_eq!(Digit::One.weighted(1), Q::new(1, 1));
+        assert_eq!(Digit::NegOne.weighted(2), Q::new(-1, 2));
+        assert_eq!(Digit::Zero.weighted(9), Q::ZERO);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Digit::default(), Digit::Zero);
+    }
+
+    #[test]
+    fn display_uses_overbar() {
+        assert_eq!(Digit::One.to_string(), "1");
+        assert_eq!(Digit::Zero.to_string(), "0");
+        assert_eq!(Digit::NegOne.to_string(), "1\u{0304}");
+    }
+}

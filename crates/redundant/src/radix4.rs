@@ -1,0 +1,305 @@
+//! Radix-4 signed-digit numbers — the higher-radix direction the paper
+//! leaves open ("as radix-2 is used most commonly … we keep r = 2").
+//!
+//! Radix-4 online arithmetic halves the stage count of an unrolled operator
+//! at the cost of a wider digit set. This module provides the maximally
+//! redundant radix-4 system (digit set {−3 … 3}) with the classic Avizienis
+//! carry-free addition: a transfer/interim decomposition bounds every carry
+//! to one position, so addition stays constant-depth exactly like the
+//! radix-2 online adder.
+
+use crate::Q;
+use std::fmt;
+use std::ops::Neg;
+
+/// A radix-4 signed digit from the maximally redundant set {−3 … 3}.
+///
+/// # Examples
+///
+/// ```
+/// use ola_redundant::radix4::Digit4;
+///
+/// let d = Digit4::new(-3)?;
+/// assert_eq!(d.value(), -3);
+/// assert_eq!((-d).value(), 3);
+/// # Ok::<(), ola_redundant::DigitRangeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digit4(i8);
+
+impl Digit4 {
+    /// The zero digit.
+    pub const ZERO: Digit4 = Digit4(0);
+
+    /// Creates a digit, checking the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitRangeError`](crate::DigitRangeError) for values
+    /// outside −3 ..= 3.
+    pub fn new(v: i8) -> Result<Self, crate::DigitRangeError> {
+        if (-3..=3).contains(&v) {
+            Ok(Digit4(v))
+        } else {
+            Err(crate::DigitRangeError(v))
+        }
+    }
+
+    /// The digit value.
+    #[must_use]
+    pub fn value(self) -> i8 {
+        self.0
+    }
+
+    /// True if zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Neg for Digit4 {
+    type Output = Digit4;
+    fn neg(self) -> Digit4 {
+        Digit4(-self.0)
+    }
+}
+
+impl fmt::Display for Digit4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fractional radix-4 signed-digit number: digit `i` (1-indexed) has
+/// weight `4^-i`; an `n`-digit number covers multiples of `4^-n` in
+/// `[−(1 − 4^-n), 1 − 4^-n]`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sd4Number {
+    digits: Vec<Digit4>,
+}
+
+impl Sd4Number {
+    /// Creates a number from its digit vector (MSD first).
+    #[must_use]
+    pub fn new(digits: Vec<Digit4>) -> Self {
+        Sd4Number { digits }
+    }
+
+    /// The `n`-digit zero.
+    #[must_use]
+    pub fn zero(n: usize) -> Self {
+        Sd4Number { digits: vec![Digit4::ZERO; n] }
+    }
+
+    /// Number of radix-4 digits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True if the number has no digits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// The digits, MSD first.
+    #[must_use]
+    pub fn digits(&self) -> &[Digit4] {
+        &self.digits
+    }
+
+    /// The exact value `Σ d_i 4^-i`.
+    #[must_use]
+    pub fn value(&self) -> Q {
+        let mut acc: i128 = 0;
+        for &d in &self.digits {
+            acc = (acc << 2) + i128::from(d.value());
+        }
+        Q::new(acc, 2 * self.digits.len() as u32)
+    }
+
+    /// Encodes an exact value into `n` radix-4 digits (greedy, MSD first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError`](crate::RangeError) if `value` is not a
+    /// multiple of `4^-n` or lies outside the representable range.
+    pub fn from_value(value: Q, n: usize) -> Result<Self, crate::RangeError> {
+        let err = || crate::RangeError { value, digits: n };
+        let scaled = value.scaled_to(2 * n as u32).ok_or_else(err)?;
+        let limit = (1i128 << (2 * n)) - 1;
+        if scaled.abs() > limit {
+            return Err(err());
+        }
+        let mut digits = Vec::with_capacity(n);
+        let mut rem = scaled;
+        for i in 1..=n {
+            let w = 1i128 << (2 * (n - i)); // 4^{n-i}
+            // Nearest digit in {−3..3}: round(rem / w), clamped.
+            let d = ((2 * rem + w * rem.signum()) / (2 * w)).clamp(-3, 3);
+            rem -= d * w;
+            digits.push(Digit4(d as i8));
+        }
+        debug_assert_eq!(rem, 0, "greedy radix-4 recoding must terminate");
+        Ok(Sd4Number { digits })
+    }
+
+    /// Carry-free addition (Avizienis): interim `w` and transfer `t` with
+    /// `x_i + y_i = 4·t_i + w_i`, `|w| ≤ 2`, `t ∈ {−1,0,1}`, then
+    /// `z_i = w_i + t_{i+1}` — no carry ever crosses more than one
+    /// position, so the depth is constant in the word length.
+    ///
+    /// The result has one extra integer-position digit (returned separately
+    /// with weight `4^0 = 1`).
+    #[must_use]
+    pub fn add(&self, other: &Sd4Number) -> (Digit4, Sd4Number) {
+        let n = self.len().max(other.len());
+        let digit = |v: &Sd4Number, i: usize| -> i8 {
+            v.digits.get(i).map_or(0, |d| d.value())
+        };
+        let mut transfers = vec![0i8; n + 1]; // t at position i lands at i−1
+        let mut interims = vec![0i8; n];
+        for i in 0..n {
+            let u = digit(self, i) + digit(other, i);
+            let t = if u >= 3 {
+                1
+            } else if u <= -3 {
+                -1
+            } else {
+                0
+            };
+            transfers[i] = t;
+            interims[i] = u - 4 * t;
+        }
+        let mut digits = Vec::with_capacity(n);
+        for i in 0..n {
+            let z = interims[i] + transfers.get(i + 1).copied().unwrap_or(0);
+            debug_assert!((-3..=3).contains(&z));
+            digits.push(Digit4(z));
+        }
+        (Digit4(transfers[0]), Sd4Number { digits })
+    }
+
+    /// Exact negation.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Sd4Number { digits: self.digits.iter().map(|&d| -d).collect() }
+    }
+
+    /// Re-encodes as a radix-2 signed-digit number with `2n` digits (each
+    /// radix-4 digit splits into two radix-2 positions).
+    #[must_use]
+    pub fn to_radix2(&self) -> crate::SdNumber {
+        crate::SdNumber::from_value(self.value(), 2 * self.len())
+            .expect("radix-4 values fit 2n radix-2 digits")
+    }
+}
+
+impl fmt::Debug for Sd4Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sd4(")?;
+        for (i, d) in self.digits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ") = {}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sd4(n: usize) -> impl Iterator<Item = Sd4Number> {
+        (0..7usize.pow(n as u32)).map(move |mut k| {
+            let digits = (0..n)
+                .map(|_| {
+                    let d = Digit4::new((k % 7) as i8 - 3).unwrap();
+                    k /= 7;
+                    d
+                })
+                .collect();
+            Sd4Number::new(digits)
+        })
+    }
+
+    #[test]
+    fn digit_range_is_enforced() {
+        assert!(Digit4::new(3).is_ok());
+        assert!(Digit4::new(-3).is_ok());
+        assert!(Digit4::new(4).is_err());
+        assert!(Digit4::new(-4).is_err());
+    }
+
+    #[test]
+    fn from_value_round_trips() {
+        for n in 1..=4usize {
+            let limit = (1i128 << (2 * n)) - 1;
+            for v in (-limit..=limit).step_by(5) {
+                let q = Q::new(v, 2 * n as u32);
+                let x = Sd4Number::from_value(q, n).unwrap();
+                assert_eq!(x.value(), q, "n={n} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_out_of_range() {
+        assert!(Sd4Number::from_value(Q::ONE, 3).is_err());
+        assert!(Sd4Number::from_value(Q::new(1, 9), 3).is_err());
+    }
+
+    #[test]
+    fn addition_is_exact_and_carry_free_exhaustively() {
+        // All pairs of 2-digit radix-4 numbers (49 × 49 encodings).
+        for x in all_sd4(2) {
+            for y in all_sd4(2) {
+                let (carry, z) = x.add(&y);
+                let total =
+                    Q::from_int(i64::from(carry.value())) + z.value();
+                assert_eq!(
+                    total,
+                    x.value() + y.value(),
+                    "x={x:?} y={y:?} carry={carry} z={z:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn addition_handles_unequal_lengths() {
+        let a = Sd4Number::from_value(Q::new(11, 4), 2).unwrap();
+        let b = Sd4Number::from_value(Q::new(3, 2), 1).unwrap();
+        let (carry, z) = a.add(&b);
+        assert_eq!(
+            Q::from_int(i64::from(carry.value())) + z.value(),
+            a.value() + b.value()
+        );
+    }
+
+    #[test]
+    fn negation_negates() {
+        for x in all_sd4(3).step_by(11) {
+            assert_eq!(x.negated().value(), -x.value());
+        }
+    }
+
+    #[test]
+    fn radix2_conversion_preserves_value() {
+        for x in all_sd4(3).step_by(7) {
+            let r2 = x.to_radix2();
+            assert_eq!(r2.value(), x.value());
+            assert_eq!(r2.len(), 2 * x.len());
+        }
+    }
+
+    #[test]
+    fn max_value_is_all_threes() {
+        let x = Sd4Number::new(vec![Digit4::new(3).unwrap(); 3]);
+        assert_eq!(x.value(), Q::new((1 << 6) - 1, 6)); // 1 − 4^-3
+    }
+}

@@ -1,0 +1,96 @@
+//! Random generation of signed-digit operands.
+//!
+//! The paper's probabilistic model assumes "every digit of each input is
+//! uniformly and independently generated with the digit set {−1, 0, 1}"
+//! ([`uniform_digits`]); its experiments also use operands drawn uniformly
+//! by *value* ([`uniform_value`], the "Uniform Independent inputs").
+
+use crate::{Digit, Q, SdNumber};
+use rand::Rng;
+
+/// Draws an `n`-digit number whose digits are i.i.d. uniform over {−1, 0, 1}.
+///
+/// This is the input model of the paper's Section 3 (each digit pattern
+/// `C1..C4` then has probability 1/9, 4/9, 2/9, 2/9).
+pub fn uniform_digits<R: Rng + ?Sized>(rng: &mut R, n: usize) -> SdNumber {
+    (0..n)
+        .map(|_| match rng.gen_range(0..3u8) {
+            0 => Digit::NegOne,
+            1 => Digit::Zero,
+            _ => Digit::One,
+        })
+        .collect()
+}
+
+/// Draws a number uniformly by *value* over all multiples of `2^-n` in
+/// `[-(1 - 2^-n), 1 - 2^-n]`, in canonical encoding.
+pub fn uniform_value<R: Rng + ?Sized>(rng: &mut R, n: usize) -> SdNumber {
+    let limit = (1i128 << n) - 1;
+    let v = rng.gen_range(-limit..=limit);
+    SdNumber::from_value(Q::new(v, n as u32), n)
+        .expect("sampled value is representable by construction")
+}
+
+/// Draws a *non-negative* value uniformly over multiples of `2^-n` in
+/// `[0, 1 - 2^-n]` — the distribution of normalized image pixels.
+pub fn uniform_nonneg_value<R: Rng + ?Sized>(rng: &mut R, n: usize) -> SdNumber {
+    let limit = (1i128 << n) - 1;
+    let v = rng.gen_range(0..=limit);
+    SdNumber::from_value(Q::new(v, n as u32), n)
+        .expect("sampled value is representable by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_digits_covers_all_digits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            for d in uniform_digits(&mut rng, 8).iter() {
+                seen[(d.value() + 1) as usize] = true;
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn uniform_digit_frequencies_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            for d in uniform_digits(&mut rng, 4).iter() {
+                counts[(d.value() + 1) as usize] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        for c in counts {
+            let frac = f64::from(c) / f64::from(total);
+            assert!((frac - 1.0 / 3.0).abs() < 0.03, "digit frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn uniform_value_stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let x = uniform_value(&mut rng, 8);
+            let v = x.value();
+            assert!(v.abs() <= Q::new(255, 8));
+            assert_eq!(x.len(), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_nonneg_value_is_nonneg() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..500 {
+            let x = uniform_nonneg_value(&mut rng, 8);
+            assert!(x.value().signum() >= 0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! A 1-D FIR low-pass filter running on the overclocked stage-wave
+//! multiplier model — the kind of feedback-free DSP datapath the paper's
+//! introduction motivates (strict latency budgets, no C-slow retiming).
+//!
+//! ```sh
+//! cargo run --release --example fir_filter
+//! ```
+
+use ola::arith::online::{Selection, StagedMultiplier};
+use ola::core::metrics;
+use ola::redundant::{Q, SdNumber};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10; // digits per operand
+    // 5-tap low-pass kernel (quantized Hamming-ish weights, sum ≈ 1).
+    let taps: Vec<Q> = [60i128, 245, 414, 245, 60]
+        .iter()
+        .map(|&v| Q::new(v, n as u32))
+        .collect();
+    let coeffs: Vec<SdNumber> = taps
+        .iter()
+        .map(|&t| SdNumber::from_value(t, n))
+        .collect::<Result<_, _>>()?;
+
+    // Input: a noisy two-tone signal, quantized to N digits.
+    let len = 96;
+    let signal: Vec<SdNumber> = (0..len)
+        .map(|i| {
+            let t = i as f64 / 12.0;
+            let v = 0.45 * (t).sin() + 0.25 * (5.3 * t).sin();
+            let raw = (v * f64::from(1u32 << n)).round() as i128;
+            SdNumber::from_value(Q::new(raw, n as u32), n).expect("in range")
+        })
+        .collect();
+
+    // Convolve with multipliers sampled at stage budget b; the adds are
+    // exact (online adders have constant depth and never violate first).
+    let convolve = |budget: Option<usize>| -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let mut acc = Q::ZERO;
+                for (k, c) in coeffs.iter().enumerate() {
+                    let j = (i + k).saturating_sub(2).min(len - 1);
+                    let sm = StagedMultiplier::new(
+                        signal[j].clone(),
+                        c.clone(),
+                        Selection::default(),
+                    );
+                    let v = match budget {
+                        Some(b) => sm.sample(b).value(),
+                        None => sm.settled().value(),
+                    };
+                    acc += v;
+                }
+                acc.to_f64()
+            })
+            .collect()
+    };
+
+    let reference = convolve(None);
+    println!("5-tap FIR over {len} samples, N = {n} digit operands\n");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "budget b", "MRE %", "SNR dB", "speedup"
+    );
+    let structural = n + 3;
+    for b in (4..=structural).rev() {
+        let out = convolve(Some(b));
+        let mre = metrics::mre_percent(&reference, &out);
+        let snr = metrics::snr_db(&reference, &out);
+        println!(
+            "{b:>8} {:>14.6} {:>12.1} {:>9.2}x",
+            mre,
+            snr.min(999.0),
+            structural as f64 / b as f64
+        );
+    }
+    println!(
+        "\nEvery budget above the settling point is exact; below it the FIR\n\
+         output degrades smoothly — a latency-accuracy dial, not a cliff."
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The paper's case study: a Gaussian image filter built once with online
+//! arithmetic and once with conventional two's-complement arithmetic, both
+//! overclocked past their rated frequencies.
+//!
+//! Writes the output images as PGM files into `target/filter-demo/` and
+//! prints the MRE / SNR comparison (the Figure 6–7 experiment in miniature).
+//!
+//! ```sh
+//! cargo run --release --example gaussian_filter
+//! ```
+
+use ola::imaging::filter::{FilterConfig, OnlineFilter, OverclockedFilter, TraditionalFilter};
+use ola::imaging::synthetic::Benchmark;
+use std::fs::{self, File};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 48; // keep the demo quick; the bench harness uses larger images
+    let image = Benchmark::LenaLike.generate(size, size, 1);
+    println!(
+        "input: {size}x{size} lena-like image (mean {:.1}, σ {:.1}, autocorr {:.2})",
+        image.mean(),
+        image.stddev(),
+        image.autocorrelation()
+    );
+
+    let online = OnlineFilter::new(FilterConfig::paper_default());
+    let trad = TraditionalFilter::new(FilterConfig::paper_default());
+
+    let out_dir = Path::new("target/filter-demo");
+    fs::create_dir_all(out_dir)?;
+
+    // Overclock each design relative to its own rated period.
+    let factors = [1.0f64, 1.11, 1.25, 1.43];
+    println!(
+        "\n{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "design", "f/f_rated", "MRE %", "SNR dB", "bad px"
+    );
+    for filter in [&online as &dyn OverclockedFilter, &trad] {
+        let rated = filter.rated_period();
+        let ts: Vec<u64> = factors
+            .iter()
+            .map(|f| ((rated as f64 / f).round() as u64).max(1))
+            .collect();
+        let sweep = filter.apply_sweep(&image, &ts);
+        for (f, run) in factors.iter().zip(&sweep.runs) {
+            println!(
+                "{:<12} {:>8.2} {:>12.4} {:>12.1} {:>10}",
+                filter.name(),
+                f,
+                run.mre_percent,
+                run.snr_db,
+                run.wrong_pixels
+            );
+            let name = format!("{}_{:.0}pct.pgm", filter.name(), f * 100.0);
+            run.image.write_pgm(File::create(out_dir.join(&name))?)?;
+        }
+        sweep
+            .settled_image
+            .write_pgm(File::create(out_dir.join(format!("{}_settled.pgm", filter.name())))?)?;
+    }
+    println!("\noutput images written to {}", out_dir.display());
+    println!(
+        "The traditional design shows salt-and-pepper noise (MSB errors) when\n\
+         overclocked; the online design degrades only in the low-order bits."
+    );
+    Ok(())
+}

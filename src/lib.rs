@@ -1,0 +1,9 @@
+//! Umbrella crate for the `ola` workspace.
+//!
+//! Re-exports each workspace crate under a short module name so examples and
+//! integration tests can `use ola::arith::...`.
+pub use ola_arith as arith;
+pub use ola_core as core;
+pub use ola_imaging as imaging;
+pub use ola_netlist as netlist;
+pub use ola_redundant as redundant;

@@ -1,0 +1,112 @@
+//! Cross-crate equivalence: the four models of the online multiplier —
+//! golden recurrence, bit-true datapath, stage-wave timing model, and the
+//! synthesized gate-level netlist — must agree on settled results.
+
+use ola::arith::online::{
+    bittrue_mult, online_mult, SerialMultiplier, Selection, StagedMultiplier,
+};
+use ola::arith::synth::online_multiplier;
+use ola::netlist::{simulate_from_zero, JitteredDelay, UnitDelay};
+use ola::redundant::{random, Digit, Q, SdNumber};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn operands(n: usize, count: usize, seed: u64) -> Vec<(SdNumber, SdNumber)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                random::uniform_digits(&mut rng, n),
+                random::uniform_digits(&mut rng, n),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn all_models_accurate_to_residual_bound() {
+    for n in [4usize, 8, 12] {
+        for (x, y) in operands(n, 30, 100 + n as u64) {
+            let exact = x.value() * y.value();
+            let bound = Q::new(3, 1) >> (n as u32 + 1);
+            let golden = online_mult(&x, &y, Selection::default());
+            let bt = bittrue_mult(&x, &y, Selection::default());
+            let staged =
+                StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).settled();
+            for (name, v) in
+                [("golden", golden.value()), ("bittrue", bt.value()), ("staged", staged.value())]
+            {
+                assert!(
+                    (exact - v).abs() <= bound,
+                    "{name} n={n}: {} vs {}",
+                    v,
+                    exact
+                );
+            }
+            // The staged fixpoint equals the straight-line bit-true run.
+            assert_eq!(staged.digits(), &bt.digits[..]);
+        }
+    }
+}
+
+#[test]
+fn netlist_settles_to_bittrue_digits_under_any_delay_model() {
+    let n = 6;
+    let circuit = online_multiplier(n, 3);
+    let jitter = JitteredDelay::new(UnitDelay, 35, 17);
+    for (x, y) in operands(n, 8, 55) {
+        let want = bittrue_mult(&x, &y, Selection::default()).digits;
+        let inputs = circuit.encode_inputs(&x, &y);
+        for res in [
+            simulate_from_zero(&circuit.netlist, &UnitDelay, &inputs),
+            simulate_from_zero(&circuit.netlist, &jitter, &inputs),
+        ] {
+            let zp = res.final_bus(circuit.netlist.output("zp"));
+            let zn = res.final_bus(circuit.netlist.output("zn"));
+            let got: Vec<Digit> = zp
+                .iter()
+                .zip(&zn)
+                .map(|(&p, &nn)| Digit::from_bits(p, nn))
+                .collect();
+            assert_eq!(got, want, "x={x:?} y={y:?}");
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_agree_across_widths() {
+    for n in [1usize, 3, 7, 16] {
+        for (x, y) in operands(n, 10, 200 + n as u64) {
+            let parallel = online_mult(&x, &y, Selection::Exact);
+            let mut serial = SerialMultiplier::new(n, Selection::Exact);
+            for i in 1..=n {
+                serial.push(x.digit(i), y.digit(i));
+            }
+            assert_eq!(serial.finish(), parallel);
+        }
+    }
+}
+
+#[test]
+fn value_uniform_inputs_settle_faster_than_digit_uniform() {
+    // "Real" (canonically encoded) operands generate fewer long chains —
+    // the mechanism behind the paper's real-image results.
+    let n = 12;
+    let mut digit_settle = 0usize;
+    let mut value_settle = 0usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for _ in 0..150 {
+        let xd = random::uniform_digits(&mut rng, n);
+        let yd = random::uniform_digits(&mut rng, n);
+        digit_settle +=
+            StagedMultiplier::new(xd, yd, Selection::default()).settling_ticks();
+        let xv = random::uniform_value(&mut rng, n);
+        let yv = random::uniform_value(&mut rng, n);
+        value_settle +=
+            StagedMultiplier::new(xv, yv, Selection::default()).settling_ticks();
+    }
+    assert!(
+        value_settle <= digit_settle,
+        "canonical-encoding inputs should not settle slower: {value_settle} vs {digit_settle}"
+    );
+}

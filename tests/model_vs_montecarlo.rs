@@ -1,0 +1,117 @@
+//! The Figure-4 verification as an integration test: the analytic model of
+//! overclocking error must track the stage-wave Monte-Carlo in *shape* —
+//! monotone decay, the same error-free threshold, and high rank agreement.
+
+use ola::arith::online::{Selection, DELTA};
+use ola::core::{model, montecarlo, timing, InputModel};
+
+#[test]
+fn model_and_simulation_share_the_error_free_threshold() {
+    for n in [8usize, 12] {
+        let mc = montecarlo::om_monte_carlo(
+            n,
+            Selection::default(),
+            InputModel::UniformDigits,
+            2000,
+            42,
+        );
+        // First budget with zero MC error.
+        let mc_free = mc
+            .curve
+            .mean_abs_error
+            .iter()
+            .position(|&e| e == 0.0)
+            .expect("settles eventually");
+        // First budget with zero model expectation (the simulator spends one
+        // extra wave on selection latency, hence the +1 alignment slack).
+        let model_free = (0..=n + DELTA)
+            .find(|&b| model::expected_error(n, b, 1.0) == 0.0)
+            .expect("model must clear");
+        let diff = mc_free.abs_diff(model_free);
+        assert!(
+            diff <= 2,
+            "n={n}: error-free budgets disagree: MC {mc_free} vs model {model_free}"
+        );
+    }
+}
+
+#[test]
+fn model_tracks_monte_carlo_shape() {
+    let n = 8;
+    let mc =
+        montecarlo::om_monte_carlo(n, Selection::default(), InputModel::UniformDigits, 3000, 7);
+    // Compare log-errors over budgets where both are nonzero.
+    let mut pairs = Vec::new();
+    for b in 1..=(n + DELTA) {
+        let sim = mc.curve.mean_abs_error[b];
+        let mdl = model::expected_error(n, b, 1.0);
+        if sim > 0.0 && mdl > 0.0 {
+            pairs.push((mdl.ln(), sim.ln()));
+        }
+    }
+    assert!(pairs.len() >= 4, "need overlapping support");
+    // Both decay: Spearman-style check via strict co-monotonicity of ranks.
+    let concordant = pairs
+        .windows(2)
+        .filter(|w| (w[1].0 - w[0].0) * (w[1].1 - w[0].1) > 0.0)
+        .count();
+    assert!(
+        concordant as f64 >= 0.7 * (pairs.len() - 1) as f64,
+        "model and MC must co-decay: {pairs:?}"
+    );
+    // Magnitudes agree within an order-of-magnitude envelope after a single
+    // global calibration (the paper, likewise, matches shape not absolutes).
+    let offset: f64 =
+        pairs.iter().map(|(m, s)| s - m).sum::<f64>() / pairs.len() as f64;
+    for (m, s) in &pairs {
+        assert!(
+            (s - m - offset).abs() < std::f64::consts::LN_10 * 1.5,
+            "point deviates >1.5 decades after calibration: {pairs:?}"
+        );
+    }
+}
+
+#[test]
+fn violation_probability_tracks_simulation() {
+    let n = 8;
+    let mc =
+        montecarlo::om_monte_carlo(n, Selection::default(), InputModel::UniformDigits, 3000, 11);
+    // The stage-wave simulator spends one extra wave on selection latency
+    // (z_j settles one tick after P[j]); compare the model's chain budget
+    // b−1 against the simulator's wave budget b.
+    for b in 4..=(n + DELTA) {
+        let sim = mc.curve.violation_rate[b];
+        let independent = model::violation_probability_independent(n, b - 1);
+        let union = model::violation_probability_union(n, b - 1);
+        // The model brackets reality loosely; insist on agreement of the
+        // "is overclocking basically safe here" verdict.
+        if independent < 0.01 {
+            assert!(sim < 0.1, "b={b}: model says safe, sim {sim}");
+        }
+        if sim > 0.5 {
+            assert!(union > 0.2, "b={b}: sim says dangerous, model {union}");
+        }
+    }
+}
+
+#[test]
+fn observed_worst_case_matches_chain_analysis() {
+    // The commented-out analysis in the paper: actual worst-case delay is
+    // ⌊(N−1)/2⌋+4 stage delays, far below the structural N+δ.
+    for n in [8usize, 16] {
+        let observed = montecarlo::max_observed_settling(
+            n,
+            Selection::default(),
+            InputModel::UniformDigits,
+            3000,
+            13,
+        );
+        let chain_bound = timing::chain_worst_case_delay(n, 1) as usize;
+        let structural = timing::structural_delay(n, 1) as usize;
+        assert!(observed <= chain_bound + 1, "n={n}: {observed} > {chain_bound}+1");
+        assert!(
+            chain_bound < structural,
+            "the paper's headroom must exist: {chain_bound} vs {structural}"
+        );
+    }
+}
