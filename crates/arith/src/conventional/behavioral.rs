@@ -27,7 +27,7 @@ impl StagedRippleAdder {
     /// Panics if `width` is 0 or exceeds 63.
     #[must_use]
     pub fn new(a: u64, b: u64, width: u32) -> Self {
-        assert!(width >= 1 && width <= 63, "unsupported width");
+        assert!((1..=63).contains(&width), "unsupported width");
         let mask = (1u64 << width) - 1;
         StagedRippleAdder { a: a & mask, b: b & mask, width }
     }
@@ -131,10 +131,7 @@ mod tests {
             for b in 0..64u64 {
                 let add = StagedRippleAdder::new(a, b, 6);
                 // Settling (in FA waves) is bounded by chain length + 1.
-                assert!(
-                    add.settling_ticks() <= add.longest_carry_chain() + 1,
-                    "a={a:b} b={b:b}"
-                );
+                assert!(add.settling_ticks() <= add.longest_carry_chain() + 1, "a={a:b} b={b:b}");
             }
         }
     }

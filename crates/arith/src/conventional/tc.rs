@@ -52,7 +52,7 @@ impl TcFormat {
     /// Panics if `frac_bits` is 0 or exceeds 62.
     #[must_use]
     pub fn new(frac_bits: u32) -> Self {
-        assert!(frac_bits >= 1 && frac_bits <= 62, "unsupported fraction width");
+        assert!((1..=62).contains(&frac_bits), "unsupported fraction width");
         TcFormat { frac_bits }
     }
 

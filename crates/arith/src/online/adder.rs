@@ -190,7 +190,7 @@ impl SerialAdder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ola_redundant::{Q, SdNumber};
+    use ola_redundant::{SdNumber, Q};
 
     fn all_sd(n: usize) -> impl Iterator<Item = SdNumber> {
         (0..3usize.pow(n as u32)).map(move |mut k| {
@@ -209,15 +209,9 @@ mod tests {
         for bits in 0..8u8 {
             let (a, b, m) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
             let (c, s) = ppm(a, b, m);
-            assert_eq!(
-                i8::from(a) + i8::from(b) - i8::from(m),
-                2 * i8::from(c) - i8::from(s)
-            );
+            assert_eq!(i8::from(a) + i8::from(b) - i8::from(m), 2 * i8::from(c) - i8::from(s));
             let (c, s) = mmp(a, b, m);
-            assert_eq!(
-                i8::from(a) - i8::from(b) - i8::from(m),
-                i8::from(s) - 2 * i8::from(c)
-            );
+            assert_eq!(i8::from(a) - i8::from(b) - i8::from(m), i8::from(s) - 2 * i8::from(c));
         }
     }
 
@@ -229,11 +223,7 @@ mod tests {
             for y in all_sd(4) {
                 let by = BsVector::from_sd(&y);
                 let z = bs_add(&bx, &by);
-                assert_eq!(
-                    z.value(),
-                    x.value() + y.value(),
-                    "x={x:?} y={y:?} z={z:?}"
-                );
+                assert_eq!(z.value(), x.value() + y.value(), "x={x:?} y={y:?} z={z:?}");
             }
         }
     }
@@ -283,11 +273,7 @@ mod tests {
                 for (k, d) in digits.iter().enumerate() {
                     sum.set_digit(k as i32, *d);
                 }
-                assert_eq!(
-                    sum.value(),
-                    x.value() + y.value(),
-                    "x={x:?} y={y:?} digits={digits:?}"
-                );
+                assert_eq!(sum.value(), x.value() + y.value(), "x={x:?} y={y:?} digits={digits:?}");
             }
         }
     }

@@ -21,7 +21,7 @@
 //! model — and it is why residual chains propagate MSD→LSD.
 
 use crate::online::{bs_add, estimate, select_exact, Selection, DELTA};
-use ola_redundant::{BsVector, Digit, Q, SdNumber};
+use ola_redundant::{BsVector, Digit, SdNumber, Q};
 
 /// All signals produced by one multiplier stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,15 +53,9 @@ fn recode_granularity(policy: Selection) -> i32 {
 /// first stage). Operand digits beyond position `j+δ+1` are not examined —
 /// exactly like the hardware's appending logic.
 #[must_use]
-pub fn om_stage(
-    x: &SdNumber,
-    y: &SdNumber,
-    j: i32,
-    p_in: &BsVector,
-    policy: Selection,
-) -> StageIo {
+pub fn om_stage(x: &SdNumber, y: &SdNumber, j: i32, p_in: &BsVector, policy: Selection) -> StageIo {
     let delta = DELTA as i32;
-    debug_assert!(j >= -delta && j <= x.len() as i32 - 1);
+    debug_assert!(j >= -delta && j < x.len() as i32);
     let idx = (j + delta + 1) as usize;
     let xd = x.digit(idx);
     let yd = y.digit(idx);

@@ -20,7 +20,7 @@
 //! `|x/y − Q| ≤ (3/4)·2^-N`.
 
 use crate::online::select::Selection;
-use ola_redundant::{Digit, OnTheFlyConverter, Q, SdNumber};
+use ola_redundant::{Digit, OnTheFlyConverter, SdNumber, Q};
 
 /// The online delay δ of the radix-2 online divider.
 pub const DELTA_DIV: usize = 4;
@@ -110,9 +110,8 @@ pub fn online_div(
     assert_eq!(n, y.len(), "operands must have equal digit counts");
     assert!(n > 0, "operands must be non-empty");
     let (xv, yv) = (x.value(), y.value());
-    let domain_ok = yv.cmp_frac(1, 1).is_ge()
-        && yv.cmp_frac(1, 0).is_lt()
-        && (xv.abs() + xv.abs()) <= yv;
+    let domain_ok =
+        yv.cmp_frac(1, 1).is_ge() && yv.cmp_frac(1, 0).is_lt() && (xv.abs() + xv.abs()) <= yv;
     if !domain_ok {
         return Err(DivideDomainError { x: xv, y: yv });
     }
@@ -126,8 +125,7 @@ pub fn online_div(
         let xd = x.digit(idx);
         let yd = y.digit(idx);
         let w_tilde = (w << 1)
-            + ((Q::from_int(i64::from(xd.value()))
-                - q_prefix * i64::from(yd.value()))
+            + ((Q::from_int(i64::from(xd.value())) - q_prefix * i64::from(yd.value()))
                 >> delta as u32);
         let qj = select_quarter(w_tilde, policy);
         let y_j = y.prefix_value(idx);
@@ -209,7 +207,7 @@ mod tests {
             let (x, y) = draw_domain(&mut rng, 10);
             let q = online_div(&x, &y, Selection::Exact).expect("in domain");
             assert!(
-                q.residual().abs() <= y.value() * 3 >> 2,
+                q.residual().abs() <= (y.value() * 3) >> 2,
                 "residual {:?} exceeds (3/4)y for x={x:?} y={y:?}",
                 q.residual()
             );

@@ -19,7 +19,7 @@
 //! accurate to within `3·2^-(N+2)`.
 
 use crate::online::{select_exact, Selection};
-use ola_redundant::{Digit, OnTheFlyConverter, Q, SdNumber};
+use ola_redundant::{Digit, OnTheFlyConverter, SdNumber, Q};
 
 /// The online delay δ for the radix-2 multiplier with digit set {−1, 0, 1}.
 pub const DELTA: usize = 3;
@@ -256,10 +256,7 @@ mod tests {
         assert_eq!(exact - prod.value(), prod.error(), "x={x:?} y={y:?}");
         // Accuracy.
         let bound = p_bound >> (x.len() as u32 + 1);
-        assert!(
-            (exact - prod.value()).abs() <= bound,
-            "error too large for x={x:?} y={y:?}"
-        );
+        assert!((exact - prod.value()).abs() <= bound, "error too large for x={x:?} y={y:?}");
     }
 
     #[test]

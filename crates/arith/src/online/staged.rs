@@ -15,7 +15,7 @@
 //!   truncated-chain errors the paper's probabilistic model describes.
 
 use crate::online::{bittrue::digits_value, om_stage, Selection, DELTA};
-use ola_redundant::{BsVector, Digit, Q, SdNumber};
+use ola_redundant::{BsVector, Digit, SdNumber, Q};
 
 /// The unrolled multiplier viewed as a cascade of delay-μ stages.
 #[derive(Clone, Debug)]
@@ -141,9 +141,7 @@ impl StagedMultiplier {
     pub fn settling_ticks(&self) -> usize {
         let hist = self.history();
         let final_z = hist.last().expect("non-empty").z.clone();
-        hist.iter()
-            .rposition(|s| s.z != final_z)
-            .map_or(0, |k| k + 1)
+        hist.iter().rposition(|s| s.z != final_z).map_or(0, |k| k + 1)
     }
 
     /// The per-tick sampled values: entry `b` is the output value when

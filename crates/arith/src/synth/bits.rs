@@ -13,7 +13,7 @@ use ola_netlist::{NetId, Netlist};
 ///
 /// Panics if `k` does not fit `width` bits in two's complement.
 pub fn encode_const(nl: &mut Netlist, k: i64, width: usize) -> Vec<NetId> {
-    assert!(width >= 1 && width <= 63, "unsupported constant width {width}");
+    assert!((1..=63).contains(&width), "unsupported constant width {width}");
     assert!(
         k >= -(1 << (width - 1)) && k < (1 << (width - 1)),
         "constant {k} does not fit {width} bits"
@@ -36,12 +36,7 @@ pub fn sign_extend(nl: &mut Netlist, a: &[NetId], width: usize) -> Vec<NetId> {
 /// # Panics
 ///
 /// Panics if the widths differ.
-pub fn ripple_add(
-    nl: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn ripple_add(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), b.len(), "ripple_add operand widths differ");
     let mut carry = cin;
     let mut sum = Vec::with_capacity(a.len());

@@ -156,9 +156,8 @@ pub fn bs_add_gates(nl: &mut Netlist, x: &BsSignals, y: &BsSignals) -> BsSignals
         carry_neg.push(cn);
     }
     let zero = nl.constant(false);
-    let zn: Vec<NetId> = (0..len)
-        .map(|slot| carry_neg.get(slot + 1).copied().unwrap_or(zero))
-        .collect();
+    let zn: Vec<NetId> =
+        (0..len).map(|slot| carry_neg.get(slot + 1).copied().unwrap_or(zero)).collect();
     BsSignals { msd_pos: msd, p: zp, n: zn }
 }
 

@@ -96,11 +96,7 @@ pub fn array_multiplier(width: usize) -> ArrayMultiplierCircuit {
 /// Emits the Baugh-Wooley array for arbitrary operand nets (inputs or
 /// constants); returns the `2·width` product bits, LSB first. Used by
 /// [`array_multiplier`] and the constant-coefficient MAC builder.
-pub(crate) fn array_multiplier_core(
-    nl: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-) -> Vec<NetId> {
+pub(crate) fn array_multiplier_core(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len(), "operand widths must match");
     let n = a.len();
 
@@ -265,17 +261,9 @@ mod tests {
                 for b in -lim..lim {
                     let inputs = circuit.encode_inputs(a, b);
                     let vals = circuit.netlist.eval(&inputs);
-                    let bits: Vec<bool> = circuit
-                        .netlist
-                        .output("product")
-                        .iter()
-                        .map(|n| vals[n.index()])
-                        .collect();
-                    assert_eq!(
-                        circuit.decode_product(&bits),
-                        a * b,
-                        "width={width} a={a} b={b}"
-                    );
+                    let bits: Vec<bool> =
+                        circuit.netlist.output("product").iter().map(|n| vals[n.index()]).collect();
+                    assert_eq!(circuit.decode_product(&bits), a * b, "width={width} a={a} b={b}");
                 }
             }
         }
@@ -291,12 +279,8 @@ mod tests {
             let b = rng.gen_range(-128i64..128);
             let inputs = circuit.encode_inputs(a, b);
             let vals = circuit.netlist.eval(&inputs);
-            let bits: Vec<bool> = circuit
-                .netlist
-                .output("product")
-                .iter()
-                .map(|n| vals[n.index()])
-                .collect();
+            let bits: Vec<bool> =
+                circuit.netlist.output("product").iter().map(|n| vals[n.index()]).collect();
             assert_eq!(circuit.decode_product(&bits), a * b, "a={a} b={b}");
         }
     }
@@ -361,9 +345,6 @@ mod tests {
     fn carry_select_is_faster_than_ripple() {
         let ripple = analyze(&ripple_carry_adder(32).netlist, &UnitDelay).critical_path();
         let select = analyze(&carry_select_adder(32, 4).netlist, &UnitDelay).critical_path();
-        assert!(
-            select < ripple,
-            "carry-select {select} should beat ripple {ripple}"
-        );
+        assert!(select < ripple, "carry-select {select} should beat ripple {ripple}");
     }
 }

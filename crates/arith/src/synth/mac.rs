@@ -18,7 +18,7 @@ use crate::synth::bsnets::{bs_add_gates, BsSignals};
 use crate::synth::conventional::array_multiplier_core;
 use crate::synth::online::online_multiplier_core;
 use ola_netlist::{NetId, Netlist};
-use ola_redundant::{Digit, Q, SdNumber};
+use ola_redundant::{Digit, SdNumber, Q};
 
 /// A synthesized online (signed-digit) constant-coefficient dot product.
 #[derive(Clone, Debug)]
@@ -223,8 +223,7 @@ mod tests {
         let mac = online_mac(&cs, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..40 {
-            let xs: Vec<SdNumber> =
-                (0..3).map(|_| random::uniform_digits(&mut rng, n)).collect();
+            let xs: Vec<SdNumber> = (0..3).map(|_| random::uniform_digits(&mut rng, n)).collect();
             let inputs = mac.encode_inputs(&xs);
             let vals = mac.netlist.eval(&inputs);
             let sump: Vec<bool> =

@@ -345,10 +345,8 @@ mod tests {
     fn check_equivalence(circuit: &OnlineMultiplierCircuit, x: &SdNumber, y: &SdNumber) {
         let inputs = circuit.encode_inputs(x, y);
         let vals = circuit.netlist.eval(&inputs);
-        let zp: Vec<bool> =
-            circuit.netlist.output("zp").iter().map(|b| vals[b.index()]).collect();
-        let zn: Vec<bool> =
-            circuit.netlist.output("zn").iter().map(|b| vals[b.index()]).collect();
+        let zp: Vec<bool> = circuit.netlist.output("zp").iter().map(|b| vals[b.index()]).collect();
+        let zn: Vec<bool> = circuit.netlist.output("zn").iter().map(|b| vals[b.index()]).collect();
         let got = circuit.decode_digits(&zp, &zn);
         let want = bittrue_mult(x, y, Selection::Estimate { frac_digits: circuit.frac_digits });
         assert_eq!(got, want.digits, "x={x:?} y={y:?}");

@@ -3,10 +3,8 @@
 //! conventional baselines.
 
 use ola_arith::conventional::{StagedRippleAdder, TcFormat};
-use ola_arith::online::{
-    bittrue_mult, bs_add, online_mult, Selection, StagedMultiplier,
-};
-use ola_redundant::{BsVector, Digit, Q, SdNumber};
+use ola_arith::online::{bittrue_mult, bs_add, online_mult, Selection, StagedMultiplier};
+use ola_redundant::{BsVector, Digit, SdNumber, Q};
 use proptest::prelude::*;
 
 fn digit_strategy() -> impl Strategy<Value = Digit> {

@@ -122,15 +122,8 @@ fn ablation_input_statistics(c: &mut Criterion) {
     ] {
         let worst = montecarlo::max_observed_settling(12, Selection::default(), model, 2000, 9);
         let mc = montecarlo::om_monte_carlo(12, Selection::default(), model, 2000, 9);
-        let free = mc
-            .curve
-            .mean_abs_error
-            .iter()
-            .position(|&e| e == 0.0)
-            .unwrap_or(usize::MAX);
-        eprintln!(
-            "[ablation] {name}: worst settle {worst} waves, error-free budget {free} of 15"
-        );
+        let free = mc.curve.mean_abs_error.iter().position(|&e| e == 0.0).unwrap_or(usize::MAX);
+        eprintln!("[ablation] {name}: worst settle {worst} waves, error-free budget {free} of 15");
         g.bench_function(name, |b| {
             b.iter(|| {
                 montecarlo::om_monte_carlo(12, Selection::default(), black_box(model), 200, 9)
@@ -139,7 +132,6 @@ fn ablation_input_statistics(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Single-core-friendly measurement settings: the datapath simulations are
 /// macro-benchmarks, so short measurement windows already give stable

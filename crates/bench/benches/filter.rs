@@ -17,21 +17,15 @@ fn bench_filters(c: &mut Criterion) {
     let trad = TraditionalFilter::new(FilterConfig::paper_default());
     let o_ts = [online.rated_period() * 7 / 10, online.rated_period()];
     let t_ts = [trad.rated_period() * 7 / 10, trad.rated_period()];
-    g.bench_function("online", |b| {
-        b.iter(|| online.apply_sweep(black_box(&img), &o_ts))
-    });
-    g.bench_function("traditional", |b| {
-        b.iter(|| trad.apply_sweep(black_box(&img), &t_ts))
-    });
+    g.bench_function("online", |b| b.iter(|| online.apply_sweep(black_box(&img), &o_ts)));
+    g.bench_function("traditional", |b| b.iter(|| trad.apply_sweep(black_box(&img), &t_ts)));
     g.finish();
 }
 
 fn bench_exact_filter(c: &mut Criterion) {
     let img = Benchmark::SailboatLike.generate(64, 64, 2);
     let kernel = Kernel::gaussian(3, 1.0, 8);
-    c.bench_function("filter_exact_64x64", |b| {
-        b.iter(|| filter_exact(black_box(&img), &kernel))
-    });
+    c.bench_function("filter_exact_64x64", |b| b.iter(|| filter_exact(black_box(&img), &kernel)));
 }
 
 fn bench_generators(c: &mut Criterion) {
@@ -45,7 +39,6 @@ fn bench_generators(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Single-core-friendly measurement settings: the datapath simulations are
 /// macro-benchmarks, so short measurement windows already give stable

@@ -44,9 +44,7 @@ fn bench_montecarlo(c: &mut Criterion) {
             })
         });
     }
-    g.bench_function("rca_2000_samples_w16", |b| {
-        b.iter(|| baseline::rca_monte_carlo(16, 2000, 9))
-    });
+    g.bench_function("rca_2000_samples_w16", |b| b.iter(|| baseline::rca_monte_carlo(16, 2000, 9)));
     g.finish();
 }
 
@@ -61,7 +59,6 @@ fn bench_carry_cdf(c: &mut Criterion) {
         })
     });
 }
-
 
 /// Single-core-friendly measurement settings: the datapath simulations are
 /// macro-benchmarks, so short measurement windows already give stable

@@ -28,9 +28,7 @@ fn bench_models(c: &mut Criterion) {
             b.iter(|| bittrue_mult(black_box(&x), black_box(&y), Selection::default()))
         });
         g.bench_with_input(BenchmarkId::new("staged_settle", n), &n, |b, _| {
-            b.iter(|| {
-                StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).settled()
-            })
+            b.iter(|| StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).settled())
         });
     }
     g.finish();
@@ -74,7 +72,6 @@ fn bench_conventional(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Single-core-friendly measurement settings: the datapath simulations are
 /// macro-benchmarks, so short measurement windows already give stable

@@ -42,12 +42,8 @@ fn bench_sta_and_area(c: &mut Criterion) {
     let am = array_multiplier(9);
     let oa = online_adder(32);
     let jitter = JitteredDelay::new(UnitDelay, 20, 1);
-    g.bench_function("sta_online_mult_8", |b| {
-        b.iter(|| analyze(black_box(&om.netlist), &jitter))
-    });
-    g.bench_function("sta_array_mult_9", |b| {
-        b.iter(|| analyze(black_box(&am.netlist), &jitter))
-    });
+    g.bench_function("sta_online_mult_8", |b| b.iter(|| analyze(black_box(&om.netlist), &jitter)));
+    g.bench_function("sta_array_mult_9", |b| b.iter(|| analyze(black_box(&am.netlist), &jitter)));
     g.bench_function("area_online_mult_8", |b| {
         b.iter(|| area::estimate(black_box(&om.netlist), 4))
     });
@@ -70,7 +66,6 @@ fn bench_synthesis(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Single-core-friendly measurement settings: the datapath simulations are
 /// macro-benchmarks, so short measurement windows already give stable

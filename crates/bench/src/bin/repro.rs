@@ -1,73 +1,173 @@
 //! Regenerates the paper's tables and figures. See `ola-bench` crate docs.
+//!
+//! Every experiment runs in its own worker thread under `catch_unwind` and
+//! a wall-clock budget: a panicking or runaway experiment is reported in
+//! the final *partial results* summary instead of taking down the whole
+//! reproduction run. The exit code reflects completeness — `0` when every
+//! requested experiment (and every CSV write) succeeded, `1` for partial
+//! results, `2` for usage errors.
 
 use ola_bench::experiments::{self, CaseStudyContext, Scale};
 use ola_bench::report::Table;
-use std::path::Path;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one experiment.
+enum Outcome {
+    Ok(Vec<Table>),
+    Failed(String),
+    TimedOut(Duration),
+}
+
+/// Runs `f` on a worker thread, waiting at most `budget` wall-clock time
+/// and converting panics into [`Outcome::Failed`]. On timeout the worker
+/// keeps running detached (its result is discarded); the process still
+/// terminates when `main` returns.
+fn run_guarded<F>(budget: Duration, f: F) -> Outcome
+where
+    F: FnOnce() -> Result<Vec<Table>, String> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(budget) {
+        Ok(Ok(Ok(tables))) => Outcome::Ok(tables),
+        Ok(Ok(Err(msg))) => Outcome::Failed(msg),
+        Ok(Err(payload)) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Failed(format!("panicked: {msg}"))
+        }
+        Err(_) => Outcome::TimedOut(budget),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let what: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let what: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
-    let out_dir = Path::new("results");
+    const KNOWN: [&str; 10] =
+        ["all", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "table3", "table4", "faults"];
+    if let Some(unknown) = what.iter().find(|w| !KNOWN.contains(w)) {
+        eprintln!("unknown experiment {unknown:?}");
+        eprintln!(
+            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|faults|all] [--quick]"
+        );
+        std::process::exit(2);
+    }
+    let out_dir = PathBuf::from("results");
+    // Per-experiment wall-clock safety net; generous enough that only a
+    // genuinely wedged experiment trips it.
+    let budget = if quick { Duration::from_secs(1200) } else { Duration::from_secs(7200) };
 
-    let mut tables: Vec<Table> = Vec::new();
     let wants = |k: &str| what.iter().any(|w| *w == "all" || *w == k);
-    let ctx_needed = wants("fig6") || wants("fig7") || wants("table1")
-        || wants("table2") || wants("table3");
-    let ctx = ctx_needed.then(|| CaseStudyContext::new(scale));
+    let ctx_needed =
+        wants("fig6") || wants("fig7") || wants("table1") || wants("table2") || wants("table3");
+    let ctx = ctx_needed.then(|| Arc::new(CaseStudyContext::new(scale)));
 
-    let mut timed = |name: &str, f: &mut dyn FnMut() -> Vec<Table>| {
-        let start = Instant::now();
-        let mut t = f();
-        eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
-        tables.append(&mut t);
-    };
-
+    // (name, job) pairs; each job is 'static so it can run on its own
+    // guarded worker thread.
+    type Job = Box<dyn FnOnce() -> Result<Vec<Table>, String> + Send + 'static>;
+    let mut jobs: Vec<(&str, Job)> = Vec::new();
     if wants("fig4") {
-        timed("fig4", &mut || experiments::fig4(scale));
+        jobs.push(("fig4", Box::new(move || Ok(experiments::fig4(scale)))));
     }
     if wants("fig5") {
-        timed("fig5", &mut || experiments::fig5(scale));
+        jobs.push(("fig5", Box::new(move || Ok(experiments::fig5(scale)))));
     }
     if let Some(ctx) = &ctx {
         if wants("fig6") {
-            timed("fig6", &mut || vec![experiments::fig6(ctx)]);
+            let ctx = ctx.clone();
+            jobs.push(("fig6", Box::new(move || Ok(vec![experiments::fig6(&ctx)]))));
         }
         if wants("fig7") {
-            timed("fig7", &mut || vec![experiments::fig7(ctx, out_dir)]);
+            let ctx = ctx.clone();
+            let dir = out_dir.clone();
+            jobs.push((
+                "fig7",
+                Box::new(move || {
+                    experiments::fig7(&ctx, &dir)
+                        .map(|t| vec![t])
+                        .map_err(|e| format!("image output failed: {e}"))
+                }),
+            ));
         }
-        if wants("table1") {
-            timed("table1", &mut || vec![experiments::table1(ctx)]);
-        }
-        if wants("table2") {
-            timed("table2", &mut || vec![experiments::table2(ctx)]);
-        }
-        if wants("table3") {
-            timed("table3", &mut || vec![experiments::table3(ctx)]);
+        for (name, f) in [
+            ("table1", experiments::table1 as fn(&CaseStudyContext) -> Table),
+            ("table2", experiments::table2),
+            ("table3", experiments::table3),
+        ] {
+            if wants(name) {
+                let ctx = ctx.clone();
+                jobs.push((name, Box::new(move || Ok(vec![f(&ctx)]))));
+            }
         }
     }
     if wants("table4") {
-        timed("table4", &mut || vec![experiments::table4()]);
+        jobs.push(("table4", Box::new(move || Ok(vec![experiments::table4()]))));
+    }
+    if wants("faults") {
+        jobs.push(("faults", Box::new(move || Ok(experiments::faults(scale)))));
+    }
+
+    if jobs.is_empty() {
+        eprintln!(
+            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|faults|all] [--quick]"
+        );
+        std::process::exit(2);
+    }
+
+    let total = jobs.len();
+    let mut tables: Vec<Table> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for (name, job) in jobs {
+        let start = Instant::now();
+        match run_guarded(budget, job) {
+            Outcome::Ok(mut t) => {
+                eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+                tables.append(&mut t);
+            }
+            Outcome::Failed(msg) => {
+                eprintln!("[{name}] FAILED after {:.1}s: {msg}", start.elapsed().as_secs_f64());
+                failures.push((name.to_string(), msg));
+            }
+            Outcome::TimedOut(b) => {
+                let msg = format!("exceeded wall-clock budget of {}s", b.as_secs());
+                eprintln!("[{name}] TIMED OUT: {msg}");
+                failures.push((name.to_string(), msg));
+            }
+        }
     }
 
     for t in &tables {
         println!("{}", t.render());
-        match t.write_csv(out_dir) {
+        match t.write_csv(&out_dir) {
             Ok(p) => eprintln!("  csv: {}", p.display()),
-            Err(e) => eprintln!("  csv write failed: {e}"),
+            Err(e) => {
+                eprintln!("  csv write failed: {e}");
+                failures.push((format!("csv:{}", t.title), e.to_string()));
+            }
         }
     }
-    if tables.is_empty() {
-        eprintln!(
-            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|all] [--quick]"
-        );
-        std::process::exit(2);
+
+    if failures.is_empty() {
+        eprintln!("all {total} experiment(s) completed");
+    } else {
+        eprintln!("PARTIAL RESULTS: {} of {total} experiment step(s) failed:", failures.len());
+        for (name, msg) in &failures {
+            eprintln!("  {name}: {msg}");
+        }
+        std::process::exit(1);
     }
 }

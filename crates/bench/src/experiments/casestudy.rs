@@ -15,8 +15,9 @@ use ola_imaging::filter::{
 use ola_imaging::synthetic::Benchmark;
 use ola_imaging::Image;
 use std::collections::HashMap;
+use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The paper's table column headers: frequencies normalized to each
 /// design's maximum error-free frequency.
@@ -66,7 +67,9 @@ impl CaseStudyContext {
     }
 
     fn run(&self, name: &'static str, bench: Benchmark) -> std::sync::Arc<DesignRun> {
-        if let Some(r) = self.cache.lock().expect("no poisoning").get(&(name, bench)) {
+        if let Some(r) =
+            self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&(name, bench))
+        {
             return r.clone();
         }
         let filter = self.design(name);
@@ -74,15 +77,11 @@ impl CaseStudyContext {
         let rated = filter.rated_period();
         // Coarse grid from deep overclock up to the rated period.
         let points = self.scale.grid_points() as u64;
-        let ts_grid: Vec<u64> = (0..points)
-            .map(|k| rated / 2 + (rated - rated / 2) * k / (points - 1))
-            .collect();
+        let ts_grid: Vec<u64> =
+            (0..points).map(|k| rated / 2 + (rated - rated / 2) * k / (points - 1)).collect();
         let sweep = filter.apply_sweep(&img, &ts_grid);
-        let grid: Vec<(u64, f64, f64)> = sweep
-            .runs
-            .iter()
-            .map(|r| (r.ts, r.mre_percent, r.snr_db))
-            .collect();
+        let grid: Vec<(u64, f64, f64)> =
+            sweep.runs.iter().map(|r| (r.ts, r.mre_percent, r.snr_db)).collect();
         // f0: the smallest grid period that is error-free from there on up,
         // refined by bisection between the last failing grid point and it
         // (the multiplier memo is warm, so each probe is cheap).
@@ -110,15 +109,13 @@ impl CaseStudyContext {
         }
         let f0 = hi;
         // Exact runs at the table's normalized frequencies.
-        let ts_factors: Vec<u64> = FACTORS
-            .iter()
-            .map(|f| ((f0 as f64 / f).round() as u64).max(1))
-            .collect();
+        let ts_factors: Vec<u64> =
+            FACTORS.iter().map(|f| ((f0 as f64 / f).round() as u64).max(1)).collect();
         let factor_runs = filter.apply_sweep(&img, &ts_factors).runs;
         let run = std::sync::Arc::new(DesignRun { f0, grid, factor_runs });
         self.cache
             .lock()
-            .expect("no poisoning")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert((name, bench), run.clone());
         run
     }
@@ -131,13 +128,7 @@ impl CaseStudyContext {
 pub fn fig6(ctx: &CaseStudyContext) -> Table {
     let mut t = Table::new(
         "Fig6 filter MRE vs normalized frequency",
-        &[
-            "f/f0",
-            "online UI",
-            "online real",
-            "traditional UI",
-            "traditional real",
-        ],
+        &["f/f0", "online UI", "online real", "traditional UI", "traditional real"],
     );
     let runs = [
         ctx.run("online", Benchmark::Uniform),
@@ -189,12 +180,13 @@ fn interp_mre(run: &DesignRun, f: f64) -> f64 {
 /// Figure 7: output images of both designs at 1.05/1.15/1.25 × their
 /// error-free frequencies, written as PGM files; returns the SNR table.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the output directory cannot be created or written.
-#[must_use]
-pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> Table {
-    std::fs::create_dir_all(out_dir).expect("create output directory");
+/// Propagates filesystem errors from creating the output directory or
+/// writing the PGM files (the `repro` summary reports them as a partial
+/// result instead of aborting the run).
+pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
+    std::fs::create_dir_all(out_dir)?;
     let img = ctx.image(Benchmark::LenaLike, ctx.scale.figure_image_size());
     let mut t = Table::new(
         "Fig7 output image SNR at overclocked frequencies",
@@ -207,9 +199,8 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> Table {
         // f0 on this larger image: reuse the rated-relative coarse search.
         let rated = filter.rated_period();
         let points = ctx.scale.grid_points() as u64;
-        let grid: Vec<u64> = (0..points)
-            .map(|k| rated / 2 + (rated - rated / 2) * k / (points - 1))
-            .collect();
+        let grid: Vec<u64> =
+            (0..points).map(|k| rated / 2 + (rated - rated / 2) * k / (points - 1)).collect();
         let sweep = filter.apply_sweep(&img, &grid);
         let f0 = sweep
             .runs
@@ -218,28 +209,18 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> Table {
             .take_while(|r| r.mre_percent == 0.0)
             .last()
             .map_or(rated, |r| r.ts);
-        let ts: Vec<u64> = factors
-            .iter()
-            .map(|f| ((f0 as f64 / f).round() as u64).max(1))
-            .collect();
+        let ts: Vec<u64> =
+            factors.iter().map(|f| ((f0 as f64 / f).round() as u64).max(1)).collect();
         let runs = filter.apply_sweep(&img, &ts);
         for (f, run) in factors.iter().zip(&runs.runs) {
             let name = format!("fig7_{}_{:.0}.pgm", filter.name(), f * 100.0);
-            run.image
-                .write_pgm(std::fs::File::create(out_dir.join(name)).expect("create pgm"))
-                .expect("write pgm");
+            run.image.write_pgm(std::fs::File::create(out_dir.join(name))?)?;
         }
-        runs.settled_image
-            .write_pgm(
-                std::fs::File::create(out_dir.join(format!("fig7_{}_settled.pgm", filter.name())))
-                    .expect("create pgm"),
-            )
-            .expect("write pgm");
-        let entry: Vec<(f64, f64, usize)> = factors
-            .iter()
-            .zip(&runs.runs)
-            .map(|(f, r)| (*f, r.snr_db, r.wrong_pixels))
-            .collect();
+        runs.settled_image.write_pgm(std::fs::File::create(
+            out_dir.join(format!("fig7_{}_settled.pgm", filter.name())),
+        )?)?;
+        let entry: Vec<(f64, f64, usize)> =
+            factors.iter().zip(&runs.runs).map(|(f, r)| (*f, r.snr_db, r.wrong_pixels)).collect();
         stash.insert(filter.name(), entry);
     }
     let online = &stash["online"];
@@ -253,7 +234,7 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> Table {
             tbad.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Table 1: relative reduction of MRE with online arithmetic at the

@@ -79,12 +79,7 @@ fn gate_domain(n: usize, scale: Scale) -> Table {
         &["Ts", "Ts/rated", "mean |error|", "violation rate"],
     );
     for (ts, norm, err, viol) in curve.points() {
-        t.push_row(vec![
-            ts.to_string(),
-            format!("{norm:.3}"),
-            fmt_f(err),
-            fmt_f(viol),
-        ]);
+        t.push_row(vec![ts.to_string(), format!("{norm:.3}"), fmt_f(err), fmt_f(viol)]);
     }
     t
 }

@@ -10,10 +10,7 @@ use ola_core::{model, montecarlo, InputModel};
 /// Runs the Figure-5 experiment: one table per word length.
 #[must_use]
 pub fn fig5(scale: Scale) -> Vec<Table> {
-    [8usize, 12, 16, 32]
-        .iter()
-        .map(|&n| profile_table(n, scale))
-        .collect()
+    [8usize, 12, 16, 32].iter().map(|&n| profile_table(n, scale)).collect()
 }
 
 fn profile_table(n: usize, scale: Scale) -> Table {

@@ -5,11 +5,13 @@
 //! paper-vs-measured comparison.
 
 mod casestudy;
+mod faults;
 mod fig4;
 mod fig5;
 mod table4;
 
 pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
+pub use faults::faults;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use table4::table4;

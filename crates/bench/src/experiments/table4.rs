@@ -23,10 +23,8 @@ pub fn table4() -> Table {
     let o_slices = o_mult.slices + o_tree.slices;
     let t_slices = t_mult.slices + t_tree.slices;
 
-    let mut t = Table::new(
-        "Table4 area comparison",
-        &["Metric", "Traditional", "Online", "Overhead"],
-    );
+    let mut t =
+        Table::new("Table4 area comparison", &["Metric", "Traditional", "Online", "Overhead"]);
     t.push_row(vec![
         "LUTs".into(),
         t_luts.to_string(),

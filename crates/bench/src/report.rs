@@ -88,17 +88,10 @@ impl Table {
                 s.to_owned()
             }
         };
-        let _ = writeln!(
-            body,
-            "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(body, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ = writeln!(
-                body,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ = writeln!(body, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         fs::write(&path, body)?;
         Ok(path)

@@ -38,7 +38,7 @@ pub fn carry_chain_cdf(width: u32, l: u32) -> f64 {
         // Propagate: extends active chains, keeps empty state empty.
         next[0] += 0.5 * dp[0];
         for c in 1..=l as usize {
-            if c + 1 <= l as usize {
+            if c < l as usize {
                 next[c + 1] += 0.5 * dp[c];
             }
             // c + 1 > l → violation → probability mass drops out.
@@ -83,7 +83,7 @@ pub struct RcaCurve {
 #[must_use]
 pub fn rca_monte_carlo(width: u32, samples: usize, seed: u64) -> RcaCurve {
     assert!(samples > 0);
-    assert!(width >= 1 && width <= 62);
+    assert!((1..=62).contains(&width));
     let budgets = width as usize + 2;
     let (err, viol, count) = parallel_accumulate(
         samples,
@@ -188,10 +188,7 @@ mod tests {
         for b in [2usize, 4, 6] {
             let model = rca_violation_probability(16, b as u32);
             let mc_rate = mc.violation_rate[b];
-            assert!(
-                (model - mc_rate).abs() < 0.05,
-                "b={b}: model {model} vs mc {mc_rate}"
-            );
+            assert!((model - mc_rate).abs() < 0.05, "b={b}: model {model} vs mc {mc_rate}");
         }
     }
 

@@ -1,0 +1,583 @@
+//! Deterministic fault-injection campaigns over synthesized datapaths.
+//!
+//! A *campaign* enumerates single-fault sites of a gate-level netlist
+//! ([`logic_fault_sites`]), injects one fault class per site
+//! (stuck-at-0/1, transient SEU, or delay push — see
+//! [`ola_netlist::FaultPlan`]), and measures the numeric damage at the
+//! output registers when the circuit is clocked at its rated period.
+//! A Razor-style shadow register (sampled one timing margin later, the
+//! same detection semantics as [`crate::razor`]) classifies each erroneous
+//! sample as *detected* (main ≠ shadow) or *silent*.
+//!
+//! The paper's resilience argument falls out of the numbers: in an online
+//! (MSD-first) multiplier every output wire carries a bounded digit weight,
+//! so the worst single-wire corruption is a fixed fraction of full scale —
+//! whereas a conventional two's-complement multiplier exposes a sign bit
+//! whose corruption is *all* of full scale. Errors are therefore reported
+//! normalized to each architecture's representable output range so the two
+//! encodings are comparable (raw worst-case values are also retained).
+//!
+//! Campaigns are seed-reproducible and independent of the worker-thread
+//! count: sites fan out through [`parallel_map`](crate::parallel) and each
+//! site's samples run through the same deterministic chunk seeding as every
+//! other Monte-Carlo experiment in this crate
+//! ([`parallel_accumulate`](crate::parallel)).
+
+use crate::montecarlo::InputModel;
+use crate::parallel::{parallel_accumulate, parallel_map};
+use ola_arith::online::digits_value;
+use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
+use ola_netlist::fault::logic_fault_sites;
+use ola_netlist::{
+    analyze, default_event_budget, simulate_from_zero, simulate_from_zero_with_faults, DelayModel,
+    FaultPlan, NetId, Netlist,
+};
+use ola_redundant::Digit;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which single-fault class a campaign injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum FaultClass {
+    /// Net permanently reads 0 (hard fault).
+    StuckAt0,
+    /// Net permanently reads 1 (hard fault).
+    StuckAt1,
+    /// Single-event upset: the net reads inverted for a bounded window at a
+    /// random time inside the clock period.
+    Transient,
+    /// The driving gate slows down by a fixed amount (local variation),
+    /// converting marginal paths into real timing violations.
+    DelayPush,
+}
+
+impl FaultClass {
+    /// All campaign classes, in reporting order.
+    pub const ALL: [FaultClass; 4] =
+        [FaultClass::StuckAt0, FaultClass::StuckAt1, FaultClass::Transient, FaultClass::DelayPush];
+
+    /// Short machine-readable label (used in CSV rows).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::StuckAt0 => "stuck_at_0",
+            FaultClass::StuckAt1 => "stuck_at_1",
+            FaultClass::Transient => "transient",
+            FaultClass::DelayPush => "delay_push",
+        }
+    }
+
+    /// Builds the single-fault plan for one sample at `site`.
+    fn plan(
+        self,
+        site: NetId,
+        rng: &mut ChaCha8Rng,
+        period: u64,
+        cfg: &CampaignConfig,
+    ) -> FaultPlan {
+        match self {
+            FaultClass::StuckAt0 => FaultPlan::new().stuck_at(site, false),
+            FaultClass::StuckAt1 => FaultPlan::new().stuck_at(site, true),
+            FaultClass::Transient => {
+                let at = rng.gen_range(0..period.max(1));
+                FaultPlan::new().transient(site, at, cfg.transient_duration)
+            }
+            FaultClass::DelayPush => FaultPlan::new().delay_push(site, cfg.delay_push),
+        }
+    }
+}
+
+/// Knobs of a fault campaign. [`Default`] gives a small, fast campaign
+/// suitable for tests; the `repro` binary scales it up.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CampaignConfig {
+    /// Monte-Carlo operand draws per fault site.
+    pub samples_per_site: usize,
+    /// Evenly subsample the fault-site list down to at most this many sites
+    /// (`None` = exhaustive).
+    pub max_sites: Option<usize>,
+    /// Master seed; `(seed, site, chunk)` fully determines every draw.
+    pub seed: u64,
+    /// Razor shadow-register margin as a fraction of the rated period.
+    pub shadow_margin_frac: f64,
+    /// Duration of transient upsets, in time units
+    /// ([`Transient`](FaultClass::Transient) class only).
+    pub transient_duration: u64,
+    /// Extra gate delay, in time units ([`DelayPush`](FaultClass::DelayPush)
+    /// class only).
+    pub delay_push: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            samples_per_site: 16,
+            max_sites: Some(48),
+            seed: 0xDA11_F417,
+            shadow_margin_frac: 0.25,
+            transient_duration: 150,
+            delay_push: 200,
+        }
+    }
+}
+
+/// Per-site summary of a campaign.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct SiteReport {
+    /// Raw net index of the faulted site.
+    pub site: usize,
+    /// Fraction of samples whose main-register value was corrupted.
+    pub error_rate: f64,
+    /// Mean normalized error over all samples at this site.
+    pub mean_error: f64,
+    /// Worst normalized error at this site.
+    pub worst_error: f64,
+    /// Of the corrupted samples, the fraction the Razor shadow flagged.
+    pub detected_rate: f64,
+}
+
+/// Aggregate result of one (architecture, fault class) campaign.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CampaignReport {
+    /// Architecture label (`"online"` / `"conventional"`).
+    pub arch: String,
+    /// The injected fault class.
+    pub fault_class: FaultClass,
+    /// Number of fault sites actually exercised.
+    pub sites: usize,
+    /// Samples per site.
+    pub samples_per_site: usize,
+    /// Master seed used.
+    pub seed: u64,
+    /// Rated (STA) clock period; the main register samples here.
+    pub critical_path: u64,
+    /// Fraction of evaluated samples with a corrupted main value.
+    pub error_rate: f64,
+    /// Mean normalized error over all evaluated samples.
+    pub mean_error: f64,
+    /// Worst normalized error (`|faulty − correct| / full_scale`).
+    pub worst_error: f64,
+    /// Worst raw (unnormalized) error on the architecture's native scale.
+    pub worst_error_raw: f64,
+    /// Of the corrupted samples, the fraction detected by the Razor shadow.
+    pub detection_coverage: f64,
+    /// Of the clean samples, the fraction the shadow falsely flagged.
+    pub false_alarm_rate: f64,
+    /// Fraction of corrupted samples whose most-significant corrupted
+    /// output position lies in the top quarter of the output significance
+    /// range.
+    pub msb_vulnerability: f64,
+    /// Per-significance-rank corruption frequency (rank 0 = most
+    /// significant output position; fraction of evaluated samples).
+    pub rank_profile: Vec<f64>,
+    /// Samples whose faulty simulation exhausted its event budget
+    /// (excluded from the statistics above).
+    pub unsettled: usize,
+    /// Per-site breakdowns, in site order.
+    pub site_reports: Vec<SiteReport>,
+}
+
+/// Per-site accumulator folded by [`parallel_accumulate`].
+#[derive(Clone)]
+struct Acc {
+    samples: usize,
+    errors: usize,
+    err_sum: f64,
+    worst: f64,
+    worst_raw: f64,
+    detected: usize,
+    false_alarms: usize,
+    msb_hits: usize,
+    rank_hits: Vec<u64>,
+    unsettled: usize,
+}
+
+impl Acc {
+    fn new(n_ranks: usize) -> Acc {
+        Acc {
+            samples: 0,
+            errors: 0,
+            err_sum: 0.0,
+            worst: 0.0,
+            worst_raw: 0.0,
+            detected: 0,
+            false_alarms: 0,
+            msb_hits: 0,
+            rank_hits: vec![0; n_ranks],
+            unsettled: 0,
+        }
+    }
+
+    fn merge(mut a: Acc, b: &Acc) -> Acc {
+        a.samples += b.samples;
+        a.errors += b.errors;
+        a.err_sum += b.err_sum;
+        a.worst = a.worst.max(b.worst);
+        a.worst_raw = a.worst_raw.max(b.worst_raw);
+        a.detected += b.detected;
+        a.false_alarms += b.false_alarms;
+        a.msb_hits += b.msb_hits;
+        for (x, y) in a.rank_hits.iter_mut().zip(&b.rank_hits) {
+            *x += y;
+        }
+        a.unsettled += b.unsettled;
+        a
+    }
+}
+
+/// Evenly subsamples the canonical fault sites down to `cfg.max_sites`.
+fn select_sites(netlist: &Netlist, cfg: &CampaignConfig) -> Vec<NetId> {
+    let all = logic_fault_sites(netlist);
+    match cfg.max_sites {
+        Some(m) if m > 0 && all.len() > m => (0..m).map(|i| all[i * all.len() / m]).collect(),
+        _ => all,
+    }
+}
+
+/// The generic campaign engine. `draw` encodes one random operand pair as
+/// the simulator input vector; `value` decodes an output-bus bit vector to
+/// a *normalized* numeric value (full scale = 1.0); `raw_scale` converts a
+/// normalized error back to the architecture's native scale for
+/// `worst_error_raw`; `rank_of` maps an output-wire position to its
+/// significance rank (0 = MSB).
+#[allow(clippy::too_many_arguments)]
+fn run_campaign<M, D, V>(
+    arch: &str,
+    netlist: &Netlist,
+    wires: &[NetId],
+    n_ranks: usize,
+    rank_of: &(dyn Fn(usize) -> usize + Sync),
+    raw_scale: f64,
+    delay: &M,
+    draw: D,
+    value: V,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> CampaignReport
+where
+    M: DelayModel + Sync,
+    D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
+    V: Fn(&[bool]) -> f64 + Sync,
+{
+    assert!(cfg.samples_per_site > 0, "campaign needs at least one sample per site");
+    let sites = select_sites(netlist, cfg);
+    let period = analyze(netlist, delay).critical_path();
+    let t_main = period;
+    let margin = ((period as f64) * cfg.shadow_margin_frac).round() as u64;
+    let t_shadow = period + margin.max(1);
+    let budget = default_event_budget(netlist);
+    let msb_cut = n_ranks.div_ceil(4);
+
+    let per_site: Vec<Acc> = parallel_map(&sites, |site_idx, &site| {
+        let site_seed = cfg.seed ^ (site_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        parallel_accumulate(
+            cfg.samples_per_site,
+            site_seed,
+            || Acc::new(n_ranks),
+            |rng, acc| {
+                let inputs = draw(rng);
+                let plan = class.plan(site, rng, period, cfg);
+                let clean = simulate_from_zero(netlist, delay, &inputs);
+                let correct_bits = clean.final_bus(wires);
+                let correct = value(&correct_bits);
+                let Ok(faulty) =
+                    simulate_from_zero_with_faults(netlist, delay, &inputs, &plan, budget)
+                else {
+                    acc.unsettled += 1;
+                    return;
+                };
+                acc.samples += 1;
+                let main = faulty.sample_bus(wires, t_main);
+                let shadow = faulty.sample_bus(wires, t_shadow);
+                let err = (value(&main) - correct).abs();
+                if main != correct_bits || err > 0.0 {
+                    acc.errors += 1;
+                    acc.err_sum += err;
+                    acc.worst = acc.worst.max(err);
+                    acc.worst_raw = acc.worst_raw.max(err * raw_scale);
+                    if main != shadow {
+                        acc.detected += 1;
+                    }
+                    let mut best_rank = usize::MAX;
+                    for (pos, (&m, &c)) in main.iter().zip(&correct_bits).enumerate() {
+                        if m != c {
+                            let r = rank_of(pos);
+                            acc.rank_hits[r] += 1;
+                            best_rank = best_rank.min(r);
+                        }
+                    }
+                    if best_rank < msb_cut {
+                        acc.msb_hits += 1;
+                    }
+                } else if main != shadow {
+                    acc.false_alarms += 1;
+                }
+            },
+            Acc::merge,
+        )
+    });
+
+    let total = per_site.iter().fold(Acc::new(n_ranks), Acc::merge);
+    let evaluated = total.samples.max(1) as f64;
+    let clean_samples = (total.samples - total.errors).max(1) as f64;
+    let site_reports = sites
+        .iter()
+        .zip(&per_site)
+        .map(|(&site, a)| {
+            let s = a.samples.max(1) as f64;
+            SiteReport {
+                site: site.index(),
+                error_rate: a.errors as f64 / s,
+                mean_error: a.err_sum / s,
+                worst_error: a.worst,
+                detected_rate: if a.errors > 0 { a.detected as f64 / a.errors as f64 } else { 1.0 },
+            }
+        })
+        .collect();
+
+    CampaignReport {
+        arch: arch.to_string(),
+        fault_class: class,
+        sites: sites.len(),
+        samples_per_site: cfg.samples_per_site,
+        seed: cfg.seed,
+        critical_path: period,
+        error_rate: total.errors as f64 / evaluated,
+        mean_error: total.err_sum / evaluated,
+        worst_error: total.worst,
+        worst_error_raw: total.worst_raw,
+        detection_coverage: if total.errors > 0 {
+            total.detected as f64 / total.errors as f64
+        } else {
+            1.0
+        },
+        false_alarm_rate: total.false_alarms as f64 / clean_samples,
+        msb_vulnerability: if total.errors > 0 {
+            total.msb_hits as f64 / total.errors as f64
+        } else {
+            0.0
+        },
+        rank_profile: total.rank_hits.iter().map(|&h| h as f64 / evaluated).collect(),
+        unsettled: total.unsettled,
+        site_reports,
+    }
+}
+
+/// Full-scale value of an online result bus: every digit at `+1`.
+fn online_full_scale(digits: usize) -> f64 {
+    digits_value(&vec![Digit::from_bits(true, false); digits]).to_f64()
+}
+
+/// Runs a single-fault campaign over a synthesized online (MSD-first)
+/// multiplier.
+///
+/// Errors are normalized by the representable output range (all output
+/// digits at `+1`), so the worst possible single-digit corruption —
+/// flipping the most-significant digit `z_{−δ}` by two units — is about
+/// half of full scale.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_site` is zero.
+#[must_use]
+pub fn online_fault_campaign<M: DelayModel + Sync>(
+    circuit: &OnlineMultiplierCircuit,
+    delay: &M,
+    model: InputModel,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    let zp = circuit.netlist.output("zp").to_vec();
+    let zn = circuit.netlist.output("zn").to_vec();
+    let digits = zp.len();
+    let wires: Vec<NetId> = zp.iter().chain(&zn).copied().collect();
+    let n = circuit.n;
+    let full_scale = online_full_scale(digits);
+    run_campaign(
+        "online",
+        &circuit.netlist,
+        &wires,
+        digits,
+        &move |pos| pos % digits,
+        full_scale,
+        delay,
+        |rng| {
+            let x = model.draw(rng, n);
+            let y = model.draw(rng, n);
+            circuit.encode_inputs(&x, &y)
+        },
+        |bits| {
+            let (p, q) = bits.split_at(digits);
+            let ds: Vec<Digit> = p.iter().zip(q).map(|(&a, &b)| Digit::from_bits(a, b)).collect();
+            digits_value(&ds).to_f64() / full_scale
+        },
+        class,
+        cfg,
+    )
+}
+
+/// Runs a single-fault campaign over a synthesized two's-complement array
+/// multiplier.
+///
+/// Errors are normalized by the representable product range `2^(2w−1)`, so
+/// a corrupted sign bit is exactly full scale — the conventional encoding's
+/// catastrophic failure mode.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_site` is zero.
+#[must_use]
+pub fn array_fault_campaign<M: DelayModel + Sync>(
+    circuit: &ArrayMultiplierCircuit,
+    delay: &M,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    let wires = circuit.netlist.output("product").to_vec();
+    let bits = wires.len();
+    let w = circuit.width;
+    let lim = 1i64 << (w - 1);
+    let full_scale = ((2 * w - 1) as f64).exp2();
+    run_campaign(
+        "conventional",
+        &circuit.netlist,
+        &wires,
+        bits,
+        &move |pos| bits - 1 - pos,
+        full_scale,
+        delay,
+        |rng| {
+            let a = rng.gen_range(-lim..lim);
+            let b = rng.gen_range(-lim..lim);
+            circuit.encode_inputs(a, b)
+        },
+        |out| circuit.decode_product(out) as f64 / full_scale,
+        class,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_arith::synth::{array_multiplier, online_multiplier};
+    use ola_netlist::UnitDelay;
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig {
+            samples_per_site: 4,
+            max_sites: Some(10),
+            seed: 11,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaigns_are_seed_reproducible() {
+        let om = online_multiplier(4, 3);
+        let run = || {
+            online_fault_campaign(
+                &om,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                FaultClass::StuckAt1,
+                &quick_cfg(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let om = online_multiplier(4, 3);
+        let run = || {
+            online_fault_campaign(
+                &om,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                FaultClass::Transient,
+                &quick_cfg(),
+            )
+        };
+        std::env::set_var("OLA_THREADS", "1");
+        let serial = run();
+        std::env::set_var("OLA_THREADS", "4");
+        let parallel = run();
+        std::env::remove_var("OLA_THREADS");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stuck_at_faults_hurt_conventional_more_than_online() {
+        // The resilience headline: worst normalized single-fault damage.
+        let om = online_multiplier(5, 3);
+        let am = array_multiplier(6);
+        let cfg = CampaignConfig { samples_per_site: 6, max_sites: None, ..quick_cfg() };
+        let mut worst_on: f64 = 0.0;
+        let mut worst_conv: f64 = 0.0;
+        for class in [FaultClass::StuckAt0, FaultClass::StuckAt1] {
+            let on = online_fault_campaign(&om, &UnitDelay, InputModel::UniformDigits, class, &cfg);
+            let conv = array_fault_campaign(&am, &UnitDelay, class, &cfg);
+            assert!(on.error_rate > 0.0 && conv.error_rate > 0.0);
+            worst_on = worst_on.max(on.worst_error);
+            worst_conv = worst_conv.max(conv.worst_error);
+        }
+        assert!(
+            worst_on < worst_conv,
+            "online worst {worst_on} must beat conventional worst {worst_conv}"
+        );
+        // And the conventional sign bit really is reachable: full scale.
+        assert!(worst_conv > 0.9, "conventional worst {worst_conv} should approach full scale");
+    }
+
+    #[test]
+    fn report_shapes_are_consistent() {
+        let om = online_multiplier(4, 3);
+        let cfg = quick_cfg();
+        let rep = online_fault_campaign(
+            &om,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            FaultClass::Transient,
+            &cfg,
+        );
+        assert_eq!(rep.sites, rep.site_reports.len());
+        assert!(rep.sites <= 10);
+        assert_eq!(rep.rank_profile.len(), om.n + 3);
+        assert!(rep.error_rate >= 0.0 && rep.error_rate <= 1.0);
+        assert!(rep.detection_coverage >= 0.0 && rep.detection_coverage <= 1.0);
+        assert!(rep.worst_error_raw >= rep.worst_error, "raw scale is larger");
+        assert_eq!(rep.unsettled, 0, "multiplier netlists are acyclic");
+    }
+
+    #[test]
+    fn exhaustive_sites_and_subsampling_agree_on_shape() {
+        let om = online_multiplier(3, 3);
+        let n_all = logic_fault_sites(&om.netlist).len();
+        let cfg = CampaignConfig { max_sites: None, samples_per_site: 2, ..quick_cfg() };
+        let rep = online_fault_campaign(
+            &om,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            FaultClass::StuckAt0,
+            &cfg,
+        );
+        assert_eq!(rep.sites, n_all);
+    }
+
+    #[test]
+    fn delay_push_on_rated_clock_is_mostly_harmless_online() {
+        // A single slower gate rarely breaks the rated period of an online
+        // multiplier — settling finishes well before the structural bound.
+        let om = online_multiplier(5, 3);
+        let cfg = quick_cfg();
+        let rep = online_fault_campaign(
+            &om,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            FaultClass::DelayPush,
+            &cfg,
+        );
+        assert!(rep.error_rate <= 0.5, "delay pushes should be mostly absorbed");
+    }
+}

@@ -79,7 +79,12 @@ pub fn om_gate_level_curve<M: DelayModel + Sync>(
     let acc = parallel_accumulate(
         samples,
         seed,
-        || Acc { err: vec![0.0; ts_points.len()], viol: vec![0; ts_points.len()], max_settle: 0, samples: 0 },
+        || Acc {
+            err: vec![0.0; ts_points.len()],
+            viol: vec![0; ts_points.len()],
+            max_settle: 0,
+            samples: 0,
+        },
         |rng, acc| {
             let x = model.draw(rng, n);
             let y = model.draw(rng, n);
@@ -126,7 +131,12 @@ pub fn array_gate_level_curve<M: DelayModel + Sync>(
     let acc = parallel_accumulate(
         samples,
         seed,
-        || Acc { err: vec![0.0; ts_points.len()], viol: vec![0; ts_points.len()], max_settle: 0, samples: 0 },
+        || Acc {
+            err: vec![0.0; ts_points.len()],
+            viol: vec![0; ts_points.len()],
+            max_settle: 0,
+            samples: 0,
+        },
         |rng, acc| {
             let a = rng.gen_range(-lim..lim);
             let b = rng.gen_range(-lim..lim);
@@ -226,14 +236,8 @@ mod tests {
         let delay = JitteredDelay::new(UnitDelay, 20, 99);
         let om_rated = analyze(&om.netlist, &delay).critical_path();
         let am_rated = analyze(&am.netlist, &delay).critical_path();
-        let om_curve = om_gate_level_curve(
-            &om,
-            &delay,
-            InputModel::UniformValue,
-            &[om_rated * 7 / 10],
-            80,
-            4,
-        );
+        let om_curve =
+            om_gate_level_curve(&om, &delay, InputModel::UniformValue, &[om_rated * 7 / 10], 80, 4);
         let am_curve = array_gate_level_curve(&am, &delay, &[am_rated * 7 / 10], 80, 4);
         let e_om = om_curve.mean_abs_error[0];
         let e_am = am_curve.mean_abs_error[0];

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod campaign;
 pub mod empirical;
 pub mod metrics;
 pub mod model;

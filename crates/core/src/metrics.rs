@@ -21,14 +21,9 @@
 pub fn mre_percent(correct: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(correct.len(), actual.len(), "length mismatch");
     assert!(!correct.is_empty(), "empty sample set");
-    let mean_err: f64 = correct
-        .iter()
-        .zip(actual)
-        .map(|(&c, &a)| (a - c).abs())
-        .sum::<f64>()
+    let mean_err: f64 = correct.iter().zip(actual).map(|(&c, &a)| (a - c).abs()).sum::<f64>()
         / correct.len() as f64;
-    let mean_out: f64 =
-        correct.iter().map(|&c| c.abs()).sum::<f64>() / correct.len() as f64;
+    let mean_out: f64 = correct.iter().map(|&c| c.abs()).sum::<f64>() / correct.len() as f64;
     if mean_out == 0.0 {
         if mean_err == 0.0 {
             0.0
@@ -51,11 +46,7 @@ pub fn snr_db(reference: &[f64], test: &[f64]) -> f64 {
     assert_eq!(reference.len(), test.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty sample set");
     let signal: f64 = reference.iter().map(|&r| r * r).sum();
-    let noise: f64 = reference
-        .iter()
-        .zip(test)
-        .map(|(&r, &t)| (r - t) * (r - t))
-        .sum();
+    let noise: f64 = reference.iter().zip(test).map(|(&r, &t)| (r - t) * (r - t)).sum();
     if noise == 0.0 {
         f64::INFINITY
     } else {
@@ -73,11 +64,7 @@ pub fn psnr_db(reference: &[f64], test: &[f64], peak: f64) -> f64 {
     assert_eq!(reference.len(), test.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty sample set");
     assert!(peak > 0.0, "peak must be positive");
-    let mse: f64 = reference
-        .iter()
-        .zip(test)
-        .map(|(&r, &t)| (r - t) * (r - t))
-        .sum::<f64>()
+    let mse: f64 = reference.iter().zip(test).map(|(&r, &t)| (r - t) * (r - t)).sum::<f64>()
         / reference.len() as f64;
     if mse == 0.0 {
         f64::INFINITY

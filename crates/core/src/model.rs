@@ -104,11 +104,7 @@ pub fn chain_scenarios(n: usize) -> Vec<ChainScenario> {
 /// with the union-bound composition (clamped at 1).
 #[must_use]
 pub fn violation_probability_union(n: usize, b: usize) -> f64 {
-    let p: f64 = chain_scenarios(n)
-        .iter()
-        .filter(|s| s.length > b)
-        .map(|s| s.probability)
-        .sum();
+    let p: f64 = chain_scenarios(n).iter().filter(|s| s.length > b).map(|s| s.probability).sum();
     p.min(1.0)
 }
 
@@ -170,12 +166,10 @@ pub fn chain_delay_profile(n: usize) -> Vec<ChainDelayPoint> {
     let max_d = scenarios.iter().map(|s| s.length).max().unwrap_or(0);
     (1..=max_d)
         .map(|d| {
-            let of_d: Vec<&ChainScenario> =
-                scenarios.iter().filter(|s| s.length == d).collect();
+            let of_d: Vec<&ChainScenario> = scenarios.iter().filter(|s| s.length == d).collect();
             let probability: f64 = of_d.iter().map(|s| s.probability).sum();
             let error_magnitude = if probability > 0.0 {
-                of_d.iter().map(|s| s.probability * s.error_magnitude()).sum::<f64>()
-                    / probability
+                of_d.iter().map(|s| s.probability * s.error_magnitude()).sum::<f64>() / probability
             } else {
                 0.0
             };
@@ -240,7 +234,7 @@ mod tests {
             let u = violation_probability_union(12, b);
             let i = violation_probability_independent(12, b);
             assert!(i <= u + 1e-12, "b={b}: {i} > {u}");
-            assert!(i >= 0.0 && i <= 1.0);
+            assert!((0.0..=1.0).contains(&i));
         }
     }
 
@@ -261,12 +255,8 @@ mod tests {
         // from late, low-weight stages), ε_d shrinks geometrically with d.
         let profile = chain_delay_profile(16);
         let eps: Vec<f64> = profile.iter().map(|p| p.error_magnitude).collect();
-        let peak = eps
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak =
+            eps.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         for w in eps[peak..].windows(2) {
             assert!(w[1] < w[0], "ε_d must decay past the peak: {eps:?}");
         }

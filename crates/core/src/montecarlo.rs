@@ -7,7 +7,7 @@
 
 use crate::parallel::parallel_accumulate;
 use ola_arith::online::{Selection, StagedMultiplier, DELTA};
-use ola_redundant::{random, Q, SdNumber};
+use ola_redundant::{random, SdNumber, Q};
 use rand::Rng;
 
 /// Operand distribution for Monte-Carlo runs.
@@ -166,8 +166,7 @@ pub fn om_monte_carlo(
             acc.settle_count[settle.min(budgets - 1)] += 1;
             if settle > 0 {
                 let v = vals.get(settle - 1).copied().unwrap_or(correct);
-                acc.settle_err[settle.min(budgets - 1)] +=
-                    (v - correct).abs().to_f64();
+                acc.settle_err[settle.min(budgets - 1)] += (v - correct).abs().to_f64();
             }
             acc.samples += 1;
         },
@@ -203,7 +202,7 @@ pub fn max_observed_settling(
     samples: usize,
     seed: u64,
 ) -> usize {
-    let acc = parallel_accumulate(
+    parallel_accumulate(
         samples,
         seed,
         || 0usize,
@@ -214,8 +213,7 @@ pub fn max_observed_settling(
             *acc = (*acc).max(sm.settling_ticks());
         },
         |a, b| a.max(*b),
-    );
-    acc
+    )
 }
 
 #[cfg(test)]
@@ -269,20 +267,12 @@ mod tests {
     #[test]
     fn observed_settling_respects_chain_worst_case() {
         for n in [8usize, 9, 12] {
-            let max = max_observed_settling(
-                n,
-                Selection::default(),
-                InputModel::UniformDigits,
-                800,
-                5,
-            );
+            let max =
+                max_observed_settling(n, Selection::default(), InputModel::UniformDigits, 800, 5);
             let bound = timing::chain_worst_case_delay(n, 1) as usize;
             // The paper's bound is on residual-chain delay; selection adds
             // at most one extra wave of latency in our stage-wave model.
-            assert!(
-                max <= bound + 1,
-                "n={n}: observed {max} exceeds chain bound {bound} + 1"
-            );
+            assert!(max <= bound + 1, "n={n}: observed {max} exceeds chain bound {bound} + 1");
             // And the structural bound is never exceeded.
             assert!(max <= n + DELTA);
         }

@@ -3,17 +3,98 @@
 //! Samples are split into fixed-size chunks, each chunk seeded purely by
 //! `(seed, chunk_index)` and folded in chunk order — so results are
 //! bit-identical regardless of how many worker threads run.
+//!
+//! Worker panics are caught per work item and re-raised on the caller
+//! thread with the chunk (or item) index and the original panic message
+//! attached, so a poisoned experiment points at the exact unit of work
+//! that failed instead of aborting with a bare join error. Mutex poisoning
+//! while draining results is tolerated: the poisoned chunk is the one that
+//! panicked and its slot is simply absent.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 const CHUNK: usize = 256;
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `work(index)` for every index in `0..jobs` across up to `threads`
+/// worker threads (work-stealing via an atomic cursor). Panics inside
+/// `work` are collected and re-raised on the caller thread with the index
+/// of the failing job and its panic message.
+fn run_jobs<W>(jobs: usize, threads: usize, work: W)
+where
+    W: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+
+    let worker = || loop {
+        let j = next.fetch_add(1, Ordering::Relaxed);
+        if j >= jobs {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| work(j))) {
+            let mut log = failures.lock().unwrap_or_else(PoisonError::into_inner);
+            log.push((j, panic_message(payload.as_ref())));
+        }
+    };
+
+    if threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    let mut failures = failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if !failures.is_empty() {
+        failures.sort_by_key(|(j, _)| *j);
+        let (j, msg) = &failures[0];
+        panic!(
+            "parallel worker panicked in chunk {j} of {jobs} ({} failing chunk(s) total): {msg}",
+            failures.len()
+        );
+    }
+}
+
+/// Number of worker threads to use for `jobs` independent jobs.
+///
+/// Honors the `OLA_THREADS` environment variable (useful for verifying
+/// that results are thread-count independent, and for pinning CI runs);
+/// otherwise uses the machine's available parallelism.
+fn thread_count(jobs: usize) -> usize {
+    let hw = std::env::var("OLA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    hw.min(jobs.max(1))
+}
 
 /// Runs `step` for `samples` independent draws, accumulating into per-chunk
 /// states created by `init` and folding them (in deterministic chunk order)
 /// with `merge`.
+///
+/// # Panics
+///
+/// If `step` panics for some draw, the panic is re-raised on the calling
+/// thread annotated with the chunk index that failed.
 pub fn parallel_accumulate<A, I, F, M>(samples: usize, seed: u64, init: I, step: F, merge: M) -> A
 where
     A: Send,
@@ -23,41 +104,56 @@ where
 {
     let chunks = samples.div_ceil(CHUNK).max(1);
     let results: Vec<Mutex<Option<A>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(chunks);
 
-    let work = |_: usize| loop {
-        let c = next.fetch_add(1, Ordering::Relaxed);
-        if c >= chunks {
-            break;
-        }
+    run_jobs(chunks, thread_count(chunks), |c| {
         let count = if c == chunks - 1 { samples - c * CHUNK } else { CHUNK };
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut acc = init();
         for _ in 0..count {
             step(&mut rng, &mut acc);
         }
-        *results[c].lock().expect("no poisoning") = Some(acc);
-    };
-
-    if threads <= 1 {
-        work(0);
-    } else {
-        crossbeam::scope(|s| {
-            for t in 0..threads {
-                s.spawn(move |_| work(t));
-            }
-        })
-        .expect("worker threads do not panic");
-    }
+        *results[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(acc);
+    });
 
     let mut iter = results.into_iter().map(|m| {
-        m.into_inner()
-            .expect("no poisoning")
-            .expect("every chunk was processed")
+        m.into_inner().unwrap_or_else(PoisonError::into_inner).expect("every chunk was processed")
     });
     let first = iter.next().expect("at least one chunk");
     iter.fold(first, |acc, chunk| merge(acc, &chunk))
+}
+
+/// Maps `f` over `items` in parallel, returning the results in the same
+/// order as the input. Each call receives the item index, so callers can
+/// derive deterministic per-item seeds; results are independent of the
+/// worker-thread count.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is re-raised on the calling
+/// thread annotated with the item index that failed.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    run_jobs(items.len(), thread_count(items.len()), |i| {
+        let value = f(i, &items[i]);
+        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every item was processed")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -102,5 +198,38 @@ mod tests {
             )
         };
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let doubled = parallel_map(&items, |i, x| (i, x * 2));
+        for (i, (j, y)) in doubled.into_iter().enumerate() {
+            assert_eq!(i, j);
+            assert_eq!(y, items[i] * 2);
+        }
+        assert!(parallel_map::<u32, u32, _>(&[], |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_is_annotated_with_chunk_index() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_accumulate(
+                600,
+                7,
+                || 0usize,
+                |_, acc| {
+                    *acc += 1;
+                    // Poison a chunk deterministically: the second chunk
+                    // panics mid-way through its samples.
+                    assert!(*acc < 100, "synthetic fault in step");
+                },
+                |a, b| a + b,
+            )
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("parallel worker panicked in chunk"), "got: {msg}");
+        assert!(msg.contains("synthetic fault in step"), "got: {msg}");
     }
 }

@@ -104,15 +104,7 @@ mod tests {
         // A shadow at the structural depth always sees the settled value, so
         // every main-register error is caught.
         let n = 8;
-        let r = razor_report(
-            n,
-            5,
-            n + 3,
-            Selection::default(),
-            InputModel::UniformDigits,
-            600,
-            1,
-        );
+        let r = razor_report(n, 5, n + 3, Selection::default(), InputModel::UniformDigits, 600, 1);
         assert!(r.error_rate > 0.0, "budget 5 must err sometimes");
         assert_eq!(r.detection_rate, 1.0);
         assert_eq!(r.undetected_mean_error, 0.0);
@@ -120,15 +112,7 @@ mod tests {
 
     #[test]
     fn zero_margin_detects_nothing() {
-        let r = razor_report(
-            8,
-            5,
-            0,
-            Selection::default(),
-            InputModel::UniformDigits,
-            300,
-            2,
-        );
+        let r = razor_report(8, 5, 0, Selection::default(), InputModel::UniformDigits, 300, 2);
         assert_eq!(r.false_alarm_rate, 0.0);
         if r.error_rate > 0.0 {
             assert_eq!(r.detection_rate, 0.0);
@@ -138,15 +122,7 @@ mod tests {
     #[test]
     fn wider_margins_detect_more() {
         let run = |margin| {
-            razor_report(
-                8,
-                5,
-                margin,
-                Selection::default(),
-                InputModel::UniformDigits,
-                800,
-                3,
-            )
+            razor_report(8, 5, margin, Selection::default(), InputModel::UniformDigits, 800, 3)
         };
         let narrow = run(1);
         let wide = run(4);
@@ -160,18 +136,7 @@ mod tests {
     fn undetected_errors_are_small() {
         // The LSD-first property helps Razor too: whatever slips past the
         // shadow is a *deep* chain, i.e. a tiny-magnitude error.
-        let r = razor_report(
-            12,
-            7,
-            2,
-            Selection::default(),
-            InputModel::UniformDigits,
-            800,
-            4,
-        );
-        assert!(
-            r.undetected_mean_error < 0.01,
-            "missed errors must be low-weight: {r:?}"
-        );
+        let r = razor_report(12, 7, 2, Selection::default(), InputModel::UniformDigits, 800, 4);
+        assert!(r.undetected_mean_error < 0.01, "missed errors must be low-weight: {r:?}");
     }
 }

@@ -29,9 +29,9 @@ use ola_core::metrics;
 use ola_netlist::{
     analyze, simulate_from_zero, BusWaveforms, FpgaDelay, JitteredDelay, NetId, Netlist,
 };
-use ola_redundant::{Digit, Q, SdNumber};
-use parking_lot::Mutex;
+use ola_redundant::{Digit, SdNumber, Q};
 use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
 
 /// Configuration shared by both filter implementations.
 #[derive(Clone, Debug)]
@@ -163,7 +163,7 @@ impl OnlineFilter {
     /// concatenated: zp bus then zn bus).
     fn product_waves(&self, p: u8, coeff: &SdNumber) -> std::sync::Arc<BusWaveforms> {
         let key = (p, coeff.value());
-        if let Some(e) = self.memo.lock().get(&key) {
+        if let Some(e) = self.memo.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return e.clone();
         }
         let x = self.pixel_operand(p);
@@ -172,18 +172,14 @@ impl OnlineFilter {
         let mut bus = self.mult.netlist.output("zp").to_vec();
         bus.extend_from_slice(self.mult.netlist.output("zn"));
         let waves = std::sync::Arc::new(res.bus_waveforms(&bus));
-        self.memo.lock().insert(key, waves.clone());
+        self.memo.lock().unwrap_or_else(PoisonError::into_inner).insert(key, waves.clone());
         waves
     }
 }
 
 fn digits_of(bits: &[bool]) -> Vec<Digit> {
     let half = bits.len() / 2;
-    bits[..half]
-        .iter()
-        .zip(&bits[half..])
-        .map(|(&p, &n)| Digit::from_bits(p, n))
-        .collect()
+    bits[..half].iter().zip(&bits[half..]).map(|(&p, &n)| Digit::from_bits(p, n)).collect()
 }
 
 fn build_online_tree(n: usize, taps: usize) -> OnlineTree {
@@ -330,14 +326,13 @@ impl TraditionalFilter {
 
     fn product_waves(&self, p: u8, coeff: i64) -> std::sync::Arc<BusWaveforms> {
         let key = (p, coeff);
-        if let Some(e) = self.memo.lock().get(&key) {
+        if let Some(e) = self.memo.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return e.clone();
         }
         let inputs = self.mult.encode_inputs(i64::from(p), coeff);
         let res = simulate_from_zero(&self.mult.netlist, &self.delay, &inputs);
-        let waves =
-            std::sync::Arc::new(res.bus_waveforms(self.mult.netlist.output("product")));
-        self.memo.lock().insert(key, waves.clone());
+        let waves = std::sync::Arc::new(res.bus_waveforms(self.mult.netlist.output("product")));
+        self.memo.lock().unwrap_or_else(PoisonError::into_inner).insert(key, waves.clone());
         waves
     }
 }
@@ -395,11 +390,9 @@ impl OverclockedFilter for TraditionalFilter {
                         tap += 1;
                     }
                 }
-                settled[idx] = products
-                    .iter()
-                    .map(|m| bits::decode_signed(&m.settled()) as f64)
-                    .sum::<f64>()
-                    / scale;
+                settled[idx] =
+                    products.iter().map(|m| bits::decode_signed(&m.settled()) as f64).sum::<f64>()
+                        / scale;
                 for (ti, &ts) in ts_points.iter().enumerate() {
                     let mut inputs = Vec::with_capacity(taps * self.tree.width_in);
                     for m in &products {
@@ -433,11 +426,8 @@ fn finish_sweep(
         .zip(sampled)
         .map(|(&ts, values)| {
             let image = to_image(img.width(), img.height(), &values);
-            let wrong = values
-                .iter()
-                .zip(&settled)
-                .filter(|(a, b)| (*a - *b).abs() > 1e-12)
-                .count();
+            let wrong =
+                values.iter().zip(&settled).filter(|(a, b)| (*a - *b).abs() > 1e-12).count();
             FilterRun {
                 ts,
                 mre_percent: metrics::mre_percent(&settled, &values),
@@ -452,10 +442,7 @@ fn finish_sweep(
 }
 
 fn to_image(width: usize, height: usize, values: &[f64]) -> Image {
-    let pixels = values
-        .iter()
-        .map(|&v| (v * 256.0).round().clamp(0.0, 255.0) as u8)
-        .collect();
+    let pixels = values.iter().map(|&v| (v * 256.0).round().clamp(0.0, 255.0) as u8).collect();
     Image::from_pixels(width, height, pixels)
 }
 
@@ -534,10 +521,7 @@ mod tests {
         let sweep = online.apply_sweep(&img, &[online.rated_period()]);
         // Quantization differences only: every pixel within a few LSBs.
         for (a, b) in sweep.settled_image.pixels().iter().zip(ideal.pixels()) {
-            assert!(
-                (i16::from(*a) - i16::from(*b)).abs() <= 8,
-                "settled {a} vs ideal {b}"
-            );
+            assert!((i16::from(*a) - i16::from(*b)).abs() <= 8, "settled {a} vs ideal {b}");
         }
     }
 
@@ -553,10 +537,7 @@ mod tests {
         let o = online.apply_sweep(&img, &[o_ts]);
         let t = trad.apply_sweep(&img, &[t_ts]);
         let (o_mre, t_mre) = (o.runs[0].mre_percent, t.runs[0].mre_percent);
-        assert!(
-            o_mre < t_mre,
-            "online MRE {o_mre}% must beat traditional {t_mre}%"
-        );
+        assert!(o_mre < t_mre, "online MRE {o_mre}% must beat traditional {t_mre}%");
         assert!(
             o.runs[0].snr_db > t.runs[0].snr_db,
             "online SNR {} vs traditional {}",
@@ -570,10 +551,7 @@ mod tests {
         // Sobel has negative coefficients; both arithmetics must agree with
         // the ideal response on their settled outputs.
         let img = Benchmark::SailboatLike.generate(6, 6, 9);
-        let cfg = FilterConfig {
-            kernel: Kernel::sobel_x(),
-            ..tiny_cfg()
-        };
+        let cfg = FilterConfig { kernel: Kernel::sobel_x(), ..tiny_cfg() };
         let online = OnlineFilter::new(cfg.clone());
         let trad = TraditionalFilter::new(cfg.clone());
         let o = online.apply_sweep(&img, &[online.rated_period()]);

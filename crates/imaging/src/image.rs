@@ -104,11 +104,7 @@ impl Image {
     #[must_use]
     pub fn stddev(&self) -> f64 {
         let m = self.mean();
-        let var = self
-            .pixels
-            .iter()
-            .map(|&p| (f64::from(p) - m).powi(2))
-            .sum::<f64>()
+        let var = self.pixels.iter().map(|&p| (f64::from(p) - m).powi(2)).sum::<f64>()
             / self.pixels.len() as f64;
         var.sqrt()
     }

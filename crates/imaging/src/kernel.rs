@@ -63,14 +63,7 @@ impl Kernel {
     #[must_use]
     pub fn sobel_x() -> Self {
         let c = |v: i128| Q::new(v, 3);
-        Kernel {
-            size: 3,
-            coeffs: vec![
-                c(-1), c(0), c(1),
-                c(-2), c(0), c(2),
-                c(-1), c(0), c(1),
-            ],
-        }
+        Kernel { size: 3, coeffs: vec![c(-1), c(0), c(1), c(-2), c(0), c(2), c(-1), c(0), c(1)] }
     }
 
     /// A mild unsharp-masking kernel, `[0 −1 0; −1 6 −1; 0 −1 0] / 8`
@@ -78,14 +71,7 @@ impl Kernel {
     #[must_use]
     pub fn sharpen() -> Self {
         let c = |v: i128| Q::new(v, 3);
-        Kernel {
-            size: 3,
-            coeffs: vec![
-                c(0), c(-1), c(0),
-                c(-1), c(6), c(-1),
-                c(0), c(-1), c(0),
-            ],
-        }
+        Kernel { size: 3, coeffs: vec![c(0), c(-1), c(0), c(-1), c(6), c(-1), c(0), c(-1), c(0)] }
     }
 
     /// Builds a kernel from explicit coefficients (row-major).
@@ -158,11 +144,7 @@ mod tests {
         // The σ=1 kernel must not degenerate to an all-power-of-two kernel
         // like [1 2 1]/16 (which would make every product a pure shift).
         let k = Kernel::gaussian(3, 1.0, 8);
-        let nontrivial = k
-            .coefficients()
-            .iter()
-            .filter(|c| c.numerator() != 1)
-            .count();
+        let nontrivial = k.coefficients().iter().filter(|c| c.numerator() != 1).count();
         assert!(
             nontrivial * 2 > k.taps(),
             "most taps must be non-power-of-two: {:?}",

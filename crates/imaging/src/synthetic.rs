@@ -165,8 +165,7 @@ pub fn synthesize(width: usize, height: usize, seed: u64, spec: SyntheticSpec) -
 
     // Normalize to the requested brightness and contrast.
     let mean = field.iter().sum::<f64>() / field.len() as f64;
-    let var =
-        field.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / field.len() as f64;
+    let var = field.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / field.len() as f64;
     let std = var.sqrt().max(1e-9);
     let pixels = field
         .iter()
@@ -225,16 +224,8 @@ mod tests {
     fn natural_images_are_correlated_noise_is_not() {
         let lena = Benchmark::LenaLike.generate(64, 64, 3);
         let noise = Benchmark::Uniform.generate(64, 64, 3);
-        assert!(
-            lena.autocorrelation() > 0.8,
-            "natural-like: {}",
-            lena.autocorrelation()
-        );
-        assert!(
-            noise.autocorrelation().abs() < 0.15,
-            "white noise: {}",
-            noise.autocorrelation()
-        );
+        assert!(lena.autocorrelation() > 0.8, "natural-like: {}", lena.autocorrelation());
+        assert!(noise.autocorrelation().abs() < 0.15, "white noise: {}", noise.autocorrelation());
     }
 
     #[test]
@@ -267,10 +258,7 @@ mod tests {
     #[test]
     fn names_are_stable_table_labels() {
         let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
-        assert_eq!(
-            names,
-            ["Uniform", "Lena-like", "Pepper-like", "Sailboat-like", "Tiffany-like"]
-        );
+        assert_eq!(names, ["Uniform", "Lena-like", "Pepper-like", "Sailboat-like", "Tiffany-like"]);
     }
 
     #[test]

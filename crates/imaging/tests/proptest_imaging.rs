@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 fn image_strategy() -> impl Strategy<Value = Image> {
     (2usize..12, 2usize..12).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<u8>(), w * h)
-            .prop_map(move |px| Image::from_pixels(w, h, px))
+        prop::collection::vec(any::<u8>(), w * h).prop_map(move |px| Image::from_pixels(w, h, px))
     })
 }
 

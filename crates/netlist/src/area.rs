@@ -6,7 +6,7 @@
 //! Absolute counts are technology-mapping-dependent; the experiment only
 //! uses the *ratio* between the online and the traditional datapath.
 
-use crate::{Netlist, NetId};
+use crate::{NetId, Netlist};
 use std::collections::BTreeSet;
 
 /// LUT-level area summary of a netlist.
@@ -53,11 +53,8 @@ pub fn estimate(netlist: &Netlist, k: usize) -> AreaReport {
     let mut counted = vec![false; netlist.len()];
     let mut luts = 0usize;
     // Roots: every output net that is a logic gate.
-    let mut work: Vec<NetId> = is_output_root
-        .iter()
-        .copied()
-        .filter(|&n| netlist.kind(n).is_logic())
-        .collect();
+    let mut work: Vec<NetId> =
+        is_output_root.iter().copied().filter(|&n| netlist.kind(n).is_logic()).collect();
 
     while let Some(root) = work.pop() {
         if counted[root.index()] {

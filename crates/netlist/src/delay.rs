@@ -144,15 +144,14 @@ mod tests {
             let d1 = m.gate_delay(GateKind::And, NetId(i));
             let d2 = m.gate_delay(GateKind::And, NetId(i));
             assert_eq!(d1, d2, "same gate must get the same delay");
-            assert!(d1 >= UnitDelay::UNIT - 30 && d1 <= UnitDelay::UNIT + 30);
+            assert!((UnitDelay::UNIT - 30..=UnitDelay::UNIT + 30).contains(&d1));
         }
     }
 
     #[test]
     fn jitter_varies_across_gates() {
         let m = JitteredDelay::new(UnitDelay, 30, 42);
-        let delays: Vec<u64> =
-            (0..50u32).map(|i| m.gate_delay(GateKind::And, NetId(i))).collect();
+        let delays: Vec<u64> = (0..50u32).map(|i| m.gate_delay(GateKind::And, NetId(i))).collect();
         assert!(delays.iter().any(|&d| d != delays[0]), "jitter should vary");
     }
 

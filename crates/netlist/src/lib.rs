@@ -13,6 +13,10 @@
 //!   would report);
 //! * [`DelayModel`]s — [`UnitDelay`], [`FpgaDelay`], and [`JitteredDelay`]
 //!   standing in for place-and-route delay variation;
+//! * [`fault`] — stuck-at / transient-SEU / delay-push fault overlays
+//!   ([`FaultPlan`]) injected via [`simulate_with_faults`], with an event
+//!   budget so cyclic netlists return [`SimError::Unsettled`] instead of
+//!   hanging;
 //! * [`area::estimate`] — greedy LUT covering for Table-4-style area
 //!   comparisons;
 //! * [`cells`] — full adders and the PPM/MMP cells of borrow-save
@@ -43,6 +47,8 @@
 pub mod area;
 pub mod cells;
 mod delay;
+mod error;
+pub mod fault;
 mod netlist;
 mod pipeline;
 mod sim;
@@ -51,7 +57,12 @@ pub mod vcd;
 
 pub use area::AreaReport;
 pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
+pub use error::{NetlistError, SimError};
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use pipeline::{Pipeline, PipelineStage};
-pub use sim::{simulate, simulate_from_zero, BusWaveforms, SimResult};
+pub use sim::{
+    default_event_budget, simulate, simulate_budgeted, simulate_from_zero,
+    simulate_from_zero_with_faults, simulate_with_faults, BusWaveforms, SimResult,
+};
 pub use sta::{analyze, TimingReport};

@@ -1,5 +1,6 @@
 //! Structural gate-level netlists.
 
+use crate::NetlistError;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -15,6 +16,17 @@ impl NetId {
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// A `NetId` from a raw index. No validity check is performed — the
+    /// fallible APIs ([`Netlist::try_net`], [`FaultPlan::validate`]) are
+    /// the place where out-of-range references turn into typed errors, so
+    /// fault-site tooling can construct speculative ids freely.
+    ///
+    /// [`FaultPlan::validate`]: crate::FaultPlan::validate
+    #[must_use]
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
     }
 }
 
@@ -151,12 +163,23 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if no output bus has that name.
+    /// Panics if no output bus has that name; see [`Netlist::try_output`]
+    /// for the fallible variant.
     #[must_use]
     pub fn output(&self, name: &str) -> &[NetId] {
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The nets of the output bus `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownOutput`] if no output bus has that name.
+    pub fn try_output(&self, name: &str) -> Result<&[NetId], NetlistError> {
         self.outputs
             .get(name)
-            .unwrap_or_else(|| panic!("no output bus named {name:?}"))
+            .map(Vec::as_slice)
+            .ok_or_else(|| NetlistError::UnknownOutput { name: name.to_owned() })
     }
 
     /// Declares a primary input. The `_name` is documentation only.
@@ -300,11 +323,24 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= len()`.
+    /// Panics if `index >= len()`; see [`Netlist::try_net`] for the
+    /// fallible variant.
     #[must_use]
     pub fn net(&self, index: usize) -> NetId {
-        assert!(index < self.gates.len(), "net index {index} out of range");
-        NetId(index as u32)
+        self.try_net(index).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The net with the given index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NetOutOfRange`] if `index >= len()`.
+    pub fn try_net(&self, index: usize) -> Result<NetId, NetlistError> {
+        if index < self.gates.len() {
+            Ok(NetId(index as u32))
+        } else {
+            Err(NetlistError::NetOutOfRange { index, len: self.gates.len() })
+        }
     }
 
     /// Iterates over every net id.
@@ -329,15 +365,31 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `input_values.len()` differs from the number of inputs.
+    /// Panics if `input_values.len()` differs from the number of inputs;
+    /// see [`Netlist::try_eval`] for the fallible variant.
     #[must_use]
     pub fn eval(&self, input_values: &[bool]) -> Vec<bool> {
-        assert_eq!(
-            input_values.len(),
-            self.inputs.len(),
-            "expected {} input values",
-            self.inputs.len()
-        );
+        self.try_eval(input_values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Functional (zero-delay) evaluation.
+    ///
+    /// On a netlist whose DAG invariant was deliberately broken with
+    /// [`Netlist::rewire_input`], the single forward pass still terminates:
+    /// back-references read the not-yet-updated (all-`false`-initialized)
+    /// value, so the result is merely approximate rather than undefined.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputArity`] if `input_values.len()` differs from
+    /// the number of primary inputs.
+    pub fn try_eval(&self, input_values: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if input_values.len() != self.inputs.len() {
+            return Err(NetlistError::InputArity {
+                expected: self.inputs.len(),
+                got: input_values.len(),
+            });
+        }
         let mut vals = vec![false; self.gates.len()];
         let mut next_input = 0;
         for (i, g) in self.gates.iter().enumerate() {
@@ -351,7 +403,7 @@ impl Netlist {
                 _ => eval_gate(g.kind, g.input_slice(), &vals),
             };
         }
-        vals
+        Ok(vals)
     }
 
     /// Number of gates of each kind.
@@ -394,12 +446,96 @@ impl Netlist {
         fan
     }
 
+    /// Appends a logic gate without constant folding, validating input
+    /// references. The supported arities are 1 ([`GateKind::Not`]), 2 (the
+    /// two-input gates) and 3 ([`GateKind::Mux`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DanglingInput`] if an input net does not exist;
+    /// * [`NetlistError::NotALogicGate`] for [`GateKind::Input`] /
+    ///   [`GateKind::Const`] (use [`Netlist::input`] / [`Netlist::constant`]);
+    /// * [`NetlistError::NoSuchGateInput`] if the input count does not
+    ///   match the gate's arity.
+    pub fn try_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        if !kind.is_logic() {
+            return Err(NetlistError::NotALogicGate { net: NetId(self.gates.len() as u32) });
+        }
+        let arity = match kind {
+            GateKind::Not => 1,
+            GateKind::Mux => 3,
+            _ => 2,
+        };
+        if inputs.len() != arity {
+            return Err(NetlistError::NoSuchGateInput {
+                net: NetId(self.gates.len() as u32),
+                index: inputs.len(),
+                arity,
+            });
+        }
+        for i in inputs {
+            if i.index() >= self.gates.len() {
+                return Err(NetlistError::DanglingInput { net: *i, len: self.gates.len() });
+            }
+        }
+        Ok(self.push_raw(kind, inputs, false))
+    }
+
+    /// Redirects input `index` of the gate driving `gate` to `new_src`.
+    ///
+    /// Unlike the builders, `new_src` may reference *any* existing net —
+    /// including `gate` itself or nets created later — so this is the one
+    /// sanctioned way to break the DAG-by-construction invariant and create
+    /// a combinational cycle (e.g. to test the simulator's event-budget
+    /// guard, [`SimError::Unsettled`](crate::SimError::Unsettled)). Run
+    /// rewired netlists through
+    /// [`simulate_budgeted`](crate::simulate_budgeted) rather than
+    /// [`simulate`](crate::simulate).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::NetOutOfRange`] if `gate` or `new_src` does not
+    ///   exist;
+    /// * [`NetlistError::NotALogicGate`] if `gate` is an input or constant;
+    /// * [`NetlistError::NoSuchGateInput`] if `index` is not a valid input
+    ///   position of `gate`.
+    pub fn rewire_input(
+        &mut self,
+        gate: NetId,
+        index: usize,
+        new_src: NetId,
+    ) -> Result<(), NetlistError> {
+        let len = self.gates.len();
+        for net in [gate, new_src] {
+            if net.index() >= len {
+                return Err(NetlistError::NetOutOfRange { index: net.index(), len });
+            }
+        }
+        let node = &mut self.gates[gate.index()];
+        if !node.kind.is_logic() {
+            return Err(NetlistError::NotALogicGate { net: gate });
+        }
+        if index >= node.num_inputs as usize {
+            return Err(NetlistError::NoSuchGateInput {
+                net: gate,
+                index,
+                arity: node.num_inputs as usize,
+            });
+        }
+        node.inputs[index] = new_src;
+        Ok(())
+    }
+
+    pub(crate) fn gate_nodes(&self) -> &[GateNode] {
+        &self.gates
+    }
+
     fn push(&mut self, kind: GateKind, inputs: &[NetId], const_value: bool) -> NetId {
         for i in inputs {
-            assert!(
-                i.index() < self.gates.len(),
-                "gate input {i:?} does not exist yet"
-            );
+            if i.index() >= self.gates.len() {
+                let e = NetlistError::DanglingInput { net: *i, len: self.gates.len() };
+                panic!("{e}");
+            }
         }
         self.push_raw(kind, inputs, const_value)
     }
@@ -448,24 +584,11 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.input("a");
         let b = nl.input("b");
-        let nets = [
-            nl.and(a, b),
-            nl.or(a, b),
-            nl.xor(a, b),
-            nl.nand(a, b),
-            nl.nor(a, b),
-            nl.xnor(a, b),
-        ];
+        let nets =
+            [nl.and(a, b), nl.or(a, b), nl.xor(a, b), nl.nand(a, b), nl.nor(a, b), nl.xnor(a, b)];
         for (av, bv) in [(false, false), (false, true), (true, false), (true, true)] {
             let vals = nl.eval(&[av, bv]);
-            let expect = [
-                av & bv,
-                av | bv,
-                av ^ bv,
-                !(av & bv),
-                !(av | bv),
-                !(av ^ bv),
-            ];
+            let expect = [av & bv, av | bv, av ^ bv, !(av & bv), !(av | bv), !(av ^ bv)];
             for (net, e) in nets.iter().zip(expect) {
                 assert_eq!(vals[net.index()], e, "{:?} a={av} b={bv}", nl.kind(*net));
             }
@@ -568,5 +691,58 @@ mod tests {
         let _ = nl.input("a");
         let _ = nl.input("b");
         let _ = nl.eval(&[true]);
+    }
+
+    #[test]
+    fn fallible_accessors_return_typed_errors() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n = nl.not(a);
+        nl.set_output("z", vec![n]);
+
+        assert_eq!(nl.try_output("z").unwrap(), &[n]);
+        assert!(matches!(nl.try_output("nope"), Err(NetlistError::UnknownOutput { .. })));
+        assert_eq!(nl.try_net(0).unwrap(), a);
+        assert!(matches!(nl.try_net(99), Err(NetlistError::NetOutOfRange { index: 99, .. })));
+        assert!(matches!(nl.try_eval(&[]), Err(NetlistError::InputArity { expected: 1, got: 0 })));
+        assert_eq!(nl.try_eval(&[true]).unwrap(), nl.eval(&[true]));
+    }
+
+    #[test]
+    fn try_gate_validates_arity_and_references() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g = nl.try_gate(GateKind::And, &[a, b]).unwrap();
+        assert_eq!(nl.kind(g), GateKind::And);
+        assert!(matches!(
+            nl.try_gate(GateKind::Not, &[a, b]),
+            Err(NetlistError::NoSuchGateInput { .. })
+        ));
+        assert!(matches!(
+            nl.try_gate(GateKind::And, &[a, NetId(50)]),
+            Err(NetlistError::DanglingInput { .. })
+        ));
+        assert!(matches!(
+            nl.try_gate(GateKind::Input, &[]),
+            Err(NetlistError::NotALogicGate { .. })
+        ));
+    }
+
+    #[test]
+    fn rewire_input_can_create_cycles() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        // Close the loop: n1 now reads n2 — a ring oscillator.
+        nl.rewire_input(n1, 0, n2).unwrap();
+        assert_eq!(nl.gate_inputs(n1), &[n2]);
+        // eval still terminates (single forward pass).
+        let _ = nl.eval(&[true]);
+
+        assert!(matches!(nl.rewire_input(a, 0, n1), Err(NetlistError::NotALogicGate { .. })));
+        assert!(matches!(nl.rewire_input(n1, 3, n2), Err(NetlistError::NoSuchGateInput { .. })));
+        assert!(matches!(nl.rewire_input(NetId(9), 0, a), Err(NetlistError::NetOutOfRange { .. })));
     }
 }

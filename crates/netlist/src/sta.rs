@@ -6,7 +6,7 @@
 //! bound and the *actual* settling times observed by the event-driven
 //! simulator is exactly the overclocking headroom the paper exploits.
 
-use crate::{DelayModel, Netlist, NetId};
+use crate::{DelayModel, NetId, Netlist};
 
 /// Worst-case arrival times for every net of a netlist.
 #[derive(Clone, Debug)]
@@ -54,12 +54,8 @@ pub fn analyze<M: DelayModel + ?Sized>(netlist: &Netlist, delay: &M) -> TimingRe
         if !kind.is_logic() {
             continue;
         }
-        let worst_in = netlist
-            .gate_inputs(net)
-            .iter()
-            .map(|inp| arrival[inp.index()])
-            .max()
-            .unwrap_or(0);
+        let worst_in =
+            netlist.gate_inputs(net).iter().map(|inp| arrival[inp.index()]).max().unwrap_or(0);
         arrival[i] = worst_in + delay.gate_delay(kind, net);
         critical = critical.max(arrival[i]);
     }

@@ -19,12 +19,8 @@ use std::io::{self, Write};
 /// Propagates I/O errors from the writer.
 pub fn write_vcd<W: Write>(netlist: &Netlist, result: &SimResult, mut w: W) -> io::Result<()> {
     // Collect (display name, net) pairs: inputs, then each output bus.
-    let mut signals: Vec<(String, NetId)> = netlist
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (format!("in[{i}]"), n))
-        .collect();
+    let mut signals: Vec<(String, NetId)> =
+        netlist.inputs().iter().enumerate().map(|(i, &n)| (format!("in[{i}]"), n)).collect();
     for (name, nets) in netlist.outputs() {
         for (i, &n) in nets.iter().enumerate() {
             signals.push((format!("{name}[{i}]"), n));
@@ -120,11 +116,8 @@ mod tests {
         assert!(text.contains("1!"));
         assert!(text.contains("1\""));
         // Events are time-ordered.
-        let times: Vec<u64> = text
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .map(|l| l[1..].parse().unwrap())
-            .collect();
+        let times: Vec<u64> =
+            text.lines().filter(|l| l.starts_with('#')).map(|l| l[1..].parse().unwrap()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
     }
 

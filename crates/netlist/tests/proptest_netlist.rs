@@ -35,10 +35,7 @@ fn build_random_netlist(inputs: usize, recipes: &[GateRecipe]) -> Netlist {
 }
 
 fn recipes() -> impl Strategy<Value = Vec<GateRecipe>> {
-    prop::collection::vec(
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
-        1..60,
-    )
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..60)
 }
 
 proptest! {
@@ -96,7 +93,7 @@ proptest! {
             );
             // Time zero shows the previous settled state.
             let before = nl.eval(&prev);
-            if res.waveform(net).first().map_or(true, |&(t, _)| t > 0) {
+            if res.waveform(net).first().is_none_or(|&(t, _)| t > 0) {
                 prop_assert_eq!(res.value_at(net, 0), before[net.index()]);
             }
         }

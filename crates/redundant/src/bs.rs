@@ -166,16 +166,14 @@ impl BsVector {
     pub fn fits_window(&self, msd_pos: i32, len: usize) -> bool {
         (0..self.len()).all(|i| {
             let pos = self.msd_pos + i as i32;
-            pos >= msd_pos && pos < msd_pos + len as i32
-                || self.p[i] == self.n[i]
+            pos >= msd_pos && pos < msd_pos + len as i32 || self.p[i] == self.n[i]
         })
     }
 
     /// Iterates `(pos, digit)` pairs, MSD first.
     pub fn iter_digits(&self) -> impl Iterator<Item = (i32, Digit)> + '_ {
-        (0..self.len()).map(move |i| {
-            (self.msd_pos + i as i32, Digit::from_bits(self.p[i], self.n[i]))
-        })
+        (0..self.len())
+            .map(move |i| (self.msd_pos + i as i32, Digit::from_bits(self.p[i], self.n[i])))
     }
 
     fn index_of(&self, pos: i32) -> Option<usize> {
@@ -282,9 +280,6 @@ mod tests {
         let mut w = BsVector::zero(0, 3);
         w.set_digit(1, Digit::One);
         let v: Vec<(i32, Digit)> = w.iter_digits().collect();
-        assert_eq!(
-            v,
-            vec![(0, Digit::Zero), (1, Digit::One), (2, Digit::Zero)]
-        );
+        assert_eq!(v, vec![(0, Digit::Zero), (1, Digit::One), (2, Digit::Zero)]);
     }
 }

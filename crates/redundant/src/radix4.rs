@@ -137,7 +137,7 @@ impl Sd4Number {
         let mut rem = scaled;
         for i in 1..=n {
             let w = 1i128 << (2 * (n - i)); // 4^{n-i}
-            // Nearest digit in {−3..3}: round(rem / w), clamped.
+                                            // Nearest digit in {−3..3}: round(rem / w), clamped.
             let d = ((2 * rem + w * rem.signum()) / (2 * w)).clamp(-3, 3);
             rem -= d * w;
             digits.push(Digit4(d as i8));
@@ -156,9 +156,7 @@ impl Sd4Number {
     #[must_use]
     pub fn add(&self, other: &Sd4Number) -> (Digit4, Sd4Number) {
         let n = self.len().max(other.len());
-        let digit = |v: &Sd4Number, i: usize| -> i8 {
-            v.digits.get(i).map_or(0, |d| d.value())
-        };
+        let digit = |v: &Sd4Number, i: usize| -> i8 { v.digits.get(i).map_or(0, |d| d.value()) };
         let mut transfers = vec![0i8; n + 1]; // t at position i lands at i−1
         let mut interims = vec![0i8; n];
         for i in 0..n {
@@ -174,8 +172,8 @@ impl Sd4Number {
             interims[i] = u - 4 * t;
         }
         let mut digits = Vec::with_capacity(n);
-        for i in 0..n {
-            let z = interims[i] + transfers.get(i + 1).copied().unwrap_or(0);
+        for (i, &w) in interims.iter().enumerate() {
+            let z = w + transfers.get(i + 1).copied().unwrap_or(0);
             debug_assert!((-3..=3).contains(&z));
             digits.push(Digit4(z));
         }
@@ -259,13 +257,8 @@ mod tests {
         for x in all_sd4(2) {
             for y in all_sd4(2) {
                 let (carry, z) = x.add(&y);
-                let total =
-                    Q::from_int(i64::from(carry.value())) + z.value();
-                assert_eq!(
-                    total,
-                    x.value() + y.value(),
-                    "x={x:?} y={y:?} carry={carry} z={z:?}"
-                );
+                let total = Q::from_int(i64::from(carry.value())) + z.value();
+                assert_eq!(total, x.value() + y.value(), "x={x:?} y={y:?} carry={carry} z={z:?}");
             }
         }
     }
@@ -275,10 +268,7 @@ mod tests {
         let a = Sd4Number::from_value(Q::new(11, 4), 2).unwrap();
         let b = Sd4Number::from_value(Q::new(3, 2), 1).unwrap();
         let (carry, z) = a.add(&b);
-        assert_eq!(
-            Q::from_int(i64::from(carry.value())) + z.value(),
-            a.value() + b.value()
-        );
+        assert_eq!(Q::from_int(i64::from(carry.value())) + z.value(), a.value() + b.value());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ([`uniform_digits`]); its experiments also use operands drawn uniformly
 //! by *value* ([`uniform_value`], the "Uniform Independent inputs").
 
-use crate::{Digit, Q, SdNumber};
+use crate::{Digit, SdNumber, Q};
 use rand::Rng;
 
 /// Draws an `n`-digit number whose digits are i.i.d. uniform over {−1, 0, 1}.

@@ -43,11 +43,7 @@ pub struct RangeError {
 
 impl fmt::Display for RangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "value {} is not representable with {} signed digits",
-            self.value, self.digits
-        )
+        write!(f, "value {} is not representable with {} signed digits", self.value, self.digits)
     }
 }
 

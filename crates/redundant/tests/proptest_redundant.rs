@@ -1,14 +1,10 @@
 //! Property-based tests for the signed-digit number system.
 
-use ola_redundant::{BsVector, Digit, OnTheFlyConverter, Q, SdNumber};
+use ola_redundant::{BsVector, Digit, OnTheFlyConverter, SdNumber, Q};
 use proptest::prelude::*;
 
 fn digit_strategy() -> impl Strategy<Value = Digit> {
-    prop_oneof![
-        Just(Digit::NegOne),
-        Just(Digit::Zero),
-        Just(Digit::One),
-    ]
+    prop_oneof![Just(Digit::NegOne), Just(Digit::Zero), Just(Digit::One),]
 }
 
 fn sd_strategy(max_len: usize) -> impl Strategy<Value = SdNumber> {

@@ -6,8 +6,8 @@
 //! cargo run --example digit_serial
 //! ```
 
-use ola::arith::online::{SerialMultiplier, Selection, DELTA};
-use ola::redundant::{OnTheFlyConverter, Q, SdNumber};
+use ola::arith::online::{Selection, SerialMultiplier, DELTA};
+use ola::redundant::{OnTheFlyConverter, SdNumber, Q};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 10;

@@ -5,7 +5,6 @@
 //! cargo run --release --example error_budget
 //! ```
 
-use ola::arith::online::Selection;
 use ola::arith::synth::{array_multiplier, online_multiplier};
 use ola::core::empirical::{array_gate_level_curve, om_gate_level_curve};
 use ola::core::{sweep, InputModel};
@@ -27,17 +26,12 @@ fn main() {
     let grid = |rated: u64| -> Vec<u64> { (1..=40).map(|k| rated * k / 40).collect() };
     let om_ts = grid(om_rated);
     let am_ts = grid(am_rated);
-    let om_curve =
-        om_gate_level_curve(&om, &delay, InputModel::UniformValue, &om_ts, samples, 1);
+    let om_curve = om_gate_level_curve(&om, &delay, InputModel::UniformValue, &om_ts, samples, 1);
     let am_curve = array_gate_level_curve(&am, &delay, &am_ts, samples, 1);
 
     // Max error-free frequency for each design.
     let f0 = |ts: &[u64], err: &[f64]| -> u64 {
-        ts.iter()
-            .zip(err)
-            .find(|(_, &e)| e == 0.0)
-            .map(|(&t, _)| t)
-            .unwrap_or(*ts.last().unwrap())
+        ts.iter().zip(err).find(|(_, &e)| e == 0.0).map(|(&t, _)| t).unwrap_or(*ts.last().unwrap())
     };
     let om_f0 = f0(&om_curve.ts, &om_curve.mean_abs_error);
     let am_f0 = f0(&am_curve.ts, &am_curve.mean_abs_error);

@@ -8,19 +8,14 @@
 
 use ola::arith::online::{Selection, StagedMultiplier};
 use ola::core::metrics;
-use ola::redundant::{Q, SdNumber};
+use ola::redundant::{SdNumber, Q};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 10; // digits per operand
-    // 5-tap low-pass kernel (quantized Hamming-ish weights, sum ≈ 1).
-    let taps: Vec<Q> = [60i128, 245, 414, 245, 60]
-        .iter()
-        .map(|&v| Q::new(v, n as u32))
-        .collect();
-    let coeffs: Vec<SdNumber> = taps
-        .iter()
-        .map(|&t| SdNumber::from_value(t, n))
-        .collect::<Result<_, _>>()?;
+                // 5-tap low-pass kernel (quantized Hamming-ish weights, sum ≈ 1).
+    let taps: Vec<Q> = [60i128, 245, 414, 245, 60].iter().map(|&v| Q::new(v, n as u32)).collect();
+    let coeffs: Vec<SdNumber> =
+        taps.iter().map(|&t| SdNumber::from_value(t, n)).collect::<Result<_, _>>()?;
 
     // Input: a noisy two-tone signal, quantized to N digits.
     let len = 96;
@@ -41,11 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let mut acc = Q::ZERO;
                 for (k, c) in coeffs.iter().enumerate() {
                     let j = (i + k).saturating_sub(2).min(len - 1);
-                    let sm = StagedMultiplier::new(
-                        signal[j].clone(),
-                        c.clone(),
-                        Selection::default(),
-                    );
+                    let sm =
+                        StagedMultiplier::new(signal[j].clone(), c.clone(), Selection::default());
                     let v = match budget {
                         Some(b) => sm.sample(b).value(),
                         None => sm.settled().value(),
@@ -59,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reference = convolve(None);
     println!("5-tap FIR over {len} samples, N = {n} digit operands\n");
-    println!(
-        "{:>8} {:>14} {:>12} {:>10}",
-        "budget b", "MRE %", "SNR dB", "speedup"
-    );
+    println!("{:>8} {:>14} {:>12} {:>10}", "budget b", "MRE %", "SNR dB", "speedup");
     let structural = n + 3;
     for b in (4..=structural).rev() {
         let out = convolve(Some(b));

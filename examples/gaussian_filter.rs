@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for filter in [&online as &dyn OverclockedFilter, &trad] {
         let rated = filter.rated_period();
-        let ts: Vec<u64> = factors
-            .iter()
-            .map(|f| ((rated as f64 / f).round() as u64).max(1))
-            .collect();
+        let ts: Vec<u64> =
+            factors.iter().map(|f| ((rated as f64 / f).round() as u64).max(1)).collect();
         let sweep = filter.apply_sweep(&image, &ts);
         for (f, run) in factors.iter().zip(&sweep.runs) {
             println!(

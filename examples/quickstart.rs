@@ -8,7 +8,7 @@
 
 use ola::arith::online::{online_mult, Selection, StagedMultiplier};
 use ola::core::timing;
-use ola::redundant::{Q, SdNumber};
+use ola::redundant::{SdNumber, Q};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two 8-digit fixed-point fractions in (-1, 1).
@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>3} {:>14} {:>14}", "b", "sampled", "|error|");
     for b in 0..=(n + 3) {
         let v = sm.sample(b).value();
-        println!(
-            "{b:>3} {:>14.8} {:>14.10}",
-            v.to_f64(),
-            (v - correct).abs().to_f64()
-        );
+        println!("{b:>3} {:>14.8} {:>14.10}", v.to_f64(), (v - correct).abs().to_f64());
     }
     println!(
         "\nNote how the error, when present, is tiny: truncated chains only\n\

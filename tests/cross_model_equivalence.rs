@@ -3,23 +3,18 @@
 //! synthesized gate-level netlist — must agree on settled results.
 
 use ola::arith::online::{
-    bittrue_mult, online_mult, SerialMultiplier, Selection, StagedMultiplier,
+    bittrue_mult, online_mult, Selection, SerialMultiplier, StagedMultiplier,
 };
 use ola::arith::synth::online_multiplier;
 use ola::netlist::{simulate_from_zero, JitteredDelay, UnitDelay};
-use ola::redundant::{random, Digit, Q, SdNumber};
+use ola::redundant::{random, Digit, SdNumber, Q};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn operands(n: usize, count: usize, seed: u64) -> Vec<(SdNumber, SdNumber)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (0..count)
-        .map(|_| {
-            (
-                random::uniform_digits(&mut rng, n),
-                random::uniform_digits(&mut rng, n),
-            )
-        })
+        .map(|_| (random::uniform_digits(&mut rng, n), random::uniform_digits(&mut rng, n)))
         .collect()
 }
 
@@ -36,12 +31,7 @@ fn all_models_accurate_to_residual_bound() {
             for (name, v) in
                 [("golden", golden.value()), ("bittrue", bt.value()), ("staged", staged.value())]
             {
-                assert!(
-                    (exact - v).abs() <= bound,
-                    "{name} n={n}: {} vs {}",
-                    v,
-                    exact
-                );
+                assert!((exact - v).abs() <= bound, "{name} n={n}: {} vs {}", v, exact);
             }
             // The staged fixpoint equals the straight-line bit-true run.
             assert_eq!(staged.digits(), &bt.digits[..]);
@@ -63,11 +53,8 @@ fn netlist_settles_to_bittrue_digits_under_any_delay_model() {
         ] {
             let zp = res.final_bus(circuit.netlist.output("zp"));
             let zn = res.final_bus(circuit.netlist.output("zn"));
-            let got: Vec<Digit> = zp
-                .iter()
-                .zip(&zn)
-                .map(|(&p, &nn)| Digit::from_bits(p, nn))
-                .collect();
+            let got: Vec<Digit> =
+                zp.iter().zip(&zn).map(|(&p, &nn)| Digit::from_bits(p, nn)).collect();
             assert_eq!(got, want, "x={x:?} y={y:?}");
         }
     }
@@ -98,12 +85,10 @@ fn value_uniform_inputs_settle_faster_than_digit_uniform() {
     for _ in 0..150 {
         let xd = random::uniform_digits(&mut rng, n);
         let yd = random::uniform_digits(&mut rng, n);
-        digit_settle +=
-            StagedMultiplier::new(xd, yd, Selection::default()).settling_ticks();
+        digit_settle += StagedMultiplier::new(xd, yd, Selection::default()).settling_ticks();
         let xv = random::uniform_value(&mut rng, n);
         let yv = random::uniform_value(&mut rng, n);
-        value_settle +=
-            StagedMultiplier::new(xv, yv, Selection::default()).settling_ticks();
+        value_settle += StagedMultiplier::new(xv, yv, Selection::default()).settling_ticks();
     }
     assert!(
         value_settle <= digit_settle,

@@ -43,10 +43,7 @@ fn settled_designs_agree_with_each_other_and_the_ideal() {
     let t = trad.apply_sweep(&img, &[trad.rated_period()]);
     for (name, settled) in [("online", &o.settled_image), ("traditional", &t.settled_image)] {
         for (a, b) in settled.pixels().iter().zip(ideal.pixels()) {
-            assert!(
-                (i16::from(*a) - i16::from(*b)).abs() <= 8,
-                "{name}: settled {a} vs ideal {b}"
-            );
+            assert!((i16::from(*a) - i16::from(*b)).abs() <= 8, "{name}: settled {a} vs ideal {b}");
         }
     }
     // The two designs' settled outputs agree up to their quantization.
@@ -67,10 +64,7 @@ fn overclocked_online_filter_beats_traditional_at_every_depth() {
     let t = trad.apply_sweep(&img, &mk(trad.rated_period()));
     for (i, d) in depths.iter().enumerate() {
         let (om, tm) = (o.runs[i].mre_percent, t.runs[i].mre_percent);
-        assert!(
-            om <= tm,
-            "depth {d}: online MRE {om}% must not exceed traditional {tm}%"
-        );
+        assert!(om <= tm, "depth {d}: online MRE {om}% must not exceed traditional {tm}%");
     }
     // At the deepest point the traditional design must be visibly broken
     // while online stays usable (tens-of-dB SNR gap, Table-2 shape).
@@ -108,8 +102,5 @@ fn real_like_images_tolerate_more_overclocking_than_noise() {
     let noise = Benchmark::Uniform.generate(8, 8, 7);
     let mre_nat = online.apply_sweep(&natural, &ts).runs[0].mre_percent;
     let mre_noise = online.apply_sweep(&noise, &ts).runs[0].mre_percent;
-    assert!(
-        mre_nat <= mre_noise * 1.5 + 1e-9,
-        "natural {mre_nat}% vs noise {mre_noise}%"
-    );
+    assert!(mre_nat <= mre_noise * 1.5 + 1e-9, "natural {mre_nat}% vs noise {mre_noise}%");
 }

@@ -16,12 +16,8 @@ fn model_and_simulation_share_the_error_free_threshold() {
             42,
         );
         // First budget with zero MC error.
-        let mc_free = mc
-            .curve
-            .mean_abs_error
-            .iter()
-            .position(|&e| e == 0.0)
-            .expect("settles eventually");
+        let mc_free =
+            mc.curve.mean_abs_error.iter().position(|&e| e == 0.0).expect("settles eventually");
         // First budget with zero model expectation (the simulator spends one
         // extra wave on selection latency, hence the +1 alignment slack).
         let model_free = (0..=n + DELTA)
@@ -51,18 +47,15 @@ fn model_tracks_monte_carlo_shape() {
     }
     assert!(pairs.len() >= 4, "need overlapping support");
     // Both decay: Spearman-style check via strict co-monotonicity of ranks.
-    let concordant = pairs
-        .windows(2)
-        .filter(|w| (w[1].0 - w[0].0) * (w[1].1 - w[0].1) > 0.0)
-        .count();
+    let concordant =
+        pairs.windows(2).filter(|w| (w[1].0 - w[0].0) * (w[1].1 - w[0].1) > 0.0).count();
     assert!(
         concordant as f64 >= 0.7 * (pairs.len() - 1) as f64,
         "model and MC must co-decay: {pairs:?}"
     );
     // Magnitudes agree within an order-of-magnitude envelope after a single
     // global calibration (the paper, likewise, matches shape not absolutes).
-    let offset: f64 =
-        pairs.iter().map(|(m, s)| s - m).sum::<f64>() / pairs.len() as f64;
+    let offset: f64 = pairs.iter().map(|(m, s)| s - m).sum::<f64>() / pairs.len() as f64;
     for (m, s) in &pairs {
         assert!(
             (s - m - offset).abs() < std::f64::consts::LN_10 * 1.5,

@@ -1,0 +1,66 @@
+//! The [`any`] entry point and [`Arbitrary`] implementations for the
+//! primitive types the workspace generates.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one full-domain value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The full-domain strategy for `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty => $via:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.rng.next_u64() as $via as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64,
+    usize => u64, isize => u64,
+);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary_value(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.rng.next_u64()) << 64) | u128::from(rng.rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary_value(rng: &mut TestRng) -> i128 {
+        u128::arbitrary_value(rng) as i128
+    }
+}

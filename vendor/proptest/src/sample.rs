@@ -1,0 +1,30 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// A strategy choosing uniformly from a fixed list of values.
+///
+/// # Panics
+///
+/// [`Strategy::generate`] panics if the list is empty.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select over an empty list");
+        self.options[rng.rng.gen_range(0..self.options.len())].clone()
+    }
+}

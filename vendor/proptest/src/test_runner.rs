@@ -1,0 +1,86 @@
+//! Test configuration, errors, and the deterministic case RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused compatibility field (no shrinking in the vendored runner).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A failed test case (the `Err` of `prop_assert*`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Compatibility alias: real proptest distinguishes `reject`; here it
+    /// reads the same as [`TestCaseError::fail`].
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies: a ChaCha8 stream derived deterministically
+/// from the test name and case index.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the test named `name`.
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: ChaCha8Rng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case))) }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline drop-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! ChaCha RNGs, implemented against the workspace's vendored `rand` traits.
+//!
+//! The generator is a genuine ChaCha permutation (RFC 8439 quarter-rounds,
+//! 64-bit block counter, word-serial output), so its statistical quality
+//! matches the real crate. Output streams are *not* guaranteed to be
+//! bit-identical to upstream `rand_chacha` — the workspace only relies on
+//! internal reproducibility (same seed ⇒ same stream).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha random number generator with `R` double-rounds.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (4 double-rounds): the workspace's Monte-Carlo RNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        x[..4].copy_from_slice(&SIGMA);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = 0;
+        x[15] = 0;
+        let input = x;
+        for _ in 0..R {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (a, b)) in self.buffer.iter_mut().zip(x.iter().zip(&input)) {
+            *out = a.wrapping_add(*b);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(b);
+        }
+        ChaChaRng { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut c = ChaCha8Rng::seed_from_u64(10);
+        let va: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..40).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..40).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn output_is_not_degenerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let draws: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        let distinct: std::collections::BTreeSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 60, "ChaCha output must look random");
+    }
+
+    #[test]
+    fn usable_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "roughly uniform: {counts:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The vendored [`serde`](../serde) crate defines `Serialize` /
+//! `Deserialize` as empty marker traits, so the derives only need to emit
+//! empty marker impls. The macro scans the item token stream for the type
+//! name following `struct` / `enum` / `union` and emits
+//! `impl serde::Serialize for Name {}` (resp. the `Deserialize` impl). If
+//! the item shape is unexpected (e.g. generics, which the ola workspace
+//! does not use on serialized types), the macro emits nothing — the traits
+//! are unused markers, so a missing impl only surfaces if someone adds a
+//! `T: Serialize` bound, at which point the real serde should be wired in.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier naming the type in a `derive` input stream.
+///
+/// Returns `None` when the type is generic or the stream doesn't look like
+/// a plain `struct`/`enum`/`union` item.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Reject generic types: the next token would be `<`.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .unwrap_or_else(|_| TokenStream::new())
+        }
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The ola workspace annotates result structs with
+//! `#[derive(serde::Serialize)]` so that downstream consumers with the real
+//! serde can serialize them, but the build environment has no network
+//! access, so no serialization backend (serde_json etc.) is available
+//! anyway. This vendored crate therefore defines [`Serialize`] /
+//! [`Deserialize`] as *marker traits* and the derive macros emit empty
+//! marker impls — enough to type-check the annotations and to keep the
+//! public API shaped like real serde, without pulling in the full data
+//! model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that real serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that real serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
