@@ -1,9 +1,18 @@
-//! Substrate throughput: the event-driven simulator, static timing
-//! analysis, and the LUT-area estimator on realistic datapath netlists.
+//! Substrate throughput: the event-driven simulator, the bit-parallel
+//! batch engine, static timing analysis, and the LUT-area estimator on
+//! realistic datapath netlists.
+//!
+//! The `mc_sweep_*` groups run the same Monte-Carlo multi-Ts sampling
+//! workload (the core of fig4/faults) on both [`SimBackend`]s so the
+//! event-vs-batch speedup is measured end to end, program compilation
+//! included. `cargo run --release -p ola-bench --bin backend_speedup`
+//! records the same comparison as a CSV in `results/`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ola_arith::synth::{array_multiplier, online_adder, online_multiplier};
-use ola_netlist::{analyze, area, simulate, JitteredDelay, Netlist, UnitDelay};
+use ola_core::empirical::{array_gate_level_curve_with, om_gate_level_curve_with};
+use ola_core::{InputModel, SimBackend};
+use ola_netlist::{analyze, area, simulate, FpgaDelay, JitteredDelay, Netlist, UnitDelay};
 use std::hint::black_box;
 
 fn ripple_chain(n: usize) -> Netlist {
@@ -31,6 +40,70 @@ fn bench_event_sim(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("chain_flip", n), &n, |b, _| {
             b.iter(|| simulate(&nl, &UnitDelay, black_box(&prev), black_box(&next)))
         });
+    }
+    g.finish();
+}
+
+/// A short Ts grid from zero-ish up to the rated period, mirroring the
+/// frequency sweeps of the experiments.
+fn ts_grid(rated: u64, points: u64) -> Vec<u64> {
+    (1..=points).map(|k| rated * k / points).collect()
+}
+
+/// Samples per measured sweep: large enough that the batch engine fills a
+/// meaningful share of a 64-bit lane word, small enough that the
+/// event-driven side of the 32-bit workloads stays benchable.
+const SWEEP_SAMPLES: usize = 24;
+
+fn bench_backend_online(c: &mut Criterion) {
+    let delay = FpgaDelay::default();
+    let mut g = c.benchmark_group("mc_sweep_online_mult");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let circuit = online_multiplier(n, 3);
+        let ts = ts_grid(analyze(&circuit.netlist, &delay).critical_path(), 5);
+        for backend in [SimBackend::Event, SimBackend::Batch] {
+            g.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    om_gate_level_curve_with(
+                        &circuit,
+                        &delay,
+                        InputModel::UniformDigits,
+                        black_box(&ts),
+                        SWEEP_SAMPLES,
+                        7,
+                        backend,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_backend_array(c: &mut Criterion) {
+    let delay = FpgaDelay::default();
+    let mut g = c.benchmark_group("mc_sweep_array_mult");
+    g.sample_size(10);
+    // Width 31 stands in for the 32-bit class: the array multiplier's
+    // product must stay exact in `i64`.
+    for w in [8usize, 16, 31] {
+        let circuit = array_multiplier(w);
+        let ts = ts_grid(analyze(&circuit.netlist, &delay).critical_path(), 5);
+        for backend in [SimBackend::Event, SimBackend::Batch] {
+            g.bench_with_input(BenchmarkId::new(backend.label(), w), &w, |b, _| {
+                b.iter(|| {
+                    array_gate_level_curve_with(
+                        &circuit,
+                        &delay,
+                        black_box(&ts),
+                        SWEEP_SAMPLES,
+                        7,
+                        backend,
+                    )
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -80,6 +153,6 @@ fn config() -> Criterion {
 criterion_group!(
     name = benches;
     config = config();
-    targets = bench_event_sim,bench_sta_and_area,bench_synthesis
+    targets = bench_event_sim,bench_backend_online,bench_backend_array,bench_sta_and_area,bench_synthesis
 );
 criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Records the event-vs-batch simulation speedup as a CSV in `results/`.
+//!
+//! Runs the Monte-Carlo multi-Ts sampling workload behind fig4/faults —
+//! `N` random input vectors judged at every point of a frequency grid —
+//! on both [`SimBackend`]s for 8/16/32-digit online multipliers and
+//! 8/16/32-bit conventional array multipliers, verifies the curves are
+//! bit-identical, and reports throughput in judged `(vector, Ts)` points
+//! per second (the batch engine's lane words carry 64 vectors per pass).
+//!
+//! ```sh
+//! cargo run --release -p ola-bench --bin backend_speedup
+//! ```
+//!
+//! Exit code 0 when every pair of curves matched (the speedup row for the
+//! 16-digit online multiplier is the acceptance headline), 1 otherwise.
+
+use ola_arith::synth::{array_multiplier, online_multiplier};
+use ola_bench::report::Table;
+use ola_core::empirical::{array_gate_level_curve_with, om_gate_level_curve_with, GateLevelCurve};
+use ola_core::{BackendStats, InputModel, SimBackend};
+use ola_netlist::{analyze, FpgaDelay};
+use std::path::PathBuf;
+
+const SAMPLES: usize = 256;
+const GRID: u64 = 20;
+const SEED: u64 = 20_14;
+
+fn ts_grid(rated: u64) -> Vec<u64> {
+    (1..=GRID).map(|k| rated * k / GRID).collect()
+}
+
+struct Row {
+    workload: String,
+    event: BackendStats,
+    batch: BackendStats,
+    identical: bool,
+}
+
+fn measure(workload: String, run: impl Fn(SimBackend) -> (GateLevelCurve, BackendStats)) -> Row {
+    // Warm the allocator/caches once so neither backend pays first-touch
+    // costs in its measured run.
+    let _ = run(SimBackend::Event);
+    let (ev_curve, event) = run(SimBackend::Event);
+    let (ba_curve, batch) = run(SimBackend::Batch);
+    eprintln!("  [{workload}] event: {}", event.summary());
+    eprintln!("  [{workload}] batch: {}", batch.summary());
+    Row { workload, event, batch, identical: ev_curve == ba_curve }
+}
+
+fn main() {
+    let delay = FpgaDelay::default();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for n in [8usize, 16, 32] {
+        let circuit = online_multiplier(n, 3);
+        let ts = ts_grid(analyze(&circuit.netlist, &delay).critical_path());
+        rows.push(measure(format!("online multiplier N={n}"), |backend| {
+            om_gate_level_curve_with(
+                &circuit,
+                &delay,
+                InputModel::UniformDigits,
+                &ts,
+                SAMPLES,
+                SEED,
+                backend,
+            )
+        }));
+    }
+    // The array multiplier caps at width 31 (its 2(w−1)-bit product must
+    // stay exact in `i64`), so 31 stands in for the 32-bit class.
+    for w in [8usize, 16, 31] {
+        let circuit = array_multiplier(w);
+        let ts = ts_grid(analyze(&circuit.netlist, &delay).critical_path());
+        rows.push(measure(format!("array multiplier W={w}"), |backend| {
+            array_gate_level_curve_with(&circuit, &delay, &ts, SAMPLES, SEED, backend)
+        }));
+    }
+
+    let mut t = Table::new(
+        "Backend speedup batch vs event",
+        &[
+            "workload",
+            "samples",
+            "ts_points",
+            "event_pts_per_s",
+            "batch_pts_per_s",
+            "speedup",
+            "lane_utilization",
+            "bit_identical",
+        ],
+    );
+    let mut ok = true;
+    let mut headline = 0.0f64;
+    for r in &rows {
+        ok &= r.identical;
+        let speedup = r.batch.ts_points_per_sec() / r.event.ts_points_per_sec();
+        if r.workload == "online multiplier N=16" {
+            headline = speedup;
+        }
+        t.push_row(vec![
+            r.workload.clone(),
+            SAMPLES.to_string(),
+            r.event.ts_points.to_string(),
+            format!("{:.0}", r.event.ts_points_per_sec()),
+            format!("{:.0}", r.batch.ts_points_per_sec()),
+            format!("{speedup:.1}"),
+            format!("{:.3}", r.batch.lane_utilization()),
+            r.identical.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    match t.write_csv(&PathBuf::from("results")) {
+        Ok(p) => eprintln!("  csv: {}", p.display()),
+        Err(e) => {
+            eprintln!("  csv write failed: {e}");
+            ok = false;
+        }
+    }
+    eprintln!(
+        "headline: batch is {headline:.1}x event on the 16-digit online multiplier MC workload"
+    );
+    if !ok {
+        eprintln!("FAILURE: backend curves diverged (or CSV write failed)");
+        std::process::exit(1);
+    }
+}

@@ -5,15 +5,57 @@
 //! the final *partial results* summary instead of taking down the whole
 //! reproduction run. The exit code reflects completeness — `0` when every
 //! requested experiment (and every CSV write) succeeded, `1` for partial
-//! results, `2` for usage errors.
+//! results, `2` for usage errors. `--list` enumerates the experiments and
+//! exit codes; `--backend {auto,event,batch}` selects the simulation
+//! engine for the gate-level workloads (results are bit-identical across
+//! backends — batch-backed experiments additionally self-verify with an
+//! event-driven spot-check and report their throughput counters).
 
 use ola_bench::experiments::{self, CaseStudyContext, Scale};
 use ola_bench::report::Table;
+use ola_core::SimBackend;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// `(name, one-line description)` for every experiment, in run order.
+const EXPERIMENTS: [(&str, &str); 9] = [
+    ("fig4", "overclocking error: model vs Monte-Carlo vs gate-level netlist (N=8,12)"),
+    ("fig5", "per-chain-delay profile, analytic model next to Monte-Carlo (N=8..32)"),
+    ("fig6", "image-filter MRE vs normalized frequency (case study)"),
+    ("fig7", "overclocked filter output images + SNR table (case study)"),
+    ("table1", "relative MRE reduction with online arithmetic"),
+    ("table2", "SNR improvement (dB) with online arithmetic"),
+    ("table3", "frequency headroom under error budgets"),
+    ("table4", "LUT-area comparison of the synthesized operators"),
+    ("faults", "single-fault campaigns: online vs conventional resilience"),
+];
+
+fn print_usage() {
+    eprintln!("usage: repro [EXPERIMENT ...] [--quick] [--backend auto|event|batch]");
+    eprintln!("       repro --list");
+    eprintln!();
+    eprintln!("experiments (default: all):");
+    for (name, desc) in EXPERIMENTS {
+        eprintln!("  {name:<8} {desc}");
+    }
+    eprintln!();
+    eprintln!("flags:");
+    eprintln!("  --quick            shrink sample counts and image sizes (CI scale)");
+    eprintln!("  --backend CHOICE   simulation engine for gate-level workloads:");
+    eprintln!("                     auto (default) = batch when the delay model is");
+    eprintln!("                     batch-exact, event otherwise; results are");
+    eprintln!("                     bit-identical across backends");
+    eprintln!("  --list             list experiments and exit codes, then exit");
+    eprintln!("  --help, -h         this message");
+    eprintln!();
+    eprintln!("exit codes:");
+    eprintln!("  0  every requested experiment (and every CSV write) succeeded");
+    eprintln!("  1  partial results: at least one experiment or CSV write failed");
+    eprintln!("  2  usage error (unknown experiment, flag, or backend)");
+}
 
 /// Outcome of one experiment.
 enum Outcome {
@@ -52,18 +94,57 @@ where
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut backend = SimBackend::Auto;
+    let mut what: Vec<&str> = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            "--list" => {
+                for (name, desc) in EXPERIMENTS {
+                    println!("{name:<8} {desc}");
+                }
+                println!();
+                println!("exit codes: 0 = complete, 1 = partial results, 2 = usage error");
+                return;
+            }
+            "--backend" => {
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| SimBackend::parse(v)) else {
+                    eprintln!("--backend needs one of: auto, event, batch");
+                    std::process::exit(2);
+                };
+                backend = value;
+            }
+            _ if arg.starts_with("--backend=") => {
+                let Some(value) = SimBackend::parse(&arg["--backend=".len()..]) else {
+                    eprintln!("--backend needs one of: auto, event, batch");
+                    std::process::exit(2);
+                };
+                backend = value;
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("unknown flag {arg:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+            name => what.push(name),
+        }
+        i += 1;
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let what: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
-    const KNOWN: [&str; 10] =
-        ["all", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "table3", "table4", "faults"];
-    if let Some(unknown) = what.iter().find(|w| !KNOWN.contains(w)) {
+    if let Some(unknown) =
+        what.iter().find(|w| **w != "all" && !EXPERIMENTS.iter().any(|(n, _)| n == *w))
+    {
         eprintln!("unknown experiment {unknown:?}");
-        eprintln!(
-            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|faults|all] [--quick]"
-        );
+        print_usage();
         std::process::exit(2);
     }
     let out_dir = PathBuf::from("results");
@@ -81,7 +162,7 @@ fn main() {
     type Job = Box<dyn FnOnce() -> Result<Vec<Table>, String> + Send + 'static>;
     let mut jobs: Vec<(&str, Job)> = Vec::new();
     if wants("fig4") {
-        jobs.push(("fig4", Box::new(move || Ok(experiments::fig4(scale)))));
+        jobs.push(("fig4", Box::new(move || experiments::fig4(scale, backend))));
     }
     if wants("fig5") {
         jobs.push(("fig5", Box::new(move || Ok(experiments::fig5(scale)))));
@@ -118,13 +199,11 @@ fn main() {
         jobs.push(("table4", Box::new(move || Ok(vec![experiments::table4()]))));
     }
     if wants("faults") {
-        jobs.push(("faults", Box::new(move || Ok(experiments::faults(scale)))));
+        jobs.push(("faults", Box::new(move || experiments::faults(scale, backend))));
     }
 
     if jobs.is_empty() {
-        eprintln!(
-            "usage: repro [fig4|fig5|fig6|fig7|table1|table2|table3|table4|faults|all] [--quick]"
-        );
+        print_usage();
         std::process::exit(2);
     }
 

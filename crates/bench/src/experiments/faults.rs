@@ -13,17 +13,27 @@
 use super::Scale;
 use crate::report::{fmt_f, Table};
 use ola_core::campaign::{
-    array_fault_campaign, online_fault_campaign, CampaignConfig, CampaignReport, FaultClass,
+    array_fault_campaign_with_stats, online_fault_campaign_with_stats, CampaignConfig,
+    CampaignReport, FaultClass,
 };
-use ola_core::InputModel;
+use ola_core::{BackendStats, InputModel, SimBackend};
 use ola_netlist::UnitDelay;
 
 /// Runs the fault-sensitivity campaigns and renders the comparison tables.
 ///
+/// The campaigns run on the requested backend (the batch engine evaluates
+/// 64 fault scenarios per pass under the deterministic delay model used
+/// here); when batch ran, an automatic event-driven spot-check re-judges a
+/// small campaign on both engines and fails the experiment on any
+/// disagreement.
+///
 /// The first table's CSV lands in
 /// `results/fault_sensitivity_online_vs_conventional.csv`.
-#[must_use]
-pub fn faults(scale: Scale) -> Vec<Table> {
+///
+/// # Errors
+///
+/// If the batch/event spot-check campaigns disagree.
+pub fn faults(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
     let (width, sites, samples) = match scale {
         Scale::Quick => (5usize, 24usize, 4usize),
         Scale::Full => (8, 64, 12),
@@ -32,6 +42,7 @@ pub fn faults(scale: Scale) -> Vec<Table> {
         samples_per_site: samples,
         max_sites: Some(sites),
         seed: 0xFA_517E5,
+        backend,
         ..CampaignConfig::default()
     };
     let om = ola_arith::synth::online_multiplier(width, 3);
@@ -55,15 +66,24 @@ pub fn faults(scale: Scale) -> Vec<Table> {
         ],
     );
     let mut reports: Vec<CampaignReport> = Vec::new();
+    let mut stats = BackendStats::default();
     for class in FaultClass::ALL {
-        reports.push(online_fault_campaign(
+        let (r, s) = online_fault_campaign_with_stats(
             &om,
             &UnitDelay,
             InputModel::UniformDigits,
             class,
             &cfg,
-        ));
-        reports.push(array_fault_campaign(&am, &UnitDelay, class, &cfg));
+        );
+        reports.push(r);
+        stats.merge(&s);
+        let (r, s) = array_fault_campaign_with_stats(&am, &UnitDelay, class, &cfg);
+        reports.push(r);
+        stats.merge(&s);
+    }
+    eprintln!("  [faults] {}", stats.summary());
+    if stats.batch_runs > 0 {
+        spot_check(&om, &am, &cfg, scale)?;
     }
     for r in &reports {
         t.push_row(vec![
@@ -103,7 +123,61 @@ pub fn faults(scale: Scale) -> Vec<Table> {
         if on < conv { "online wins" } else { "NO IMPROVEMENT" }
     );
 
-    vec![t, rank_table(&reports)]
+    Ok(vec![t, rank_table(&reports)])
+}
+
+/// Re-runs a shrunken campaign (transient class: the one whose fault plans
+/// consume per-sample randomness) on both backends and demands
+/// bit-identical reports.
+fn spot_check(
+    om: &ola_arith::synth::OnlineMultiplierCircuit,
+    am: &ola_arith::synth::ArrayMultiplierCircuit,
+    cfg: &CampaignConfig,
+    scale: Scale,
+) -> Result<(), String> {
+    let samples = scale.spot_check_samples().min(cfg.samples_per_site);
+    let small = |backend| CampaignConfig {
+        samples_per_site: samples,
+        max_sites: Some(6),
+        backend,
+        ..cfg.clone()
+    };
+    let (ev, _) = online_fault_campaign_with_stats(
+        om,
+        &UnitDelay,
+        InputModel::UniformDigits,
+        FaultClass::Transient,
+        &small(SimBackend::Event),
+    );
+    let (ba, _) = online_fault_campaign_with_stats(
+        om,
+        &UnitDelay,
+        InputModel::UniformDigits,
+        FaultClass::Transient,
+        &small(SimBackend::Batch),
+    );
+    if ev != ba {
+        return Err("faults: online batch/event spot-check mismatch".to_string());
+    }
+    let (ev, _) = array_fault_campaign_with_stats(
+        am,
+        &UnitDelay,
+        FaultClass::Transient,
+        &small(SimBackend::Event),
+    );
+    let (ba, _) = array_fault_campaign_with_stats(
+        am,
+        &UnitDelay,
+        FaultClass::Transient,
+        &small(SimBackend::Batch),
+    );
+    if ev != ba {
+        return Err("faults: array batch/event spot-check mismatch".to_string());
+    }
+    eprintln!(
+        "  [faults] event spot-check OK (transient campaign, {samples} samples x 6 sites, both archs)"
+    );
+    Ok(())
 }
 
 /// Per-significance-rank corruption profile for the stuck-at-1 class: how

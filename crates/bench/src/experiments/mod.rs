@@ -71,4 +71,15 @@ impl Scale {
             Scale::Full => 20,
         }
     }
+
+    /// Sample count for the automatic event-driven spot-check that
+    /// cross-validates batch-backend results (the first `N` samples of the
+    /// same deterministic stream are re-judged on both engines).
+    #[must_use]
+    pub fn spot_check_samples(self) -> usize {
+        match self {
+            Scale::Quick => 16,
+            Scale::Full => 64,
+        }
+    }
 }

@@ -1,0 +1,240 @@
+//! Pluggable simulation backends and their observability counters.
+//!
+//! Every gate-level experiment in this crate boils down to *simulate many
+//! vectors, sample at many clock periods `Ts`*. Two engines can answer
+//! that question with bit-identical results:
+//!
+//! * **event** — the event-driven simulator
+//!   ([`ola_netlist::simulate`]), one vector per run, any delay model;
+//! * **batch** — the bit-parallel engine ([`ola_netlist::batch`]), 64
+//!   vectors per pass, only for
+//!   [batch-exact](ola_netlist::DelayModel::batch_exact) delay models.
+//!
+//! [`SimBackend`] selects between them per workload; [`SimBackend::Auto`]
+//! (and an explicit `Batch` request on a non-batch-exact model, e.g. a
+//! [`JitteredDelay`](ola_netlist::JitteredDelay) emulating per-run
+//! place-and-route variation) transparently falls back to the event
+//! engine, so callers never have to special-case the delay model.
+//! [`BackendStats`] carries the cheap counters each experiment accumulates
+//! — vectors simulated, `(vector × Ts)` sample points, word-level steps,
+//! lane utilization — which the `repro` binary surfaces in its summary.
+
+use ola_netlist::DelayModel;
+use std::fmt;
+use std::time::Duration;
+
+/// Which simulation engine an experiment should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub enum SimBackend {
+    /// Batch when the delay model permits it, event-driven otherwise.
+    #[default]
+    Auto,
+    /// Always the event-driven simulator.
+    Event,
+    /// The bit-parallel batch engine; falls back to event-driven when the
+    /// delay model is not batch-exact.
+    Batch,
+}
+
+impl SimBackend {
+    /// Parses a CLI flag value (`auto` / `event` / `batch`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        match s {
+            "auto" => Some(SimBackend::Auto),
+            "event" => Some(SimBackend::Event),
+            "batch" => Some(SimBackend::Batch),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this selection.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimBackend::Auto => "auto",
+            SimBackend::Event => "event",
+            SimBackend::Batch => "batch",
+        }
+    }
+
+    /// True if this selection should *try* batch compilation under `delay`
+    /// (the compile itself may still decline, e.g. on a broken topology —
+    /// callers then fall back to the event engine).
+    pub fn wants_batch<M: DelayModel + ?Sized>(self, delay: &M) -> bool {
+        match self {
+            SimBackend::Event => false,
+            SimBackend::Auto | SimBackend::Batch => delay.batch_exact(),
+        }
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cheap observability counters for one experiment's simulation work.
+///
+/// Deliberately *not* part of any result struct compared for
+/// reproducibility: wall time varies run to run, results must not.
+#[derive(Clone, Debug, Default)]
+pub struct BackendStats {
+    /// The engine that actually ran (`"event"`, `"batch"`, or
+    /// `"batch+event"` when an experiment mixed both).
+    pub backend: &'static str,
+    /// Input vectors simulated.
+    pub vectors: u64,
+    /// `(vector × Ts)` sample points extracted.
+    pub ts_points: u64,
+    /// Batch engine passes executed.
+    pub batch_runs: u64,
+    /// Event-driven simulations executed.
+    pub event_runs: u64,
+    /// Sum of active lanes over all batch passes.
+    pub lanes_used: u64,
+    /// Word-level waveform steps stored by the batch engine.
+    pub word_steps: u64,
+    /// Per-lane transitions the batch engine represented (the equivalent
+    /// event-driven work).
+    pub lane_transitions: u64,
+    /// Wall-clock time of the simulation phase.
+    pub wall: Duration,
+}
+
+impl BackendStats {
+    /// Folds another stats block into this one (wall times add).
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.backend = match (self.backend, other.backend) {
+            (a, b) if a == b || b.is_empty() => a,
+            ("", b) => b,
+            _ => "batch+event",
+        };
+        self.vectors += other.vectors;
+        self.ts_points += other.ts_points;
+        self.batch_runs += other.batch_runs;
+        self.event_runs += other.event_runs;
+        self.lanes_used += other.lanes_used;
+        self.word_steps += other.word_steps;
+        self.lane_transitions += other.lane_transitions;
+        self.wall += other.wall;
+    }
+
+    /// Mean fraction of the 64 lanes occupied per batch pass (1.0 when
+    /// every pass was full).
+    #[must_use]
+    pub fn lane_utilization(&self) -> f64 {
+        if self.batch_runs == 0 {
+            0.0
+        } else {
+            self.lanes_used as f64 / (64.0 * self.batch_runs as f64)
+        }
+    }
+
+    /// Simulated vectors per second of wall time.
+    #[must_use]
+    pub fn vectors_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.vectors as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// `(vector × Ts)` sample points per second of wall time — the
+    /// throughput figure the paper-reproduction workloads care about.
+    #[must_use]
+    pub fn ts_points_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.ts_points as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human summary for the `repro` report.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "backend={} vectors={} ts_points={} ({:.0} vec/s, {:.0} pts/s)",
+            if self.backend.is_empty() { "event" } else { self.backend },
+            self.vectors,
+            self.ts_points,
+            self.vectors_per_sec(),
+            self.ts_points_per_sec(),
+        );
+        if self.batch_runs > 0 {
+            line.push_str(&format!(
+                " batch_runs={} lane_util={:.0}% word_steps={} lane_transitions={}",
+                self.batch_runs,
+                100.0 * self.lane_utilization(),
+                self.word_steps,
+                self.lane_transitions,
+            ));
+        }
+        if self.event_runs > 0 {
+            line.push_str(&format!(" event_runs={}", self.event_runs));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_netlist::{JitteredDelay, UnitDelay};
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for b in [SimBackend::Auto, SimBackend::Event, SimBackend::Batch] {
+            assert_eq!(SimBackend::parse(b.label()), Some(b));
+            assert_eq!(format!("{b}"), b.label());
+        }
+        assert_eq!(SimBackend::parse("nope"), None);
+        assert_eq!(SimBackend::default(), SimBackend::Auto);
+    }
+
+    #[test]
+    fn auto_and_batch_respect_batch_exactness() {
+        let jitter = JitteredDelay::new(UnitDelay, 10, 1);
+        assert!(SimBackend::Auto.wants_batch(&UnitDelay));
+        assert!(SimBackend::Batch.wants_batch(&UnitDelay));
+        assert!(!SimBackend::Event.wants_batch(&UnitDelay));
+        assert!(!SimBackend::Auto.wants_batch(&jitter), "jitter falls back to event");
+        assert!(!SimBackend::Batch.wants_batch(&jitter));
+    }
+
+    #[test]
+    fn stats_merge_and_rates() {
+        let mut a = BackendStats {
+            backend: "batch",
+            vectors: 64,
+            ts_points: 640,
+            batch_runs: 1,
+            lanes_used: 64,
+            wall: Duration::from_secs(1),
+            ..BackendStats::default()
+        };
+        let b = BackendStats {
+            backend: "batch",
+            vectors: 32,
+            ts_points: 320,
+            batch_runs: 1,
+            lanes_used: 32,
+            ..BackendStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.vectors, 96);
+        assert_eq!(a.backend, "batch");
+        assert!((a.lane_utilization() - 0.75).abs() < 1e-12);
+        assert!((a.vectors_per_sec() - 96.0).abs() < 1e-9);
+        let ev = BackendStats { backend: "event", event_runs: 5, ..BackendStats::default() };
+        a.merge(&ev);
+        assert_eq!(a.backend, "batch+event");
+        assert!(a.summary().contains("batch_runs=2"));
+        assert!(a.summary().contains("event_runs=5"));
+    }
+}

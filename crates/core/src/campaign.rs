@@ -22,11 +22,20 @@
 //! site's samples run through the same deterministic chunk seeding as every
 //! other Monte-Carlo experiment in this crate
 //! ([`parallel_accumulate`](crate::parallel)).
+//!
+//! Campaigns are also backend-pluggable ([`CampaignConfig::backend`]): on a
+//! batch-exact delay model the bit-parallel engine evaluates up to 64
+//! samples per pass — each lane carrying a *different* fault plan
+//! ([`ola_netlist::batch::BatchFaultSet`]) — drawing the identical random
+//! stream and folding samples in the identical order as the event-driven
+//! path, so the two backends produce bit-identical [`CampaignReport`]s.
 
+use crate::backend::{BackendStats, SimBackend};
 use crate::montecarlo::InputModel;
-use crate::parallel::{parallel_accumulate, parallel_map};
+use crate::parallel::{parallel_accumulate, parallel_accumulate_batched, parallel_map};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
+use ola_netlist::batch::{BatchFaultSet, BatchInputs, BatchProgram, MAX_LANES};
 use ola_netlist::fault::logic_fault_sites;
 use ola_netlist::{
     analyze, default_event_budget, simulate_from_zero, simulate_from_zero_with_faults, DelayModel,
@@ -35,6 +44,7 @@ use ola_netlist::{
 use ola_redundant::Digit;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 /// Which single-fault class a campaign injects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
@@ -106,6 +116,10 @@ pub struct CampaignConfig {
     /// Extra gate delay, in time units ([`DelayPush`](FaultClass::DelayPush)
     /// class only).
     pub delay_push: u64,
+    /// Which simulation engine evaluates the samples. Results are
+    /// bit-identical across backends; [`SimBackend::Auto`] uses the batch
+    /// engine whenever the delay model permits.
+    pub backend: SimBackend,
 }
 
 impl Default for CampaignConfig {
@@ -117,6 +131,7 @@ impl Default for CampaignConfig {
             shadow_margin_frac: 0.25,
             transient_duration: 150,
             delay_push: 200,
+            backend: SimBackend::Auto,
         }
     }
 }
@@ -190,6 +205,7 @@ struct Acc {
     msb_hits: usize,
     rank_hits: Vec<u64>,
     unsettled: usize,
+    stats: BackendStats,
 }
 
 impl Acc {
@@ -205,6 +221,7 @@ impl Acc {
             msb_hits: 0,
             rank_hits: vec![0; n_ranks],
             unsettled: 0,
+            stats: BackendStats::default(),
         }
     }
 
@@ -221,6 +238,7 @@ impl Acc {
             *x += y;
         }
         a.unsettled += b.unsettled;
+        a.stats.merge(&b.stats);
         a
     }
 }
@@ -240,6 +258,13 @@ fn select_sites(netlist: &Netlist, cfg: &CampaignConfig) -> Vec<NetId> {
 /// normalized error back to the architecture's native scale for
 /// `worst_error_raw`; `rank_of` maps an output-wire position to its
 /// significance rank (0 = MSB).
+///
+/// Per [`CampaignConfig::backend`], samples run either one at a time on
+/// the event-driven simulator or in ≤ [`MAX_LANES`]-sample groups on the
+/// batch engine (one clean pass + one pass carrying a *different* fault
+/// plan per lane). Both paths share the same random stream (inputs drawn
+/// before the plan, sample for sample) and the same per-sample judgement
+/// (`record`), folded in sample order — so the reports are bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn run_campaign<M, D, V>(
     arch: &str,
@@ -253,7 +278,7 @@ fn run_campaign<M, D, V>(
     value: V,
     class: FaultClass,
     cfg: &CampaignConfig,
-) -> CampaignReport
+) -> (CampaignReport, BackendStats)
 where
     M: DelayModel + Sync,
     D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
@@ -268,56 +293,122 @@ where
     let budget = default_event_budget(netlist);
     let msb_cut = n_ranks.div_ceil(4);
 
+    // The backend-independent per-sample judgement: compare the
+    // main-register capture against the settled clean value, classify the
+    // Razor shadow's verdict, and profile which significance ranks broke.
+    let record = |acc: &mut Acc, correct_bits: &[bool], main: &[bool], shadow: &[bool]| {
+        acc.samples += 1;
+        let correct = value(correct_bits);
+        let err = (value(main) - correct).abs();
+        if main != correct_bits || err > 0.0 {
+            acc.errors += 1;
+            acc.err_sum += err;
+            acc.worst = acc.worst.max(err);
+            acc.worst_raw = acc.worst_raw.max(err * raw_scale);
+            if main != shadow {
+                acc.detected += 1;
+            }
+            let mut best_rank = usize::MAX;
+            for (pos, (&m, &c)) in main.iter().zip(correct_bits).enumerate() {
+                if m != c {
+                    let r = rank_of(pos);
+                    acc.rank_hits[r] += 1;
+                    best_rank = best_rank.min(r);
+                }
+            }
+            if best_rank < msb_cut {
+                acc.msb_hits += 1;
+            }
+        } else if main != shadow {
+            acc.false_alarms += 1;
+        }
+    };
+
+    let prog = if cfg.backend.wants_batch(delay) {
+        BatchProgram::compile(netlist, delay).ok()
+    } else {
+        None
+    };
+    let started = Instant::now();
+
     let per_site: Vec<Acc> = parallel_map(&sites, |site_idx, &site| {
         let site_seed = cfg.seed ^ (site_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        parallel_accumulate(
-            cfg.samples_per_site,
-            site_seed,
-            || Acc::new(n_ranks),
-            |rng, acc| {
-                let inputs = draw(rng);
-                let plan = class.plan(site, rng, period, cfg);
-                let clean = simulate_from_zero(netlist, delay, &inputs);
-                let correct_bits = clean.final_bus(wires);
-                let correct = value(&correct_bits);
-                let Ok(faulty) =
-                    simulate_from_zero_with_faults(netlist, delay, &inputs, &plan, budget)
-                else {
-                    acc.unsettled += 1;
-                    return;
-                };
-                acc.samples += 1;
-                let main = faulty.sample_bus(wires, t_main);
-                let shadow = faulty.sample_bus(wires, t_shadow);
-                let err = (value(&main) - correct).abs();
-                if main != correct_bits || err > 0.0 {
-                    acc.errors += 1;
-                    acc.err_sum += err;
-                    acc.worst = acc.worst.max(err);
-                    acc.worst_raw = acc.worst_raw.max(err * raw_scale);
-                    if main != shadow {
-                        acc.detected += 1;
+        match &prog {
+            Some(prog) => parallel_accumulate_batched(
+                cfg.samples_per_site,
+                site_seed,
+                MAX_LANES as usize,
+                || Acc::new(n_ranks),
+                // Inputs before plan — the exact rng order of the event path.
+                |rng| (draw(rng), class.plan(site, rng, period, cfg)),
+                |group: &[(Vec<bool>, FaultPlan)], acc: &mut Acc| {
+                    let lanes = group.len() as u32;
+                    let vectors: Vec<Vec<bool>> = group.iter().map(|(v, _)| v.clone()).collect();
+                    let plans: Vec<FaultPlan> = group.iter().map(|(_, p)| p.clone()).collect();
+                    let prev = BatchInputs::zeros(prog.num_inputs(), lanes)
+                        .expect("group size bounded by MAX_LANES");
+                    let new = BatchInputs::pack(&vectors).expect("draw produces full vectors");
+                    let clean = prog.run(&prev, &new).expect("shapes validated above");
+                    let faults = BatchFaultSet::compile(&plans, prog.num_nets())
+                        .expect("plans target in-range nets");
+                    let faulty = prog
+                        .run_with_faults(&prev, &new, &faults)
+                        .expect("fault set compiled against this program");
+                    for lane in 0..lanes {
+                        // Batch programs are compiled from validated DAGs,
+                        // so no lane can oscillate: `unsettled` stays 0,
+                        // exactly as the event path finds on these netlists.
+                        record(
+                            acc,
+                            &clean.final_bus(wires, lane),
+                            &faulty.sample_bus(wires, lane, t_main),
+                            &faulty.sample_bus(wires, lane, t_shadow),
+                        );
                     }
-                    let mut best_rank = usize::MAX;
-                    for (pos, (&m, &c)) in main.iter().zip(&correct_bits).enumerate() {
-                        if m != c {
-                            let r = rank_of(pos);
-                            acc.rank_hits[r] += 1;
-                            best_rank = best_rank.min(r);
-                        }
-                    }
-                    if best_rank < msb_cut {
-                        acc.msb_hits += 1;
-                    }
-                } else if main != shadow {
-                    acc.false_alarms += 1;
-                }
-            },
-            Acc::merge,
-        )
+                    acc.stats.backend = "batch";
+                    acc.stats.vectors += u64::from(lanes);
+                    acc.stats.ts_points += 2 * u64::from(lanes);
+                    acc.stats.batch_runs += 2;
+                    acc.stats.lanes_used += 2 * u64::from(lanes);
+                    acc.stats.word_steps += clean.word_steps() + faulty.word_steps();
+                    acc.stats.lane_transitions +=
+                        clean.lane_transitions() + faulty.lane_transitions();
+                },
+                Acc::merge,
+            ),
+            None => parallel_accumulate(
+                cfg.samples_per_site,
+                site_seed,
+                || Acc::new(n_ranks),
+                |rng, acc| {
+                    let inputs = draw(rng);
+                    let plan = class.plan(site, rng, period, cfg);
+                    let clean = simulate_from_zero(netlist, delay, &inputs);
+                    let correct_bits = clean.final_bus(wires);
+                    acc.stats.backend = "event";
+                    acc.stats.vectors += 1;
+                    acc.stats.event_runs += 2;
+                    let Ok(faulty) =
+                        simulate_from_zero_with_faults(netlist, delay, &inputs, &plan, budget)
+                    else {
+                        acc.unsettled += 1;
+                        return;
+                    };
+                    acc.stats.ts_points += 2;
+                    record(
+                        acc,
+                        &correct_bits,
+                        &faulty.sample_bus(wires, t_main),
+                        &faulty.sample_bus(wires, t_shadow),
+                    );
+                },
+                Acc::merge,
+            ),
+        }
     });
 
-    let total = per_site.iter().fold(Acc::new(n_ranks), Acc::merge);
+    let mut total = per_site.iter().fold(Acc::new(n_ranks), Acc::merge);
+    total.stats.wall = started.elapsed();
     let evaluated = total.samples.max(1) as f64;
     let clean_samples = (total.samples - total.errors).max(1) as f64;
     let site_reports = sites
@@ -335,7 +426,7 @@ where
         })
         .collect();
 
-    CampaignReport {
+    let report = CampaignReport {
         arch: arch.to_string(),
         fault_class: class,
         sites: sites.len(),
@@ -360,7 +451,8 @@ where
         rank_profile: total.rank_hits.iter().map(|&h| h as f64 / evaluated).collect(),
         unsettled: total.unsettled,
         site_reports,
-    }
+    };
+    (report, total.stats)
 }
 
 /// Full-scale value of an online result bus: every digit at `+1`.
@@ -387,6 +479,22 @@ pub fn online_fault_campaign<M: DelayModel + Sync>(
     class: FaultClass,
     cfg: &CampaignConfig,
 ) -> CampaignReport {
+    online_fault_campaign_with_stats(circuit, delay, model, class, cfg).0
+}
+
+/// [`online_fault_campaign`] plus the backend's observability counters.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_site` is zero.
+#[must_use]
+pub fn online_fault_campaign_with_stats<M: DelayModel + Sync>(
+    circuit: &OnlineMultiplierCircuit,
+    delay: &M,
+    model: InputModel,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> (CampaignReport, BackendStats) {
     let zp = circuit.netlist.output("zp").to_vec();
     let zn = circuit.netlist.output("zn").to_vec();
     let digits = zp.len();
@@ -433,6 +541,21 @@ pub fn array_fault_campaign<M: DelayModel + Sync>(
     class: FaultClass,
     cfg: &CampaignConfig,
 ) -> CampaignReport {
+    array_fault_campaign_with_stats(circuit, delay, class, cfg).0
+}
+
+/// [`array_fault_campaign`] plus the backend's observability counters.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_site` is zero.
+#[must_use]
+pub fn array_fault_campaign_with_stats<M: DelayModel + Sync>(
+    circuit: &ArrayMultiplierCircuit,
+    delay: &M,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> (CampaignReport, BackendStats) {
     let wires = circuit.netlist.output("product").to_vec();
     let bits = wires.len();
     let w = circuit.width;
@@ -563,6 +686,65 @@ mod tests {
             &cfg,
         );
         assert_eq!(rep.sites, n_all);
+    }
+
+    #[test]
+    fn batch_and_event_campaigns_are_bit_identical() {
+        // Transient plans consume rng *after* the operand draw, so this
+        // also pins the shared random-stream ordering across backends.
+        let om = online_multiplier(4, 3);
+        let am = array_multiplier(5);
+        for class in FaultClass::ALL {
+            let cfg_ev = CampaignConfig { backend: SimBackend::Event, ..quick_cfg() };
+            let cfg_ba = CampaignConfig { backend: SimBackend::Batch, ..quick_cfg() };
+            let (ev, ev_stats) = online_fault_campaign_with_stats(
+                &om,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                class,
+                &cfg_ev,
+            );
+            let (ba, ba_stats) = online_fault_campaign_with_stats(
+                &om,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                class,
+                &cfg_ba,
+            );
+            assert_eq!(ev, ba, "online {class:?} reports must match");
+            assert_eq!(ev_stats.backend, "event");
+            assert_eq!(ba_stats.backend, "batch");
+            assert_eq!(ev_stats.vectors, ba_stats.vectors);
+            let ev = array_fault_campaign(&am, &UnitDelay, class, &cfg_ev);
+            let ba = array_fault_campaign(&am, &UnitDelay, class, &cfg_ba);
+            assert_eq!(ev, ba, "array {class:?} reports must match");
+        }
+    }
+
+    #[test]
+    fn campaign_batch_request_on_jitter_falls_back_to_event() {
+        use ola_netlist::JitteredDelay;
+        let om = online_multiplier(3, 3);
+        let delay = JitteredDelay::new(UnitDelay, 15, 3);
+        let cfg = CampaignConfig { backend: SimBackend::Batch, ..quick_cfg() };
+        let (rep, stats) = online_fault_campaign_with_stats(
+            &om,
+            &delay,
+            InputModel::UniformDigits,
+            FaultClass::StuckAt0,
+            &cfg,
+        );
+        assert_eq!(stats.backend, "event", "jitter is not batch-exact");
+        assert_eq!(stats.batch_runs, 0);
+        let cfg_auto = CampaignConfig { backend: SimBackend::Auto, ..cfg };
+        let auto = online_fault_campaign(
+            &om,
+            &delay,
+            InputModel::UniformDigits,
+            FaultClass::StuckAt0,
+            &cfg_auto,
+        );
+        assert_eq!(rep, auto, "backend choice must not leak into the report");
     }
 
     #[test]

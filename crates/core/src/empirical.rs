@@ -2,16 +2,31 @@
 //!
 //! The counterpart of the paper's post-place-and-route results (Figure 4,
 //! bottom row): instead of the stage-wave abstraction, run the synthesized
-//! netlists through the event-driven timing simulator under a (jittered)
-//! delay model and sample the output registers at a sweep of clock periods.
+//! netlists through a timing simulator under a (jittered) delay model and
+//! sample the output registers at a sweep of clock periods.
+//!
+//! Both public curves funnel into one shared sampling engine ([`curve_with`])
+//! that is parameterized over a [`SimBackend`]: the event-driven simulator
+//! (one vector per run) or the bit-parallel batch engine (64 vectors per
+//! pass, [`ola_netlist::batch`]). The two backends draw the *same* random
+//! stream (see [`crate::parallel::parallel_accumulate_batched`]) and judge
+//! samples in the same per-sample / per-`Ts` order with the same
+//! native-typed comparisons, so the produced [`GateLevelCurve`]s are
+//! bit-identical — batch is purely an accelerator. Delay models that are
+//! not batch-exact (e.g. [`JitteredDelay`](ola_netlist::JitteredDelay))
+//! transparently fall back to the event engine.
 
+use crate::backend::{BackendStats, SimBackend};
 use crate::montecarlo::InputModel;
-use crate::parallel::parallel_accumulate;
+use crate::parallel::{parallel_accumulate, parallel_accumulate_batched};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
-use ola_netlist::{analyze, simulate_from_zero, DelayModel};
+use ola_netlist::batch::{BatchInputs, BatchProgram, MAX_LANES};
+use ola_netlist::{analyze, simulate_from_zero, DelayModel, NetId, Netlist};
 use ola_redundant::Digit;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 /// Mean error per sampled clock period for one synthesized operator.
 #[derive(Clone, Debug, PartialEq, serde::Serialize)]
@@ -46,6 +61,27 @@ struct Acc {
     viol: Vec<u64>,
     max_settle: u64,
     samples: usize,
+    stats: BackendStats,
+}
+
+impl Acc {
+    fn new(ts_len: usize) -> Acc {
+        Acc {
+            err: vec![0.0; ts_len],
+            viol: vec![0; ts_len],
+            max_settle: 0,
+            samples: 0,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Folds one `(sampled, settled)` judgement into slot `i`.
+    fn record(&mut self, i: usize, violation: bool, abs_error: f64) {
+        if violation {
+            self.viol[i] += 1;
+        }
+        self.err[i] += abs_error;
+    }
 }
 
 fn merge(mut a: Acc, b: &Acc) -> Acc {
@@ -55,10 +91,166 @@ fn merge(mut a: Acc, b: &Acc) -> Acc {
     }
     a.max_settle = a.max_settle.max(b.max_settle);
     a.samples += b.samples;
+    a.stats.merge(&b.stats);
     a
 }
 
+/// The shared per-`Ts` sampling engine behind every gate-level curve.
+///
+/// `draw` produces one already-encoded primary-input vector per sample;
+/// `judge` compares a sampled output-bus bit pattern against the settled
+/// one and returns `(any_violation, abs_error)` — crucially it judges *bit
+/// patterns* in the caller's native number system (redundant digit values,
+/// exact `i64` products), never pre-flattened `f64`s, so both backends run
+/// the identical comparison.
+///
+/// The event path simulates one vector per run; the batch path compiles
+/// the netlist once and runs up to [`MAX_LANES`] vectors per pass, sampling
+/// the whole `Ts` grid with one sweep per pass. Lane order is sample order
+/// and the per-chunk accumulation order (sample-outer, `Ts`-inner) matches
+/// the event path exactly, so `f64` additions happen in the same order and
+/// the curves are bit-identical. If batch compilation declines (non
+/// batch-exact delay model, broken topology), the event path runs instead.
+#[allow(clippy::too_many_arguments)] // internal engine behind the two public wrappers
+fn curve_with<M, D, J>(
+    netlist: &Netlist,
+    wires: &[NetId],
+    delay: &M,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+    backend: SimBackend,
+    draw: D,
+    judge: J,
+) -> (GateLevelCurve, BackendStats)
+where
+    M: DelayModel + Sync,
+    D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
+    J: Fn(&[bool], &[bool]) -> (bool, f64) + Sync,
+{
+    assert!(!ts_points.is_empty() && samples > 0);
+    let prog =
+        if backend.wants_batch(delay) { BatchProgram::compile(netlist, delay).ok() } else { None };
+    let started = Instant::now();
+    let mut acc = match &prog {
+        Some(prog) => parallel_accumulate_batched(
+            samples,
+            seed,
+            MAX_LANES as usize,
+            || Acc::new(ts_points.len()),
+            |rng| draw(rng),
+            |group: &[Vec<bool>], acc: &mut Acc| {
+                let lanes = group.len() as u32;
+                let prev = BatchInputs::zeros(prog.num_inputs(), lanes)
+                    .expect("group size bounded by MAX_LANES");
+                let new = BatchInputs::pack(group).expect("draw produces full input vectors");
+                let res = prog.run(&prev, &new).expect("shapes validated above");
+                let bus = res.bus_waves(wires).expect("output bus nets exist");
+                let sweep = bus.sweep(ts_points);
+                for lane in 0..lanes {
+                    acc.max_settle = acc.max_settle.max(res.settle_time(lane));
+                    let settled = bus.settled_lane(lane);
+                    for i in 0..ts_points.len() {
+                        let (violation, abs_error) = judge(&sweep.lane_bits(i, lane), &settled);
+                        acc.record(i, violation, abs_error);
+                    }
+                }
+                acc.samples += group.len();
+                acc.stats.backend = "batch";
+                acc.stats.vectors += u64::from(lanes);
+                acc.stats.ts_points += u64::from(lanes) * ts_points.len() as u64;
+                acc.stats.batch_runs += 1;
+                acc.stats.lanes_used += u64::from(lanes);
+                acc.stats.word_steps += res.word_steps();
+                acc.stats.lane_transitions += res.lane_transitions();
+            },
+            merge,
+        ),
+        None => parallel_accumulate(
+            samples,
+            seed,
+            || Acc::new(ts_points.len()),
+            |rng, acc| {
+                let inputs = draw(rng);
+                let res = simulate_from_zero(netlist, delay, &inputs);
+                acc.max_settle = acc.max_settle.max(res.settle_time());
+                let settled = res.final_bus(wires);
+                for (i, &t) in ts_points.iter().enumerate() {
+                    let (violation, abs_error) = judge(&res.sample_bus(wires, t), &settled);
+                    acc.record(i, violation, abs_error);
+                }
+                acc.samples += 1;
+                acc.stats.backend = "event";
+                acc.stats.vectors += 1;
+                acc.stats.ts_points += ts_points.len() as u64;
+                acc.stats.event_runs += 1;
+            },
+            merge,
+        ),
+    };
+    acc.stats.wall = started.elapsed();
+    let critical_path = analyze(netlist, delay).critical_path();
+    let s = acc.samples as f64;
+    let curve = GateLevelCurve {
+        ts: ts_points.to_vec(),
+        mean_abs_error: acc.err.iter().map(|&e| e / s).collect(),
+        violation_rate: acc.viol.iter().map(|&v| v as f64 / s).collect(),
+        critical_path,
+        max_settle: acc.max_settle,
+        samples: acc.samples,
+    };
+    (curve, acc.stats)
+}
+
+/// Sweeps a synthesized online multiplier at the given clock periods on a
+/// chosen [`SimBackend`], returning the curve and the backend's
+/// observability counters.
+///
+/// # Panics
+///
+/// Panics if `ts_points` or `samples` is empty/zero.
+#[must_use]
+pub fn om_gate_level_curve_with<M: DelayModel + Sync>(
+    circuit: &OnlineMultiplierCircuit,
+    delay: &M,
+    model: InputModel,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+    backend: SimBackend,
+) -> (GateLevelCurve, BackendStats) {
+    let mut wires = circuit.netlist.output("zp").to_vec();
+    let zp_len = wires.len();
+    wires.extend_from_slice(circuit.netlist.output("zn"));
+    let n = circuit.n;
+    curve_with(
+        &circuit.netlist,
+        &wires,
+        delay,
+        ts_points,
+        samples,
+        seed,
+        backend,
+        |rng| {
+            let x = model.draw(rng, n);
+            let y = model.draw(rng, n);
+            circuit.encode_inputs(&x, &y)
+        },
+        |sampled, settled| {
+            // Compare on the redundant-digit *value* scale: distinct digit
+            // vectors can represent the same number, and the paper counts
+            // those as correct.
+            let v = digits_value(&decode(&sampled[..zp_len], &sampled[zp_len..]));
+            let correct = digits_value(&decode(&settled[..zp_len], &settled[zp_len..]));
+            (v != correct, (v - correct).abs().to_f64())
+        },
+    )
+}
+
 /// Sweeps a synthesized online multiplier at the given clock periods.
+///
+/// Equivalent to [`om_gate_level_curve_with`] on [`SimBackend::Auto`],
+/// discarding the stats.
 ///
 /// # Panics
 ///
@@ -72,45 +264,59 @@ pub fn om_gate_level_curve<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
 ) -> GateLevelCurve {
-    assert!(!ts_points.is_empty() && samples > 0);
-    let zp = circuit.netlist.output("zp").to_vec();
-    let zn = circuit.netlist.output("zn").to_vec();
-    let n = circuit.n;
-    let acc = parallel_accumulate(
-        samples,
-        seed,
-        || Acc {
-            err: vec![0.0; ts_points.len()],
-            viol: vec![0; ts_points.len()],
-            max_settle: 0,
-            samples: 0,
-        },
-        |rng, acc| {
-            let x = model.draw(rng, n);
-            let y = model.draw(rng, n);
-            let inputs = circuit.encode_inputs(&x, &y);
-            let res = simulate_from_zero(&circuit.netlist, delay, &inputs);
-            acc.max_settle = acc.max_settle.max(res.settle_time());
-            let correct = digits_value(&decode(&res.final_bus(&zp), &res.final_bus(&zn)));
-            for (i, &t) in ts_points.iter().enumerate() {
-                let digits = decode(&res.sample_bus(&zp, t), &res.sample_bus(&zn, t));
-                let v = digits_value(&digits);
-                if v != correct {
-                    acc.viol[i] += 1;
-                }
-                acc.err[i] += (v - correct).abs().to_f64();
-            }
-            acc.samples += 1;
-        },
-        merge,
-    );
-    finish(acc, ts_points, analyze(&circuit.netlist, delay).critical_path())
+    om_gate_level_curve_with(circuit, delay, model, ts_points, samples, seed, SimBackend::Auto).0
 }
 
 /// Sweeps a synthesized two's-complement array multiplier at the given
-/// clock periods. Operands are drawn uniformly over the full raw range;
-/// errors are reported on the fraction scale (`raw / 2^(width−1)` operands,
-/// products in `(−1, 1)`).
+/// clock periods on a chosen [`SimBackend`], returning the curve and the
+/// backend's observability counters. Operands are drawn uniformly over the
+/// full raw range; errors are reported on the fraction scale
+/// (`raw / 2^(width−1)` operands, products in `(−1, 1)`).
+///
+/// # Panics
+///
+/// Panics if `ts_points` or `samples` is empty/zero.
+#[must_use]
+pub fn array_gate_level_curve_with<M: DelayModel + Sync>(
+    circuit: &ArrayMultiplierCircuit,
+    delay: &M,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+    backend: SimBackend,
+) -> (GateLevelCurve, BackendStats) {
+    let wires = circuit.netlist.output("product").to_vec();
+    let w = circuit.width;
+    let lim = 1i64 << (w - 1);
+    let scale = ((2 * (w - 1)) as f64).exp2();
+    curve_with(
+        &circuit.netlist,
+        &wires,
+        delay,
+        ts_points,
+        samples,
+        seed,
+        backend,
+        |rng| {
+            let a = rng.gen_range(-lim..lim);
+            let b = rng.gen_range(-lim..lim);
+            circuit.encode_inputs(a, b)
+        },
+        |sampled, settled| {
+            // Exact i64 comparison before any float: 2(w−1)-bit products
+            // exceed f64's integer range at w = 32.
+            let v = circuit.decode_product(sampled);
+            let correct = circuit.decode_product(settled);
+            (v != correct, (v - correct).abs() as f64 / scale)
+        },
+    )
+}
+
+/// Sweeps a synthesized two's-complement array multiplier at the given
+/// clock periods.
+///
+/// Equivalent to [`array_gate_level_curve_with`] on [`SimBackend::Auto`],
+/// discarding the stats.
 ///
 /// # Panics
 ///
@@ -123,63 +329,18 @@ pub fn array_gate_level_curve<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
 ) -> GateLevelCurve {
-    assert!(!ts_points.is_empty() && samples > 0);
-    let out = circuit.netlist.output("product").to_vec();
-    let w = circuit.width;
-    let lim = 1i64 << (w - 1);
-    let scale = ((2 * (w - 1)) as f64).exp2();
-    let acc = parallel_accumulate(
-        samples,
-        seed,
-        || Acc {
-            err: vec![0.0; ts_points.len()],
-            viol: vec![0; ts_points.len()],
-            max_settle: 0,
-            samples: 0,
-        },
-        |rng, acc| {
-            let a = rng.gen_range(-lim..lim);
-            let b = rng.gen_range(-lim..lim);
-            let inputs = circuit.encode_inputs(a, b);
-            let res = simulate_from_zero(&circuit.netlist, delay, &inputs);
-            acc.max_settle = acc.max_settle.max(res.settle_time());
-            let correct = circuit.decode_product(&res.final_bus(&out));
-            debug_assert_eq!(correct, a * b);
-            for (i, &t) in ts_points.iter().enumerate() {
-                let v = circuit.decode_product(&res.sample_bus(&out, t));
-                if v != correct {
-                    acc.viol[i] += 1;
-                }
-                acc.err[i] += (v - correct).abs() as f64 / scale;
-            }
-            acc.samples += 1;
-        },
-        merge,
-    );
-    finish(acc, ts_points, analyze(&circuit.netlist, delay).critical_path())
+    array_gate_level_curve_with(circuit, delay, ts_points, samples, seed, SimBackend::Auto).0
 }
 
 fn decode(zp: &[bool], zn: &[bool]) -> Vec<Digit> {
     zp.iter().zip(zn).map(|(&p, &n)| Digit::from_bits(p, n)).collect()
 }
 
-fn finish(acc: Acc, ts_points: &[u64], critical_path: u64) -> GateLevelCurve {
-    let s = acc.samples as f64;
-    GateLevelCurve {
-        ts: ts_points.to_vec(),
-        mean_abs_error: acc.err.iter().map(|&e| e / s).collect(),
-        violation_rate: acc.viol.iter().map(|&v| v as f64 / s).collect(),
-        critical_path,
-        max_settle: acc.max_settle,
-        samples: acc.samples,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ola_arith::synth::{array_multiplier, online_multiplier};
-    use ola_netlist::{JitteredDelay, UnitDelay};
+    use ola_netlist::{FpgaDelay, JitteredDelay, UnitDelay};
 
     #[test]
     fn om_curve_settles_at_critical_path() {
@@ -261,5 +422,91 @@ mod tests {
             5,
         );
         assert_eq!(*curve.mean_abs_error.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn om_batch_and_event_curves_are_bit_identical() {
+        let circuit = online_multiplier(6, 3);
+        for delay in [FpgaDelay::default(), FpgaDelay { not: 10, two_input: 70, mux: 90 }] {
+            let rep = analyze(&circuit.netlist, &delay);
+            let ts: Vec<u64> = (1..=5).map(|k| rep.critical_path() * k / 5).collect();
+            let (ev, ev_stats) = om_gate_level_curve_with(
+                &circuit,
+                &delay,
+                InputModel::UniformDigits,
+                &ts,
+                100,
+                9,
+                SimBackend::Event,
+            );
+            let (ba, ba_stats) = om_gate_level_curve_with(
+                &circuit,
+                &delay,
+                InputModel::UniformDigits,
+                &ts,
+                100,
+                9,
+                SimBackend::Batch,
+            );
+            assert_eq!(ev, ba, "curves must be bit-identical");
+            assert_eq!(ev_stats.backend, "event");
+            assert_eq!(ba_stats.backend, "batch");
+            assert_eq!(ba_stats.batch_runs, 2, "100 samples = 64 + 36 lanes");
+            assert_eq!(ba_stats.vectors, 100);
+            assert_eq!(ev_stats.ts_points, 500);
+            assert_eq!(ba_stats.ts_points, 500);
+        }
+    }
+
+    #[test]
+    fn array_batch_and_event_curves_are_bit_identical() {
+        let circuit = array_multiplier(7);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let ts = vec![rep.critical_path() / 3, rep.critical_path() * 7 / 10, rep.critical_path()];
+        let (ev, _) =
+            array_gate_level_curve_with(&circuit, &UnitDelay, &ts, 90, 11, SimBackend::Event);
+        let (ba, stats) =
+            array_gate_level_curve_with(&circuit, &UnitDelay, &ts, 90, 11, SimBackend::Batch);
+        assert_eq!(ev, ba);
+        assert!(stats.lane_utilization() > 0.5);
+    }
+
+    #[test]
+    fn batch_request_on_jitter_falls_back_to_event() {
+        let circuit = online_multiplier(5, 3);
+        let delay = JitteredDelay::new(UnitDelay, 25, 13);
+        let ts = vec![analyze(&circuit.netlist, &delay).critical_path()];
+        let (curve, stats) = om_gate_level_curve_with(
+            &circuit,
+            &delay,
+            InputModel::UniformDigits,
+            &ts,
+            20,
+            6,
+            SimBackend::Batch,
+        );
+        assert_eq!(stats.backend, "event", "jitter is not batch-exact");
+        assert_eq!(stats.batch_runs, 0);
+        let reference =
+            om_gate_level_curve(&circuit, &delay, InputModel::UniformDigits, &ts, 20, 6);
+        assert_eq!(curve, reference);
+    }
+
+    #[test]
+    fn auto_backend_picks_batch_for_deterministic_delays() {
+        let circuit = online_multiplier(5, 3);
+        let ts = vec![analyze(&circuit.netlist, &UnitDelay).critical_path() / 2];
+        let (_, stats) = om_gate_level_curve_with(
+            &circuit,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            &ts,
+            30,
+            8,
+            SimBackend::Auto,
+        );
+        assert_eq!(stats.backend, "batch");
+        assert!(stats.word_steps > 0);
+        assert!(stats.lane_transitions >= stats.word_steps);
     }
 }

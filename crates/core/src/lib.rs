@@ -14,6 +14,9 @@
 //! * [`montecarlo`] — stage-wave Monte-Carlo verification (Figure 4 top);
 //! * [`empirical`] — gate-level netlist sweeps under jittered delays
 //!   (Figure 4 bottom, the "FPGA" results);
+//! * [`backend`] — pluggable simulation engine selection ([`SimBackend`]:
+//!   event-driven vs bit-parallel batch) plus the observability counters
+//!   ([`BackendStats`]) the `repro` binary reports;
 //! * [`baseline`] — conventional ripple-carry behaviour: exact carry-chain
 //!   distribution and Monte-Carlo, showing the flat error expectation that
 //!   makes conventional overclocking catastrophic;
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod baseline;
 pub mod campaign;
 pub mod empirical;
@@ -58,4 +62,5 @@ pub mod razor;
 pub mod sweep;
 pub mod timing;
 
+pub use backend::{BackendStats, SimBackend};
 pub use montecarlo::InputModel;

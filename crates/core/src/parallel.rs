@@ -123,6 +123,63 @@ where
     iter.fold(first, |acc, chunk| merge(acc, &chunk))
 }
 
+/// Like [`parallel_accumulate`], but hands the payloads to `step` in
+/// groups of up to `batch` at a time — the shape batch (bit-parallel)
+/// simulation wants, where one engine pass serves up to 64 draws.
+///
+/// Crucially the random stream is *identical* to the unbatched variant:
+/// each chunk is seeded purely by `(seed, chunk_index)` and `draw` is
+/// called once per sample in order, consuming the rng exactly as a
+/// `parallel_accumulate` step that begins by drawing the same payload
+/// would. A backend that draws via `draw` and judges via `step` therefore
+/// sees the same samples whether it batches or not — the property the
+/// event/batch CSV-equality guarantee rests on.
+///
+/// # Panics
+///
+/// If `draw` or `step` panics, the panic is re-raised on the calling
+/// thread annotated with the chunk index that failed.
+pub fn parallel_accumulate_batched<A, T, I, G, F, M>(
+    samples: usize,
+    seed: u64,
+    batch: usize,
+    init: I,
+    draw: G,
+    step: F,
+    merge: M,
+) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    G: Fn(&mut ChaCha8Rng) -> T + Sync,
+    F: Fn(&[T], &mut A) + Sync,
+    M: Fn(A, &A) -> A,
+{
+    let batch = batch.max(1);
+    let chunks = samples.div_ceil(CHUNK).max(1);
+    let results: Vec<Mutex<Option<A>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+
+    run_jobs(chunks, thread_count(chunks), |c| {
+        let count = if c == chunks - 1 { samples - c * CHUNK } else { CHUNK };
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Draw every payload of the chunk first, in sample order, so the
+        // rng stream matches the unbatched accumulator sample for sample.
+        let items: Vec<T> = (0..count).map(|_| draw(&mut rng)).collect();
+        let mut acc = init();
+        for group in items.chunks(batch) {
+            step(group, &mut acc);
+        }
+        *results[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(acc);
+    });
+
+    let mut iter = results.into_iter().map(|m| {
+        m.into_inner().unwrap_or_else(PoisonError::into_inner).expect("every chunk was processed")
+    });
+    let first = iter.next().expect("at least one chunk");
+    iter.fold(first, |acc, chunk| merge(acc, &chunk))
+}
+
 /// Maps `f` over `items` in parallel, returning the results in the same
 /// order as the input. Each call receives the item index, so callers can
 /// derive deterministic per-item seeds; results are independent of the
@@ -198,6 +255,38 @@ mod tests {
             )
         };
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn batched_accumulation_matches_unbatched_stream() {
+        // A draw-only workload must see the identical sample sequence
+        // whether it is stepped one at a time or in groups — the property
+        // the event/batch backend CSV-equality guarantee rests on.
+        let unbatched = parallel_accumulate(
+            777,
+            42,
+            Vec::new,
+            |rng, acc: &mut Vec<u32>| acc.push(rng.gen_range(0..1_000_000u32)),
+            |mut a, b| {
+                a.extend_from_slice(b);
+                a
+            },
+        );
+        for batch in [1usize, 7, 64, 300] {
+            let batched = parallel_accumulate_batched(
+                777,
+                42,
+                batch,
+                Vec::new,
+                |rng| rng.gen_range(0..1_000_000u32),
+                |group, acc: &mut Vec<u32>| acc.extend_from_slice(group),
+                |mut a, b| {
+                    a.extend_from_slice(b);
+                    a
+                },
+            );
+            assert_eq!(batched, unbatched, "batch = {batch}");
+        }
     }
 
     #[test]

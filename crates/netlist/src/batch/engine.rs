@@ -1,0 +1,675 @@
+//! The lane-word batch execution engine.
+//!
+//! One [`BatchProgram::run`] replays the event-driven simulator's
+//! transport-delay semantics for 64 input vectors at once, *without an
+//! event queue*: because the program is a levelized DAG and every gate's
+//! delay is a compile-time constant, each net's settling waveform is a pure
+//! function of its fanin waveforms — `out(t + d) = f(inputs(t))` — so a
+//! single pass in topological order produces the exact waveform of every
+//! net. Word-level change detection (a step is recorded only when some
+//! lane's bit changes) is the batch counterpart of the event simulator's
+//! schedule-equal-value cancellation.
+//!
+//! With faults ([`BatchProgram::run_with_faults`]) each lane may carry a
+//! *different* [`FaultPlan`](crate::FaultPlan): stuck bits and transient
+//! windows transform the observed waveform per lane, and per-lane delay
+//! pushes split a gate's output into delay groups that are shifted
+//! independently and re-merged.
+
+use crate::batch::fault::{BatchFaultSet, LaneFaults};
+use crate::batch::program::{active_mask, BatchInputs, BatchProgram};
+use crate::batch::wave::LaneWave;
+use crate::{BatchError, GateKind, NetId, NetlistError};
+
+/// Word-parallel gate evaluation: every bit position is one lane.
+pub(crate) fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
+    match kind {
+        GateKind::Not => !a,
+        GateKind::And => a & b,
+        GateKind::Or => a | b,
+        GateKind::Xor => a ^ b,
+        GateKind::Nand => !(a & b),
+        GateKind::Nor => !(a | b),
+        GateKind::Xnor => !(a ^ b),
+        GateKind::Mux => (a & b) | (!a & c),
+        GateKind::Input | GateKind::Const => unreachable!("not a logic gate"),
+    }
+}
+
+fn gate_arity(kind: GateKind) -> usize {
+    match kind {
+        GateKind::Not => 1,
+        GateKind::Mux => 3,
+        _ => 2,
+    }
+}
+
+/// The input waveform: lanes switch from their previous to their new bit at
+/// their delay-push time (0 without faults). Groups are sorted by push.
+fn input_wave(prev: u64, new: u64, groups: &[(u64, u64)]) -> LaneWave {
+    let mut steps = Vec::new();
+    let mut word = prev;
+    let mut i = 0;
+    while i < groups.len() {
+        let t = groups[i].0;
+        let mut mask = 0u64;
+        while i < groups.len() && groups[i].0 == t {
+            mask |= groups[i].1;
+            i += 1;
+        }
+        let next = (word & !mask) | (new & mask);
+        if next != word {
+            word = next;
+            steps.push((t, word));
+        }
+    }
+    LaneWave { initial: prev, steps }
+}
+
+/// One gate's raw output waveform from its fanin waveforms.
+///
+/// First the deduplicated *function stream* — `f(inputs(t))` at every time
+/// any fanin changes — then each delay group `g` shifts that stream by its
+/// effective delay `(base + push_g).max(1)` and contributes its lanes; the
+/// group streams are k-way merged back into one waveform.
+fn gate_wave(
+    kind: GateKind,
+    ins: &[&LaneWave],
+    init: u64,
+    base_delay: u64,
+    groups: &[(u64, u64)],
+) -> LaneWave {
+    // Function stream.
+    let mut cur = [0u64; 3];
+    let mut idx = [0usize; 3];
+    for (j, w) in ins.iter().enumerate() {
+        cur[j] = w.initial;
+    }
+    let mut f_prev = init;
+    let mut fstream: Vec<(u64, u64)> = Vec::new();
+    loop {
+        let mut t_next = u64::MAX;
+        let mut any = false;
+        for (j, w) in ins.iter().enumerate() {
+            if let Some(&(t, _)) = w.steps.get(idx[j]) {
+                t_next = t_next.min(t);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        for (j, w) in ins.iter().enumerate() {
+            if let Some(&(t, word)) = w.steps.get(idx[j]) {
+                if t == t_next {
+                    cur[j] = word;
+                    idx[j] += 1;
+                }
+            }
+        }
+        let f = eval_word(kind, cur[0], cur[1], cur[2]);
+        if f != f_prev {
+            f_prev = f;
+            fstream.push((t_next, f));
+        }
+    }
+
+    if let [(push, _mask)] = groups {
+        // Fast path: one delay for every lane (the fault-free case).
+        let d = base_delay.saturating_add(*push).max(1);
+        let steps = fstream.into_iter().map(|(t, f)| (t.saturating_add(d), f)).collect();
+        return LaneWave { initial: init, steps };
+    }
+
+    // Per-lane delays: merge the per-group shifted streams.
+    let ds: Vec<u64> =
+        groups.iter().map(|&(push, _)| base_delay.saturating_add(push).max(1)).collect();
+    let mut cursors = vec![0usize; groups.len()];
+    let mut words: Vec<u64> = groups.iter().map(|&(_, mask)| init & mask).collect();
+    let mut last = init;
+    let mut steps = Vec::new();
+    loop {
+        let mut t_next = u64::MAX;
+        let mut any = false;
+        for (g, &d) in ds.iter().enumerate() {
+            if let Some(&(t, _)) = fstream.get(cursors[g]) {
+                t_next = t_next.min(t.saturating_add(d));
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        for (g, &d) in ds.iter().enumerate() {
+            while let Some(&(t, f)) = fstream.get(cursors[g]) {
+                if t.saturating_add(d) == t_next {
+                    words[g] = f & groups[g].1;
+                    cursors[g] += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let word = words.iter().fold(0u64, |acc, &w| acc | w);
+        if word != last {
+            last = word;
+            steps.push((t_next, word));
+        }
+    }
+    LaneWave { initial: init, steps }
+}
+
+/// Applies the per-lane observation transform (stuck bits, transient
+/// windows) to a raw waveform: candidate change times are the raw step
+/// times plus the window boundaries, and at each the observed word is
+/// `((raw ^ flips) & !stuck_mask) | stuck_vals`.
+fn observe_wave(raw: &LaneWave, f: &LaneFaults) -> LaneWave {
+    let init = (raw.initial & !f.stuck_mask) | f.stuck_vals;
+    let mut times: Vec<u64> = raw.steps.iter().map(|&(t, _)| t).collect();
+    for &(start, end, _) in &f.windows {
+        times.push(start);
+        times.push(end);
+    }
+    times.sort_unstable();
+    times.dedup();
+
+    let mut steps = Vec::new();
+    let mut last = init;
+    let mut cur_raw = raw.initial;
+    let mut ci = 0usize;
+    for &t in &times {
+        while let Some(&(ts, w)) = raw.steps.get(ci) {
+            if ts <= t {
+                cur_raw = w;
+                ci += 1;
+            } else {
+                break;
+            }
+        }
+        let mut flips = 0u64;
+        for &(start, end, mask) in &f.windows {
+            if t >= start && t < end {
+                flips |= mask;
+            }
+        }
+        let word = ((cur_raw ^ flips) & !f.stuck_mask) | f.stuck_vals;
+        if word != last {
+            last = word;
+            steps.push((t, word));
+        }
+    }
+    LaneWave { initial: init, steps }
+}
+
+const NO_FAULT_GROUPS: [(u64, u64); 1] = [(0, u64::MAX)];
+
+/// The settling history of one batch run: 64-lane waveforms for every net,
+/// per-lane settle times, and engine-work counters.
+///
+/// The per-lane view ([`BatchSimResult::value_at`],
+/// [`BatchSimResult::lane_waveform`](Self::lane_waveform)) is bit-identical
+/// to the event-driven [`SimResult`](crate::SimResult) of the same
+/// (vector, fault-plan) pair — the equivalence the proptest suite pins
+/// down.
+#[derive(Clone, Debug)]
+pub struct BatchSimResult {
+    lanes: u32,
+    waves: Vec<LaneWave>,
+    settle: Vec<u64>,
+    word_steps: u64,
+    lane_transitions: u64,
+}
+
+impl BatchSimResult {
+    /// Number of active lanes (input vectors).
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// The lane-word waveform of `net`.
+    #[must_use]
+    pub fn wave(&self, net: NetId) -> &LaneWave {
+        &self.waves[net.index()]
+    }
+
+    /// Like [`BatchSimResult::wave`], validating the net index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NetOutOfRange`] if `net` is not a net of the
+    /// simulated netlist.
+    pub fn try_wave(&self, net: NetId) -> Result<&LaneWave, NetlistError> {
+        self.waves
+            .get(net.index())
+            .ok_or(NetlistError::NetOutOfRange { index: net.index(), len: self.waves.len() })
+    }
+
+    /// The value of `net` in `lane` at time `t` — what a register clocked
+    /// `t` time units after the input switch would capture.
+    #[must_use]
+    pub fn value_at(&self, net: NetId, lane: u32, t: u64) -> bool {
+        self.waves[net.index()].lane_value_at(lane, t)
+    }
+
+    /// The transition history of one lane of one net, in the event-driven
+    /// simulator's `(time, new_value)` format.
+    #[must_use]
+    pub fn lane_waveform(&self, net: NetId, lane: u32) -> Vec<(u64, bool)> {
+        self.waves[net.index()].lane_waveform(lane)
+    }
+
+    /// Samples a bus in one lane at time `t`.
+    #[must_use]
+    pub fn sample_bus(&self, nets: &[NetId], lane: u32, t: u64) -> Vec<bool> {
+        nets.iter().map(|&n| self.value_at(n, lane, t)).collect()
+    }
+
+    /// The settled values of a bus in one lane.
+    #[must_use]
+    pub fn final_bus(&self, nets: &[NetId], lane: u32) -> Vec<bool> {
+        nets.iter().map(|&n| self.waves[n.index()].final_word() >> lane & 1 == 1).collect()
+    }
+
+    /// Time of the last observed transition in `lane` across all nets.
+    #[must_use]
+    pub fn settle_time(&self, lane: u32) -> u64 {
+        self.settle[lane as usize]
+    }
+
+    /// Per-lane settle times (index = lane).
+    #[must_use]
+    pub fn settle_times(&self) -> &[u64] {
+        &self.settle
+    }
+
+    /// The latest settle time of any lane.
+    #[must_use]
+    pub fn max_settle_time(&self) -> u64 {
+        self.settle.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total word-level steps stored (engine work: one step covers up to 64
+    /// lanes).
+    #[must_use]
+    pub fn word_steps(&self) -> u64 {
+        self.word_steps
+    }
+
+    /// Total per-lane transitions across active lanes (the work an
+    /// event-driven simulator would have performed net-value-wise).
+    #[must_use]
+    pub fn lane_transitions(&self) -> u64 {
+        self.lane_transitions
+    }
+}
+
+impl BatchProgram {
+    /// Runs the batch engine for the input switch `prev → new` (applied at
+    /// `t = 0`), fault-free.
+    ///
+    /// # Errors
+    ///
+    /// * [`BatchError::InputArity`] if either batch's word count differs
+    ///   from the netlist's input count;
+    /// * [`BatchError::LaneMismatch`] if the batches carry different lane
+    ///   counts.
+    pub fn run(&self, prev: &BatchInputs, new: &BatchInputs) -> Result<BatchSimResult, BatchError> {
+        self.run_inner(prev, new, None)
+    }
+
+    /// Runs the batch engine with one [`FaultPlan`](crate::FaultPlan) per
+    /// lane (lane `l` runs under plan `l`; lanes beyond the set's plans are
+    /// fault-free).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchProgram::run`], plus [`BatchError::InvalidFault`] if
+    /// `faults` was compiled against a different netlist size.
+    pub fn run_with_faults(
+        &self,
+        prev: &BatchInputs,
+        new: &BatchInputs,
+        faults: &BatchFaultSet,
+    ) -> Result<BatchSimResult, BatchError> {
+        if faults.num_nets() != self.num_nets() {
+            return Err(BatchError::InvalidFault(NetlistError::NetOutOfRange {
+                index: faults.num_nets(),
+                len: self.num_nets(),
+            }));
+        }
+        self.run_inner(prev, new, Some(faults))
+    }
+
+    fn run_inner(
+        &self,
+        prev: &BatchInputs,
+        new: &BatchInputs,
+        faults: Option<&BatchFaultSet>,
+    ) -> Result<BatchSimResult, BatchError> {
+        let n = self.num_nets();
+        let expected = self.num_inputs();
+        for got in [new.num_inputs(), prev.num_inputs()] {
+            if got != expected {
+                return Err(BatchError::InputArity { expected, got });
+            }
+        }
+        if prev.lanes != new.lanes {
+            return Err(BatchError::LaneMismatch { prev: prev.lanes, new: new.lanes });
+        }
+        let lanes = prev.lanes;
+
+        // Initial (settled previous-input) state: raw driver outputs and
+        // observed values, word-parallel. Net-id order is topological
+        // (validated at compile time).
+        let mut raw_init = vec![0u64; n];
+        let mut obs_init = vec![0u64; n];
+        let mut next_input = 0usize;
+        for i in 0..n {
+            let r = match self.kinds[i] {
+                GateKind::Input => {
+                    let w = prev.words[next_input];
+                    next_input += 1;
+                    w
+                }
+                GateKind::Const => self.const_words[i],
+                kind => eval_word(
+                    kind,
+                    obs_init[self.in0[i] as usize],
+                    obs_init[self.in1[i] as usize],
+                    obs_init[self.in2[i] as usize],
+                ),
+            };
+            raw_init[i] = r;
+            obs_init[i] = match faults {
+                Some(fs) => fs.observe_initial(i, r),
+                None => r,
+            };
+        }
+
+        // Settling pass: one waveform per net, in topological order.
+        let mut waves: Vec<LaneWave> = Vec::with_capacity(n);
+        let mut word_steps = 0u64;
+        let mut next_input = 0usize;
+        for i in 0..n {
+            let lane_faults = faults.map(|fs| &fs.nets[i]);
+            let groups_storage;
+            let groups: &[(u64, u64)] = match lane_faults {
+                Some(f) if !f.pushes.is_empty() => {
+                    groups_storage = f.delay_groups();
+                    &groups_storage
+                }
+                _ => &NO_FAULT_GROUPS,
+            };
+            let raw = match self.kinds[i] {
+                GateKind::Input => {
+                    let slot = next_input;
+                    next_input += 1;
+                    input_wave(prev.words[slot], new.words[slot], groups)
+                }
+                GateKind::Const => LaneWave::constant(self.const_words[i]),
+                kind => {
+                    // Unused slots default to net 0 — valid (any logic gate
+                    // has index > 0 in a validated DAG) and ignored by
+                    // `eval_word` for the gate's actual arity.
+                    let ins = [
+                        &waves[self.in0[i] as usize],
+                        &waves[self.in1[i] as usize],
+                        &waves[self.in2[i] as usize],
+                    ];
+                    gate_wave(kind, &ins[..gate_arity(kind)], raw_init[i], self.delays[i], groups)
+                }
+            };
+            let wave = match lane_faults {
+                Some(f) if !f.observe_is_identity() => observe_wave(&raw, f),
+                _ => raw,
+            };
+            debug_assert_eq!(wave.initial, obs_init[i]);
+            word_steps += wave.steps.len() as u64;
+            waves.push(wave);
+        }
+
+        // Per-lane settle times and transition counts (active lanes only).
+        let mask = active_mask(lanes);
+        let mut settle = vec![0u64; lanes as usize];
+        let mut lane_transitions = 0u64;
+        for w in &waves {
+            let mut prev_word = w.initial;
+            for &(t, word) in &w.steps {
+                let mut changed = (prev_word ^ word) & mask;
+                lane_transitions += u64::from(changed.count_ones());
+                while changed != 0 {
+                    let l = changed.trailing_zeros() as usize;
+                    if settle[l] < t {
+                        settle[l] = t;
+                    }
+                    changed &= changed - 1;
+                }
+                prev_word = word;
+            }
+        }
+
+        Ok(BatchSimResult { lanes, waves, settle, word_steps, lane_transitions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        default_event_budget, simulate_with_faults, FaultPlan, FpgaDelay, Netlist, UnitDelay,
+    };
+
+    const U: u64 = UnitDelay::UNIT;
+
+    /// Cross-checks every lane of a batch run against the event-driven
+    /// simulator. Without faults the per-lane waveforms must be identical
+    /// lists; with faults the *sampled values* must agree at every step
+    /// time and its neighbours (the event engine may record same-time
+    /// duplicate entries at transient boundaries, so raw lists can differ
+    /// in representation while denoting the same waveform).
+    fn assert_equiv<M: crate::DelayModel>(
+        nl: &Netlist,
+        delay: &M,
+        prev_vecs: &[Vec<bool>],
+        new_vecs: &[Vec<bool>],
+        plans: &[FaultPlan],
+    ) -> BatchSimResult {
+        let prog = BatchProgram::compile(nl, delay).unwrap();
+        let prev = BatchInputs::pack(prev_vecs).unwrap();
+        let new = BatchInputs::pack(new_vecs).unwrap();
+        let fs = BatchFaultSet::compile(plans, nl.len()).unwrap();
+        let res = if plans.is_empty() {
+            prog.run(&prev, &new).unwrap()
+        } else {
+            prog.run_with_faults(&prev, &new, &fs).unwrap()
+        };
+        let budget = default_event_budget(nl);
+        for lane in 0..prev_vecs.len() {
+            let plan = plans.get(lane).cloned().unwrap_or_default();
+            let ev =
+                simulate_with_faults(nl, delay, &prev_vecs[lane], &new_vecs[lane], &plan, budget)
+                    .unwrap();
+            for net in nl.nets() {
+                let l = lane as u32;
+                if plans.is_empty() {
+                    assert_eq!(
+                        res.lane_waveform(net, l),
+                        ev.waveform(net).to_vec(),
+                        "net {net:?} lane {lane}"
+                    );
+                    assert_eq!(res.wave(net).lane_value_at(l, 0), ev.value_at(net, 0));
+                } else {
+                    let mut ts: Vec<u64> = ev.waveform(net).iter().map(|&(t, _)| t).collect();
+                    ts.extend(res.lane_waveform(net, l).iter().map(|&(t, _)| t));
+                    ts.push(0);
+                    ts.push(ev.settle_time().max(res.settle_time(l)) + 1);
+                    for &t in ts.clone().iter() {
+                        ts.push(t.saturating_sub(1));
+                        ts.push(t + 1);
+                    }
+                    for t in ts {
+                        assert_eq!(
+                            res.value_at(net, l, t),
+                            ev.value_at(net, t),
+                            "net {net:?} lane {lane} t {t}"
+                        );
+                    }
+                }
+            }
+            if plans.is_empty() {
+                assert_eq!(res.settle_time(lane as u32), ev.settle_time(), "lane {lane}");
+            }
+        }
+        res
+    }
+
+    fn xor_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let mut cur = a;
+        for _ in 0..n {
+            let b = nl.input("b");
+            cur = nl.xor(cur, b);
+        }
+        nl.set_output("z", vec![cur]);
+        nl
+    }
+
+    fn glitchy() -> Netlist {
+        // z = a XOR NOT(NOT(a)): rising edge glitches z.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let z = nl.xor(a, n2);
+        nl.set_output("z", vec![z]);
+        nl
+    }
+
+    fn all_vectors(width: usize) -> Vec<Vec<bool>> {
+        (0..1usize << width).map(|v| (0..width).map(|i| v >> i & 1 == 1).collect()).collect()
+    }
+
+    #[test]
+    fn fault_free_waveforms_match_event_sim_exactly() {
+        let nl = xor_chain(5);
+        let news = all_vectors(6);
+        let prevs = vec![vec![false; 6]; news.len()];
+        let res = assert_equiv(&nl, &UnitDelay, &prevs, &news, &[]);
+        assert_eq!(res.lanes(), 64);
+        assert!(res.word_steps() > 0);
+        assert!(res.lane_transitions() >= res.word_steps());
+    }
+
+    #[test]
+    fn glitches_survive_lane_packing() {
+        let nl = glitchy();
+        let res = assert_equiv(
+            &nl,
+            &UnitDelay,
+            &[vec![false], vec![true]],
+            &[vec![true], vec![false]],
+            &[],
+        );
+        let z = nl.output("z")[0];
+        // Lane 0 (rising a): glitch pulse up at U, down at 3U.
+        assert_eq!(res.lane_waveform(z, 0), vec![(U, true), (3 * U, false)]);
+    }
+
+    #[test]
+    fn fpga_delay_model_matches_event_sim() {
+        let nl = glitchy();
+        let news = all_vectors(1);
+        let prevs = vec![vec![true]; news.len()];
+        assert_equiv(&nl, &FpgaDelay::default(), &prevs, &news, &[]);
+    }
+
+    #[test]
+    fn per_lane_fault_divergence_matches_scalar_plans() {
+        let nl = xor_chain(3);
+        let out = nl.output("z")[0];
+        let mid = nl.net(2);
+        let plans = vec![
+            FaultPlan::new(),
+            FaultPlan::new().stuck_at(out, true),
+            FaultPlan::new().stuck_at(mid, false),
+            FaultPlan::new().transient(out, U, 2 * U),
+            FaultPlan::new().delay_push(mid, 3 * U),
+            FaultPlan::new().delay_push(nl.net(0), U).transient(mid, 2 * U, U),
+            FaultPlan::new().stuck_at(mid, true).delay_push(out, U),
+        ];
+        let news: Vec<Vec<bool>> =
+            (0..plans.len()).map(|l| (0..4).map(|i| (l + i) % 3 == 0).collect()).collect();
+        let prevs: Vec<Vec<bool>> =
+            (0..plans.len()).map(|l| (0..4).map(|i| (l * i) % 2 == 1).collect()).collect();
+        assert_equiv(&nl, &UnitDelay, &prevs, &news, &plans);
+    }
+
+    #[test]
+    fn transient_on_quiet_net_flips_inside_window_only() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let z = nl.not(a);
+        nl.set_output("z", vec![z]);
+        let plans = vec![FaultPlan::new().transient(z, 5 * U, 2 * U)];
+        let res = assert_equiv(&nl, &UnitDelay, &[vec![false]], &[vec![false]], &plans);
+        assert_eq!(res.lane_waveform(z, 0), vec![(5 * U, false), (7 * U, true)]);
+    }
+
+    #[test]
+    fn input_delay_push_models_late_operand() {
+        let nl = xor_chain(2);
+        let a = nl.net(0);
+        let plans = vec![FaultPlan::new().delay_push(a, 4 * U)];
+        assert_equiv(&nl, &UnitDelay, &[vec![false; 3]], &[vec![true, true, false]], &plans);
+    }
+
+    #[test]
+    fn run_validates_shapes() {
+        let nl = xor_chain(2);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let ok = BatchInputs::zeros(3, 4).unwrap();
+        let short = BatchInputs::zeros(2, 4).unwrap();
+        let lanes2 = BatchInputs::zeros(3, 2).unwrap();
+        assert_eq!(
+            prog.run(&ok, &short).unwrap_err(),
+            BatchError::InputArity { expected: 3, got: 2 }
+        );
+        assert_eq!(
+            prog.run(&ok, &lanes2).unwrap_err(),
+            BatchError::LaneMismatch { prev: 4, new: 2 }
+        );
+        let alien = BatchFaultSet::compile(&[], 99).unwrap();
+        assert!(matches!(
+            prog.run_with_faults(&ok, &ok, &alien).unwrap_err(),
+            BatchError::InvalidFault(NetlistError::NetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_lanes_is_a_valid_degenerate_batch() {
+        let nl = xor_chain(2);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let b = BatchInputs::zeros(3, 0).unwrap();
+        let res = prog.run(&b, &b).unwrap();
+        assert_eq!(res.lanes(), 0);
+        assert_eq!(res.lane_transitions(), 0);
+        assert_eq!(res.max_settle_time(), 0);
+    }
+
+    #[test]
+    fn identity_fault_set_equals_fault_free_run() {
+        let nl = glitchy();
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let prev = BatchInputs::pack(&[vec![false], vec![true]]).unwrap();
+        let new = BatchInputs::pack(&[vec![true], vec![true]]).unwrap();
+        let clean = prog.run(&prev, &new).unwrap();
+        let fs = BatchFaultSet::compile(&[FaultPlan::new(), FaultPlan::new()], nl.len()).unwrap();
+        let faulty = prog.run_with_faults(&prev, &new, &fs).unwrap();
+        for net in nl.nets() {
+            assert_eq!(clean.wave(net), faulty.wave(net));
+        }
+        assert_eq!(clean.settle_times(), faulty.settle_times());
+    }
+}

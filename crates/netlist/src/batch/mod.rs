@@ -1,0 +1,69 @@
+//! Bit-parallel batch timing simulation (parallel-pattern simulation).
+//!
+//! The event-driven simulator ([`simulate`](crate::simulate)) answers the
+//! overclocking question for *one* input vector per run. Every experiment
+//! in the paper reproduction, however, is a product loop — thousands of
+//! Monte-Carlo vectors × a grid of clock periods `Ts` × (for campaigns) a
+//! set of fault plans. This module collapses that loop:
+//!
+//! 1. [`BatchProgram::compile`] flattens a [`Netlist`](crate::Netlist)
+//!    once into a levelized struct-of-arrays program, sampling each gate's
+//!    delay from a [batch-exact](crate::DelayModel::batch_exact) model;
+//! 2. [`BatchProgram::run`] evaluates **64 input vectors at once**, one
+//!    bit-lane per vector packed into `u64` words ([`BatchInputs`]). With
+//!    deterministic delays, each net's settling waveform is an exact
+//!    ordered list of `(time, word)` steps ([`LaneWave`]) computed in one
+//!    topological pass — no event queue;
+//! 3. [`BatchSimResult::bus_waves`] + [`BatchBusWaves::sweep`] sample the
+//!    flip-flop-captured value of an output bus for an *entire* `Ts` grid
+//!    from the same run;
+//! 4. [`BatchProgram::run_with_faults`] additionally diverges lanes at
+//!    [`FaultPlan`](crate::FaultPlan) sites ([`BatchFaultSet`]), so 64
+//!    *different* fault scenarios share one pass.
+//!
+//! Exactness is the point, not an approximation: under transport-delay
+//! semantics with per-gate constant delays, `out(t + d) = f(inputs(t))`,
+//! so the batch waveforms are bit-identical per lane to the event-driven
+//! simulator's (property-tested in `tests/proptest_netlist.rs`). Models
+//! that emulate per-run place-and-route variation
+//! ([`JitteredDelay`](crate::JitteredDelay)) decline compilation with
+//! [`BatchError::DelayNotBatchExact`](crate::BatchError::DelayNotBatchExact),
+//! and callers transparently fall back to the event engine.
+//!
+//! # Example
+//!
+//! ```
+//! use ola_netlist::batch::{BatchInputs, BatchProgram};
+//! use ola_netlist::{Netlist, UnitDelay};
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let z = nl.xor(a, b);
+//! nl.set_output("z", vec![z]);
+//!
+//! let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+//! let prev = BatchInputs::zeros(2, 2).unwrap();
+//! let new = BatchInputs::pack(&[vec![true, false], vec![true, true]]).unwrap();
+//! let res = prog.run(&prev, &new).unwrap();
+//! // Lane 0 (a=1, b=0): z rises after one gate delay.
+//! assert!(!res.value_at(z, 0, 0));
+//! assert!(res.value_at(z, 0, 100));
+//! // Lane 1 (a=1, b=1): z stays 0 — sampled from the same run.
+//! assert!(!res.value_at(z, 1, 100));
+//! ```
+
+mod engine;
+mod fault;
+mod program;
+mod sampler;
+mod wave;
+
+pub use engine::BatchSimResult;
+pub use fault::BatchFaultSet;
+pub use program::{BatchInputs, BatchProgram};
+pub use sampler::{BatchBusWaves, TsSweep};
+pub use wave::LaneWave;
+
+/// Number of vectors one lane word carries.
+pub const MAX_LANES: u32 = 64;

@@ -1,0 +1,314 @@
+//! Compiling a [`Netlist`] into a flat batch program.
+//!
+//! [`BatchProgram::compile`] freezes three things once, ahead of any number
+//! of simulation runs: the gate structure in struct-of-arrays form, the
+//! per-gate delays sampled from a batch-exact [`DelayModel`], and the
+//! topological levelization (validated so a single forward pass in net-id
+//! order is a correct evaluation order, and exposed as per-net levels plus
+//! a depth statistic). [`BatchInputs`] packs up to [`MAX_LANES`] input
+//! vectors into lane words: bit `l` of word `i` is input `i` of vector `l`.
+
+use crate::batch::MAX_LANES;
+use crate::{BatchError, DelayModel, GateKind, NetId, Netlist};
+
+/// The lane word with the low `lanes` bits set.
+pub(crate) fn active_mask(lanes: u32) -> u64 {
+    if lanes >= MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// A [`Netlist`] compiled into a flat, struct-of-arrays program for the
+/// bit-parallel batch engine.
+///
+/// Compilation is the expensive-once part of batch simulation: it samples
+/// every gate's delay from the [`DelayModel`] exactly once (which is why
+/// the model must be [batch-exact](DelayModel::batch_exact)), verifies the
+/// netlist is a DAG in net-id order, and computes the levelization. The
+/// program borrows nothing, so one compile can be shared across threads and
+/// reused for any number of [`run`](BatchProgram::run) /
+/// [`run_with_faults`](BatchProgram::run_with_faults) calls.
+#[derive(Clone, Debug)]
+pub struct BatchProgram {
+    pub(crate) kinds: Vec<GateKind>,
+    pub(crate) in0: Vec<u32>,
+    pub(crate) in1: Vec<u32>,
+    pub(crate) in2: Vec<u32>,
+    /// Raw per-gate delay sampled from the model (0 for inputs/constants).
+    pub(crate) delays: Vec<u64>,
+    /// All-ones / all-zeros lane word for `Const` nets, 0 elsewhere.
+    pub(crate) const_words: Vec<u64>,
+    /// Net index of each primary input, in declaration order.
+    pub(crate) input_nets: Vec<u32>,
+    /// Topological level of each net (inputs/constants are 0, a gate is one
+    /// more than its deepest fanin).
+    pub(crate) levels: Vec<u32>,
+    depth: u32,
+}
+
+impl BatchProgram {
+    /// Compiles `netlist` under `delay` into a batch program.
+    ///
+    /// # Errors
+    ///
+    /// * [`BatchError::DelayNotBatchExact`] if the delay model declines
+    ///   batch compilation (e.g. [`JitteredDelay`](crate::JitteredDelay)
+    ///   emulating per-run place-and-route variation) — fall back to the
+    ///   event-driven simulator;
+    /// * [`BatchError::TopologyBroken`] if the netlist is not topologically
+    ///   ordered (a combinational cycle was created via
+    ///   [`Netlist::rewire_input`]).
+    pub fn compile<M: DelayModel + ?Sized>(
+        netlist: &Netlist,
+        delay: &M,
+    ) -> Result<BatchProgram, BatchError> {
+        if !delay.batch_exact() {
+            return Err(BatchError::DelayNotBatchExact);
+        }
+        let n = netlist.len();
+        let mut kinds = Vec::with_capacity(n);
+        let mut in0 = vec![0u32; n];
+        let mut in1 = vec![0u32; n];
+        let mut in2 = vec![0u32; n];
+        let mut delays = vec![0u64; n];
+        let mut const_words = vec![0u64; n];
+        let mut levels = vec![0u32; n];
+        let mut depth = 0u32;
+
+        for (i, g) in netlist.gate_nodes().iter().enumerate() {
+            kinds.push(g.kind);
+            let id = NetId(i as u32);
+            delays[i] = delay.gate_delay(g.kind, id);
+            match g.kind {
+                GateKind::Input => {}
+                GateKind::Const => {
+                    const_words[i] = if g.const_value { u64::MAX } else { 0 };
+                }
+                _ => {
+                    let mut level = 0u32;
+                    for (slot, inp) in g.input_slice().iter().enumerate() {
+                        if inp.index() >= i {
+                            return Err(BatchError::TopologyBroken { net: id });
+                        }
+                        level = level.max(levels[inp.index()] + 1);
+                        match slot {
+                            0 => in0[i] = inp.0,
+                            1 => in1[i] = inp.0,
+                            _ => in2[i] = inp.0,
+                        }
+                    }
+                    levels[i] = level;
+                    depth = depth.max(level);
+                }
+            }
+        }
+
+        let input_nets = netlist.inputs().iter().map(|id| id.0).collect();
+        Ok(BatchProgram { kinds, in0, in1, in2, delays, const_words, input_nets, levels, depth })
+    }
+
+    /// Number of nets in the compiled netlist.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// The topological level of `net` (0 for inputs and constants).
+    #[must_use]
+    pub fn level(&self, net: NetId) -> u32 {
+        self.levels[net.index()]
+    }
+
+    /// The logic depth of the netlist in levels.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of logic gates (excluding inputs and constants).
+    #[must_use]
+    pub fn logic_gate_count(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_logic()).count()
+    }
+}
+
+/// Up to [`MAX_LANES`] input vectors packed into lane words.
+///
+/// Word `i` holds input `i` of every vector: bit `l` of word `i` is input
+/// `i` of vector (lane) `l`. Unused high lanes are always zero, so the
+/// engine's word-level change detection never sees junk bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchInputs {
+    pub(crate) words: Vec<u64>,
+    pub(crate) lanes: u32,
+}
+
+impl BatchInputs {
+    /// Packs `vectors[l]` into lane `l`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BatchError::TooManyLanes`] for more than [`MAX_LANES`] vectors;
+    /// * [`BatchError::InputArity`] if the vectors have differing lengths
+    ///   (`expected` reports the first vector's length).
+    pub fn pack(vectors: &[Vec<bool>]) -> Result<BatchInputs, BatchError> {
+        if vectors.len() > MAX_LANES as usize {
+            return Err(BatchError::TooManyLanes { got: vectors.len() });
+        }
+        let lanes = vectors.len() as u32;
+        let width = vectors.first().map_or(0, Vec::len);
+        let mut words = vec![0u64; width];
+        for (l, v) in vectors.iter().enumerate() {
+            if v.len() != width {
+                return Err(BatchError::InputArity { expected: width, got: v.len() });
+            }
+            for (i, &bit) in v.iter().enumerate() {
+                words[i] |= u64::from(bit) << l;
+            }
+        }
+        Ok(BatchInputs { words, lanes })
+    }
+
+    /// An all-zero batch (the paper's reset assumption) of `num_inputs`
+    /// words carrying `lanes` lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::TooManyLanes`] if `lanes > MAX_LANES`.
+    pub fn zeros(num_inputs: usize, lanes: u32) -> Result<BatchInputs, BatchError> {
+        if lanes > MAX_LANES {
+            return Err(BatchError::TooManyLanes { got: lanes as usize });
+        }
+        Ok(BatchInputs { words: vec![0; num_inputs], lanes })
+    }
+
+    /// Wraps pre-packed lane words. Bits above `lanes` are cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::TooManyLanes`] if `lanes > MAX_LANES`.
+    pub fn from_words(mut words: Vec<u64>, lanes: u32) -> Result<BatchInputs, BatchError> {
+        if lanes > MAX_LANES {
+            return Err(BatchError::TooManyLanes { got: lanes as usize });
+        }
+        let mask = active_mask(lanes);
+        for w in &mut words {
+            *w &= mask;
+        }
+        Ok(BatchInputs { words, lanes })
+    }
+
+    /// Number of lanes (vectors) carried.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Number of input words (the netlist's input arity).
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The packed lane words, one per primary input.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Extracts one lane back into a scalar input vector.
+    #[must_use]
+    pub fn lane(&self, lane: u32) -> Vec<bool> {
+        self.words.iter().map(|&w| w >> lane & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FpgaDelay, JitteredDelay, UnitDelay};
+
+    fn chain() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor(a, b);
+        let y = nl.not(x);
+        nl.set_output("z", vec![y]);
+        nl
+    }
+
+    #[test]
+    fn compile_samples_delays_and_levels() {
+        let nl = chain();
+        let p = BatchProgram::compile(&nl, &FpgaDelay::default()).unwrap();
+        assert_eq!(p.num_nets(), 4);
+        assert_eq!(p.num_inputs(), 2);
+        assert_eq!(p.level(nl.net(0)), 0);
+        assert_eq!(p.level(nl.net(2)), 1);
+        assert_eq!(p.level(nl.net(3)), 2);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.logic_gate_count(), 2);
+        assert_eq!(p.delays[2], FpgaDelay::default().two_input);
+        assert_eq!(p.delays[3], FpgaDelay::default().not);
+    }
+
+    #[test]
+    fn jittered_models_are_rejected() {
+        let nl = chain();
+        let err = BatchProgram::compile(&nl, &JitteredDelay::new(UnitDelay, 10, 1)).unwrap_err();
+        assert_eq!(err, BatchError::DelayNotBatchExact);
+    }
+
+    #[test]
+    fn broken_topology_is_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        nl.rewire_input(n1, 0, n2).unwrap();
+        let err = BatchProgram::compile(&nl, &UnitDelay).unwrap_err();
+        assert!(matches!(err, BatchError::TopologyBroken { net } if net == n1), "{err}");
+    }
+
+    #[test]
+    fn pack_roundtrips_lanes() {
+        let vecs = vec![vec![true, false, true], vec![false, false, true], vec![true, true, false]];
+        let b = BatchInputs::pack(&vecs).unwrap();
+        assert_eq!(b.lanes(), 3);
+        assert_eq!(b.num_inputs(), 3);
+        for (l, v) in vecs.iter().enumerate() {
+            assert_eq!(&b.lane(l as u32), v);
+        }
+        // Unused lanes are zero.
+        assert_eq!(b.words()[0] >> 3, 0);
+    }
+
+    #[test]
+    fn pack_validates_shape() {
+        let too_many: Vec<Vec<bool>> = (0..65).map(|_| vec![true]).collect();
+        assert_eq!(BatchInputs::pack(&too_many).unwrap_err(), BatchError::TooManyLanes { got: 65 });
+        let ragged = vec![vec![true, false], vec![true]];
+        assert_eq!(
+            BatchInputs::pack(&ragged).unwrap_err(),
+            BatchError::InputArity { expected: 2, got: 1 }
+        );
+        assert!(BatchInputs::zeros(4, 65).is_err());
+    }
+
+    #[test]
+    fn from_words_masks_unused_lanes() {
+        let b = BatchInputs::from_words(vec![u64::MAX], 4).unwrap();
+        assert_eq!(b.words()[0], 0b1111);
+        assert_eq!(active_mask(64), u64::MAX);
+        assert_eq!(active_mask(0), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Multi-`Ts` sampling of batch waveforms.
+//!
+//! The paper's experiments all ask the same question of a settled run:
+//! *what does a register clocked at period `Ts` capture?* — for an entire
+//! grid of `Ts` values. [`BatchBusWaves`] detaches one output bus's lane
+//! waveforms from a [`BatchSimResult`](crate::batch::BatchSimResult) and
+//! [`BatchBusWaves::sweep`] extracts the captured words for every grid
+//! point in a single cursor pass per net (ascending grids cost
+//! `O(steps + |Ts|)` instead of `O(|Ts| · log steps)`), turning the
+//! `(vector × Ts)` product loop into one sweep over one simulation.
+
+use crate::batch::wave::LaneWave;
+use crate::batch::BatchSimResult;
+use crate::{NetId, NetlistError};
+
+/// One output bus's lane waveforms, detached from the simulation result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchBusWaves {
+    lanes: u32,
+    waves: Vec<LaneWave>,
+}
+
+impl BatchSimResult {
+    /// Detaches the waveforms of a bus (in the given net order) for
+    /// sampling.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NetOutOfRange`] naming the first invalid net.
+    pub fn bus_waves(&self, nets: &[NetId]) -> Result<BatchBusWaves, NetlistError> {
+        let waves =
+            nets.iter().map(|&n| self.try_wave(n).cloned()).collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchBusWaves { lanes: self.lanes(), waves })
+    }
+}
+
+impl BatchBusWaves {
+    /// Number of nets in the bus.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// True if the bus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+
+    /// Number of active lanes.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// The lane words of every bus net at time `t`.
+    #[must_use]
+    pub fn sample_words(&self, t: u64) -> Vec<u64> {
+        self.waves.iter().map(|w| w.word_at(t)).collect()
+    }
+
+    /// The bus bits one lane's register would capture at period `t`.
+    #[must_use]
+    pub fn sample_lane(&self, lane: u32, t: u64) -> Vec<bool> {
+        self.waves.iter().map(|w| w.lane_value_at(lane, t)).collect()
+    }
+
+    /// The settled bus bits of one lane.
+    #[must_use]
+    pub fn settled_lane(&self, lane: u32) -> Vec<bool> {
+        self.waves.iter().map(|w| w.final_word() >> lane & 1 == 1).collect()
+    }
+
+    /// Samples the whole `Ts` grid: entry `[ti][net]` of the result is the
+    /// lane word of bus net `net` at time `ts[ti]`. Ascending grids are
+    /// swept with one cursor pass per net; arbitrary grids fall back to
+    /// per-point binary search.
+    #[must_use]
+    pub fn sweep(&self, ts: &[u64]) -> TsSweep {
+        let ascending = ts.windows(2).all(|w| w[0] <= w[1]);
+        let mut words = vec![0u64; ts.len() * self.waves.len()];
+        if ascending {
+            for (ni, w) in self.waves.iter().enumerate() {
+                let mut cur = w.initial();
+                let steps = w.steps();
+                let mut si = 0usize;
+                for (ti, &t) in ts.iter().enumerate() {
+                    while let Some(&(st, sw)) = steps.get(si) {
+                        if st <= t {
+                            cur = sw;
+                            si += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    words[ti * self.waves.len() + ni] = cur;
+                }
+            }
+        } else {
+            for (ni, w) in self.waves.iter().enumerate() {
+                for (ti, &t) in ts.iter().enumerate() {
+                    words[ti * self.waves.len() + ni] = w.word_at(t);
+                }
+            }
+        }
+        TsSweep { num_nets: self.waves.len(), lanes: self.lanes, ts: ts.to_vec(), words }
+    }
+}
+
+/// The result of sampling a bus over a whole `Ts` grid: for every grid
+/// point, the captured lane word of every bus net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TsSweep {
+    num_nets: usize,
+    lanes: u32,
+    ts: Vec<u64>,
+    /// Row-major `[ts.len()][num_nets]`.
+    words: Vec<u64>,
+}
+
+impl TsSweep {
+    /// The sampled grid.
+    #[must_use]
+    pub fn ts(&self) -> &[u64] {
+        &self.ts
+    }
+
+    /// Number of active lanes.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Number of bus nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// The lane words of the whole bus at grid point `ti`.
+    #[must_use]
+    pub fn words_at(&self, ti: usize) -> &[u64] {
+        &self.words[ti * self.num_nets..(ti + 1) * self.num_nets]
+    }
+
+    /// The bus bits lane `lane` captures at grid point `ti`.
+    #[must_use]
+    pub fn lane_bits(&self, ti: usize, lane: u32) -> Vec<bool> {
+        self.words_at(ti).iter().map(|&w| w >> lane & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchInputs, BatchProgram};
+    use crate::{Netlist, UnitDelay};
+
+    fn run() -> (Netlist, BatchSimResult) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.xor(a, b);
+        let c = nl.and(a, b);
+        nl.set_output("z", vec![s, c]);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let prev = BatchInputs::pack(&[vec![false, false], vec![false, false]]).unwrap();
+        let new = BatchInputs::pack(&[vec![true, false], vec![true, true]]).unwrap();
+        let res = prog.run(&prev, &new).unwrap();
+        (nl, res)
+    }
+
+    #[test]
+    fn bus_waves_validate_nets() {
+        let (nl, res) = run();
+        assert!(res.bus_waves(nl.output("z")).is_ok());
+        assert!(matches!(
+            res.bus_waves(&[NetId::from_index(99)]),
+            Err(NetlistError::NetOutOfRange { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_sampling() {
+        let (nl, res) = run();
+        let bus = res.bus_waves(nl.output("z")).unwrap();
+        let grid = [0u64, 50, 100, 150, 1000];
+        let sweep = bus.sweep(&grid);
+        assert_eq!(sweep.lanes(), 2);
+        assert_eq!(sweep.num_nets(), 2);
+        for (ti, &t) in grid.iter().enumerate() {
+            assert_eq!(sweep.words_at(ti), bus.sample_words(t).as_slice(), "t = {t}");
+            for lane in 0..2 {
+                assert_eq!(sweep.lane_bits(ti, lane), bus.sample_lane(lane, t));
+            }
+        }
+        // Settled values: lane 0 = (1,0) -> sum 1, carry 0; lane 1 = (1,1).
+        assert_eq!(bus.settled_lane(0), vec![true, false]);
+        assert_eq!(bus.settled_lane(1), vec![false, true]);
+    }
+
+    #[test]
+    fn unsorted_grids_fall_back_to_pointwise() {
+        let (nl, res) = run();
+        let bus = res.bus_waves(nl.output("z")).unwrap();
+        let grid = [150u64, 0, 100, 50];
+        let sweep = bus.sweep(&grid);
+        for (ti, &t) in grid.iter().enumerate() {
+            assert_eq!(sweep.words_at(ti), bus.sample_words(t).as_slice(), "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The lane-word waveform store.
+//!
+//! One [`LaneWave`] is the settling history of one net for **64 input
+//! vectors at once**: bit `l` of every word belongs to lane (vector) `l`.
+//! A waveform is an initial word plus a strictly time-ordered list of
+//! `(time, word)` steps, each step differing from its predecessor — the
+//! batch counterpart of the event-driven simulator's per-net
+//! `Vec<(u64, bool)>` transition list.
+
+/// The settling waveform of one net across up to 64 lanes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneWave {
+    /// Lane word before `t = 0` (the settled previous-input state).
+    pub(crate) initial: u64,
+    /// Strictly increasing `(time, word)` steps; every word differs from
+    /// the one before it.
+    pub(crate) steps: Vec<(u64, u64)>,
+}
+
+impl LaneWave {
+    /// A constant waveform.
+    pub(crate) fn constant(word: u64) -> LaneWave {
+        LaneWave { initial: word, steps: Vec::new() }
+    }
+
+    /// The lane word before the inputs switched.
+    #[must_use]
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
+
+    /// The `(time, word)` steps.
+    #[must_use]
+    pub fn steps(&self) -> &[(u64, u64)] {
+        &self.steps
+    }
+
+    /// The lane word a register clocked `t` time units after the input
+    /// switch would capture.
+    #[must_use]
+    pub fn word_at(&self, t: u64) -> u64 {
+        match self.steps.partition_point(|&(time, _)| time <= t) {
+            0 => self.initial,
+            k => self.steps[k - 1].1,
+        }
+    }
+
+    /// The fully settled lane word.
+    #[must_use]
+    pub fn final_word(&self) -> u64 {
+        self.steps.last().map_or(self.initial, |&(_, w)| w)
+    }
+
+    /// Time of the last change in any lane (`None` if the net never
+    /// transitions).
+    #[must_use]
+    pub fn last_change(&self) -> Option<u64> {
+        self.steps.last().map(|&(t, _)| t)
+    }
+
+    /// Samples a whole (ascending or not) `ts` grid in one pass per point.
+    #[must_use]
+    pub fn sample_grid(&self, ts: &[u64]) -> Vec<u64> {
+        ts.iter().map(|&t| self.word_at(t)).collect()
+    }
+
+    /// Extracts the scalar transition history of one lane, in the
+    /// event-driven simulator's `(time, new_value)` format, dropping steps
+    /// that do not change this lane's bit.
+    #[must_use]
+    pub fn lane_waveform(&self, lane: u32) -> Vec<(u64, bool)> {
+        let mask = 1u64 << lane;
+        let mut out = Vec::new();
+        let mut cur = self.initial & mask;
+        for &(t, w) in &self.steps {
+            let bit = w & mask;
+            if bit != cur {
+                cur = bit;
+                out.push((t, bit != 0));
+            }
+        }
+        out
+    }
+
+    /// The value of one lane at time `t`.
+    #[must_use]
+    pub fn lane_value_at(&self, lane: u32, t: u64) -> bool {
+        self.word_at(t) >> lane & 1 == 1
+    }
+
+    /// Number of word-level steps (engine work, not per-lane transitions).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> LaneWave {
+        LaneWave { initial: 0b01, steps: vec![(10, 0b11), (20, 0b10), (35, 0b00)] }
+    }
+
+    #[test]
+    fn word_sampling_uses_last_step_at_or_before_t() {
+        let w = wave();
+        assert_eq!(w.word_at(0), 0b01);
+        assert_eq!(w.word_at(9), 0b01);
+        assert_eq!(w.word_at(10), 0b11);
+        assert_eq!(w.word_at(34), 0b10);
+        assert_eq!(w.word_at(1000), 0b00);
+        assert_eq!(w.final_word(), 0b00);
+        assert_eq!(w.last_change(), Some(35));
+    }
+
+    #[test]
+    fn lane_waveform_drops_unchanged_steps() {
+        let w = wave();
+        // Lane 0: 1 -> 1 -> 0 -> 0: one transition at t=20.
+        assert_eq!(w.lane_waveform(0), vec![(20, false)]);
+        // Lane 1: 0 -> 1 -> 1 -> 0: up at 10, down at 35.
+        assert_eq!(w.lane_waveform(1), vec![(10, true), (35, false)]);
+        assert!(w.lane_value_at(1, 10));
+        assert!(!w.lane_value_at(1, 9));
+    }
+
+    #[test]
+    fn grid_sampling_matches_pointwise() {
+        let w = wave();
+        let ts = [0u64, 10, 15, 20, 35, 99];
+        let grid = w.sample_grid(&ts);
+        for (i, &t) in ts.iter().enumerate() {
+            assert_eq!(grid[i], w.word_at(t));
+        }
+    }
+
+    #[test]
+    fn constant_wave_never_steps() {
+        let w = LaneWave::constant(0xFF);
+        assert_eq!(w.word_at(12345), 0xFF);
+        assert_eq!(w.final_word(), 0xFF);
+        assert_eq!(w.last_change(), None);
+        assert!(w.lane_waveform(3).is_empty());
+    }
+}

@@ -12,11 +12,26 @@ use crate::{GateKind, NetId};
 pub trait DelayModel {
     /// Delay of the gate driving `net`. Inputs and constants must be 0.
     fn gate_delay(&self, kind: GateKind, net: NetId) -> u64;
+
+    /// True if this model is a pure per-gate function that the batch
+    /// compiler ([`crate::batch::BatchProgram::compile`]) may sample once
+    /// per gate and bake into a flat program. Models that emulate
+    /// place-and-route variation ([`JitteredDelay`]) return `false`, which
+    /// makes batch compilation fail with
+    /// [`BatchError::DelayNotBatchExact`](crate::BatchError::DelayNotBatchExact)
+    /// so callers transparently fall back to the event-driven engine.
+    fn batch_exact(&self) -> bool {
+        true
+    }
 }
 
 impl<M: DelayModel + ?Sized> DelayModel for &M {
     fn gate_delay(&self, kind: GateKind, net: NetId) -> u64 {
         (**self).gate_delay(kind, net)
+    }
+
+    fn batch_exact(&self) -> bool {
+        (**self).batch_exact()
     }
 }
 
@@ -96,6 +111,13 @@ impl<M: DelayModel> JitteredDelay<M> {
 }
 
 impl<M: DelayModel> DelayModel for JitteredDelay<M> {
+    /// Jitter stands in for fresh place-and-route variation, so batch
+    /// programs must not bake it in: jittered configs take the event-driven
+    /// path (see [`DelayModel::batch_exact`]).
+    fn batch_exact(&self) -> bool {
+        false
+    }
+
     fn gate_delay(&self, kind: GateKind, net: NetId) -> u64 {
         let base = self.inner.gate_delay(kind, net);
         if base == 0 || self.amplitude == 0 {

@@ -138,6 +138,93 @@ impl From<NetlistError> for SimError {
     }
 }
 
+/// Errors from compiling or running a batch (bit-parallel) simulation —
+/// see [`crate::batch`].
+///
+/// Every variant is *recoverable by falling back to the event-driven
+/// engine*: batch simulation is an accelerator, never the only way to get
+/// an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchError {
+    /// The delay model declined batch compilation
+    /// ([`DelayModel::batch_exact`](crate::DelayModel::batch_exact)
+    /// returned `false`) — e.g. a jittered place-and-route emulation.
+    DelayNotBatchExact,
+    /// The netlist is not topologically ordered (a combinational cycle was
+    /// created via [`Netlist::rewire_input`](crate::Netlist::rewire_input)),
+    /// so a single levelized pass cannot evaluate it.
+    TopologyBroken {
+        /// The first gate referencing a net at or after itself.
+        net: NetId,
+    },
+    /// More input vectors (or per-lane fault plans) than the 64 lanes of
+    /// one machine word.
+    TooManyLanes {
+        /// The number of vectors or plans supplied.
+        got: usize,
+    },
+    /// An input-vector slice had the wrong length.
+    InputArity {
+        /// Number of primary inputs of the compiled netlist.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// Previous- and new-input batches carry different lane counts.
+    LaneMismatch {
+        /// Lane count of the previous-input batch.
+        prev: u32,
+        /// Lane count of the new-input batch.
+        new: u32,
+    },
+    /// A fault plan references nets outside the compiled netlist, or a
+    /// fault set was compiled against a different netlist.
+    InvalidFault(NetlistError),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::DelayNotBatchExact => write!(
+                f,
+                "delay model is not batch-exact (per-run variation); \
+                 use the event-driven simulator"
+            ),
+            BatchError::TopologyBroken { net } => write!(
+                f,
+                "netlist is not topologically ordered at gate {net:?}: \
+                 batch programs require a DAG"
+            ),
+            BatchError::TooManyLanes { got } => {
+                write!(f, "batch holds at most 64 vectors per lane word, got {got}")
+            }
+            BatchError::InputArity { expected, got } => {
+                write!(f, "batch input arity mismatch: expected {expected} values, got {got}")
+            }
+            BatchError::LaneMismatch { prev, new } => {
+                write!(f, "previous inputs carry {prev} lanes but new inputs carry {new}")
+            }
+            BatchError::InvalidFault(e) => write!(f, "invalid batch fault set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::InvalidFault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for BatchError {
+    fn from(e: NetlistError) -> Self {
+        BatchError::InvalidFault(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

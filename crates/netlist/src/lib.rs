@@ -17,6 +17,9 @@
 //!   ([`FaultPlan`]) injected via [`simulate_with_faults`], with an event
 //!   budget so cyclic netlists return [`SimError::Unsettled`] instead of
 //!   hanging;
+//! * [`batch`] — the levelized bit-parallel batch engine: 64 input vectors
+//!   (and 64 per-lane fault plans) per pass, with multi-`Ts` sampling,
+//!   bit-identical per lane to [`simulate`] for batch-exact delay models;
 //! * [`area::estimate`] — greedy LUT covering for Table-4-style area
 //!   comparisons;
 //! * [`cells`] — full adders and the PPM/MMP cells of borrow-save
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod area;
+pub mod batch;
 pub mod cells;
 mod delay;
 mod error;
@@ -57,7 +61,7 @@ pub mod vcd;
 
 pub use area::AreaReport;
 pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
-pub use error::{NetlistError, SimError};
+pub use error::{BatchError, NetlistError, SimError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use pipeline::{Pipeline, PipelineStage};

@@ -2,8 +2,18 @@
 //! DAG netlists, the event-driven simulator must settle to the functional
 //! evaluation, never later than the static timing bound, and sampling must
 //! be consistent with the recorded waveforms.
+//!
+//! The second block pins the batch (bit-parallel) engine to the
+//! event-driven ground truth: on random netlists under deterministic and
+//! per-gate-type delay models, every lane's waveform, every `Ts`-grid
+//! sample, and every per-lane fault scenario must be bit-identical to a
+//! one-vector event-driven run.
 
-use ola_netlist::{analyze, area, simulate, JitteredDelay, NetId, Netlist, UnitDelay};
+use ola_netlist::batch::{BatchFaultSet, BatchInputs, BatchProgram};
+use ola_netlist::{
+    analyze, area, default_event_budget, simulate, simulate_from_zero_with_faults, DelayModel,
+    FaultPlan, FpgaDelay, JitteredDelay, NetId, Netlist, UnitDelay,
+};
 use proptest::prelude::*;
 
 /// A recipe for one random gate: (kind selector, input selectors).
@@ -148,5 +158,180 @@ proptest! {
         let fold_outs: Vec<bool> =
             all.iter().rev().take(4).map(|n| folded_vals[n.index()]).collect();
         prop_assert_eq!(dyn_outs, fold_outs);
+    }
+}
+
+/// A randomly selected batch-exact delay model: uniform, the FPGA table,
+/// and two skewed per-gate-type tables (including an all-ones corner).
+fn delay_model(sel: u8) -> Box<dyn DelayModel> {
+    match sel % 4 {
+        0 => Box::new(UnitDelay),
+        1 => Box::new(FpgaDelay::default()),
+        2 => Box::new(FpgaDelay { not: 7, two_input: 120, mux: 35 }),
+        _ => Box::new(FpgaDelay { not: 1, two_input: 1, mux: 1 }),
+    }
+}
+
+fn unpack(bits: u32, shift: u32, width: usize) -> Vec<bool> {
+    (0..width).map(|i| bits >> (shift + i as u32) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free ground truth: every lane's per-net waveform (and settle
+    /// time) out of one batch pass is the identical list the event-driven
+    /// simulator records for that vector.
+    #[test]
+    fn batch_lanes_match_event_waveforms(
+        rs in recipes(),
+        lane_bits in prop::collection::vec(any::<u32>(), 1..=64),
+        delay_sel in 0u8..4,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let delay = delay_model(delay_sel);
+        let prog = BatchProgram::compile(&nl, delay.as_ref()).unwrap();
+        let prev_vecs: Vec<Vec<bool>> =
+            lane_bits.iter().map(|&b| unpack(b, 0, inputs)).collect();
+        let new_vecs: Vec<Vec<bool>> =
+            lane_bits.iter().map(|&b| unpack(b, 8, inputs)).collect();
+        let prev = BatchInputs::pack(&prev_vecs).unwrap();
+        let new = BatchInputs::pack(&new_vecs).unwrap();
+        let res = prog.run(&prev, &new).unwrap();
+        for (lane, (p, q)) in prev_vecs.iter().zip(&new_vecs).enumerate() {
+            let ev = simulate(&nl, delay.as_ref(), p, q);
+            let l = lane as u32;
+            for net in nl.nets() {
+                prop_assert_eq!(
+                    res.lane_waveform(net, l),
+                    ev.waveform(net).to_vec(),
+                    "net {:?} lane {}", net, lane
+                );
+                prop_assert_eq!(res.value_at(net, l, 0), ev.value_at(net, 0));
+            }
+            prop_assert_eq!(res.settle_time(l), ev.settle_time(), "lane {}", lane);
+        }
+    }
+
+    /// Multi-`Ts` sampling: the whole-grid sweep (ascending fast path and
+    /// arbitrary-order fallback alike) returns exactly what the
+    /// event-driven simulator's register capture answers per grid point.
+    #[test]
+    fn batch_ts_sweep_matches_event_sampling(
+        rs in recipes(),
+        lane_bits in prop::collection::vec(any::<u32>(), 1..=16),
+        mut grid in prop::collection::vec(0u64..4_000, 1..12),
+        ascending in any::<bool>(),
+        delay_sel in 0u8..4,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let delay = delay_model(delay_sel);
+        if ascending {
+            grid.sort_unstable();
+        }
+        let prog = BatchProgram::compile(&nl, delay.as_ref()).unwrap();
+        let zeros = vec![false; inputs];
+        let new_vecs: Vec<Vec<bool>> =
+            lane_bits.iter().map(|&b| unpack(b, 0, inputs)).collect();
+        let prev = BatchInputs::zeros(inputs, new_vecs.len() as u32).unwrap();
+        let new = BatchInputs::pack(&new_vecs).unwrap();
+        let res = prog.run(&prev, &new).unwrap();
+        let bus = res.bus_waves(nl.output("z")).unwrap();
+        let sweep = bus.sweep(&grid);
+        for (lane, q) in new_vecs.iter().enumerate() {
+            let ev = simulate(&nl, delay.as_ref(), &zeros, q);
+            for (ti, &t) in grid.iter().enumerate() {
+                let want: Vec<bool> =
+                    nl.output("z").iter().map(|&net| ev.value_at(net, t)).collect();
+                prop_assert_eq!(
+                    sweep.lane_bits(ti, lane as u32),
+                    want,
+                    "lane {} t {}", lane, t
+                );
+            }
+        }
+    }
+
+    /// Per-lane fault divergence: each lane carries its own random fault
+    /// plan (stuck-at / transient / delay push at random sites); sampled
+    /// values must agree with a faulted event-driven run at every waveform
+    /// step time and its neighbours. (Raw step lists may differ in
+    /// representation at transient boundaries, so values are compared.)
+    #[test]
+    fn batch_faulted_lanes_match_event_sampled_values(
+        rs in recipes(),
+        lanes in prop::collection::vec(
+            (
+                any::<u32>(),
+                prop::collection::vec((any::<u8>(), 0u8..4, 0u64..2_000, 0u64..400), 0..3),
+            ),
+            1..8,
+        ),
+        delay_sel in 0u8..4,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let delay = delay_model(delay_sel);
+        let nets: Vec<NetId> = nl.nets().collect();
+        let plans: Vec<FaultPlan> = lanes
+            .iter()
+            .map(|(_, specs)| {
+                let mut plan = FaultPlan::new();
+                for &(site_sel, kind, at, amount) in specs {
+                    let site = nets[site_sel as usize % nets.len()];
+                    plan = match kind % 4 {
+                        0 => plan.stuck_at(site, false),
+                        1 => plan.stuck_at(site, true),
+                        2 => plan.transient(site, at, amount),
+                        _ => plan.delay_push(site, amount),
+                    };
+                }
+                plan
+            })
+            .collect();
+        let new_vecs: Vec<Vec<bool>> =
+            lanes.iter().map(|&(b, _)| unpack(b, 0, inputs)).collect();
+
+        let prog = BatchProgram::compile(&nl, delay.as_ref()).unwrap();
+        let prev = BatchInputs::zeros(inputs, new_vecs.len() as u32).unwrap();
+        let new = BatchInputs::pack(&new_vecs).unwrap();
+        let fs = BatchFaultSet::compile(&plans, nl.len()).unwrap();
+        let res = prog.run_with_faults(&prev, &new, &fs).unwrap();
+
+        let budget = default_event_budget(&nl);
+        for (lane, (q, plan)) in new_vecs.iter().zip(&plans).enumerate() {
+            let ev =
+                simulate_from_zero_with_faults(&nl, delay.as_ref(), q, plan, budget).unwrap();
+            let l = lane as u32;
+            for net in nl.nets() {
+                let mut ts: Vec<u64> = ev.waveform(net).iter().map(|&(t, _)| t).collect();
+                ts.extend(res.lane_waveform(net, l).iter().map(|&(t, _)| t));
+                ts.push(0);
+                ts.push(ev.settle_time().max(res.settle_time(l)) + 1);
+                for &t in ts.clone().iter() {
+                    ts.push(t.saturating_sub(1));
+                    ts.push(t + 1);
+                }
+                for t in ts {
+                    prop_assert_eq!(
+                        res.value_at(net, l, t),
+                        ev.value_at(net, t),
+                        "net {:?} lane {} t {}", net, lane, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Jittered delay models decline batch compilation — the documented
+    /// fallback contract callers rely on.
+    #[test]
+    fn jittered_models_always_decline_batch(rs in recipes(), amp in 1u64..50, seed in any::<u64>()) {
+        let nl = build_random_netlist(6, &rs);
+        let delay = JitteredDelay::new(UnitDelay, amp, seed);
+        prop_assert!(!delay.batch_exact());
+        prop_assert!(BatchProgram::compile(&nl, &delay).is_err());
     }
 }
