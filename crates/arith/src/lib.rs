@@ -30,9 +30,6 @@
 //! # Ok::<(), ola_redundant::RangeError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod conventional;
 pub mod online;
 pub mod synth;

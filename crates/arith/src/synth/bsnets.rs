@@ -25,7 +25,7 @@ impl BsSignals {
     pub fn constant(nl: &mut Netlist, value: &ola_redundant::SdNumber) -> Self {
         let mut p = Vec::with_capacity(value.len());
         let mut n = Vec::with_capacity(value.len());
-        for d in value.iter() {
+        for d in value {
             let (bp, bn) = d.to_bits();
             p.push(nl.constant(bp));
             n.push(nl.constant(bn));
@@ -193,10 +193,10 @@ mod tests {
 
     fn encode(x: &SdNumber) -> Vec<bool> {
         let mut bits = Vec::new();
-        for d in x.iter() {
+        for d in x {
             bits.push(d.to_bits().0);
         }
-        for d in x.iter() {
+        for d in x {
             bits.push(d.to_bits().1);
         }
         bits

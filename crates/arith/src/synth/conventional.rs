@@ -7,6 +7,7 @@
 
 use crate::synth::bits::ripple_add;
 use ola_netlist::cells::full_adder;
+use ola_netlist::sta::prune_dead;
 use ola_netlist::{NetId, Netlist};
 
 /// A synthesized ripple-carry adder.
@@ -34,6 +35,7 @@ pub fn ripple_carry_adder(width: usize) -> RippleAdderCircuit {
     let (sum, cout) = ripple_add(&mut nl, &a, &b, zero);
     nl.set_output("sum", sum);
     nl.set_output("cout", vec![cout]);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     RippleAdderCircuit { netlist: nl, width }
 }
 
@@ -90,6 +92,7 @@ pub fn array_multiplier(width: usize) -> ArrayMultiplierCircuit {
     let b = nl.input_bus("b", width);
     let product = array_multiplier_core(&mut nl, &a, &b);
     nl.set_output("product", product);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     ArrayMultiplierCircuit { netlist: nl, width }
 }
 
@@ -210,6 +213,7 @@ pub fn carry_select_adder(width: usize, block: usize) -> CarrySelectAdderCircuit
     }
     nl.set_output("sum", sum);
     nl.set_output("cout", vec![carry]);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     CarrySelectAdderCircuit { netlist: nl, width, block }
 }
 

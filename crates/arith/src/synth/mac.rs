@@ -17,6 +17,7 @@ use crate::synth::bits::{add_signed, sign_extend};
 use crate::synth::bsnets::{bs_add_gates, BsSignals};
 use crate::synth::conventional::array_multiplier_core;
 use crate::synth::online::online_multiplier_core;
+use ola_netlist::sta::prune_dead;
 use ola_netlist::{NetId, Netlist};
 use ola_redundant::{Digit, SdNumber, Q};
 
@@ -46,10 +47,10 @@ impl OnlineMacCircuit {
         let mut bits = Vec::with_capacity(2 * self.n * xs.len());
         for x in xs {
             assert_eq!(x.len(), self.n);
-            for d in x.iter() {
+            for d in x {
                 bits.push(d.to_bits().0);
             }
-            for d in x.iter() {
+            for d in x {
                 bits.push(d.to_bits().1);
             }
         }
@@ -108,6 +109,7 @@ pub fn online_mac(coefficients: &[SdNumber], frac_digits: i32) -> OnlineMacCircu
     let (p, nneg) = sum.flat_nets();
     nl.set_output("sump", p);
     nl.set_output("sumn", nneg);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     OnlineMacCircuit { netlist: nl, n, coefficients: coefficients.to_vec(), sum_msd_pos }
 }
 
@@ -189,6 +191,7 @@ pub fn traditional_mac(coefficients: &[i64], width: usize) -> TraditionalMacCirc
     let out_w = 2 * width + coefficients.len().next_power_of_two().trailing_zeros() as usize + 1;
     sum = sign_extend(&mut nl, &sum, out_w);
     nl.set_output("sum", sum);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     TraditionalMacCircuit { netlist: nl, width, coefficients: coefficients.to_vec() }
 }
 

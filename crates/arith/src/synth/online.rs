@@ -11,6 +11,7 @@ use crate::online::DELTA;
 use crate::synth::bits::{add_signed, ripple_add, sign_extend};
 use crate::synth::bsnets::{bs_add_gates, sdvm_gates, BsSignals};
 use ola_netlist::cells::{and_tree, or_tree};
+use ola_netlist::sta::prune_dead;
 use ola_netlist::{NetId, Netlist};
 use ola_redundant::{Digit, SdNumber};
 
@@ -40,6 +41,7 @@ pub fn online_adder(n: usize) -> OnlineAdderCircuit {
     let (p, nneg) = z.flat_nets();
     nl.set_output("zp", p);
     nl.set_output("zn", nneg);
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     OnlineAdderCircuit { netlist: nl, n }
 }
 
@@ -68,7 +70,7 @@ impl OnlineMultiplierCircuit {
         assert_eq!(y.len(), self.n);
         let mut bits = Vec::with_capacity(4 * self.n);
         for op in [x, y] {
-            for d in op.iter() {
+            for d in op {
                 bits.push(d.to_bits().0);
             }
         }
@@ -110,6 +112,10 @@ pub fn online_multiplier(n: usize, frac_digits: i32) -> OnlineMultiplierCircuit 
     let (zp_out, zn_out) = online_multiplier_core(&mut nl, &x, &y, n, frac_digits);
     nl.set_output("zp", zp_out);
     nl.set_output("zn", zn_out);
+    // The unrolled recurrence leaves dead logic behind (the last stage's
+    // residual update is never read): prune it so the shipped circuit is
+    // lint-clean and simulation does no unobservable work.
+    let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     OnlineMultiplierCircuit { netlist: nl, n, frac_digits }
 }
 

@@ -125,3 +125,30 @@ proptest! {
         prop_assert!(adder.settling_ticks() <= adder.longest_carry_chain() + 1);
     }
 }
+
+/// Every generated netlist family must come out of its generator
+/// lint-clean — the generators prune their own dead logic, and the lint
+/// pass ([`ola_netlist::sta::lint::check`]) is the machine check.
+mod generated_netlists_are_lint_clean {
+    use ola_arith::synth::{array_multiplier, online_adder, online_multiplier};
+    use ola_netlist::sta::lint::check;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn online_operators(n in 4usize..14) {
+            let issues = check(&online_multiplier(n, 3).netlist);
+            prop_assert!(issues.is_empty(), "online mult N={n}: {issues:?}");
+            let issues = check(&online_adder(n).netlist);
+            prop_assert!(issues.is_empty(), "online adder N={n}: {issues:?}");
+        }
+
+        #[test]
+        fn conventional_multipliers(w in 2usize..14) {
+            let issues = check(&array_multiplier(w).netlist);
+            prop_assert!(issues.is_empty(), "array mult W={w}: {issues:?}");
+        }
+    }
+}

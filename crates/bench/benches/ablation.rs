@@ -2,6 +2,10 @@
 //! selection-estimate width, delay-jitter amplitude, and the stage-wave vs
 //! gate-level timing backend.
 
+// `criterion_group!` expands to undocumented harness plumbing; the workspace
+// `missing_docs` lint has nothing actionable to say about it.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ola_arith::online::{Selection, StagedMultiplier};
 use ola_arith::synth::online_multiplier;
@@ -33,7 +37,7 @@ fn ablation_selection_width(c: &mut Criterion) {
         let y = random::uniform_digits(&mut rng, 8);
         let inputs = circuit.encode_inputs(&x, &y);
         g.bench_with_input(BenchmarkId::new("event_sim", t), &t, |b, _| {
-            b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)))
+            b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)));
         });
         g.bench_with_input(BenchmarkId::new("staged_mc_100", t), &t, |b, &t| {
             b.iter(|| {
@@ -44,7 +48,7 @@ fn ablation_selection_width(c: &mut Criterion) {
                     100,
                     5,
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -81,7 +85,7 @@ fn ablation_jitter(c: &mut Criterion) {
                     30,
                     3,
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -99,12 +103,12 @@ fn ablation_backend(c: &mut Criterion) {
     g.bench_function("stage_wave_history", |b| {
         b.iter(|| {
             StagedMultiplier::new(x.clone(), y.clone(), Selection::default()).sampled_values()
-        })
+        });
     });
     let circuit = online_multiplier(n, 3);
     let inputs = circuit.encode_inputs(&x, &y);
     g.bench_function("gate_level_full_waveform", |b| {
-        b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)))
+        b.iter(|| simulate_from_zero(&circuit.netlist, &UnitDelay, black_box(&inputs)));
     });
     g.finish();
 }
@@ -127,7 +131,7 @@ fn ablation_input_statistics(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 montecarlo::om_monte_carlo(12, Selection::default(), black_box(model), 200, 9)
-            })
+            });
         });
     }
     g.finish();

@@ -1,6 +1,10 @@
 //! Analytic-model evaluation speed (Algorithm 2 and friends) and the
 //! stage-wave Monte-Carlo engine's sample throughput.
 
+// `criterion_group!` expands to undocumented harness plumbing; the workspace
+// `missing_docs` lint has nothing actionable to say about it.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ola_arith::online::Selection;
 use ola_core::{baseline, model, montecarlo, InputModel};
@@ -10,7 +14,7 @@ fn bench_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("analytic_model");
     for n in [8usize, 16, 32, 64] {
         g.bench_with_input(BenchmarkId::new("chain_scenarios", n), &n, |b, &n| {
-            b.iter(|| model::chain_scenarios(black_box(n)))
+            b.iter(|| model::chain_scenarios(black_box(n)));
         });
         g.bench_with_input(BenchmarkId::new("expected_error_sweep", n), &n, |b, &n| {
             b.iter(|| {
@@ -19,10 +23,10 @@ fn bench_model(c: &mut Criterion) {
                     acc += model::expected_error(black_box(n), budget, 1.0);
                 }
                 acc
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("delay_profile", n), &n, |b, &n| {
-            b.iter(|| model::chain_delay_profile(black_box(n)))
+            b.iter(|| model::chain_delay_profile(black_box(n)));
         });
     }
     g.finish();
@@ -41,7 +45,7 @@ fn bench_montecarlo(c: &mut Criterion) {
                     200,
                     9,
                 )
-            })
+            });
         });
     }
     g.bench_function("rca_2000_samples_w16", |b| b.iter(|| baseline::rca_monte_carlo(16, 2000, 9)));
@@ -56,7 +60,7 @@ fn bench_carry_cdf(c: &mut Criterion) {
                 acc += baseline::carry_chain_cdf(black_box(64), l);
             }
             acc
-        })
+        });
     });
 }
 

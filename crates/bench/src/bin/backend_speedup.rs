@@ -17,7 +17,7 @@
 use ola_arith::synth::{array_multiplier, online_multiplier};
 use ola_bench::report::Table;
 use ola_core::empirical::{array_gate_level_curve_with, om_gate_level_curve_with, GateLevelCurve};
-use ola_core::{BackendStats, InputModel, SimBackend};
+use ola_core::{BackendStats, InputModel, SimBackend, StaGate};
 use ola_netlist::{analyze, FpgaDelay};
 use std::path::PathBuf;
 
@@ -63,6 +63,10 @@ fn main() {
                 SAMPLES,
                 SEED,
                 backend,
+                // Judge every point: this binary measures raw engine
+                // throughput, so the STA fast path would shrink the
+                // workload it is trying to time.
+                StaGate::Off,
             )
         }));
     }
@@ -72,7 +76,7 @@ fn main() {
         let circuit = array_multiplier(w);
         let ts = ts_grid(analyze(&circuit.netlist, &delay).critical_path());
         rows.push(measure(format!("array multiplier W={w}"), |backend| {
-            array_gate_level_curve_with(&circuit, &delay, &ts, SAMPLES, SEED, backend)
+            array_gate_level_curve_with(&circuit, &delay, &ts, SAMPLES, SEED, backend, StaGate::Off)
         }));
     }
 

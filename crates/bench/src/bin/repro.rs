@@ -21,7 +21,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// `(name, one-line description)` for every experiment, in run order.
-const EXPERIMENTS: [(&str, &str); 9] = [
+const EXPERIMENTS: [(&str, &str); 11] = [
+    ("sta", "static timing: critical paths, per-digit slack + certification (no simulation)"),
+    ("lint", "netlist lint over every generated operator family (+ seeded-loop self-check)"),
     ("fig4", "overclocking error: model vs Monte-Carlo vs gate-level netlist (N=8,12)"),
     ("fig5", "per-chain-delay profile, analytic model next to Monte-Carlo (N=8..32)"),
     ("fig6", "image-filter MRE vs normalized frequency (case study)"),
@@ -34,7 +36,7 @@ const EXPERIMENTS: [(&str, &str); 9] = [
 ];
 
 fn print_usage() {
-    eprintln!("usage: repro [EXPERIMENT ...] [--quick] [--backend auto|event|batch]");
+    eprintln!("usage: repro [EXPERIMENT ...] [--quick] [--all] [--backend auto|event|batch]");
     eprintln!("       repro --list");
     eprintln!();
     eprintln!("experiments (default: all):");
@@ -44,6 +46,8 @@ fn print_usage() {
     eprintln!();
     eprintln!("flags:");
     eprintln!("  --quick            shrink sample counts and image sizes (CI scale)");
+    eprintln!("  --all              extended lint coverage (more operand widths); the");
+    eprintln!("                     CI gate runs `repro lint --all`");
     eprintln!("  --backend CHOICE   simulation engine for gate-level workloads:");
     eprintln!("                     auto (default) = batch when the delay model is");
     eprintln!("                     batch-exact, event otherwise; results are");
@@ -95,6 +99,7 @@ where
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut all = false;
     let mut backend = SimBackend::Auto;
     let mut what: Vec<&str> = Vec::new();
     let mut i = 0usize;
@@ -102,6 +107,7 @@ fn main() {
         let arg = args[i].as_str();
         match arg {
             "--quick" => quick = true,
+            "--all" => all = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -161,6 +167,12 @@ fn main() {
     // guarded worker thread.
     type Job = Box<dyn FnOnce() -> Result<Vec<Table>, String> + Send + 'static>;
     let mut jobs: Vec<(&str, Job)> = Vec::new();
+    if wants("sta") {
+        jobs.push(("sta", Box::new(move || experiments::sta(scale))));
+    }
+    if wants("lint") {
+        jobs.push(("lint", Box::new(move || experiments::lint(all))));
+    }
     if wants("fig4") {
         jobs.push(("fig4", Box::new(move || experiments::fig4(scale, backend))));
     }

@@ -13,7 +13,7 @@ use crate::report::{fmt_f, Table};
 use ola_arith::online::{Selection, DELTA};
 use ola_arith::synth::online_multiplier;
 use ola_core::empirical::om_gate_level_curve_with;
-use ola_core::{model, montecarlo, InputModel, SimBackend};
+use ola_core::{model, montecarlo, InputModel, SimBackend, StaGate};
 use ola_netlist::{analyze, FpgaDelay, JitteredDelay};
 
 /// Runs the Figure-4 experiment. Returns one stage-domain table and one
@@ -85,6 +85,7 @@ fn gate_domain(n: usize, scale: Scale, backend: SimBackend) -> Result<Table, Str
         scale.gate_samples(),
         42,
         backend,
+        StaGate::On,
     );
     eprintln!("  [fig4] gate level N={n}: {}", stats.summary());
     if stats.batch_runs > 0 {
@@ -92,8 +93,17 @@ fn gate_domain(n: usize, scale: Scale, backend: SimBackend) -> Result<Table, Str
         // both engines; any disagreement poisons the experiment.
         let spot = scale.spot_check_samples();
         let run = |b| {
-            om_gate_level_curve_with(&circuit, &delay, InputModel::UniformDigits, &ts, spot, 42, b)
-                .0
+            om_gate_level_curve_with(
+                &circuit,
+                &delay,
+                InputModel::UniformDigits,
+                &ts,
+                spot,
+                42,
+                b,
+                StaGate::On,
+            )
+            .0
         };
         if run(SimBackend::Event) != run(SimBackend::Batch) {
             return Err(format!("fig4 N={n}: batch/event spot-check mismatch over {spot} samples"));

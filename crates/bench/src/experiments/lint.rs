@@ -1,0 +1,168 @@
+//! `repro lint`: runs the netlist lint catalogue
+//! ([`ola_netlist::sta::lint`]) over every generated operator family and
+//! reports one row per circuit.
+//!
+//! Two halves:
+//!
+//! * **clean sweep** — every generator in the workspace must produce a
+//!   lint-clean netlist (the generators call
+//!   [`prune_dead`](ola_netlist::sta::prune_dead) themselves, so any issue
+//!   here is a regression). A non-empty issue list fails the experiment,
+//!   which is what lets CI run `repro lint --all` as a gate.
+//! * **detector self-check** — a combinational loop is deliberately seeded
+//!   into a copy of an online multiplier (via
+//!   [`rewire_input`](ola_netlist::Netlist::rewire_input)) and the lint
+//!   pass must flag it *statically* — no simulation, no `Unsettled`
+//!   fallback. Its row appears in the table with the expected `comb-loop`
+//!   code so the CSV documents the detector working.
+
+use crate::report::Table;
+use ola_arith::synth::{
+    array_multiplier, carry_select_adder, online_adder, online_mac, online_multiplier,
+    ripple_carry_adder, traditional_mac,
+};
+use ola_netlist::sta::lint::{check, LintIssue};
+use ola_netlist::Netlist;
+use ola_redundant::{SdNumber, Q};
+
+/// Fixed MAC taps, chosen to fit every linted width (≥ 4 bits).
+const TAPS: [i64; 3] = [5, -3, 7];
+
+/// Online taps of magnitude `v/16`: large enough that every operand digit
+/// influences the truncated output. (Taps near the representable minimum
+/// constant-fold away the trailing operand digits entirely, which the lint
+/// then — correctly — reports as unused inputs.)
+fn online_taps(n: usize) -> Vec<SdNumber> {
+    TAPS.iter().map(|&v| SdNumber::from_value(Q::new(v.into(), 4), n).expect("taps fit")).collect()
+}
+
+/// Operand widths linted per family: `--all` extends the sweep.
+fn widths(all: bool) -> &'static [usize] {
+    if all {
+        &[4, 8, 12, 16, 24, 31]
+    } else {
+        &[8, 16]
+    }
+}
+
+/// Every generated circuit family at width `n`, by name.
+fn circuits(n: usize) -> Vec<(String, Netlist)> {
+    vec![
+        (format!("online adder N={n}"), online_adder(n).netlist),
+        (format!("online mult N={n}"), online_multiplier(n, 3).netlist),
+        (format!("online mac N={n}"), online_mac(&online_taps(n), 3).netlist),
+        (format!("ripple adder W={n}"), ripple_carry_adder(n).netlist),
+        (format!("carry-select adder W={n}"), carry_select_adder(n, 4).netlist),
+        (format!("array mult W={n}"), array_multiplier(n).netlist),
+        (format!("traditional mac W={n}"), traditional_mac(&TAPS, n).netlist),
+    ]
+}
+
+fn issue_codes(issues: &[LintIssue]) -> String {
+    if issues.is_empty() {
+        "-".to_string()
+    } else {
+        let mut codes: Vec<&str> = issues.iter().map(LintIssue::code).collect();
+        codes.dedup();
+        codes.join(" ")
+    }
+}
+
+/// Runs the lint experiment; `all` extends the width sweep for CI's
+/// `repro lint --all` gate.
+///
+/// # Errors
+///
+/// If any generated circuit has lint issues, or the seeded-loop self-check
+/// fails to report a `comb-loop` — either means the static analyzer or a
+/// generator regressed.
+pub fn lint(all: bool) -> Result<Vec<Table>, String> {
+    let mut t =
+        Table::new("Lint generated netlists", &["circuit", "nets", "issues", "codes", "details"]);
+    let mut dirty: Vec<String> = Vec::new();
+    for &n in widths(all) {
+        for (name, nl) in circuits(n) {
+            let issues = check(&nl);
+            let details = issues.first().map_or_else(String::new, ToString::to_string);
+            t.push_row(vec![
+                name.clone(),
+                nl.len().to_string(),
+                issues.len().to_string(),
+                issue_codes(&issues),
+                details,
+            ]);
+            if !issues.is_empty() {
+                dirty.push(format!("{name}: {}", issue_codes(&issues)));
+            }
+        }
+    }
+
+    // Detector self-check: seed a loop, expect a *static* diagnosis.
+    let mut seeded = online_multiplier(8, 3).netlist;
+    let (gate, later) = seed_loop(&mut seeded);
+    let issues = check(&seeded);
+    let caught = issues
+        .iter()
+        .any(|i| matches!(i, LintIssue::CombinationalLoop { cycle } if cycle.contains(&gate)));
+    t.push_row(vec![
+        "online mult N=8 + seeded loop".to_string(),
+        seeded.len().to_string(),
+        issues.len().to_string(),
+        issue_codes(&issues),
+        format!("seeded {gate:?}<-{later:?}; caught={caught}"),
+    ]);
+
+    if !caught {
+        return Err(format!(
+            "seeded combinational loop was not flagged (got: {})",
+            issue_codes(&issues)
+        ));
+    }
+    if !dirty.is_empty() {
+        return Err(format!("{} circuit(s) have lint issues: {}", dirty.len(), dirty.join("; ")));
+    }
+    Ok(vec![t])
+}
+
+/// Rewires the input of a mid-netlist gate to a later-created gate's
+/// output, closing a combinational cycle. Returns `(gate, new source)`.
+fn seed_loop(nl: &mut Netlist) -> (ola_netlist::NetId, ola_netlist::NetId) {
+    let n = nl.len();
+    // Walk outward from the middle to find a logic gate, then a later
+    // logic net downstream of it (its own fanout guarantees dependence).
+    let gate = (n / 2..n)
+        .map(|i| nl.net(i))
+        .find(|&net| nl.kind(net).is_logic())
+        .expect("generated multiplier has logic in its upper half");
+    let later = (gate.index() + 1..n)
+        .map(|i| nl.net(i))
+        .find(|&net| nl.kind(net).is_logic() && nl.gate_inputs(net).contains(&gate))
+        .expect("gate has downstream fanout");
+    nl.rewire_input(gate, 0, later).expect("rewire accepts arbitrary sources");
+    (gate, later)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_is_clean_and_catches_the_seeded_loop() {
+        let tables = lint(false).unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        // 2 widths × 7 families + the seeded-loop row.
+        assert_eq!(t.rows.len(), 15);
+        let seeded = t.rows.last().unwrap();
+        assert!(seeded[3].contains("comb-loop"), "seeded row: {seeded:?}");
+        // Every generated row is clean.
+        for row in &t.rows[..t.rows.len() - 1] {
+            assert_eq!(row[2], "0", "unexpected lint issues: {row:?}");
+        }
+    }
+
+    #[test]
+    fn all_flag_extends_the_width_sweep() {
+        assert!(widths(true).len() > widths(false).len());
+    }
+}

@@ -8,12 +8,16 @@ mod casestudy;
 mod faults;
 mod fig4;
 mod fig5;
+mod lint;
+mod sta;
 mod table4;
 
 pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
 pub use faults::faults;
 pub use fig4::fig4;
 pub use fig5::fig5;
+pub use lint::lint;
+pub use sta::{om_certification, om_digit_weights, sta};
 pub use table4::table4;
 
 /// Experiment scale: `quick` shrinks sample counts and image sizes for CI;

@@ -75,6 +75,60 @@ impl fmt::Display for SimBackend {
     }
 }
 
+/// Whether sweeps may take the static-timing fast path.
+///
+/// Every delay model in this workspace is a deterministic per-gate
+/// function, so the forward STA pass ([`ola_netlist::analyze`]) is a sound
+/// upper bound on event-driven settling: a `(bus, Ts)` sample point with
+/// worst-case bus arrival `≤ Ts` provably samples the settled value for
+/// *every* input vector. With the gate [`StaGate::On`], such points skip
+/// the decode/judge work entirely — recording "no violation, zero error"
+/// implicitly — which is bit-identical to judging them (the equivalence
+/// proptest suite holds the two paths to that standard). [`StaGate::Off`]
+/// judges every point dynamically; it exists for that suite and for
+/// measuring the fast path's effect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub enum StaGate {
+    /// Skip `(bus, Ts)` points whose settlement STA certifies.
+    #[default]
+    On,
+    /// Judge every sample point dynamically.
+    Off,
+}
+
+impl StaGate {
+    /// Parses a CLI flag value (`on` / `off`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<StaGate> {
+        match s {
+            "on" => Some(StaGate::On),
+            "off" => Some(StaGate::Off),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this selection.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StaGate::On => "on",
+            StaGate::Off => "off",
+        }
+    }
+
+    /// True when the fast path is enabled.
+    #[must_use]
+    pub fn is_on(self) -> bool {
+        matches!(self, StaGate::On)
+    }
+}
+
+impl fmt::Display for StaGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Cheap observability counters for one experiment's simulation work.
 ///
 /// Deliberately *not* part of any result struct compared for
@@ -99,6 +153,11 @@ pub struct BackendStats {
     /// Per-lane transitions the batch engine represented (the equivalent
     /// event-driven work).
     pub lane_transitions: u64,
+    /// `(vector × Ts)` points whose judging the STA fast path skipped
+    /// because the whole bus was statically certified settled at that
+    /// period (see [`StaGate`]). Not counted in
+    /// [`BackendStats::ts_points`].
+    pub sta_skipped_points: u64,
     /// Wall-clock time of the simulation phase.
     pub wall: Duration,
 }
@@ -118,6 +177,7 @@ impl BackendStats {
         self.lanes_used += other.lanes_used;
         self.word_steps += other.word_steps;
         self.lane_transitions += other.lane_transitions;
+        self.sta_skipped_points += other.sta_skipped_points;
         self.wall += other.wall;
     }
 
@@ -178,6 +238,9 @@ impl BackendStats {
         if self.event_runs > 0 {
             line.push_str(&format!(" event_runs={}", self.event_runs));
         }
+        if self.sta_skipped_points > 0 {
+            line.push_str(&format!(" sta_skipped={}", self.sta_skipped_points));
+        }
         line
     }
 }
@@ -236,5 +299,28 @@ mod tests {
         assert_eq!(a.backend, "batch+event");
         assert!(a.summary().contains("batch_runs=2"));
         assert!(a.summary().contains("event_runs=5"));
+    }
+
+    #[test]
+    fn sta_gate_parses_and_defaults_on() {
+        assert_eq!(StaGate::default(), StaGate::On);
+        for g in [StaGate::On, StaGate::Off] {
+            assert_eq!(StaGate::parse(g.label()), Some(g));
+            assert_eq!(format!("{g}"), g.label());
+        }
+        assert_eq!(StaGate::parse("maybe"), None);
+        assert!(StaGate::On.is_on());
+        assert!(!StaGate::Off.is_on());
+    }
+
+    #[test]
+    fn skipped_points_merge_and_render() {
+        let mut a = BackendStats { sta_skipped_points: 3, ..BackendStats::default() };
+        let b = BackendStats { sta_skipped_points: 4, ..BackendStats::default() };
+        a.merge(&b);
+        assert_eq!(a.sta_skipped_points, 7);
+        assert!(a.summary().contains("sta_skipped=7"));
+        let clean = BackendStats::default();
+        assert!(!clean.summary().contains("sta_skipped"));
     }
 }

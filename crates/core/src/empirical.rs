@@ -16,7 +16,7 @@
 //! not batch-exact (e.g. [`JitteredDelay`](ola_netlist::JitteredDelay))
 //! transparently fall back to the event engine.
 
-use crate::backend::{BackendStats, SimBackend};
+use crate::backend::{BackendStats, SimBackend, StaGate};
 use crate::montecarlo::InputModel;
 use crate::parallel::{parallel_accumulate, parallel_accumulate_batched};
 use ola_arith::online::digits_value;
@@ -111,6 +111,14 @@ fn merge(mut a: Acc, b: &Acc) -> Acc {
 /// the event path exactly, so `f64` additions happen in the same order and
 /// the curves are bit-identical. If batch compilation declines (non
 /// batch-exact delay model, broken topology), the event path runs instead.
+///
+/// With [`StaGate::On`], `Ts` points at or above the bus's worst-case STA
+/// arrival are never judged: every sample at such a point is provably
+/// settled, so the judge would return exactly `(false, 0.0)` (the judge
+/// contract requires `judge(x, x) == (false, 0.0)`), and folding `+0.0`
+/// into the non-negative accumulators is a bitwise no-op. The produced
+/// curve is therefore bit-identical to [`StaGate::Off`] — the equivalence
+/// proptests in `tests/proptest_core.rs` pin that down.
 #[allow(clippy::too_many_arguments)] // internal engine behind the two public wrappers
 fn curve_with<M, D, J>(
     netlist: &Netlist,
@@ -120,6 +128,7 @@ fn curve_with<M, D, J>(
     samples: usize,
     seed: u64,
     backend: SimBackend,
+    sta_gate: StaGate,
     draw: D,
     judge: J,
 ) -> (GateLevelCurve, BackendStats)
@@ -129,6 +138,17 @@ where
     J: Fn(&[bool], &[bool]) -> (bool, f64) + Sync,
 {
     assert!(!ts_points.is_empty() && samples > 0);
+    let report = analyze(netlist, delay);
+    let bus_arrival = report.arrival_of(wires);
+    // `(slot, Ts)` pairs that still need dynamic judging; certified slots
+    // keep their implicit (no violation, zero error) zeros.
+    let judged: Vec<(usize, u64)> = ts_points
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, t)| !(sta_gate.is_on() && t >= bus_arrival))
+        .collect();
+    let skipped = (ts_points.len() - judged.len()) as u64;
     let prog =
         if backend.wants_batch(delay) { BatchProgram::compile(netlist, delay).ok() } else { None };
     let started = Instant::now();
@@ -146,19 +166,21 @@ where
                 let new = BatchInputs::pack(group).expect("draw produces full input vectors");
                 let res = prog.run(&prev, &new).expect("shapes validated above");
                 let bus = res.bus_waves(wires).expect("output bus nets exist");
-                let sweep = bus.sweep(ts_points);
+                let active_ts: Vec<u64> = judged.iter().map(|&(_, t)| t).collect();
+                let sweep = bus.sweep(&active_ts);
                 for lane in 0..lanes {
                     acc.max_settle = acc.max_settle.max(res.settle_time(lane));
                     let settled = bus.settled_lane(lane);
-                    for i in 0..ts_points.len() {
-                        let (violation, abs_error) = judge(&sweep.lane_bits(i, lane), &settled);
+                    for (si, &(i, _)) in judged.iter().enumerate() {
+                        let (violation, abs_error) = judge(&sweep.lane_bits(si, lane), &settled);
                         acc.record(i, violation, abs_error);
                     }
                 }
                 acc.samples += group.len();
                 acc.stats.backend = "batch";
                 acc.stats.vectors += u64::from(lanes);
-                acc.stats.ts_points += u64::from(lanes) * ts_points.len() as u64;
+                acc.stats.ts_points += u64::from(lanes) * judged.len() as u64;
+                acc.stats.sta_skipped_points += u64::from(lanes) * skipped;
                 acc.stats.batch_runs += 1;
                 acc.stats.lanes_used += u64::from(lanes);
                 acc.stats.word_steps += res.word_steps();
@@ -175,21 +197,22 @@ where
                 let res = simulate_from_zero(netlist, delay, &inputs);
                 acc.max_settle = acc.max_settle.max(res.settle_time());
                 let settled = res.final_bus(wires);
-                for (i, &t) in ts_points.iter().enumerate() {
+                for &(i, t) in &judged {
                     let (violation, abs_error) = judge(&res.sample_bus(wires, t), &settled);
                     acc.record(i, violation, abs_error);
                 }
                 acc.samples += 1;
                 acc.stats.backend = "event";
                 acc.stats.vectors += 1;
-                acc.stats.ts_points += ts_points.len() as u64;
+                acc.stats.ts_points += judged.len() as u64;
+                acc.stats.sta_skipped_points += skipped;
                 acc.stats.event_runs += 1;
             },
             merge,
         ),
     };
     acc.stats.wall = started.elapsed();
-    let critical_path = analyze(netlist, delay).critical_path();
+    let critical_path = report.critical_path();
     let s = acc.samples as f64;
     let curve = GateLevelCurve {
         ts: ts_points.to_vec(),
@@ -210,6 +233,7 @@ where
 ///
 /// Panics if `ts_points` or `samples` is empty/zero.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the engine's knobs one-for-one
 pub fn om_gate_level_curve_with<M: DelayModel + Sync>(
     circuit: &OnlineMultiplierCircuit,
     delay: &M,
@@ -218,6 +242,7 @@ pub fn om_gate_level_curve_with<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
     backend: SimBackend,
+    sta_gate: StaGate,
 ) -> (GateLevelCurve, BackendStats) {
     let mut wires = circuit.netlist.output("zp").to_vec();
     let zp_len = wires.len();
@@ -231,6 +256,7 @@ pub fn om_gate_level_curve_with<M: DelayModel + Sync>(
         samples,
         seed,
         backend,
+        sta_gate,
         |rng| {
             let x = model.draw(rng, n);
             let y = model.draw(rng, n);
@@ -264,7 +290,17 @@ pub fn om_gate_level_curve<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
 ) -> GateLevelCurve {
-    om_gate_level_curve_with(circuit, delay, model, ts_points, samples, seed, SimBackend::Auto).0
+    om_gate_level_curve_with(
+        circuit,
+        delay,
+        model,
+        ts_points,
+        samples,
+        seed,
+        SimBackend::Auto,
+        StaGate::On,
+    )
+    .0
 }
 
 /// Sweeps a synthesized two's-complement array multiplier at the given
@@ -284,6 +320,7 @@ pub fn array_gate_level_curve_with<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
     backend: SimBackend,
+    sta_gate: StaGate,
 ) -> (GateLevelCurve, BackendStats) {
     let wires = circuit.netlist.output("product").to_vec();
     let w = circuit.width;
@@ -297,6 +334,7 @@ pub fn array_gate_level_curve_with<M: DelayModel + Sync>(
         samples,
         seed,
         backend,
+        sta_gate,
         |rng| {
             let a = rng.gen_range(-lim..lim);
             let b = rng.gen_range(-lim..lim);
@@ -329,7 +367,16 @@ pub fn array_gate_level_curve<M: DelayModel + Sync>(
     samples: usize,
     seed: u64,
 ) -> GateLevelCurve {
-    array_gate_level_curve_with(circuit, delay, ts_points, samples, seed, SimBackend::Auto).0
+    array_gate_level_curve_with(
+        circuit,
+        delay,
+        ts_points,
+        samples,
+        seed,
+        SimBackend::Auto,
+        StaGate::On,
+    )
+    .0
 }
 
 fn decode(zp: &[bool], zn: &[bool]) -> Vec<Digit> {
@@ -438,6 +485,7 @@ mod tests {
                 100,
                 9,
                 SimBackend::Event,
+                StaGate::Off,
             );
             let (ba, ba_stats) = om_gate_level_curve_with(
                 &circuit,
@@ -447,6 +495,7 @@ mod tests {
                 100,
                 9,
                 SimBackend::Batch,
+                StaGate::Off,
             );
             assert_eq!(ev, ba, "curves must be bit-identical");
             assert_eq!(ev_stats.backend, "event");
@@ -459,14 +508,69 @@ mod tests {
     }
 
     #[test]
+    fn sta_gate_skips_certified_points_bit_identically() {
+        let circuit = online_multiplier(6, 3);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        // Two certified points (≥ critical path) and two at-risk points.
+        let cp = rep.critical_path();
+        let ts = vec![cp / 2, cp * 3 / 4, cp, cp + 50];
+        for backend in [SimBackend::Event, SimBackend::Batch] {
+            let (gated, gated_stats) = om_gate_level_curve_with(
+                &circuit,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                &ts,
+                70,
+                12,
+                backend,
+                StaGate::On,
+            );
+            let (full, full_stats) = om_gate_level_curve_with(
+                &circuit,
+                &UnitDelay,
+                InputModel::UniformDigits,
+                &ts,
+                70,
+                12,
+                backend,
+                StaGate::Off,
+            );
+            assert_eq!(gated, full, "fast path must be bit-identical ({backend})");
+            assert_eq!(gated_stats.sta_skipped_points, 2 * 70, "2 certified Ts × 70 samples");
+            assert_eq!(full_stats.sta_skipped_points, 0);
+            assert_eq!(
+                gated_stats.ts_points + gated_stats.sta_skipped_points,
+                full_stats.ts_points,
+                "skipped + judged covers the whole grid"
+            );
+            assert_eq!(*gated.mean_abs_error.last().unwrap(), 0.0);
+            assert_eq!(*gated.violation_rate.last().unwrap(), 0.0);
+        }
+    }
+
+    #[test]
     fn array_batch_and_event_curves_are_bit_identical() {
         let circuit = array_multiplier(7);
         let rep = analyze(&circuit.netlist, &UnitDelay);
         let ts = vec![rep.critical_path() / 3, rep.critical_path() * 7 / 10, rep.critical_path()];
-        let (ev, _) =
-            array_gate_level_curve_with(&circuit, &UnitDelay, &ts, 90, 11, SimBackend::Event);
-        let (ba, stats) =
-            array_gate_level_curve_with(&circuit, &UnitDelay, &ts, 90, 11, SimBackend::Batch);
+        let (ev, _) = array_gate_level_curve_with(
+            &circuit,
+            &UnitDelay,
+            &ts,
+            90,
+            11,
+            SimBackend::Event,
+            StaGate::On,
+        );
+        let (ba, stats) = array_gate_level_curve_with(
+            &circuit,
+            &UnitDelay,
+            &ts,
+            90,
+            11,
+            SimBackend::Batch,
+            StaGate::On,
+        );
         assert_eq!(ev, ba);
         assert!(stats.lane_utilization() > 0.5);
     }
@@ -484,6 +588,7 @@ mod tests {
             20,
             6,
             SimBackend::Batch,
+            StaGate::On,
         );
         assert_eq!(stats.backend, "event", "jitter is not batch-exact");
         assert_eq!(stats.batch_runs, 0);
@@ -504,6 +609,7 @@ mod tests {
             30,
             8,
             SimBackend::Auto,
+            StaGate::On,
         );
         assert_eq!(stats.backend, "batch");
         assert!(stats.word_steps > 0);

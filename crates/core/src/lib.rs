@@ -47,9 +47,6 @@
 //! assert!(model::expected_error(n, 4, 1.0) > model::expected_error(n, 8, 1.0));
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod backend;
 pub mod baseline;
 pub mod campaign;
@@ -62,5 +59,5 @@ pub mod razor;
 pub mod sweep;
 pub mod timing;
 
-pub use backend::{BackendStats, SimBackend};
+pub use backend::{BackendStats, SimBackend, StaGate};
 pub use montecarlo::InputModel;

@@ -83,7 +83,7 @@ fn thread_count(jobs: usize) -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
     hw.min(jobs.max(1))
 }
 

@@ -37,6 +37,38 @@ pub fn min_error_free_period<F: FnMut(u64) -> f64>(lo: u64, hi: u64, metric: F) 
     min_period_within_budget(lo, hi, 0.0, metric)
 }
 
+/// [`min_error_free_period`] anchored by a *statically certified* period —
+/// e.g. the output bus's worst-case STA arrival
+/// ([`ola_netlist::sta::analyze`] /
+/// [`CertificationReport::digit_arrival`](ola_netlist::sta::CertificationReport::digit_arrival)).
+///
+/// Because STA proves `metric(certified) == 0` without running anything,
+/// the search needs no feasibility probe at the top of the interval (the
+/// simulation [`min_error_free_period`] spends on `metric(hi)` is skipped)
+/// and the result is total rather than `Option`: the answer always exists
+/// in `[lo, certified]`.
+///
+/// # Panics
+///
+/// Panics if `lo > certified`.
+pub fn min_error_free_period_certified<F: FnMut(u64) -> f64>(
+    lo: u64,
+    certified: u64,
+    mut metric: F,
+) -> u64 {
+    assert!(lo <= certified, "certified period below the search floor");
+    let (mut lo, mut hi) = (lo, certified);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if metric(mid) <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
 /// Relative frequency improvement in percent when the period shrinks from
 /// `t_base` to `t_fast`: `(t_base/t_fast − 1) × 100`.
 ///
@@ -82,6 +114,30 @@ mod tests {
         // metric = threshold − ts when below; budget 5 admits ts ≥ 432.
         let got = min_period_within_budget(1, 1000, 5.0, step_metric(437));
         assert_eq!(got, Some(432));
+    }
+
+    #[test]
+    fn certified_search_matches_unanchored_and_skips_the_top_probe() {
+        // Same answer as the Option-returning search …
+        let want = min_error_free_period(1, 1000, step_metric(437)).unwrap();
+        let mut probes = Vec::new();
+        let got = min_error_free_period_certified(1, 1000, |ts| {
+            probes.push(ts);
+            step_metric(437)(ts)
+        });
+        assert_eq!(got, want);
+        // … without ever probing the certified anchor itself.
+        assert!(!probes.contains(&1000), "anchor is proven, not simulated");
+        // A tight certificate needs no probes at all.
+        let mut n = 0;
+        assert_eq!(
+            min_error_free_period_certified(7, 7, |_| {
+                n += 1;
+                1.0
+            }),
+            7
+        );
+        assert_eq!(n, 0);
     }
 
     #[test]

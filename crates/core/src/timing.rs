@@ -40,6 +40,16 @@ pub fn structural_delay(n: usize, mu: u64) -> u64 {
 /// paper's chain analysis: chains annihilate, so
 /// `μ_OM = (⌊(N−1)/2⌋ + 4)·μ` — strictly less than the structural bound for
 /// `N > 7`. This gap is "free" overclocking headroom.
+///
+/// Static timing analysis of the *synthesized* netlists
+/// ([`ola_netlist::sta::analyze`]) lands on [`structural_delay`], not on
+/// this bound: chain annihilation is a data-dependent effect no structural
+/// pass can certify. The golden test `golden_sta.rs` pins the
+/// correspondence — under [`UnitDelay`](ola_netlist::UnitDelay) the
+/// netlists rate at `structural_delay(n, 3900) − 1900` (a constant 39
+/// gate-levels per digit stage plus a pipeline-head offset), so the
+/// formula-vs-netlist gap *is* the structural-vs-chain gap, and it widens
+/// linearly with `N`.
 #[must_use]
 pub fn chain_worst_case_delay(n: usize, mu: u64) -> u64 {
     assert!(n >= 1);

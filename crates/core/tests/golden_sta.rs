@@ -1,0 +1,80 @@
+//! Golden test: the paper's closed-form timing model
+//! ([`ola_core::timing`]) against full STA of the *synthesized* online
+//! multiplier netlists, for N ∈ {8, 12, 16, 32} under [`UnitDelay`].
+//!
+//! What the comparison establishes (and pins, so a generator or STA change
+//! that silently shifts the timing story fails loudly):
+//!
+//! 1. The netlist's rated period grows **affinely** in N —
+//!    `cp(N) = 9800 + 3900·N` time units — i.e. the synthesized datapath
+//!    has a constant per-digit stage depth of 39 gate levels, matching the
+//!    model's "every stage costs μ" shape with `μ_netlist = 3900` and a
+//!    constant pipeline-head offset.
+//! 2. Structural STA reproduces `structural_delay` (up to that constant):
+//!    `cp(N) = structural_delay(N, 3900) − 1900` exactly. STA is a
+//!    *structural* analysis, so it lands on the structural bound — by
+//!    design it cannot see chain annihilation, which is a data-dependent
+//!    (dynamic) effect.
+//! 3. `chain_worst_case_delay` — the paper's chain-analysis bound — is
+//!    therefore strictly *below* the STA rating for every N, and the gap
+//!    widens with N. That gap is exactly the "free" overclocking headroom
+//!    the paper exploits: frequencies above `1/cp` that STA refuses to
+//!    certify but that chain analysis (and the empirical sweeps) show are
+//!    still error-free.
+
+use ola_arith::synth::online_multiplier;
+use ola_core::timing::{chain_worst_case_delay, structural_delay};
+use ola_netlist::{analyze, UnitDelay};
+
+/// `(N, STA critical path of the synthesized netlist under UnitDelay)` —
+/// golden values, measured once and pinned.
+const GOLDEN: [(usize, u64); 4] = [(8, 41_000), (12, 56_600), (16, 72_200), (32, 134_600)];
+
+/// Effective per-digit stage delay of the synthesized netlist (39 gate
+/// levels × `UnitDelay::UNIT`), from the golden affine fit.
+const MU_NETLIST: u64 = 3_900;
+
+#[test]
+fn netlist_sta_matches_golden_and_is_affine_in_n() {
+    for (n, golden) in GOLDEN {
+        let om = online_multiplier(n, 3);
+        let cp = analyze(&om.netlist, &UnitDelay).critical_path();
+        assert_eq!(cp, golden, "N={n}: STA critical path drifted from golden value");
+        assert_eq!(cp, 9_800 + MU_NETLIST * n as u64, "N={n}: affine stage model broke");
+    }
+}
+
+#[test]
+fn sta_reproduces_the_structural_bound_not_the_chain_bound() {
+    for (n, golden) in GOLDEN {
+        // Structural formula, evaluated at the netlist's per-stage delay,
+        // predicts STA exactly (minus the constant head offset): STA *is*
+        // structural analysis.
+        assert_eq!(
+            golden,
+            structural_delay(n, MU_NETLIST) - 1_900,
+            "N={n}: structural formula no longer predicts netlist STA"
+        );
+        // The chain-analysis bound is strictly tighter: the netlist can be
+        // clocked below its STA rating without error, which no structural
+        // pass can certify.
+        let chain = chain_worst_case_delay(n, MU_NETLIST);
+        assert!(chain < golden, "N={n}: chain bound {chain} must undercut the STA rating {golden}");
+    }
+}
+
+#[test]
+fn formula_vs_netlist_headroom_widens_with_n() {
+    // The structural−chain gap (in netlist time units) grows with N: wider
+    // multipliers give the overclocker more free headroom. Pin the
+    // endpoints so the trend is part of the golden contract.
+    let gap = |n: usize| {
+        let om = online_multiplier(n, 3);
+        let cp = analyze(&om.netlist, &UnitDelay).critical_path();
+        cp - chain_worst_case_delay(n, MU_NETLIST)
+    };
+    let gaps: Vec<u64> = GOLDEN.iter().map(|&(n, _)| gap(n)).collect();
+    assert!(gaps.windows(2).all(|w| w[0] < w[1]), "headroom must widen: {gaps:?}");
+    assert_eq!(gaps[0], 41_000 - (3 + 4) * MU_NETLIST, "N=8 endpoint");
+    assert_eq!(gaps[3], 134_600 - (15 + 4) * MU_NETLIST, "N=32 endpoint");
+}

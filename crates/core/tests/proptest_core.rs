@@ -101,8 +101,8 @@ proptest! {
     #[test]
     fn geometric_mean_between_min_and_max(vals in prop::collection::vec(0.01f64..100.0, 1..20)) {
         let g = metrics::geometric_mean(&vals);
-        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(0.0, f64::max);
         prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
     }
 
@@ -120,5 +120,94 @@ proptest! {
         let ts = timing::period_for_normalized_frequency(t0, nf);
         let back = timing::normalized_frequency(ts, t0);
         prop_assert!((back - nf).abs() / nf < 0.02);
+    }
+
+    #[test]
+    fn certified_period_search_matches_unanchored(threshold in 1u64..500) {
+        // Anywhere the Option-returning search succeeds, the STA-anchored
+        // search gives the same frontier without probing the anchor.
+        let metric = |ts: u64| (threshold.saturating_sub(ts)) as f64;
+        let want = sweep::min_error_free_period(1, 1000, metric).unwrap();
+        let got = sweep::min_error_free_period_certified(1, 1000, metric);
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// The STA fast path must be invisible in results: for any delay model in
+/// the workspace (batch-exact or not), any backend, and a Ts grid
+/// straddling the critical path, gating produces bit-identical
+/// [`GateLevelCurve`]s to judging every point — it may only be *faster*.
+mod sta_gate_equivalence {
+    use ola_arith::synth::online_multiplier;
+    use ola_core::empirical::om_gate_level_curve_with;
+    use ola_core::{InputModel, SimBackend, StaGate};
+    use ola_netlist::{analyze, DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
+    use proptest::prelude::*;
+
+    fn curves_match<M: DelayModel + Sync>(
+        n: usize,
+        delay: &M,
+        backend: SimBackend,
+        grid: &[u64],
+        seed: u64,
+    ) -> Result<(), TestCaseError> {
+        let circuit = online_multiplier(n, 3);
+        let cp = analyze(&circuit.netlist, delay).critical_path();
+        // Scale the unit-interval grid onto [cp/4, 5·cp/4] so some points
+        // are certified (≥ cp) and some are not; always include the top of
+        // the interval so at least one point is provably settled.
+        let ts: Vec<u64> = grid
+            .iter()
+            .chain(std::iter::once(&100))
+            .map(|&g| (cp / 4 + cp * g / 100).max(1))
+            .collect();
+        let run = |gate| {
+            om_gate_level_curve_with(
+                &circuit,
+                delay,
+                InputModel::UniformDigits,
+                &ts,
+                24,
+                seed,
+                backend,
+                gate,
+            )
+        };
+        let (gated, gated_stats) = run(StaGate::On);
+        let (full, full_stats) = run(StaGate::Off);
+        prop_assert_eq!(gated, full, "STA gating changed the curve");
+        prop_assert_eq!(full_stats.sta_skipped_points, 0);
+        prop_assert_eq!(
+            gated_stats.ts_points + gated_stats.sta_skipped_points,
+            full_stats.ts_points,
+            "skipped + judged must cover the full workload"
+        );
+        // The forced top-of-grid point (Ts = 5·cp/4 ≥ arrival) is provably
+        // settled, so the gate must actually skip something.
+        prop_assert!(gated_stats.sta_skipped_points > 0);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn gated_curves_are_bit_identical(
+            n in 4usize..7,
+            grid in prop::collection::vec(0u64..=100, 3..7),
+            model_sel in 0usize..3,
+            backend_sel in 0usize..3,
+            seed in 0u64..1000,
+        ) {
+            let backend = [SimBackend::Auto, SimBackend::Event, SimBackend::Batch][backend_sel];
+            match model_sel {
+                0 => curves_match(n, &UnitDelay, backend, &grid, seed)?,
+                1 => curves_match(n, &FpgaDelay::default(), backend, &grid, seed)?,
+                // Not batch-exact: exercises the event-path fallback under
+                // gating, where soundness rests on the jitter being a
+                // deterministic per-net function.
+                _ => curves_match(n, &JitteredDelay::new(FpgaDelay::default(), 15, seed), backend, &grid, seed)?,
+            }
+        }
     }
 }

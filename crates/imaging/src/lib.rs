@@ -27,9 +27,6 @@
 //! println!("MRE at 1.11 f0: {:.4}%", sweep.runs[0].mre_percent);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod filter;
 mod image;
 mod kernel;

@@ -504,7 +504,7 @@ mod tests {
                     ts.extend(res.lane_waveform(net, l).iter().map(|&(t, _)| t));
                     ts.push(0);
                     ts.push(ev.settle_time().max(res.settle_time(l)) + 1);
-                    for &t in ts.clone().iter() {
+                    for &t in &ts.clone() {
                         ts.push(t.saturating_sub(1));
                         ts.push(t + 1);
                     }

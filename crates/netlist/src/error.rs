@@ -138,6 +138,41 @@ impl From<NetlistError> for SimError {
     }
 }
 
+/// Errors from the static-analysis layer ([`crate::sta`]).
+///
+/// Forward-pass timing analysis, slack, path enumeration, certification
+/// and dead-cone pruning all require the netlist to be topologically
+/// ordered (the DAG-by-construction invariant). The only way to break that
+/// invariant is [`Netlist::rewire_input`](crate::Netlist::rewire_input);
+/// analyses detect the breakage statically and refuse, instead of silently
+/// reporting wrong numbers the way a naive forward pass would.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// A gate reads a net created at or after itself, so a single forward
+    /// (or backward) pass cannot order the computation. Run
+    /// [`sta::lint::check`](crate::sta::lint::check) to find out whether
+    /// the back-reference actually closes a combinational cycle.
+    NotTopological {
+        /// The first gate whose fanin references itself or a later net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::NotTopological { net } => write!(
+                f,
+                "netlist is not topologically ordered at gate {net:?}: \
+                 static analysis requires a DAG"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
 /// Errors from compiling or running a batch (bit-parallel) simulation —
 /// see [`crate::batch`].
 ///

@@ -9,8 +9,10 @@
 //!   net's settling waveform, with [`SimResult::value_at`] answering *what
 //!   does a register clocked at period `Ts` capture?* — the overclocking
 //!   primitive;
-//! * [`analyze`] — static timing analysis (the "rated" frequency a tool
-//!   would report);
+//! * [`sta`] — the static-analysis subsystem: [`analyze`] arrival times
+//!   (the "rated" frequency a tool would report), per-net slack, top-K
+//!   critical paths, per-digit settlement certification, and a structural
+//!   lint pass with dead-cone pruning;
 //! * [`DelayModel`]s — [`UnitDelay`], [`FpgaDelay`], and [`JitteredDelay`]
 //!   standing in for place-and-route delay variation;
 //! * [`fault`] — stuck-at / transient-SEU / delay-push fault overlays
@@ -44,9 +46,6 @@
 //! assert_ne!(settled, overclocked);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod area;
 pub mod batch;
 pub mod cells;
@@ -56,12 +55,12 @@ pub mod fault;
 mod netlist;
 mod pipeline;
 mod sim;
-mod sta;
+pub mod sta;
 pub mod vcd;
 
 pub use area::AreaReport;
 pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
-pub use error::{BatchError, NetlistError, SimError};
+pub use error::{BatchError, NetlistError, SimError, StaError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use pipeline::{Pipeline, PipelineStage};
@@ -69,4 +68,4 @@ pub use sim::{
     default_event_budget, simulate, simulate_budgeted, simulate_from_zero,
     simulate_from_zero_with_faults, simulate_with_faults, BusWaveforms, SimResult,
 };
-pub use sta::{analyze, TimingReport};
+pub use sta::{analyze, try_analyze, TimingReport};

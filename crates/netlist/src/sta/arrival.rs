@@ -1,4 +1,5 @@
-//! Static timing analysis.
+//! Forward arrival-time propagation — the front half of static timing
+//! analysis.
 //!
 //! Computes worst-case arrival times by longest-path propagation — the
 //! "structural" timing a synthesis tool would report, which the paper calls
@@ -6,7 +7,7 @@
 //! bound and the *actual* settling times observed by the event-driven
 //! simulator is exactly the overclocking headroom the paper exploits.
 
-use crate::{DelayModel, NetId, Netlist};
+use crate::{DelayModel, NetId, Netlist, StaError};
 
 /// Worst-case arrival times for every net of a netlist.
 #[derive(Clone, Debug)]
@@ -28,6 +29,12 @@ impl TimingReport {
         nets.iter().map(|&n| self.arrival(n)).max().unwrap_or(0)
     }
 
+    /// Worst-case arrival of every net, indexed by [`NetId::index`].
+    #[must_use]
+    pub fn arrivals(&self) -> &[u64] {
+        &self.arrival
+    }
+
     /// The critical-path delay of the whole netlist: the minimum clock
     /// period for guaranteed-correct ("rated") operation.
     #[must_use]
@@ -35,21 +42,33 @@ impl TimingReport {
         self.critical
     }
 
-    /// Rated frequency in "operations per megaunit" — `1e6 / critical_path`.
-    /// Only ratios of this number are meaningful.
+    /// Rated frequency in "operations per megaunit" — `1e6 / critical_path`
+    /// — or `None` for a netlist with no timed logic (an empty or
+    /// all-wires netlist has no rated period, and the old behaviour of
+    /// returning `inf` poisoned every downstream ratio). Only ratios of
+    /// this number are meaningful.
     #[must_use]
-    pub fn rated_frequency(&self) -> f64 {
-        1.0e6 / self.critical as f64
+    pub fn rated_frequency(&self) -> Option<f64> {
+        if self.critical == 0 {
+            None
+        } else {
+            Some(1.0e6 / self.critical as f64)
+        }
     }
 }
 
 /// Runs static timing analysis under a delay model.
+///
+/// Assumes the DAG-by-construction invariant holds; on a netlist rewired
+/// into a cycle (or mere back-reference) the forward pass silently ignores
+/// the back edges. Use [`try_analyze`] when the netlist may have been
+/// rewired.
 #[must_use]
 pub fn analyze<M: DelayModel + ?Sized>(netlist: &Netlist, delay: &M) -> TimingReport {
     let mut arrival = vec![0u64; netlist.len()];
     let mut critical = 0;
     for i in 0..netlist.len() {
-        let net = NetId(i as u32);
+        let net = NetId::from_index(i);
         let kind = netlist.kind(net);
         if !kind.is_logic() {
             continue;
@@ -60,6 +79,39 @@ pub fn analyze<M: DelayModel + ?Sized>(netlist: &Netlist, delay: &M) -> TimingRe
         critical = critical.max(arrival[i]);
     }
     TimingReport { arrival, critical }
+}
+
+/// Checked variant of [`analyze`]: verifies the topological invariant
+/// before propagating, so the produced arrivals are trustworthy even for
+/// netlists that passed through [`Netlist::rewire_input`].
+///
+/// # Errors
+///
+/// [`StaError::NotTopological`] naming the first gate whose fanin
+/// references itself or a later net.
+pub fn try_analyze<M: DelayModel + ?Sized>(
+    netlist: &Netlist,
+    delay: &M,
+) -> Result<TimingReport, StaError> {
+    check_topological(netlist)?;
+    Ok(analyze(netlist, delay))
+}
+
+/// Verifies that every gate only reads nets created strictly before it —
+/// the precondition of every single-pass analysis in this module tree.
+///
+/// # Errors
+///
+/// [`StaError::NotTopological`] naming the first offending gate.
+pub fn check_topological(netlist: &Netlist) -> Result<(), StaError> {
+    for net in netlist.nets() {
+        if netlist.kind(net).is_logic()
+            && netlist.gate_inputs(net).iter().any(|inp| inp.index() >= net.index())
+        {
+            return Err(StaError::NotTopological { net });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -82,6 +134,7 @@ mod tests {
         assert_eq!(rep.critical_path(), 7 * U);
         assert_eq!(rep.arrival(cur), 7 * U);
         assert_eq!(rep.arrival(a), 0);
+        assert_eq!(rep.arrivals().len(), nl.len());
     }
 
     #[test]
@@ -124,13 +177,29 @@ mod tests {
         let _c = nl.not(b);
         let rep = analyze(&nl, &UnitDelay);
         assert_eq!(rep.critical_path(), 2 * U);
-        let f = rep.rated_frequency();
+        let f = rep.rated_frequency().expect("timed logic has a rated period");
         assert!((f - 1.0e6 / (2.0 * U as f64)).abs() < 1e-9);
     }
 
     #[test]
-    fn empty_netlist_has_zero_critical_path() {
+    fn empty_netlist_has_zero_critical_path_and_no_rated_frequency() {
         let nl = Netlist::new();
-        assert_eq!(analyze(&nl, &UnitDelay).critical_path(), 0);
+        let rep = analyze(&nl, &UnitDelay);
+        assert_eq!(rep.critical_path(), 0);
+        assert_eq!(rep.rated_frequency(), None, "no logic: no finite rated frequency");
+    }
+
+    #[test]
+    fn try_analyze_rejects_rewired_netlists() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        nl.set_output("z", vec![n2]);
+        assert!(try_analyze(&nl, &UnitDelay).is_ok());
+        nl.rewire_input(n1, 0, n2).unwrap();
+        let err = try_analyze(&nl, &UnitDelay).unwrap_err();
+        assert_eq!(err, StaError::NotTopological { net: n1 });
+        assert!(err.to_string().contains("not topologically ordered"));
     }
 }

@@ -1,0 +1,565 @@
+//! Structural netlist lint: static detection of combinational loops, dead
+//! logic, constant-foldable gates and suspicious fanout.
+//!
+//! Today a combinational cycle is only caught *dynamically* — the
+//! event-driven simulator burns its event budget and reports
+//! [`SimError::Unsettled`](crate::SimError::Unsettled). The lint pass finds
+//! the same loop *statically* (and names the nets on it), alongside the
+//! quieter structural defects a generator can accumulate: floating nets,
+//! whole dead cones that feed no output, gates fed entirely by constants,
+//! and nets whose fanout is suspicious for a gate-level design.
+//!
+//! [`prune_dead`] is the companion transform: it rebuilds a netlist
+//! keeping only the live cone (and every primary input, to preserve the
+//! evaluation interface), so generated datapaths can be shipped lint-clean.
+
+use super::arrival::check_topological;
+use crate::{GateKind, NetId, Netlist, StaError};
+use std::fmt;
+
+/// One structural defect found by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LintIssue {
+    /// A combinational cycle: each net reads the previous one, and the
+    /// first reads the last. Event-driven simulation of this netlist can
+    /// oscillate forever; every single-pass analysis is unsound.
+    CombinationalLoop {
+        /// The nets on the cycle, in dataflow order.
+        cycle: Vec<NetId>,
+    },
+    /// A gate reads a net created at or after itself without closing a
+    /// cycle. Harmless to the event-driven simulator but rejected by every
+    /// single-pass analysis ([`StaError::NotTopological`]).
+    BackReference {
+        /// The gate holding the back-reference.
+        gate: NetId,
+        /// The later-created net it reads.
+        src: NetId,
+    },
+    /// The netlist declares no output nets, so every gate is dead and
+    /// nothing constrains timing.
+    NoOutputs,
+    /// A primary input that no gate reads and no output exposes.
+    UnusedInput {
+        /// The unused input net.
+        net: NetId,
+    },
+    /// A logic gate whose result no gate reads and no output exposes.
+    FloatingNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// Logic that cannot reach any output net — simulated work that can
+    /// never be observed. [`prune_dead`] removes exactly this set.
+    DeadCone {
+        /// Every dead logic net, ascending.
+        nets: Vec<NetId>,
+    },
+    /// A logic gate with at least one constant input — synthesis would
+    /// have folded it ([`Netlist::and`] and friends do; raw
+    /// [`Netlist::try_gate`] does not).
+    ConstantFoldable {
+        /// The foldable gate.
+        net: NetId,
+        /// The gate's settled value when *all* inputs are constant, or
+        /// `None` when only part of the fanin is constant.
+        value: Option<bool>,
+    },
+    /// A net read by more gates than the configured limit — in a
+    /// gate-level model usually a generator bug rather than a real design.
+    HighFanout {
+        /// The heavily-loaded net.
+        net: NetId,
+        /// Its observed fanout.
+        fanout: u32,
+        /// The configured limit it exceeded.
+        limit: u32,
+    },
+}
+
+impl LintIssue {
+    /// A stable short code for machine consumption (CSV columns, CI greps).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintIssue::CombinationalLoop { .. } => "comb-loop",
+            LintIssue::BackReference { .. } => "back-reference",
+            LintIssue::NoOutputs => "no-outputs",
+            LintIssue::UnusedInput { .. } => "unused-input",
+            LintIssue::FloatingNet { .. } => "floating-net",
+            LintIssue::DeadCone { .. } => "dead-cone",
+            LintIssue::ConstantFoldable { .. } => "const-foldable",
+            LintIssue::HighFanout { .. } => "high-fanout",
+        }
+    }
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintIssue::CombinationalLoop { cycle } => {
+                write!(f, "combinational loop through {} net(s): {cycle:?}", cycle.len())
+            }
+            LintIssue::BackReference { gate, src } => {
+                write!(f, "gate {gate:?} reads later-created net {src:?} (no cycle)")
+            }
+            LintIssue::NoOutputs => write!(f, "netlist declares no output nets"),
+            LintIssue::UnusedInput { net } => write!(f, "primary input {net:?} is never read"),
+            LintIssue::FloatingNet { net } => {
+                write!(f, "net {net:?} drives nothing and is not an output")
+            }
+            LintIssue::DeadCone { nets } => {
+                write!(f, "{} logic net(s) cannot reach any output", nets.len())
+            }
+            LintIssue::ConstantFoldable { net, value } => match value {
+                Some(v) => write!(f, "gate {net:?} is constant-valued ({v})"),
+                None => write!(f, "gate {net:?} has a constant input and could fold"),
+            },
+            LintIssue::HighFanout { net, fanout, limit } => {
+                write!(f, "net {net:?} fans out to {fanout} gates (limit {limit})")
+            }
+        }
+    }
+}
+
+/// Tunables for [`check_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct LintOptions {
+    /// Fanout above this is reported as [`LintIssue::HighFanout`]. The
+    /// default (512) sits far above anything the workspace generators
+    /// produce (their broadcast nets reach `2N` readers).
+    pub fanout_limit: u32,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { fanout_limit: 512 }
+    }
+}
+
+/// Runs the full lint catalogue with default [`LintOptions`].
+///
+/// Unlike the timing analyses this never fails: a netlist rewired out of
+/// topological order is precisely what the loop/back-reference lints are
+/// for. An empty issue list means the netlist is lint-clean.
+#[must_use]
+pub fn check(netlist: &Netlist) -> Vec<LintIssue> {
+    check_with(netlist, &LintOptions::default())
+}
+
+/// Runs the full lint catalogue with explicit [`LintOptions`]. Issues are
+/// reported in a deterministic order: topology violations first (by gate
+/// id), then output/liveness defects, then local gate defects.
+#[must_use]
+pub fn check_with(netlist: &Netlist, opts: &LintOptions) -> Vec<LintIssue> {
+    let n = netlist.len();
+    let mut issues = Vec::new();
+
+    // --- Topology: back-edges, classified into loops vs. mere refs. ---
+    let mut fanout_lists: Option<Vec<Vec<NetId>>> = None;
+    for gate in netlist.nets() {
+        if !netlist.kind(gate).is_logic() {
+            continue;
+        }
+        for &src in netlist.gate_inputs(gate) {
+            if src.index() < gate.index() {
+                continue;
+            }
+            let lists = fanout_lists.get_or_insert_with(|| netlist.fanout_lists());
+            match trace_cycle(gate, src, lists, n) {
+                Some(cycle) => issues.push(LintIssue::CombinationalLoop { cycle }),
+                None => issues.push(LintIssue::BackReference { gate, src }),
+            }
+        }
+    }
+
+    // --- Liveness. ---
+    let mut is_output = vec![false; n];
+    let mut any_output = false;
+    for (_, nets) in netlist.outputs() {
+        for net in nets {
+            is_output[net.index()] = true;
+            any_output = true;
+        }
+    }
+    if !any_output {
+        issues.push(LintIssue::NoOutputs);
+    }
+    let live = live_set(netlist, &is_output);
+    let fanout = netlist.fanout_counts();
+
+    for net in netlist.nets() {
+        if netlist.kind(net) == GateKind::Input
+            && fanout[net.index()] == 0
+            && !is_output[net.index()]
+        {
+            issues.push(LintIssue::UnusedInput { net });
+        }
+    }
+    for net in netlist.nets() {
+        if netlist.kind(net).is_logic() && fanout[net.index()] == 0 && !is_output[net.index()] {
+            issues.push(LintIssue::FloatingNet { net });
+        }
+    }
+    if any_output {
+        let dead: Vec<NetId> = netlist
+            .nets()
+            .filter(|&net| netlist.kind(net).is_logic() && !live[net.index()])
+            .collect();
+        if !dead.is_empty() {
+            issues.push(LintIssue::DeadCone { nets: dead });
+        }
+    }
+
+    // --- Local gate defects. ---
+    for net in netlist.nets() {
+        if !netlist.kind(net).is_logic() {
+            continue;
+        }
+        let inputs = netlist.gate_inputs(net);
+        let consts: Vec<Option<bool>> = inputs.iter().map(|&i| const_value(netlist, i)).collect();
+        if consts.iter().any(Option::is_some) {
+            let value = if consts.iter().all(Option::is_some) {
+                let vals: Vec<bool> = consts.iter().map(|c| c.expect("all const")).collect();
+                Some(eval_const_gate(netlist.kind(net), &vals))
+            } else {
+                None
+            };
+            issues.push(LintIssue::ConstantFoldable { net, value });
+        }
+    }
+    for net in netlist.nets() {
+        let f = fanout[net.index()];
+        if f > opts.fanout_limit {
+            issues.push(LintIssue::HighFanout { net, fanout: f, limit: opts.fanout_limit });
+        }
+    }
+    issues
+}
+
+/// Rebuilds `netlist` keeping every primary input (the evaluation
+/// interface is preserved: same input count and order) but only the logic
+/// and constants that can reach an output net. Gate structure inside the
+/// live cone is copied verbatim — no re-folding — so the timing of every
+/// surviving net under an index-independent delay model is unchanged.
+///
+/// Net *ids* are remapped (the live cone is renumbered densely); callers
+/// holding `NetId`s into the old netlist must re-derive them from the
+/// returned netlist's buses.
+///
+/// # Errors
+///
+/// [`StaError::NotTopological`] if the netlist was rewired out of
+/// topological order (a single rebuild pass would drop the back edges
+/// silently).
+pub fn prune_dead(netlist: &Netlist) -> Result<Netlist, StaError> {
+    check_topological(netlist)?;
+    let n = netlist.len();
+    let mut is_output = vec![false; n];
+    for (_, nets) in netlist.outputs() {
+        for net in nets {
+            is_output[net.index()] = true;
+        }
+    }
+    let live = live_set(netlist, &is_output);
+
+    let mut out = Netlist::new();
+    let mut map: Vec<Option<NetId>> = vec![None; n];
+    for net in netlist.nets() {
+        let i = net.index();
+        match netlist.kind(net) {
+            GateKind::Input => map[i] = Some(out.input("in")),
+            GateKind::Const => {
+                if live[i] {
+                    let v = const_value(netlist, net).expect("const net has a value");
+                    map[i] = Some(out.constant(v));
+                }
+            }
+            kind => {
+                if live[i] {
+                    let inputs: Vec<NetId> = netlist
+                        .gate_inputs(net)
+                        .iter()
+                        .map(|p| map[p.index()].expect("inputs of a live gate are live"))
+                        .collect();
+                    map[i] =
+                        Some(out.try_gate(kind, &inputs).expect("copied gate keeps its arity"));
+                }
+            }
+        }
+    }
+    for (bus, nets) in netlist.outputs() {
+        let mapped: Vec<NetId> =
+            nets.iter().map(|p| map[p.index()].expect("output nets are live")).collect();
+        out.set_output(bus, mapped);
+    }
+    Ok(out)
+}
+
+/// Backward reachability from the output nets (cycle-safe: plain DFS with
+/// a visited set).
+fn live_set(netlist: &Netlist, is_output: &[bool]) -> Vec<bool> {
+    let mut live = vec![false; netlist.len()];
+    let mut stack: Vec<NetId> = netlist.nets().filter(|net| is_output[net.index()]).collect();
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut live[net.index()], true) {
+            continue;
+        }
+        if netlist.kind(net).is_logic() {
+            stack.extend(netlist.gate_inputs(net).iter().copied());
+        }
+    }
+    live
+}
+
+/// Follows dataflow forward from `gate` looking for `src`; a hit means the
+/// back edge `src → gate` closes a combinational cycle, returned in
+/// dataflow order `[gate, …, src]`.
+fn trace_cycle(gate: NetId, src: NetId, fanout: &[Vec<NetId>], n: usize) -> Option<Vec<NetId>> {
+    if src == gate {
+        return Some(vec![gate]);
+    }
+    let mut pred: Vec<Option<NetId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[gate.index()] = true;
+    let mut stack = vec![gate];
+    while let Some(cur) = stack.pop() {
+        for &next in &fanout[cur.index()] {
+            if visited[next.index()] {
+                continue;
+            }
+            visited[next.index()] = true;
+            pred[next.index()] = Some(cur);
+            if next == src {
+                // Reconstruct gate → … → src.
+                let mut path = vec![src];
+                let mut at = src;
+                while let Some(p) = pred[at.index()] {
+                    path.push(p);
+                    at = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            stack.push(next);
+        }
+    }
+    None
+}
+
+fn const_value(netlist: &Netlist, net: NetId) -> Option<bool> {
+    let node = &netlist.gate_nodes()[net.index()];
+    if node.kind == GateKind::Const {
+        Some(node.const_value)
+    } else {
+        None
+    }
+}
+
+fn eval_const_gate(kind: GateKind, v: &[bool]) -> bool {
+    match kind {
+        GateKind::Not => !v[0],
+        GateKind::And => v[0] & v[1],
+        GateKind::Or => v[0] | v[1],
+        GateKind::Xor => v[0] ^ v[1],
+        GateKind::Nand => !(v[0] & v[1]),
+        GateKind::Nor => !(v[0] | v[1]),
+        GateKind::Xnor => !(v[0] ^ v[1]),
+        GateKind::Mux => {
+            if v[0] {
+                v[1]
+            } else {
+                v[2]
+            }
+        }
+        GateKind::Input | GateKind::Const => unreachable!("not a logic gate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, UnitDelay};
+
+    fn codes(issues: &[LintIssue]) -> Vec<&'static str> {
+        issues.iter().map(LintIssue::code).collect()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_issues() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.xor(a, b);
+        let c = nl.and(a, b);
+        nl.set_output("sum", vec![s, c]);
+        assert!(check(&nl).is_empty());
+    }
+
+    #[test]
+    fn ring_oscillator_is_flagged_statically() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let n3 = nl.not(n2);
+        nl.set_output("z", vec![n3]);
+        // Close the ring: n1 now reads n3.
+        nl.rewire_input(n1, 0, n3).unwrap();
+        let issues = check(&nl);
+        let loops: Vec<_> = issues
+            .iter()
+            .filter_map(|i| match i {
+                LintIssue::CombinationalLoop { cycle } => Some(cycle.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loops.len(), 1, "exactly one loop: {issues:?}");
+        assert_eq!(loops[0], vec![n1, n2, n3], "dataflow order around the ring");
+        assert!(issues[0].to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn self_loop_is_a_one_net_cycle() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let g = nl.and(a, a);
+        nl.set_output("z", vec![g]);
+        nl.rewire_input(g, 1, g).unwrap();
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::CombinationalLoop { cycle: vec![g] }));
+    }
+
+    #[test]
+    fn acyclic_back_reference_is_distinguished_from_a_loop() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        let n2 = nl.not(a);
+        nl.set_output("z", vec![n1, n2]);
+        // n1 reads n2, but n2 does not depend on n1: no cycle.
+        nl.rewire_input(n1, 0, n2).unwrap();
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::BackReference { gate: n1, src: n2 }));
+        assert!(!codes(&issues).contains(&"comb-loop"));
+    }
+
+    #[test]
+    fn dead_and_floating_logic_is_flagged() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let live = nl.not(a);
+        let dead1 = nl.not(a);
+        let dead2 = nl.not(dead1); // floating tip of a 2-gate dead cone
+        nl.set_output("z", vec![live]);
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::FloatingNet { net: dead2 }));
+        assert!(issues.contains(&LintIssue::DeadCone { nets: vec![dead1, dead2] }));
+        assert!(!codes(&issues).contains(&"unused-input"), "a is read by live logic");
+    }
+
+    #[test]
+    fn unused_inputs_and_no_outputs_are_flagged() {
+        let mut nl = Netlist::new();
+        let _a = nl.input("a");
+        let issues = check(&nl);
+        assert_eq!(codes(&issues), vec!["no-outputs", "unused-input"]);
+    }
+
+    #[test]
+    fn const_fed_gates_are_flagged_with_their_value() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        // Raw gate construction bypasses the builders' folding.
+        let full = nl.try_gate(GateKind::Nand, &[t, f]).unwrap();
+        let part = nl.try_gate(GateKind::And, &[a, t]).unwrap();
+        nl.set_output("z", vec![full, part]);
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::ConstantFoldable { net: full, value: Some(true) }));
+        assert!(issues.contains(&LintIssue::ConstantFoldable { net: part, value: None }));
+    }
+
+    #[test]
+    fn high_fanout_respects_the_configured_limit() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            outs.push(nl.not(a));
+        }
+        nl.set_output("z", outs);
+        assert!(check(&nl).is_empty(), "4 readers is fine at the default limit");
+        let issues = check_with(&nl, &LintOptions { fanout_limit: 3 });
+        assert_eq!(issues, vec![LintIssue::HighFanout { net: a, fanout: 4, limit: 3 }]);
+        assert_eq!(issues[0].code(), "high-fanout");
+    }
+
+    #[test]
+    fn prune_dead_removes_exactly_the_dead_cone() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let live = nl.xor(a, b);
+        let dead1 = nl.and(a, b);
+        let _dead2 = nl.not(dead1);
+        nl.set_output("z", vec![live]);
+        let pruned = prune_dead(&nl).unwrap();
+        assert_eq!(pruned.len(), nl.len() - 2);
+        assert_eq!(pruned.inputs().len(), 2, "inputs always survive");
+        // Function on the outputs is preserved.
+        for pat in 0..4u8 {
+            let ins = [pat & 1 == 1, pat & 2 == 2];
+            let old = nl.eval(&ins);
+            let new = pruned.eval(&ins);
+            let oz = nl.output("z")[0];
+            let nz = pruned.output("z")[0];
+            assert_eq!(old[oz.index()], new[nz.index()], "pattern {pat}");
+        }
+        // And the pruned netlist is lint-clean.
+        assert!(check(&pruned).is_empty());
+    }
+
+    #[test]
+    fn prune_preserves_output_arrival_times() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let mut cur = a;
+        for _ in 0..5 {
+            cur = nl.not(cur);
+        }
+        // A deeper dead chain must not influence the live critical path.
+        let mut dead = a;
+        for _ in 0..9 {
+            dead = nl.not(dead);
+        }
+        nl.set_output("z", vec![cur]);
+        let pruned = prune_dead(&nl).unwrap();
+        let before = analyze(&nl, &UnitDelay).arrival_of(nl.output("z"));
+        let after = analyze(&pruned, &UnitDelay);
+        assert_eq!(after.arrival_of(pruned.output("z")), before);
+        assert_eq!(after.critical_path(), before, "dead chain no longer dominates");
+    }
+
+    #[test]
+    fn prune_keeps_live_constants_and_rejects_rewired_netlists() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let t = nl.constant(true);
+        let g = nl.try_gate(GateKind::And, &[a, t]).unwrap();
+        let dead_const = nl.constant(false);
+        let _ = dead_const;
+        nl.set_output("z", vec![g]);
+        let pruned = prune_dead(&nl).unwrap();
+        assert_eq!(pruned.len(), 3, "input + live const + gate; dead const dropped");
+        assert!(pruned.eval(&[true])[pruned.output("z")[0].index()]);
+
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        nl.set_output("z", vec![n2]);
+        nl.rewire_input(n1, 0, n2).unwrap();
+        assert!(matches!(prune_dead(&nl), Err(StaError::NotTopological { .. })));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the lint pass ([`ola_netlist::sta::lint`]):
+//! seeded defects are always flagged, and [`prune_dead`] removes exactly
+//! the dead logic without changing any observable output.
+
+use ola_netlist::sta::lint::{check, prune_dead, LintIssue};
+use ola_netlist::{NetId, Netlist};
+use proptest::prelude::*;
+
+/// A recipe for one random gate: (kind selector, input selectors).
+type GateRecipe = (u8, u8, u8, u8);
+
+/// Builds a random DAG netlist; the last four nets form the output bus, so
+/// random recipes routinely leave dead cones behind — exactly what the
+/// dead-logic lints and `prune_dead` are for.
+fn build_random_netlist(inputs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| nl.input(&format!("i{i}"))).collect();
+    for &(kind, a, b, c) in recipes {
+        let pick = |sel: u8, nets: &[NetId]| nets[sel as usize % nets.len()];
+        let x = pick(a, &nets);
+        let y = pick(b, &nets);
+        let z = pick(c, &nets);
+        let out = match kind % 8 {
+            0 => nl.not(x),
+            1 => nl.and(x, y),
+            2 => nl.or(x, y),
+            3 => nl.xor(x, y),
+            4 => nl.nand(x, y),
+            5 => nl.nor(x, y),
+            6 => nl.xnor(x, y),
+            _ => nl.mux(x, y, z),
+        };
+        nets.push(out);
+    }
+    let out_slice: Vec<NetId> = nets.iter().rev().take(4).copied().collect();
+    nl.set_output("z", out_slice);
+    nl
+}
+
+fn recipes() -> impl Strategy<Value = Vec<GateRecipe>> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..60)
+}
+
+fn has_code(issues: &[LintIssue], code: &str) -> bool {
+    issues.iter().any(|i| i.code() == code)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An injected ring oscillator (three inverters closed into a cycle)
+    /// is always reported as a combinational loop — statically, with the
+    /// ring's nets named in the diagnostic.
+    #[test]
+    fn injected_ring_oscillator_is_always_flagged(rs in recipes(), tap in any::<u8>()) {
+        let mut nl = build_random_netlist(5, &rs);
+        let nets: Vec<NetId> = nl.nets().collect();
+        let seed = nets[tap as usize % nets.len()];
+        let r1 = nl.not(seed);
+        let r2 = nl.not(r1);
+        let r3 = nl.not(r2);
+        nl.rewire_input(r1, 0, r3).unwrap();
+        let issues = check(&nl);
+        let cycle = issues.iter().find_map(|i| match i {
+            LintIssue::CombinationalLoop { cycle } => Some(cycle.clone()),
+            _ => None,
+        });
+        let cycle = cycle.expect("ring oscillator must be diagnosed as a loop");
+        for ring_net in [r1, r2, r3] {
+            prop_assert!(cycle.contains(&ring_net), "{ring_net:?} missing from {cycle:?}");
+        }
+        // Cyclic netlists must also be rejected by prune (it needs a DAG).
+        prop_assert!(prune_dead(&nl).is_err());
+    }
+
+    /// Gates appended after the output bus is fixed can never be observed;
+    /// the lint must report them as dead (floating tip and/or dead cone),
+    /// and [`prune_dead`] must make the report clean again.
+    #[test]
+    fn appended_dead_gates_are_always_flagged_and_pruned(
+        rs in recipes(),
+        extra in 1usize..8,
+        tap in any::<u8>(),
+    ) {
+        let mut nl = build_random_netlist(5, &rs);
+        let nets: Vec<NetId> = nl.nets().collect();
+        let mut cur = nets[tap as usize % nets.len()];
+        let mut appended = Vec::new();
+        for _ in 0..extra {
+            cur = nl.not(cur);
+            appended.push(cur);
+        }
+        let issues = check(&nl);
+        prop_assert!(
+            has_code(&issues, "dead-cone") || has_code(&issues, "floating-net"),
+            "appended gates not reported: {issues:?}"
+        );
+        let dead: Vec<NetId> = issues
+            .iter()
+            .find_map(|i| match i {
+                LintIssue::DeadCone { nets } => Some(nets.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        for g in &appended {
+            prop_assert!(dead.contains(g), "{g:?} missing from dead cone {dead:?}");
+        }
+        let pruned = prune_dead(&nl).unwrap();
+        let after = check(&pruned);
+        prop_assert!(!has_code(&after, "dead-cone"), "prune left dead logic: {after:?}");
+        prop_assert!(!has_code(&after, "floating-net"));
+    }
+
+    /// `prune_dead` is semantics-preserving: for any input vector, the
+    /// output bus evaluates identically before and after pruning (and the
+    /// pruned netlist is never larger).
+    #[test]
+    fn prune_preserves_outputs_on_all_vectors(rs in recipes(), bits in any::<u32>()) {
+        let inputs = 5;
+        let nl = build_random_netlist(inputs, &rs);
+        let pruned = prune_dead(&nl).unwrap();
+        prop_assert!(pruned.len() <= nl.len());
+        let vals: Vec<bool> = (0..inputs).map(|i| bits >> i & 1 == 1).collect();
+        let a = nl.eval(&vals);
+        let b = pruned.eval(&vals);
+        let before: Vec<bool> = nl.output("z").iter().map(|n| a[n.index()]).collect();
+        let after: Vec<bool> = pruned.output("z").iter().map(|n| b[n.index()]).collect();
+        prop_assert_eq!(before, after);
+    }
+}

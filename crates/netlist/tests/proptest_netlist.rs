@@ -85,6 +85,42 @@ proptest! {
         prop_assert!(res.settle_time() <= rep.critical_path());
     }
 
+    /// Per-net (not just whole-netlist) soundness of the forward STA pass,
+    /// across every delay-model family in the workspace: no net ever
+    /// transitions after its statically computed worst-case arrival. This
+    /// is the exact property the sweep fast path ([`StaGate`] in
+    /// `ola-core`) relies on to skip certified `(bus, Ts)` points.
+    #[test]
+    fn per_net_sta_arrival_bounds_every_transition(
+        rs in recipes(),
+        prev_bits in any::<u32>(),
+        next_bits in any::<u32>(),
+        delay_sel in 0u8..4,
+        jitter in 0u64..40,
+    ) {
+        let inputs = 6;
+        let nl = build_random_netlist(inputs, &rs);
+        let base = delay_model(delay_sel);
+        let prev: Vec<bool> = (0..inputs).map(|i| prev_bits >> i & 1 == 1).collect();
+        let next: Vec<bool> = (0..inputs).map(|i| next_bits >> i & 1 == 1).collect();
+        // Batch-exact base model and its jittered (event-only) wrap: both
+        // are deterministic per-net functions, so STA covers both.
+        let jittered = JitteredDelay::new(UnitDelay, jitter, delay_sel as u64 + 1);
+        let models: [&dyn DelayModel; 2] = [base.as_ref(), &jittered];
+        for delay in models {
+            let rep = analyze(&nl, delay);
+            let res = simulate(&nl, delay, &prev, &next);
+            for net in nl.nets() {
+                let last = res.waveform(net).last().map_or(0, |&(t, _)| t);
+                prop_assert!(
+                    last <= rep.arrival(net),
+                    "net {:?} transitioned at {} after its STA arrival {}",
+                    net, last, rep.arrival(net)
+                );
+            }
+        }
+    }
+
     #[test]
     fn sampling_after_settle_equals_final(
         rs in recipes(),
@@ -310,7 +346,7 @@ proptest! {
                 ts.extend(res.lane_waveform(net, l).iter().map(|&(t, _)| t));
                 ts.push(0);
                 ts.push(ev.settle_time().max(res.settle_time(l)) + 1);
-                for &t in ts.clone().iter() {
+                for &t in &ts.clone() {
                     ts.push(t.saturating_sub(1));
                     ts.push(t + 1);
                 }

@@ -29,9 +29,6 @@
 //! # Ok::<(), ola_redundant::RangeError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod bs;
 mod convert;
 mod digit;

@@ -51,7 +51,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut seen = [false; 3];
         for _ in 0..100 {
-            for d in uniform_digits(&mut rng, 8).iter() {
+            for d in &uniform_digits(&mut rng, 8) {
                 seen[(d.value() + 1) as usize] = true;
             }
         }
@@ -63,7 +63,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut counts = [0u32; 3];
         for _ in 0..3000 {
-            for d in uniform_digits(&mut rng, 4).iter() {
+            for d in &uniform_digits(&mut rng, 4) {
                 counts[(d.value() + 1) as usize] += 1;
             }
         }

@@ -31,7 +31,7 @@ fn main() {
 
     // Max error-free frequency for each design.
     let f0 = |ts: &[u64], err: &[f64]| -> u64 {
-        ts.iter().zip(err).find(|(_, &e)| e == 0.0).map(|(&t, _)| t).unwrap_or(*ts.last().unwrap())
+        ts.iter().zip(err).find(|(_, &e)| e == 0.0).map_or(*ts.last().unwrap(), |(&t, _)| t)
     };
     let om_f0 = f0(&om_curve.ts, &om_curve.mean_abs_error);
     let am_f0 = f0(&am_curve.ts, &am_curve.mean_abs_error);
@@ -46,11 +46,10 @@ fn main() {
     println!("{:>10} {:>12} {:>12}", "budget", "online", "traditional");
     for budget in [1e-5, 1e-4, 1e-3, 1e-2] {
         let within = |ts: &[u64], err: &[f64], base: u64| -> String {
-            ts.iter()
-                .zip(err)
-                .find(|(_, &e)| e <= budget)
-                .map(|(&t, _)| format!("{:+.2}%", sweep::frequency_speedup_percent(base, t)))
-                .unwrap_or_else(|| "N/A".to_owned())
+            ts.iter().zip(err).find(|(_, &e)| e <= budget).map_or_else(
+                || "N/A".to_owned(),
+                |(&t, _)| format!("{:+.2}%", sweep::frequency_speedup_percent(base, t)),
+            )
         };
         println!(
             "{:>10.0e} {:>12} {:>12}",
