@@ -5,14 +5,24 @@
 //! the final *partial results* summary instead of taking down the whole
 //! reproduction run. The exit code reflects completeness — `0` when every
 //! requested experiment (and every CSV write) succeeded, `1` for partial
-//! results, `2` for usage errors. `--list` enumerates the experiments and
-//! exit codes; `--backend {auto,event,batch}` selects the simulation
-//! engine for the gate-level workloads (results are bit-identical across
-//! backends — batch-backed experiments additionally self-verify with an
-//! event-driven spot-check and report their throughput counters).
+//! results, `2` for usage errors, `3` when the environment is unusable
+//! (the `results/` output directory cannot be created). `--list`
+//! enumerates the experiments and exit codes; `--backend
+//! {auto,event,batch}` selects the simulation engine for the gate-level
+//! workloads (results are bit-identical across backends — batch-backed
+//! experiments additionally self-verify with an event-driven spot-check
+//! and report their throughput counters).
+//!
+//! Each experiment writes its CSVs as soon as it finishes and then emits a
+//! run manifest at `results/manifests/<experiment>.json` — git revision,
+//! master seeds, backend, `OLA_THREADS` resolution, tracing spans, the
+//! metric-registry delta the experiment produced, and a SHA-256 of every
+//! emitted CSV/PGM. `--trace {off,pretty,json}` overrides `OLA_TRACE` for
+//! live span output on stderr.
 
 use ola_bench::experiments::{self, CaseStudyContext, Scale};
 use ola_bench::report::Table;
+use ola_core::obs::{self, OutputRecord, RunManifest, TraceMode};
 use ola_core::SimBackend;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -36,7 +46,10 @@ const EXPERIMENTS: [(&str, &str); 11] = [
 ];
 
 fn print_usage() {
-    eprintln!("usage: repro [EXPERIMENT ...] [--quick] [--all] [--backend auto|event|batch]");
+    eprintln!(
+        "usage: repro [EXPERIMENT ...] [--quick] [--all] [--backend auto|event|batch] \
+         [--trace off|pretty|json]"
+    );
     eprintln!("       repro --list");
     eprintln!();
     eprintln!("experiments (default: all):");
@@ -52,13 +65,16 @@ fn print_usage() {
     eprintln!("                     auto (default) = batch when the delay model is");
     eprintln!("                     batch-exact, event otherwise; results are");
     eprintln!("                     bit-identical across backends");
+    eprintln!("  --trace MODE       live span output on stderr: off (default), pretty,");
+    eprintln!("                     or json; overrides the OLA_TRACE environment variable");
     eprintln!("  --list             list experiments and exit codes, then exit");
     eprintln!("  --help, -h         this message");
     eprintln!();
     eprintln!("exit codes:");
-    eprintln!("  0  every requested experiment (and every CSV write) succeeded");
-    eprintln!("  1  partial results: at least one experiment or CSV write failed");
+    eprintln!("  0  every requested experiment (and every CSV/manifest write) succeeded");
+    eprintln!("  1  partial results: at least one experiment or output write failed");
     eprintln!("  2  usage error (unknown experiment, flag, or backend)");
+    eprintln!("  3  environment error: the results/ output directory cannot be created");
 }
 
 /// Outcome of one experiment.
@@ -101,6 +117,7 @@ fn main() {
     let mut quick = false;
     let mut all = false;
     let mut backend = SimBackend::Auto;
+    let mut trace_override: Option<TraceMode> = None;
     let mut what: Vec<&str> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
@@ -117,7 +134,10 @@ fn main() {
                     println!("{name:<8} {desc}");
                 }
                 println!();
-                println!("exit codes: 0 = complete, 1 = partial results, 2 = usage error");
+                println!(
+                    "exit codes: 0 = complete, 1 = partial results, 2 = usage error, \
+                     3 = environment error (cannot create results/)"
+                );
                 return;
             }
             "--backend" => {
@@ -134,6 +154,21 @@ fn main() {
                     std::process::exit(2);
                 };
                 backend = value;
+            }
+            "--trace" => {
+                i += 1;
+                let Some(value) = args.get(i).and_then(|v| TraceMode::parse(v)) else {
+                    eprintln!("--trace needs one of: off, pretty, json");
+                    std::process::exit(2);
+                };
+                trace_override = Some(value);
+            }
+            _ if arg.starts_with("--trace=") => {
+                let Some(value) = TraceMode::parse(&arg["--trace=".len()..]) else {
+                    eprintln!("--trace needs one of: off, pretty, json");
+                    std::process::exit(2);
+                };
+                trace_override = Some(value);
             }
             _ if arg.starts_with("--") => {
                 eprintln!("unknown flag {arg:?}");
@@ -153,7 +188,32 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+
+    // Observability: wire the netlist observer into the metrics registry
+    // and settle the trace mode before any experiment runs.
+    obs::init();
+    if let Some(mode) = trace_override {
+        obs::set_mode(mode);
+    }
+
+    // The output directories are a precondition of the whole run: every
+    // experiment that writes files (fig7's PGMs, every CSV, every
+    // manifest) lands under `results/`. Creating them up front converts
+    // a read-only working directory from eleven confusing per-experiment
+    // failures (historically: a panic backtrace out of fig7) into one
+    // clear environment error with its own exit code.
     let out_dir = PathBuf::from("results");
+    let manifest_dir = out_dir.join("manifests");
+    if let Err(e) = std::fs::create_dir_all(&manifest_dir) {
+        eprintln!(
+            "cannot create output directory {}: {e}\n\
+             (repro writes CSVs, PGM images, and run manifests there; \
+             run from a writable directory)",
+            manifest_dir.display()
+        );
+        std::process::exit(3);
+    }
+
     // Per-experiment wall-clock safety net; generous enough that only a
     // genuinely wedged experiment trips it.
     let budget = if quick { Duration::from_secs(1200) } else { Duration::from_secs(7200) };
@@ -219,35 +279,93 @@ fn main() {
         std::process::exit(2);
     }
 
+    let git = obs::git_describe();
     let total = jobs.len();
-    let mut tables: Vec<Table> = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
     for (name, job) in jobs {
+        // Attribute registry deltas, spans, annotations and noted output
+        // files to this experiment: snapshot + drain before, diff after.
+        // (Shared case-study context work is attributed to the first
+        // experiment that touches it — noted in the manifest itself.)
+        let before = obs::registry().snapshot();
+        let _ = obs::drain_spans();
+        let _ = obs::take_annotations();
+        let _ = obs::take_noted_outputs();
+
         let start = Instant::now();
-        match run_guarded(budget, job) {
-            Outcome::Ok(mut t) => {
+        let span = obs::span(format!("experiment.{name}"));
+        let outcome = run_guarded(budget, job);
+        drop(span);
+        let tables = match outcome {
+            Outcome::Ok(t) => {
                 eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
-                tables.append(&mut t);
+                t
             }
             Outcome::Failed(msg) => {
                 eprintln!("[{name}] FAILED after {:.1}s: {msg}", start.elapsed().as_secs_f64());
                 failures.push((name.to_string(), msg));
+                continue;
             }
             Outcome::TimedOut(b) => {
                 let msg = format!("exceeded wall-clock budget of {}s", b.as_secs());
                 eprintln!("[{name}] TIMED OUT: {msg}");
                 failures.push((name.to_string(), msg));
+                continue;
+            }
+        };
+
+        // Persist this experiment's tables immediately so partial runs
+        // still leave their completed CSVs (and manifests) behind.
+        let mut emitted: Vec<(String, PathBuf)> = Vec::new();
+        for t in &tables {
+            println!("{}", t.render());
+            match t.write_csv(&out_dir) {
+                Ok(p) => {
+                    eprintln!("  csv: {}", p.display());
+                    emitted.push((p.display().to_string(), p));
+                }
+                Err(e) => {
+                    eprintln!("  csv write failed: {e}");
+                    failures.push((format!("csv:{}", t.title), e.to_string()));
+                }
             }
         }
-    }
+        // Files the experiment wrote itself (fig7's PGM images).
+        for (label, path) in obs::take_noted_outputs() {
+            emitted.push((label, path));
+        }
 
-    for t in &tables {
-        println!("{}", t.render());
-        match t.write_csv(&out_dir) {
-            Ok(p) => eprintln!("  csv: {}", p.display()),
+        let mut outputs: Vec<OutputRecord> = Vec::new();
+        for (label, path) in &emitted {
+            match OutputRecord::capture(label, path) {
+                Ok(rec) => outputs.push(rec),
+                Err(e) => {
+                    eprintln!("  hash of {} failed: {e}", path.display());
+                    failures.push((format!("hash:{label}"), e.to_string()));
+                }
+            }
+        }
+
+        let manifest = RunManifest {
+            experiment: name.to_string(),
+            created_unix_ms: RunManifest::now_unix_ms(),
+            git: git.clone(),
+            backend: backend.label().to_string(),
+            // Quick scale runs a tenth of the full Monte-Carlo depth.
+            scale: if quick { 0.1 } else { 1.0 },
+            seeds: experiments::master_seeds(name),
+            ola_threads: ola_core::parallel::thread_config().record(),
+            trace: obs::mode().label().to_string(),
+            annotations: obs::take_annotations(),
+            spans: obs::drain_spans(),
+            metrics: obs::registry().snapshot().diff(&before),
+            outputs,
+        };
+        match manifest.write(&manifest_dir) {
+            Ok(p) => eprintln!("  manifest: {}", p.display()),
             Err(e) => {
-                eprintln!("  csv write failed: {e}");
-                failures.push((format!("csv:{}", t.title), e.to_string()));
+                eprintln!("  manifest write failed: {e}");
+                failures.push((format!("manifest:{name}"), e.to_string()));
             }
         }
     }

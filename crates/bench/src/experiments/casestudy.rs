@@ -214,11 +214,17 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
         let runs = filter.apply_sweep(&img, &ts);
         for (f, run) in factors.iter().zip(&runs.runs) {
             let name = format!("fig7_{}_{:.0}.pgm", filter.name(), f * 100.0);
-            run.image.write_pgm(std::fs::File::create(out_dir.join(name))?)?;
+            let path = out_dir.join(&name);
+            run.image.write_pgm(std::fs::File::create(&path)?)?;
+            ola_core::obs::note_output(path.display().to_string(), path);
         }
-        runs.settled_image.write_pgm(std::fs::File::create(
-            out_dir.join(format!("fig7_{}_settled.pgm", filter.name())),
-        )?)?;
+        let settled_path = out_dir.join(format!("fig7_{}_settled.pgm", filter.name()));
+        runs.settled_image.write_pgm(std::fs::File::create(&settled_path)?)?;
+        ola_core::obs::note_output(settled_path.display().to_string(), settled_path);
+        ola_core::obs::annotate(
+            format!("fig7.{}.f0", filter.name()),
+            format_args!("{f0} (rated {rated})"),
+        );
         let entry: Vec<(f64, f64, usize)> =
             factors.iter().zip(&runs.runs).map(|(f, r)| (*f, r.snr_db, r.wrong_pixels)).collect();
         stash.insert(filter.name(), entry);

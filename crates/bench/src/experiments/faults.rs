@@ -38,6 +38,10 @@ pub fn faults(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
         Scale::Quick => (5usize, 24usize, 4usize),
         Scale::Full => (8, 64, 12),
     };
+    ola_core::obs::annotate(
+        "faults.campaign",
+        format_args!("width {width}, {sites} sites x {samples} samples/site"),
+    );
     let cfg = CampaignConfig {
         samples_per_site: samples,
         max_sites: Some(sites),

@@ -77,6 +77,10 @@ fn gate_domain(n: usize, scale: Scale, backend: SimBackend) -> Result<Table, Str
     let rated = analyze(&circuit.netlist, &delay).critical_path();
     let points = scale.grid_points();
     let ts: Vec<u64> = (1..=points).map(|k| rated * k as u64 / points as u64).collect();
+    ola_core::obs::annotate(
+        format!("fig4.n{n}.ts_grid"),
+        format_args!("{points} points, {}..={} (rated {rated})", ts[0], ts[points - 1]),
+    );
     let (curve, stats) = om_gate_level_curve_with(
         &circuit,
         &delay,

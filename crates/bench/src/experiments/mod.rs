@@ -87,3 +87,22 @@ impl Scale {
         }
     }
 }
+
+/// The master RNG seeds each experiment derives its sample streams from,
+/// for the run manifest. These are the *roots* of every stochastic choice
+/// an experiment makes; re-running with the same seeds (and scale and
+/// backend) reproduces the outputs bit-for-bit. Experiments without a
+/// stochastic component (sta, lint, table4) report an empty list.
+#[must_use]
+pub fn master_seeds(name: &str) -> Vec<(String, u64)> {
+    let mk = |pairs: &[(&str, u64)]| pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+    match name {
+        "fig4" => mk(&[("mc", 41), ("gate", 42), ("jitter", 2014)]),
+        "fig5" => mk(&[("mc", 51)]),
+        // Case-study images are generated per benchmark as
+        // `1 + index-in-Benchmark::ALL`; record the base.
+        "fig6" | "fig7" | "table1" | "table2" | "table3" => mk(&[("image_base", 1)]),
+        "faults" => mk(&[("campaign", 0xFA_517E5)]),
+        _ => Vec::new(),
+    }
+}

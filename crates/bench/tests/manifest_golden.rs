@@ -1,0 +1,158 @@
+//! Golden tests for the run-manifest schema and the `repro` /
+//! `manifest_check` binaries' contract around it.
+
+use ola_core::obs::json::{parse, JsonValue};
+use ola_core::obs::{MetricSnapshot, OutputRecord, RunManifest, SpanRecord, ThreadsRecord, SCHEMA};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory unique to this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ola-manifest-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn sample_manifest(output: Option<OutputRecord>) -> RunManifest {
+    let mut metrics = MetricSnapshot::default();
+    metrics.counters.insert("ola.sim.event.runs".into(), 12);
+    metrics.gauges.insert("ola.batch.depth".into(), 7);
+    RunManifest {
+        experiment: "fig4".into(),
+        created_unix_ms: 1_700_000_000_123,
+        git: "abc1234-dirty".into(),
+        backend: "auto".into(),
+        scale: 0.1,
+        seeds: vec![("mc".into(), 41), ("gate".into(), 42)],
+        ola_threads: ThreadsRecord { raw: Some("4".into()), resolved: 4, fallback: false },
+        trace: "off".into(),
+        annotations: vec![("ts_grid".into(), "10..=200".into())],
+        spans: vec![SpanRecord {
+            name: "experiment.fig4".into(),
+            thread: 1,
+            depth: 0,
+            start_unix_ms: 1_700_000_000_000,
+            start_us: 0,
+            dur_us: 1234,
+        }],
+        metrics,
+        outputs: output.into_iter().collect(),
+    }
+}
+
+/// The golden top-level field list. `manifest_check` carries the same
+/// list; schema drift must update `SCHEMA`, both lists, and DESIGN.md.
+const FIELDS: [&str; 13] = [
+    "schema",
+    "experiment",
+    "created_unix_ms",
+    "git",
+    "backend",
+    "scale",
+    "seeds",
+    "ola_threads",
+    "trace",
+    "annotations",
+    "spans",
+    "metrics",
+    "outputs",
+];
+
+#[test]
+fn written_manifest_matches_the_golden_schema() {
+    let dir = scratch("golden");
+    let path = sample_manifest(None).write(&dir).expect("manifest write");
+    assert_eq!(path, dir.join("fig4.json"));
+    let text = std::fs::read_to_string(&path).expect("read back");
+    assert!(text.ends_with('\n'), "manifest ends with a newline");
+
+    let doc = parse(&text).expect("manifest parses");
+    let fields: Vec<&str> =
+        doc.as_object().expect("object").iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(fields, FIELDS, "top-level field set and order are golden");
+
+    assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+    assert_eq!(doc.get("experiment").and_then(JsonValue::as_str), Some("fig4"));
+    assert_eq!(doc.get("created_unix_ms").and_then(JsonValue::as_u64), Some(1_700_000_000_123));
+    let seeds = doc.get("seeds").expect("seeds");
+    assert_eq!(seeds.get("mc").and_then(JsonValue::as_u64), Some(41));
+    assert_eq!(seeds.get("gate").and_then(JsonValue::as_u64), Some(42));
+    let threads = doc.get("ola_threads").expect("ola_threads");
+    assert_eq!(threads.get("raw").and_then(JsonValue::as_str), Some("4"));
+    assert_eq!(threads.get("resolved").and_then(JsonValue::as_u64), Some(4));
+    let spans = doc.get("spans").and_then(JsonValue::as_array).expect("spans");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].get("name").and_then(JsonValue::as_str), Some("experiment.fig4"));
+    let metrics = doc.get("metrics").expect("metrics");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("ola.sim.event.runs"))
+            .and_then(JsonValue::as_u64),
+        Some(12)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_check_accepts_valid_and_rejects_tampered_outputs() {
+    let dir = scratch("check");
+    // An output file plus a manifest that records it honestly.
+    let out = dir.join("table.csv");
+    std::fs::write(&out, "a,b\n1,2\n").expect("write output");
+    let rec = OutputRecord::capture(out.to_str().expect("utf8 path"), &out).expect("hash output");
+    let manifest_dir = dir.join("results").join("manifests");
+    std::fs::create_dir_all(&manifest_dir).expect("mkdir");
+    let mpath = sample_manifest(Some(rec)).write(&manifest_dir).expect("manifest write");
+
+    let check = env!("CARGO_BIN_EXE_manifest_check");
+    let ok = Command::new(check).arg(&mpath).current_dir(&dir).output().expect("run check");
+    assert!(
+        ok.status.success(),
+        "valid manifest must pass: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Tamper with the output file: the digest no longer matches.
+    std::fs::write(&out, "a,b\n1,3\n").expect("tamper");
+    let bad = Command::new(check).arg(&mpath).current_dir(&dir).output().expect("run check");
+    assert_eq!(bad.status.code(), Some(1), "tampered output must fail validation");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("SHA-256 mismatch"), "stderr names the problem: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression (observability PR): when `results/` cannot be created the
+/// old `repro` ran every experiment and died with a panic backtrace out
+/// of fig7's PGM write. It must now refuse up front with documented exit
+/// code 3 and a clear message.
+#[test]
+fn repro_exits_3_when_results_dir_is_uncreatable() {
+    let dir = scratch("exit3");
+    // A *file* named `results` blocks create_dir_all regardless of
+    // privileges (chmod-based read-only dirs don't stop root).
+    std::fs::write(dir.join("results"), "not a directory").expect("block results/");
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let out =
+        Command::new(repro).args(["sta", "--quick"]).current_dir(&dir).output().expect("run repro");
+    assert_eq!(out.status.code(), Some(3), "blocked results/ is an environment error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("results"), "stderr points at the directory: {err}");
+    assert!(err.contains("writable"), "stderr suggests the fix: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_bad_trace_mode_as_usage_error() {
+    let dir = scratch("trace");
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let out = Command::new(repro)
+        .args(["sta", "--quick", "--trace", "loud"])
+        .current_dir(&dir)
+        .output()
+        .expect("run repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

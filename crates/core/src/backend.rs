@@ -215,6 +215,30 @@ impl BackendStats {
         }
     }
 
+    /// Publishes these counters into the global metrics registry
+    /// ([`crate::obs::registry`]) under `ola.backend.*`.
+    ///
+    /// This is the compatibility shim between the per-experiment
+    /// `BackendStats` blocks (still returned by value and printed by
+    /// `repro`) and the process-wide observability layer: every field is a
+    /// deterministic simulation-domain count, so publishing keeps metric
+    /// snapshots thread-count independent. [`BackendStats::wall`] is
+    /// deliberately *not* published — wall time belongs to tracing spans.
+    pub fn publish(&self) {
+        let reg = crate::obs::registry();
+        if !self.backend.is_empty() {
+            reg.counter(&format!("ola.backend.selected.{}", self.backend)).inc();
+        }
+        reg.counter("ola.backend.vectors").add(self.vectors);
+        reg.counter("ola.backend.ts_points").add(self.ts_points);
+        reg.counter("ola.backend.batch_runs").add(self.batch_runs);
+        reg.counter("ola.backend.event_runs").add(self.event_runs);
+        reg.counter("ola.backend.lanes_used").add(self.lanes_used);
+        reg.counter("ola.backend.word_steps").add(self.word_steps);
+        reg.counter("ola.backend.lane_transitions").add(self.lane_transitions);
+        reg.counter("ola.backend.sta_skipped_points").add(self.sta_skipped_points);
+    }
+
     /// One-line human summary for the `repro` report.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -299,6 +323,30 @@ mod tests {
         assert_eq!(a.backend, "batch+event");
         assert!(a.summary().contains("batch_runs=2"));
         assert!(a.summary().contains("event_runs=5"));
+    }
+
+    #[test]
+    fn publish_feeds_the_registry_without_wall_time() {
+        let before = crate::obs::registry().snapshot();
+        let stats = BackendStats {
+            backend: "batch",
+            vectors: 10,
+            ts_points: 20,
+            batch_runs: 2,
+            lanes_used: 12,
+            wall: Duration::from_secs(3600),
+            ..BackendStats::default()
+        };
+        stats.publish();
+        let d = crate::obs::registry().snapshot().diff(&before);
+        assert_eq!(d.counters.get("ola.backend.vectors"), Some(&10));
+        assert_eq!(d.counters.get("ola.backend.ts_points"), Some(&20));
+        assert_eq!(d.counters.get("ola.backend.batch_runs"), Some(&2));
+        assert_eq!(d.counters.get("ola.backend.selected.batch"), Some(&1));
+        assert!(
+            !d.counters.keys().any(|k| k.contains("wall")),
+            "wall time must stay out of the registry"
+        );
     }
 
     #[test]

@@ -285,7 +285,9 @@ where
     V: Fn(&[bool]) -> f64 + Sync,
 {
     assert!(cfg.samples_per_site > 0, "campaign needs at least one sample per site");
+    let _span = crate::obs::span(format!("campaign.{arch}"));
     let sites = select_sites(netlist, cfg);
+    crate::obs::registry().counter("ola.campaign.sites").add(sites.len() as u64);
     let period = analyze(netlist, delay).critical_path();
     let t_main = period;
     let margin = ((period as f64) * cfg.shadow_margin_frac).round() as u64;
@@ -409,6 +411,8 @@ where
 
     let mut total = per_site.iter().fold(Acc::new(n_ranks), Acc::merge);
     total.stats.wall = started.elapsed();
+    total.stats.publish();
+    crate::obs::registry().counter("ola.campaign.unsettled").add(total.unsettled as u64);
     let evaluated = total.samples.max(1) as f64;
     let clean_samples = (total.samples - total.errors).max(1) as f64;
     let site_reports = sites
@@ -622,6 +626,8 @@ mod tests {
                 &quick_cfg(),
             )
         };
+        let _env =
+            crate::parallel::ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         std::env::set_var("OLA_THREADS", "1");
         let serial = run();
         std::env::set_var("OLA_THREADS", "4");

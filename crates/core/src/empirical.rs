@@ -138,7 +138,11 @@ where
     J: Fn(&[bool], &[bool]) -> (bool, f64) + Sync,
 {
     assert!(!ts_points.is_empty() && samples > 0);
-    let report = analyze(netlist, delay);
+    let _span = crate::obs::span("empirical.curve");
+    let report = {
+        let _s = crate::obs::span("empirical.sta_analyze");
+        analyze(netlist, delay)
+    };
     let bus_arrival = report.arrival_of(wires);
     // `(slot, Ts)` pairs that still need dynamic judging; certified slots
     // keep their implicit (no violation, zero error) zeros.
@@ -149,9 +153,14 @@ where
         .filter(|&(_, t)| !(sta_gate.is_on() && t >= bus_arrival))
         .collect();
     let skipped = (ts_points.len() - judged.len()) as u64;
-    let prog =
-        if backend.wants_batch(delay) { BatchProgram::compile(netlist, delay).ok() } else { None };
+    let prog = if backend.wants_batch(delay) {
+        let _s = crate::obs::span("empirical.batch_compile");
+        BatchProgram::compile(netlist, delay).ok()
+    } else {
+        None
+    };
     let started = Instant::now();
+    let _sample_span = crate::obs::span("empirical.sample");
     let mut acc = match &prog {
         Some(prog) => parallel_accumulate_batched(
             samples,
@@ -212,6 +221,8 @@ where
         ),
     };
     acc.stats.wall = started.elapsed();
+    drop(_sample_span);
+    acc.stats.publish();
     let critical_path = report.critical_path();
     let s = acc.samples as f64;
     let curve = GateLevelCurve {

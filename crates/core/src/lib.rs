@@ -24,7 +24,14 @@
 //!   stage-wave model (the related work the paper builds on);
 //! * [`sweep`] — max error-free frequency and error-budget solvers
 //!   (Tables 1–3);
-//! * [`metrics`] — MRE (Eq. 13), SNR, PSNR, geometric means.
+//! * [`metrics`] — MRE (Eq. 13), SNR, PSNR, geometric means;
+//! * [`obs`] — the observability layer: tracing spans ([`obs::span`]), the
+//!   process-global metrics registry ([`obs::registry()`]) fed by the
+//!   simulation engines, and per-experiment run manifests
+//!   ([`obs::RunManifest`]) with SHA-256-certified outputs;
+//! * [`parallel`] — deterministic parallel Monte-Carlo accumulation and
+//!   the `OLA_THREADS` resolution ([`parallel::thread_config`]) recorded
+//!   in manifests.
 //!
 //! # Example: model vs Monte-Carlo (the Figure-4 experiment in miniature)
 //!
@@ -54,7 +61,8 @@ pub mod empirical;
 pub mod metrics;
 pub mod model;
 pub mod montecarlo;
-mod parallel;
+pub mod obs;
+pub mod parallel;
 pub mod razor;
 pub mod sweep;
 pub mod timing;

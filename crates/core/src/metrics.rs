@@ -1,8 +1,68 @@
 //! Error metrics used by the paper's evaluation.
+//!
+//! All comparison metrics return `Result` instead of panicking on
+//! degenerate input (empty sample sets, mismatched lengths, non-positive
+//! peaks): experiment drivers feed these functions with data of run-time
+//! provenance (CSV rows, image buffers), so shape errors are *conditions
+//! to report*, not programmer bugs. [`MetricsError`] carries enough
+//! context to point at the offending input.
+
+use std::fmt;
+
+/// A degenerate input to one of the comparison metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricsError {
+    /// The sample sets are empty — no metric is defined.
+    Empty,
+    /// The reference and test sets differ in length.
+    LengthMismatch {
+        /// Length of the reference (correct) set.
+        reference: usize,
+        /// Length of the test (actual) set.
+        test: usize,
+    },
+    /// [`psnr_db`] was given a peak amplitude that is zero, negative, or
+    /// non-finite.
+    NonPositivePeak {
+        /// The offending peak value.
+        peak: f64,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::Empty => write!(f, "empty sample set"),
+            MetricsError::LengthMismatch { reference, test } => {
+                write!(f, "length mismatch: {reference} reference vs {test} test samples")
+            }
+            MetricsError::NonPositivePeak { peak } => {
+                write!(f, "peak must be positive and finite, got {peak}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Validates that two sample sets are non-empty and of equal length.
+fn check_pair(reference: &[f64], test: &[f64]) -> Result<(), MetricsError> {
+    if reference.len() != test.len() {
+        return Err(MetricsError::LengthMismatch { reference: reference.len(), test: test.len() });
+    }
+    if reference.is_empty() {
+        return Err(MetricsError::Empty);
+    }
+    Ok(())
+}
 
 /// Mean relative error in percent (Eq. (13)):
 /// `MRE = |E_error / E_out| × 100`, with `E_error` the mean error magnitude
 /// and `E_out` the mean magnitude of the correct outputs.
+///
+/// A zero-magnitude reference with a non-zero error yields
+/// `f64::INFINITY` (the relative error is unbounded); an all-zero match
+/// yields `0.0`.
 ///
 /// # Examples
 ///
@@ -10,21 +70,20 @@
 /// use ola_core::metrics::mre_percent;
 /// let correct = [1.0, 2.0, 3.0];
 /// let actual = [1.0, 2.2, 2.9];
-/// let mre = mre_percent(&correct, &actual);
+/// let mre = mre_percent(&correct, &actual).unwrap();
 /// assert!((mre - 5.0).abs() < 1e-9); // mean |err| 0.1, mean |out| 2.0
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the slices differ in length or are empty.
-#[must_use]
-pub fn mre_percent(correct: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(correct.len(), actual.len(), "length mismatch");
-    assert!(!correct.is_empty(), "empty sample set");
+/// [`MetricsError::LengthMismatch`] / [`MetricsError::Empty`] on
+/// degenerate input.
+pub fn mre_percent(correct: &[f64], actual: &[f64]) -> Result<f64, MetricsError> {
+    check_pair(correct, actual)?;
     let mean_err: f64 = correct.iter().zip(actual).map(|(&c, &a)| (a - c).abs()).sum::<f64>()
         / correct.len() as f64;
     let mean_out: f64 = correct.iter().map(|&c| c.abs()).sum::<f64>() / correct.len() as f64;
-    if mean_out == 0.0 {
+    Ok(if mean_out == 0.0 {
         if mean_err == 0.0 {
             0.0
         } else {
@@ -32,45 +91,45 @@ pub fn mre_percent(correct: &[f64], actual: &[f64]) -> f64 {
         }
     } else {
         mean_err / mean_out * 100.0
-    }
+    })
 }
 
 /// Signal-to-noise ratio in dB: `10·log10(Σ ref² / Σ (ref − test)²)`.
-/// Returns `f64::INFINITY` when the signals are identical.
 ///
-/// # Panics
+/// **Zero-noise policy:** identical signals have no noise power, so the
+/// ratio is unbounded and this function returns `f64::INFINITY` — by
+/// design, not by accident. Callers that need a finite number (e.g. for a
+/// CSV column) should clamp explicitly.
 ///
-/// Panics if the slices differ in length or are empty.
-#[must_use]
-pub fn snr_db(reference: &[f64], test: &[f64]) -> f64 {
-    assert_eq!(reference.len(), test.len(), "length mismatch");
-    assert!(!reference.is_empty(), "empty sample set");
+/// # Errors
+///
+/// [`MetricsError::LengthMismatch`] / [`MetricsError::Empty`] on
+/// degenerate input.
+pub fn snr_db(reference: &[f64], test: &[f64]) -> Result<f64, MetricsError> {
+    check_pair(reference, test)?;
     let signal: f64 = reference.iter().map(|&r| r * r).sum();
     let noise: f64 = reference.iter().zip(test).map(|(&r, &t)| (r - t) * (r - t)).sum();
-    if noise == 0.0 {
-        f64::INFINITY
-    } else {
-        10.0 * (signal / noise).log10()
-    }
+    Ok(if noise == 0.0 { f64::INFINITY } else { 10.0 * (signal / noise).log10() })
 }
 
 /// Peak signal-to-noise ratio in dB for a given peak amplitude.
 ///
-/// # Panics
+/// Follows the same zero-noise policy as [`snr_db`]: identical signals
+/// return `f64::INFINITY`.
 ///
-/// Panics if the slices differ in length or are empty, or `peak ≤ 0`.
-#[must_use]
-pub fn psnr_db(reference: &[f64], test: &[f64], peak: f64) -> f64 {
-    assert_eq!(reference.len(), test.len(), "length mismatch");
-    assert!(!reference.is_empty(), "empty sample set");
-    assert!(peak > 0.0, "peak must be positive");
+/// # Errors
+///
+/// [`MetricsError::LengthMismatch`] / [`MetricsError::Empty`] on
+/// degenerate input; [`MetricsError::NonPositivePeak`] when `peak` is not
+/// a positive finite number.
+pub fn psnr_db(reference: &[f64], test: &[f64], peak: f64) -> Result<f64, MetricsError> {
+    check_pair(reference, test)?;
+    if !(peak > 0.0 && peak.is_finite()) {
+        return Err(MetricsError::NonPositivePeak { peak });
+    }
     let mse: f64 = reference.iter().zip(test).map(|(&r, &t)| (r - t) * (r - t)).sum::<f64>()
         / reference.len() as f64;
-    if mse == 0.0 {
-        f64::INFINITY
-    } else {
-        10.0 * (peak * peak / mse).log10()
-    }
+    Ok(if mse == 0.0 { f64::INFINITY } else { 10.0 * (peak * peak / mse).log10() })
 }
 
 /// Eq. (14): the relative reduction of MRE achieved by online arithmetic,
@@ -102,7 +161,7 @@ mod tests {
 
     #[test]
     fn mre_handles_exact_outputs() {
-        assert_eq!(mre_percent(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mre_percent(&[1.0, 2.0], &[1.0, 2.0]), Ok(0.0));
     }
 
     #[test]
@@ -111,13 +170,42 @@ mod tests {
         let a = [1.1, 2.1, 4.1];
         let c2: Vec<f64> = c.iter().map(|v| v * 7.0).collect();
         let a2: Vec<f64> = a.iter().map(|v| v * 7.0).collect();
-        assert!((mre_percent(&c, &a) - mre_percent(&c2, &a2)).abs() < 1e-12);
+        assert!((mre_percent(&c, &a).unwrap() - mre_percent(&c2, &a2).unwrap()).abs() < 1e-12);
     }
 
     #[test]
     fn mre_zero_signal_edge_cases() {
-        assert_eq!(mre_percent(&[0.0], &[0.0]), 0.0);
-        assert_eq!(mre_percent(&[0.0], &[1.0]), f64::INFINITY);
+        assert_eq!(mre_percent(&[0.0], &[0.0]), Ok(0.0));
+        assert_eq!(mre_percent(&[0.0], &[1.0]), Ok(f64::INFINITY));
+    }
+
+    /// Regression (observability PR): degenerate inputs used to `assert!`
+    /// and tear the whole experiment down; they are now typed errors.
+    #[test]
+    fn degenerate_inputs_are_errors_not_panics() {
+        assert_eq!(mre_percent(&[], &[]), Err(MetricsError::Empty));
+        assert_eq!(snr_db(&[], &[]), Err(MetricsError::Empty));
+        assert_eq!(psnr_db(&[], &[], 1.0), Err(MetricsError::Empty));
+        assert_eq!(
+            mre_percent(&[1.0, 2.0], &[1.0]),
+            Err(MetricsError::LengthMismatch { reference: 2, test: 1 })
+        );
+        assert_eq!(
+            snr_db(&[1.0], &[1.0, 2.0]),
+            Err(MetricsError::LengthMismatch { reference: 1, test: 2 })
+        );
+        assert_eq!(psnr_db(&[1.0], &[2.0], 0.0), Err(MetricsError::NonPositivePeak { peak: 0.0 }));
+        assert!(matches!(
+            psnr_db(&[1.0], &[2.0], f64::NAN),
+            Err(MetricsError::NonPositivePeak { peak }) if peak.is_nan()
+        ));
+        assert_eq!(
+            psnr_db(&[1.0], &[2.0], f64::INFINITY),
+            Err(MetricsError::NonPositivePeak { peak: f64::INFINITY })
+        );
+        // Errors render with context.
+        let msg = MetricsError::LengthMismatch { reference: 2, test: 1 }.to_string();
+        assert!(msg.contains('2') && msg.contains('1'), "{msg}");
     }
 
     #[test]
@@ -125,8 +213,8 @@ mod tests {
         let r = [1.0, -1.0, 0.5, -0.5];
         let noisy = [1.1, -0.9, 0.6, -0.4];
         let cleaner = [1.01, -0.99, 0.51, -0.49];
-        assert!(snr_db(&r, &cleaner) > snr_db(&r, &noisy));
-        assert_eq!(snr_db(&r, &r), f64::INFINITY);
+        assert!(snr_db(&r, &cleaner).unwrap() > snr_db(&r, &noisy).unwrap());
+        assert_eq!(snr_db(&r, &r), Ok(f64::INFINITY), "documented zero-noise policy");
     }
 
     #[test]
@@ -134,17 +222,17 @@ mod tests {
         // Signal power 1, noise power 0.01 → 20 dB.
         let r = [1.0];
         let t = [0.9];
-        assert!((snr_db(&r, &t) - 20.0).abs() < 1e-9);
+        assert!((snr_db(&r, &t).unwrap() - 20.0).abs() < 1e-9);
     }
 
     #[test]
     fn psnr_uses_peak() {
         let r = [0.0, 0.0];
         let t = [0.1, -0.1];
-        let p255 = psnr_db(&r, &t, 255.0);
-        let p1 = psnr_db(&r, &t, 1.0);
+        let p255 = psnr_db(&r, &t, 255.0).unwrap();
+        let p1 = psnr_db(&r, &t, 1.0).unwrap();
         assert!(p255 > p1);
-        assert_eq!(psnr_db(&r, &r, 1.0), f64::INFINITY);
+        assert_eq!(psnr_db(&r, &r, 1.0), Ok(f64::INFINITY));
     }
 
     #[test]

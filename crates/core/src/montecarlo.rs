@@ -142,6 +142,8 @@ pub fn om_monte_carlo(
     seed: u64,
 ) -> OmMonteCarlo {
     assert!(n > 0 && samples > 0);
+    let _span = crate::obs::span("mc.sweep");
+    crate::obs::registry().counter("ola.mc.samples").add(samples as u64);
     let budgets = n + DELTA + 1;
     let acc = parallel_accumulate(
         samples,

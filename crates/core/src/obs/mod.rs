@@ -1,0 +1,216 @@
+//! # Observability: tracing spans, metrics registry, run manifests.
+//!
+//! Three cooperating pieces, all zero-dependency:
+//!
+//! * [`trace`] — hierarchical span guards ([`span`]) with a bounded ring
+//!   buffer and optional live emission (`OLA_TRACE=pretty|json`);
+//! * [`registry`] — the process-global typed metrics [`Registry`]
+//!   ([`registry()`]): counters, gauges, and log₂ histograms updated with
+//!   relaxed atomics. Only *deterministic, simulation-domain* values are
+//!   recorded, so snapshots are bit-identical across `OLA_THREADS`
+//!   settings;
+//! * [`manifest`] — per-experiment [`RunManifest`]s binding spans, metric
+//!   deltas, seeds, environment, and the SHA-256 ([`sha256`]) of every
+//!   emitted file into one versioned JSON document ([`json`]).
+//!
+//! Calling [`registry()`] (or [`init`]) once also installs the
+//! [`ola_netlist::obs::SimObserver`] bridge, so the netlist engines feed
+//! `ola.sim.*` / `ola.batch.*` metrics without `ola-netlist` depending on
+//! this crate.
+//!
+//! ## Metric naming
+//!
+//! Dotted, lowercase, subsystem-first: `ola.<subsystem>.<what>` (e.g.
+//! `ola.sim.event.runs`, `ola.batch.lane_transitions`,
+//! `ola.sweep.probes`). Histograms expand in snapshots to
+//! `name/count`, `name/sum`, `name/bl<k>`.
+
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod sha256;
+pub mod trace;
+
+pub use manifest::{git_describe, OutputRecord, RunManifest, ThreadsRecord, SCHEMA};
+pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, Registry};
+pub use trace::{drain_spans, mode, set_mode, set_recording, span, Span, SpanRecord, TraceMode};
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// The bridge from `ola-netlist`'s engine hooks into the global registry.
+/// Handles are resolved once at install time so each hook call is a couple
+/// of relaxed atomic adds.
+struct NetlistHook {
+    event_runs: Arc<Counter>,
+    event_events: Arc<Counter>,
+    event_settle: Arc<Histogram>,
+    event_unsettled: Arc<Counter>,
+    batch_compiles: Arc<Counter>,
+    batch_depth: Arc<Gauge>,
+    batch_runs: Arc<Counter>,
+    batch_lanes: Arc<Counter>,
+    batch_word_steps: Arc<Counter>,
+    batch_lane_transitions: Arc<Counter>,
+}
+
+impl ola_netlist::obs::SimObserver for NetlistHook {
+    fn event_run(&self, events: u64, settle_time: u64) {
+        self.event_runs.inc();
+        self.event_events.add(events);
+        self.event_settle.observe(settle_time);
+    }
+
+    fn event_unsettled(&self, _processed: u64, _budget: u64) {
+        self.event_unsettled.inc();
+    }
+
+    fn batch_compile(&self, nets: u64, depth: u64) {
+        let _ = nets;
+        self.batch_compiles.inc();
+        self.batch_depth.set(i64::try_from(depth).unwrap_or(i64::MAX));
+    }
+
+    fn batch_run(&self, lanes: u64, word_steps: u64, lane_transitions: u64) {
+        self.batch_runs.inc();
+        self.batch_lanes.add(lanes);
+        self.batch_word_steps.add(word_steps);
+        self.batch_lane_transitions.add(lane_transitions);
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static HOOK: OnceLock<NetlistHook> = OnceLock::new();
+
+/// The process-global metrics registry.
+///
+/// First access installs the netlist [`SimObserver`] bridge, so any code
+/// that records or snapshots metrics automatically sees engine activity.
+///
+/// [`SimObserver`]: ola_netlist::obs::SimObserver
+#[must_use]
+pub fn registry() -> &'static Registry {
+    let reg = REGISTRY.get_or_init(Registry::new);
+    let hook = HOOK.get_or_init(|| NetlistHook {
+        event_runs: reg.counter("ola.sim.event.runs"),
+        event_events: reg.counter("ola.sim.event.events"),
+        event_settle: reg.histogram("ola.sim.event.settle_time"),
+        event_unsettled: reg.counter("ola.sim.event.unsettled"),
+        batch_compiles: reg.counter("ola.batch.compiles"),
+        batch_depth: reg.gauge("ola.batch.depth"),
+        batch_runs: reg.counter("ola.batch.runs"),
+        batch_lanes: reg.counter("ola.batch.lanes"),
+        batch_word_steps: reg.counter("ola.batch.word_steps"),
+        batch_lane_transitions: reg.counter("ola.batch.lane_transitions"),
+    });
+    // Write-once: losing the race (e.g. to a test observer) is fine.
+    let _ = ola_netlist::obs::install_observer(hook);
+    reg
+}
+
+/// Eagerly initializes the observability layer (registry + engine bridge).
+/// Idempotent; `repro` calls this at startup so even experiments that never
+/// touch a metric still get engine counters.
+pub fn init() {
+    let _ = registry();
+}
+
+static ANNOTATIONS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+static NOTED_OUTPUTS: Mutex<Vec<(String, PathBuf)>> = Mutex::new(Vec::new());
+
+/// Records a free-form `key = value` annotation for the current
+/// experiment's manifest (Ts grids, sweep shapes, input models, …).
+/// Annotations accumulate until [`take_annotations`] drains them.
+pub fn annotate(key: impl Into<String>, value: impl std::fmt::Display) {
+    let mut slot = ANNOTATIONS.lock().unwrap_or_else(PoisonError::into_inner);
+    slot.push((key.into(), value.to_string()));
+}
+
+/// Drains every pending annotation (insertion order).
+#[must_use]
+pub fn take_annotations() -> Vec<(String, String)> {
+    let mut slot = ANNOTATIONS.lock().unwrap_or_else(PoisonError::into_inner);
+    std::mem::take(&mut *slot)
+}
+
+/// Registers a results file the current experiment emitted (e.g. a PGM
+/// written deep inside an experiment), so the manifest writer can hash it.
+/// `label` is the path as it should appear in the manifest.
+pub fn note_output(label: impl Into<String>, path: impl AsRef<Path>) {
+    let mut slot = NOTED_OUTPUTS.lock().unwrap_or_else(PoisonError::into_inner);
+    slot.push((label.into(), path.as_ref().to_path_buf()));
+}
+
+/// Drains every pending noted output (insertion order).
+#[must_use]
+pub fn take_noted_outputs() -> Vec<(String, PathBuf)> {
+    let mut slot = NOTED_OUTPUTS.lock().unwrap_or_else(PoisonError::into_inner);
+    std::mem::take(&mut *slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_a_singleton_and_bridges_the_engines() {
+        let before = registry().snapshot();
+        assert!(std::ptr::eq(registry(), registry()));
+
+        // Unless another observer won the install race in this test binary
+        // (there is none in ola-core's unit tests), a simulation run must
+        // move the event counters.
+        let mut nl = ola_netlist::Netlist::new();
+        let a = nl.input("a");
+        let b = nl.not(a);
+        nl.set_output("z", vec![b]);
+        let _ = ola_netlist::simulate_from_zero(&nl, &ola_netlist::UnitDelay, &[true]);
+
+        let d = registry().snapshot().diff(&before);
+        assert_eq!(d.counters.get("ola.sim.event.runs"), Some(&1));
+        assert!(d.counters["ola.sim.event.events"] >= 1);
+        assert_eq!(d.counters.get("ola.sim.event.settle_time/count"), Some(&1));
+    }
+
+    #[test]
+    fn batch_activity_is_bridged() {
+        let before = registry().snapshot();
+        let mut nl = ola_netlist::Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.and(a, b);
+        nl.set_output("z", vec![x]);
+        let program =
+            ola_netlist::batch::BatchProgram::compile(&nl, &ola_netlist::UnitDelay).unwrap();
+        let prev = ola_netlist::batch::BatchInputs::zeros(2, 1).unwrap();
+        let new = ola_netlist::batch::BatchInputs::pack(&[vec![true, true]]).unwrap();
+        let _ = program.run(&prev, &new).unwrap();
+
+        let snap = registry().snapshot();
+        let d = snap.diff(&before);
+        assert_eq!(d.counters.get("ola.batch.compiles"), Some(&1));
+        assert_eq!(d.counters.get("ola.batch.runs"), Some(&1));
+        assert_eq!(d.counters.get("ola.batch.lanes"), Some(&1));
+        assert_eq!(snap.gauges.get("ola.batch.depth"), Some(&2), "1 logic level + inputs");
+    }
+
+    #[test]
+    fn annotations_and_noted_outputs_drain_in_order() {
+        // Drain anything left over from other tests first.
+        let _ = take_annotations();
+        let _ = take_noted_outputs();
+        annotate("ts_grid", "10..=200");
+        annotate("lanes", 64);
+        assert_eq!(
+            take_annotations(),
+            vec![("ts_grid".into(), "10..=200".into()), ("lanes".into(), "64".into())]
+        );
+        assert!(take_annotations().is_empty());
+
+        note_output("results/a.pgm", "/tmp/a.pgm");
+        let noted = take_noted_outputs();
+        assert_eq!(noted.len(), 1);
+        assert_eq!(noted[0].0, "results/a.pgm");
+        assert!(take_noted_outputs().is_empty());
+    }
+}

@@ -19,6 +19,12 @@ use std::sync::{Mutex, PoisonError};
 
 const CHUNK: usize = 256;
 
+/// Serializes tests that mutate the process environment (`OLA_THREADS`):
+/// env vars are process-global, so readers racing a mutating test would be
+/// flaky without this.
+#[cfg(test)]
+pub(crate) static ENV_LOCK: Mutex<()> = Mutex::new(());
+
 /// Extracts a human-readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -38,6 +44,9 @@ fn run_jobs<W>(jobs: usize, threads: usize, work: W)
 where
     W: Fn(usize) + Sync,
 {
+    // Job counts depend only on the workload (chunk math), never on the
+    // worker-thread count, so this counter is snapshot-deterministic.
+    crate::obs::registry().counter("ola.parallel.jobs").add(jobs as u64);
     let next = AtomicUsize::new(0);
     let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
 
@@ -73,18 +82,75 @@ where
     }
 }
 
+/// How the `OLA_THREADS` environment variable resolved to a worker count.
+///
+/// Produced by [`thread_config`]; the `repro` binary records it verbatim
+/// in each run manifest's `ola_threads` field. The thread count is kept
+/// *out* of the metrics registry on purpose — metric snapshots must be
+/// bit-identical across thread counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// The raw environment value, if `OLA_THREADS` was set.
+    pub raw: Option<String>,
+    /// The worker count actually used (always ≥ 1).
+    pub resolved: usize,
+    /// True when `raw` was present but unusable (`0`, garbage, overflow)
+    /// and the hardware default was substituted.
+    pub fallback: bool,
+}
+
+impl ThreadConfig {
+    /// This configuration as a manifest [`ThreadsRecord`].
+    ///
+    /// [`ThreadsRecord`]: crate::obs::ThreadsRecord
+    #[must_use]
+    pub fn record(&self) -> crate::obs::ThreadsRecord {
+        crate::obs::ThreadsRecord {
+            raw: self.raw.clone(),
+            resolved: self.resolved as u64,
+            fallback: self.fallback,
+        }
+    }
+}
+
+/// Resolves `OLA_THREADS` into a worker count.
+///
+/// * unset → the machine's available parallelism;
+/// * a positive integer → that count;
+/// * `0`, garbage, or an unparseable value → the hardware default, with a
+///   single warning on stderr (the first time only) and
+///   [`fallback`](ThreadConfig::fallback) set so run manifests record that
+///   the request was ignored.
+#[must_use]
+pub fn thread_config() -> ThreadConfig {
+    let hw = || std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let raw = std::env::var("OLA_THREADS").ok();
+    match raw.as_deref().map(str::trim) {
+        None => ThreadConfig { raw, resolved: hw(), fallback: false },
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n > 0 => ThreadConfig { raw, resolved: n, fallback: false },
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let resolved = hw();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "[ola] warning: OLA_THREADS={t:?} is not a positive integer; \
+                         using the hardware default ({resolved})"
+                    );
+                });
+                ThreadConfig { raw, resolved, fallback: true }
+            }
+        },
+    }
+}
+
 /// Number of worker threads to use for `jobs` independent jobs.
 ///
-/// Honors the `OLA_THREADS` environment variable (useful for verifying
-/// that results are thread-count independent, and for pinning CI runs);
+/// Honors `OLA_THREADS` via [`thread_config`] (useful for verifying that
+/// results are thread-count independent, and for pinning CI runs);
 /// otherwise uses the machine's available parallelism.
 fn thread_count(jobs: usize) -> usize {
-    let hw = std::env::var("OLA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
-    hw.min(jobs.max(1))
+    thread_config().resolved.min(jobs.max(1))
 }
 
 /// Runs `step` for `samples` independent draws, accumulating into per-chunk
@@ -298,6 +364,48 @@ mod tests {
             assert_eq!(y, items[i] * 2);
         }
         assert!(parallel_map::<u32, u32, _>(&[], |_, x| *x).is_empty());
+    }
+
+    /// Regression (observability PR): `OLA_THREADS=0` or garbage used to be
+    /// silently ignored with no record of the fallback; now the resolution
+    /// is explicit and reportable. Env mutation is process-global, so this
+    /// single test covers every case sequentially.
+    #[test]
+    fn thread_config_resolves_and_flags_fallback() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let original = std::env::var("OLA_THREADS").ok();
+
+        std::env::set_var("OLA_THREADS", "3");
+        let cfg = thread_config();
+        assert_eq!(cfg, ThreadConfig { raw: Some("3".into()), resolved: 3, fallback: false });
+        let rec = cfg.record();
+        assert_eq!(rec.resolved, 3);
+        assert!(!rec.fallback);
+
+        for bad in ["0", "lots", "-2", "", " 4x "] {
+            std::env::set_var("OLA_THREADS", bad);
+            let cfg = thread_config();
+            assert_eq!(cfg.raw.as_deref(), Some(bad));
+            assert!(cfg.fallback, "OLA_THREADS={bad:?} must fall back");
+            assert!(cfg.resolved >= 1, "fallback still yields a usable count");
+        }
+
+        // Whitespace around a valid number is tolerated.
+        std::env::set_var("OLA_THREADS", " 2 ");
+        let cfg = thread_config();
+        assert_eq!(cfg.resolved, 2);
+        assert!(!cfg.fallback);
+
+        std::env::remove_var("OLA_THREADS");
+        let cfg = thread_config();
+        assert_eq!(cfg.raw, None);
+        assert!(!cfg.fallback);
+        assert!(cfg.resolved >= 1);
+
+        match original {
+            Some(v) => std::env::set_var("OLA_THREADS", v),
+            None => std::env::remove_var("OLA_THREADS"),
+        }
     }
 
     #[test]

@@ -17,12 +17,17 @@ pub fn min_period_within_budget<F: FnMut(u64) -> f64>(
     mut metric: F,
 ) -> Option<u64> {
     assert!(lo <= hi, "empty search interval");
+    let _span = crate::obs::span("sweep.solve");
+    let probes = crate::obs::registry().counter("ola.sweep.probes");
+    crate::obs::registry().counter("ola.sweep.solves").inc();
+    probes.inc();
     if metric(hi) > budget {
         return None;
     }
     let (mut lo, mut hi) = (lo, hi);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        probes.inc();
         if metric(mid) <= budget {
             hi = mid;
         } else {
@@ -57,9 +62,13 @@ pub fn min_error_free_period_certified<F: FnMut(u64) -> f64>(
     mut metric: F,
 ) -> u64 {
     assert!(lo <= certified, "certified period below the search floor");
+    let _span = crate::obs::span("sweep.solve_certified");
+    let probes = crate::obs::registry().counter("ola.sweep.probes");
+    crate::obs::registry().counter("ola.sweep.solves").inc();
     let (mut lo, mut hi) = (lo, certified);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        probes.inc();
         if metric(mid) <= 0.0 {
             hi = mid;
         } else {

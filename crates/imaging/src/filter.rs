@@ -430,8 +430,11 @@ fn finish_sweep(
                 values.iter().zip(&settled).filter(|(a, b)| (*a - *b).abs() > 1e-12).count();
             FilterRun {
                 ts,
-                mre_percent: metrics::mre_percent(&settled, &values),
-                snr_db: metrics::snr_db(&settled, &values),
+                // Shapes are equal by construction here; a degenerate
+                // (empty) sweep degrades to NaN columns instead of tearing
+                // the filter run down.
+                mre_percent: metrics::mre_percent(&settled, &values).unwrap_or(f64::NAN),
+                snr_db: metrics::snr_db(&settled, &values).unwrap_or(f64::NAN),
                 wrong_pixels: wrong,
                 sampled: values,
                 image,

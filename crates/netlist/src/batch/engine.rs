@@ -449,6 +449,7 @@ impl BatchProgram {
             }
         }
 
+        crate::obs::with_observer(|o| o.batch_run(u64::from(lanes), word_steps, lane_transitions));
         Ok(BatchSimResult { lanes, waves, settle, word_steps, lane_transitions })
     }
 }

@@ -106,6 +106,7 @@ impl BatchProgram {
         }
 
         let input_nets = netlist.inputs().iter().map(|id| id.0).collect();
+        crate::obs::with_observer(|o| o.batch_compile(n as u64, u64::from(depth) + 1));
         Ok(BatchProgram { kinds, in0, in1, in2, delays, const_words, input_nets, levels, depth })
     }
 

@@ -24,6 +24,10 @@
 //!   bit-identical per lane to [`simulate`] for batch-exact delay models;
 //! * [`area::estimate`] — greedy LUT covering for Table-4-style area
 //!   comparisons;
+//! * [`obs`] — coarse, deterministic observability hooks
+//!   ([`obs::SimObserver`]) that a downstream tracing/metrics layer (e.g.
+//!   `ola-core::obs`) installs once per process; near-free when
+//!   uninstalled;
 //! * [`cells`] — full adders and the PPM/MMP cells of borrow-save
 //!   arithmetic.
 //!
@@ -53,6 +57,7 @@ mod delay;
 mod error;
 pub mod fault;
 mod netlist;
+pub mod obs;
 mod pipeline;
 mod sim;
 pub mod sta;

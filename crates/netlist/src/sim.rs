@@ -301,6 +301,7 @@ fn simulate_core<M: DelayModel + ?Sized>(
         pending -= batch.len();
         processed += batch.len();
         if processed > budget {
+            crate::obs::with_observer(|o| o.event_unsettled(processed as u64, budget as u64));
             return Err(SimError::Unsettled { events: processed, budget });
         }
         for (net, val) in batch {
@@ -339,6 +340,7 @@ fn simulate_core<M: DelayModel + ?Sized>(
         }
     }
 
+    crate::obs::with_observer(|o| o.event_run(events as u64, settle_time));
     Ok(SimResult { initial, waveforms, settle_time, events })
 }
 

@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let structural = n + 3;
     for b in (4..=structural).rev() {
         let out = convolve(Some(b));
-        let mre = metrics::mre_percent(&reference, &out);
-        let snr = metrics::snr_db(&reference, &out);
+        let mre = metrics::mre_percent(&reference, &out).expect("same convolution shape");
+        let snr = metrics::snr_db(&reference, &out).expect("same convolution shape");
         println!(
             "{b:>8} {:>14.6} {:>12.1} {:>9.2}x",
             mre,

@@ -47,7 +47,7 @@ fn settled_designs_agree_with_each_other_and_the_ideal() {
         }
     }
     // The two designs' settled outputs agree up to their quantization.
-    let snr = metrics::snr_db(&o.settled, &t.settled);
+    let snr = metrics::snr_db(&o.settled, &t.settled).expect("equal-length settled buffers");
     assert!(snr > 35.0, "designs should match closely, SNR {snr}");
 }
 
