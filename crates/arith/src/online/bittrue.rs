@@ -148,6 +148,127 @@ fn residual_update(w: &BsVector, w_hat: Q, z: Digit, t: i32) -> (BsVector, bool)
     (p, saturated)
 }
 
+/// Signed-digit vector multiple at the *bit* level: mirrors
+/// [`sdvm_gates`](crate::synth::sdvm_gates) per position —
+/// `p_out = dp·vp ∨ dn·vn`, `n_out = dp·vn ∨ dn·vp`.
+///
+/// For canonical digits this agrees with [`sdvm`]; for the non-canonical
+/// `(1, 1)` selector (value 0) it produces `p == n` planes rather than the
+/// all-zero encoding, exactly like the hardware. Downstream estimates see
+/// different digit patterns for the two encodings, so a reference model of
+/// the *netlist* must use this form.
+#[must_use]
+pub fn sdvm_bits(dp: bool, dn: bool, v: &BsVector) -> BsVector {
+    let mut out = BsVector::zero(v.msd_pos(), v.len());
+    for i in 0..v.len() {
+        let pos = v.msd_pos() + i as i32;
+        let (vp, vn) = v.bits(pos);
+        out.set_bits(pos, (dp && vp) || (dn && vn), (dp && vn) || (dn && vp));
+    }
+    out
+}
+
+/// The operand prefix window `positions 1..=k`, copied bit for bit
+/// (appending logic: wires only).
+fn window_bits(v: &BsVector, k: i32) -> BsVector {
+    let len = k.max(0) as usize;
+    let mut out = BsVector::zero(1, len);
+    for pos in 1..=k {
+        let (p, n) = v.bits(pos);
+        out.set_bits(pos, p, n);
+    }
+    out
+}
+
+/// One stage of the unrolled multiplier, *bit-exact against the netlist*
+/// for arbitrary borrow-save operand encodings (including non-canonical
+/// `(1, 1)` digit pairs, which [`om_stage`]'s digit-valued operands cannot
+/// express). Returns `(P[j+1], z_j)`.
+///
+/// Mirrors `online_multiplier_core` in `crate::synth`: the selection
+/// integer `E = Ŵ·2^t` is accumulated from `W`'s *encoded* digit pairs,
+/// the output digit uses thresholds `E ≥ 2^{t−1}` / `E < −2^{t−1}`, and
+/// the top-digit recode uses `rem ≥ 2^{max(m−1,0)}` / `rem ≤ −2^{max(m−1,0)}`
+/// — note the asymmetric strictness, copied from the gates.
+#[must_use]
+pub fn om_stage_bits(
+    x: &BsVector,
+    y: &BsVector,
+    n: usize,
+    j: i32,
+    p_in: &BsVector,
+    frac_digits: i32,
+) -> (BsVector, Digit) {
+    let delta = DELTA as i32;
+    let t = frac_digits;
+    debug_assert!(t >= 3 && j >= -delta && j < n as i32);
+    let idx = j + delta + 1;
+    let (xd_p, xd_n) = x.bits(idx);
+    let (yd_p, yd_n) = y.bits(idx);
+
+    // Appending logic: operand windows, then SDVM and the two online adders.
+    let y_j1 = window_bits(y, idx.min(n as i32));
+    let x_j = window_bits(x, (idx - 1).min(n as i32));
+    let a = sdvm_bits(xd_p, xd_n, &y_j1);
+    let b = sdvm_bits(yd_p, yd_n, &x_j);
+    let h = bs_add(&a, &b).shifted(-delta);
+    let w = bs_add(p_in, &h);
+
+    // Selection: E = Ŵ·2^t from the *encoded* digits of W.
+    let mut e: i128 = 0;
+    for pos in w.msd_pos()..=t {
+        let (p, n_) = w.bits(pos);
+        e += (i128::from(p) - i128::from(n_)) << (t - pos) as u32;
+    }
+    let half = 1i128 << (t - 1) as u32;
+    let z = Digit::from_bits(e >= half, e < -half);
+    let mut rem = e - (i128::from(z.value()) << t as u32);
+
+    // P[j+1] = 2(W − z): greedy top-digit recode + tail wires.
+    let tail_end = (w.end_pos() - 1).max(t);
+    let mut p = BsVector::zero(0, tail_end as usize);
+    for pos in 0..t {
+        let m = t - 1 - pos;
+        let thr = 1i128 << m.max(1) as u32 >> 1; // 2^{max(m−1, 0)}
+        let d = Digit::from_bits(rem >= thr, rem <= -thr);
+        rem -= i128::from(d.value()) << m as u32;
+        p.set_digit(pos, d);
+    }
+    for pos in t..tail_end {
+        let (bp, bn) = w.bits(pos + 1);
+        p.set_bits(pos, bp, bn);
+    }
+    (p, z)
+}
+
+/// Runs the full unrolled multiplier bit-true over *borrow-save* operands
+/// (positions `1..=n`, any encoding). Bit-exact against the settled
+/// outputs of the gate-level `online_multiplier_core` netlist — this is
+/// the reference model `ola-synth` verifies elaborated datapaths against.
+///
+/// # Panics
+///
+/// Panics if the operands are empty, differ in window, do not start at
+/// position 1, or if `frac_digits < 3`.
+#[must_use]
+pub fn bittrue_mult_bits(x: &BsVector, y: &BsVector, frac_digits: i32) -> Vec<Digit> {
+    let n = x.len();
+    assert_eq!(n, y.len(), "operands must have equal digit counts");
+    assert!(n > 0, "operands must be non-empty");
+    assert_eq!(x.msd_pos(), 1, "operands start at position 1");
+    assert_eq!(y.msd_pos(), 1, "operands start at position 1");
+    assert!(frac_digits >= 3, "selection estimate must cover ≥ 3 fractional digits");
+    let delta = DELTA as i32;
+    let mut p = BsVector::zero(0, 0);
+    let mut digits = Vec::with_capacity(n + DELTA);
+    for j in -delta..=(n as i32 - 1) {
+        let (p_out, z) = om_stage_bits(x, y, n, j, &p, frac_digits);
+        p = p_out;
+        digits.push(z);
+    }
+    digits
+}
+
 /// Result of a bit-true digit-parallel multiplication.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BitTrueProduct {
@@ -317,6 +438,72 @@ mod tests {
         // z_{-3}..z_{1} = [0,0,0,1,-1]: value = 2^-1 - 2^-2 = 1/4.
         let digits = vec![Digit::Zero, Digit::Zero, Digit::Zero, Digit::One, Digit::NegOne];
         assert_eq!(digits_value(&digits), Q::new(1, 2));
+    }
+
+    /// Uniform random borrow-save bit pattern over positions `1..=n`,
+    /// including the non-canonical `(1, 1)` encoding of zero.
+    fn random_bs(rng: &mut ChaCha8Rng, n: usize) -> BsVector {
+        use rand::Rng;
+        let mut v = BsVector::zero(1, n);
+        for pos in 1..=n as i32 {
+            v.set_bits(pos, rng.gen(), rng.gen());
+        }
+        v
+    }
+
+    #[test]
+    fn bits_model_matches_digit_model_on_canonical_operands() {
+        // On canonical (SD-encoded) operands the two models see identical
+        // digit patterns, so their outputs agree digit for digit.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for n in [1usize, 2, 4, 7, 12] {
+            for t in [3i32, 4, 6] {
+                for _ in 0..40 {
+                    let x = random::uniform_digits(&mut rng, n);
+                    let y = random::uniform_digits(&mut rng, n);
+                    let got = bittrue_mult_bits(&BsVector::from_sd(&x), &BsVector::from_sd(&y), t);
+                    let want = bittrue_mult(&x, &y, Selection::Estimate { frac_digits: t });
+                    assert_eq!(got, want.digits, "n={n} t={t} x={x:?} y={y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_model_converges_on_noncanonical_encodings() {
+        // (1, 1) pairs are zeros with a different encoding: the digit-level
+        // model cannot express them, but the bit-level recurrence must still
+        // converge to the product within the online accuracy bound.
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        for n in [2usize, 4, 8] {
+            for _ in 0..150 {
+                let x = random_bs(&mut rng, n);
+                let y = random_bs(&mut rng, n);
+                let z = digits_value(&bittrue_mult_bits(&x, &y, 3));
+                let exact = x.value() * y.value();
+                let bound = Q::new(3, 1) >> (n as u32 + 1);
+                assert!((exact - z).abs() <= bound, "x={x:?} y={y:?} z={z:?} exact={exact:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sdvm_bits_matches_digit_sdvm_on_canonical_selectors() {
+        let v = BsVector::from_sd(&SdNumber::from_value(Q::new(5, 3), 3).unwrap());
+        for d in [Digit::Zero, Digit::One, Digit::NegOne] {
+            let (p, n) = d.to_bits();
+            assert_eq!(sdvm_bits(p, n, &v), sdvm(d, &v), "digit {d:?}");
+        }
+        // The (1, 1) selector ors the planes together: value 0, p == n.
+        let s = sdvm_bits(true, true, &v);
+        assert_eq!(s.value(), Q::ZERO);
+        for pos in 1..=3 {
+            let (p, n) = s.bits(pos);
+            assert_eq!(p, n, "pos {pos}");
+        }
+        let (vp, vn) = v.bits(1);
+        let (sp, _) = s.bits(1);
+        assert_eq!(sp, vp || vn);
     }
 
     #[test]

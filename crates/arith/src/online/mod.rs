@@ -19,7 +19,10 @@ mod select;
 mod staged;
 
 pub use adder::{bs_add, mmp, ppm, SerialAdder};
-pub use bittrue::{bittrue_mult, digits_value, om_stage, sdvm, BitTrueProduct, StageIo};
+pub use bittrue::{
+    bittrue_mult, bittrue_mult_bits, digits_value, om_stage, om_stage_bits, sdvm, sdvm_bits,
+    BitTrueProduct, StageIo,
+};
 pub use div::{online_div, DivideDomainError, OnlineQuotient, DELTA_DIV};
 pub use mult::{online_mult, OnlineProduct, SerialMultiplier, DELTA};
 pub use select::{estimate, select, select_exact, Selection};

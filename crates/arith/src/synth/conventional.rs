@@ -98,8 +98,13 @@ pub fn array_multiplier(width: usize) -> ArrayMultiplierCircuit {
 
 /// Emits the Baugh-Wooley array for arbitrary operand nets (inputs or
 /// constants); returns the `2·width` product bits, LSB first. Used by
-/// [`array_multiplier`] and the constant-coefficient MAC builder.
-pub(crate) fn array_multiplier_core(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+/// [`array_multiplier`], the constant-coefficient MAC builder, and the
+/// `ola-synth` elaborator.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn array_multiplier_core(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len(), "operand widths must match");
     let n = a.len();
 

@@ -15,10 +15,13 @@ mod online;
 
 pub use bsnets::{bs_add_gates, sdvm_gates, BsSignals};
 pub use conventional::{
-    array_multiplier, carry_select_adder, ripple_carry_adder, ArrayMultiplierCircuit,
-    CarrySelectAdderCircuit, RippleAdderCircuit,
+    array_multiplier, array_multiplier_core, carry_select_adder, ripple_carry_adder,
+    ArrayMultiplierCircuit, CarrySelectAdderCircuit, RippleAdderCircuit,
 };
 pub use mac::{
     decode_digit_planes, online_mac, traditional_mac, OnlineMacCircuit, TraditionalMacCircuit,
 };
-pub use online::{online_adder, online_multiplier, OnlineAdderCircuit, OnlineMultiplierCircuit};
+pub use online::{
+    online_adder, online_multiplier, online_multiplier_core, OnlineAdderCircuit,
+    OnlineMultiplierCircuit,
+};

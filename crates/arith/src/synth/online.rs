@@ -120,9 +120,19 @@ pub fn online_multiplier(n: usize, frac_digits: i32) -> OnlineMultiplierCircuit 
 }
 
 /// Emits the unrolled multiplier datapath for arbitrary operand signals
-/// (inputs, constants, or internal nets); returns the result digit planes.
-/// Used by [`online_multiplier`] and the constant-coefficient MAC builder.
-pub(crate) fn online_multiplier_core(
+/// (inputs, constants, or internal nets); returns the result digit planes
+/// `z_{−δ} ..= z_{n−1}` (MSD first; digit `z_j` has weight `2^{−(j+1)}`).
+/// Operands must occupy positions `1..=n`. Used by [`online_multiplier`],
+/// the constant-coefficient MAC builder, and the `ola-synth` elaborator.
+///
+/// The settled outputs are bit-exact against
+/// [`bittrue_mult_bits`](crate::online::bittrue_mult_bits) for *any*
+/// borrow-save operand encoding, canonical or not.
+///
+/// # Panics
+///
+/// Panics if `frac_digits < 3`.
+pub fn online_multiplier_core(
     nl: &mut Netlist,
     x: &BsSignals,
     y: &BsSignals,
@@ -375,6 +385,46 @@ mod tests {
             let got = circuit.decode_digits(&zp, &zn);
             let want = bittrue_mult(&x, &y, Selection::default());
             assert_eq!(got, want.digits);
+        }
+    }
+
+    #[test]
+    fn multiplier_core_matches_bits_model_on_arbitrary_encodings() {
+        // Feed the raw digit planes: every (p, n) combination, including
+        // the non-canonical (1, 1) zero, must match the bit-level reference
+        // model digit for digit. This is the contract ola-synth relies on.
+        use crate::online::bittrue_mult_bits;
+        use rand::Rng;
+        for n in [2usize, 5] {
+            let mut nl = Netlist::new();
+            let xp = nl.input_bus("xp", n);
+            let xn = nl.input_bus("xn", n);
+            let yp = nl.input_bus("yp", n);
+            let yn = nl.input_bus("yn", n);
+            let x = BsSignals::from_nets(1, xp, xn);
+            let y = BsSignals::from_nets(1, yp, yn);
+            let (zp, zn) = online_multiplier_core(&mut nl, &x, &y, n, 3);
+            nl.set_output("zp", zp);
+            nl.set_output("zn", zn);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for _ in 0..120 {
+                let inputs: Vec<bool> = (0..4 * n).map(|_| rng.gen()).collect();
+                let mut xv = BsVector::zero(1, n);
+                let mut yv = BsVector::zero(1, n);
+                for i in 0..n {
+                    xv.set_bits(1 + i as i32, inputs[i], inputs[n + i]);
+                    yv.set_bits(1 + i as i32, inputs[2 * n + i], inputs[3 * n + i]);
+                }
+                let vals = nl.eval(&inputs);
+                let got: Vec<Digit> = nl
+                    .output("zp")
+                    .iter()
+                    .zip(nl.output("zn"))
+                    .map(|(&p, &m)| Digit::from_bits(vals[p.index()], vals[m.index()]))
+                    .collect();
+                let want = bittrue_mult_bits(&xv, &yv, 3);
+                assert_eq!(got, want, "n={n} x={xv:?} y={yv:?}");
+            }
         }
     }
 

@@ -31,9 +31,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// `(name, one-line description)` for every experiment, in run order.
-const EXPERIMENTS: [(&str, &str); 11] = [
+const EXPERIMENTS: [(&str, &str); 12] = [
     ("sta", "static timing: critical paths, per-digit slack + certification (no simulation)"),
     ("lint", "netlist lint over every generated operator family (+ seeded-loop self-check)"),
+    ("synth", "datapath-synthesis Pareto sweep: style x allocation x width of a 1x3 kernel"),
     ("fig4", "overclocking error: model vs Monte-Carlo vs gate-level netlist (N=8,12)"),
     ("fig5", "per-chain-delay profile, analytic model next to Monte-Carlo (N=8..32)"),
     ("fig6", "image-filter MRE vs normalized frequency (case study)"),
@@ -199,7 +200,7 @@ fn main() {
     // The output directories are a precondition of the whole run: every
     // experiment that writes files (fig7's PGMs, every CSV, every
     // manifest) lands under `results/`. Creating them up front converts
-    // a read-only working directory from eleven confusing per-experiment
+    // a read-only working directory from a dozen confusing per-experiment
     // failures (historically: a panic backtrace out of fig7) into one
     // clear environment error with its own exit code.
     let out_dir = PathBuf::from("results");
@@ -232,6 +233,9 @@ fn main() {
     }
     if wants("lint") {
         jobs.push(("lint", Box::new(move || experiments::lint(all))));
+    }
+    if wants("synth") {
+        jobs.push(("synth", Box::new(move || experiments::synth(scale, backend))));
     }
     if wants("fig4") {
         jobs.push(("fig4", Box::new(move || experiments::fig4(scale, backend))));

@@ -7,8 +7,11 @@
 //! * **clean sweep** — every generator in the workspace must produce a
 //!   lint-clean netlist (the generators call
 //!   [`prune_dead`](ola_netlist::sta::prune_dead) themselves, so any issue
-//!   here is a regression). A non-empty issue list fails the experiment,
-//!   which is what lets CI run `repro lint --all` as a gate.
+//!   here is a regression). The sweep covers both the hand-written
+//!   operator families and every `ola-synth` style × adder-allocation
+//!   variant of the 1×3 convolution datapath. A non-empty issue list
+//!   fails the experiment, which is what lets CI run `repro lint --all`
+//!   as a gate.
 //! * **detector self-check** — a combinational loop is deliberately seeded
 //!   into a copy of an online multiplier (via
 //!   [`rewire_input`](ola_netlist::Netlist::rewire_input)) and the lint
@@ -24,6 +27,7 @@ use ola_arith::synth::{
 use ola_netlist::sta::lint::{check, LintIssue};
 use ola_netlist::Netlist;
 use ola_redundant::{SdNumber, Q};
+use ola_synth::{elaborate, optimize, AdderStructure, ElabOptions, InputFmt, Style};
 
 /// Fixed MAC taps, chosen to fit every linted width (≥ 4 bits).
 const TAPS: [i64; 3] = [5, -3, 7];
@@ -58,6 +62,36 @@ fn circuits(n: usize) -> Vec<(String, Netlist)> {
     ]
 }
 
+/// Every `ola-synth` style × adder-allocation variant of the 1×3
+/// convolution datapath at input width `n` — the compiler-generated
+/// netlists the lint gate covers in addition to the hand-written operator
+/// families.
+fn synth_circuits(n: usize) -> Vec<(String, Netlist)> {
+    // The conventional style lowers an n-digit input to an (n+1)-bit
+    // two's-complement operand, and the Baugh–Wooley array caps operands
+    // at 31 bits — skip the one sweep width that would overflow it.
+    if n >= 31 {
+        return Vec::new();
+    }
+    let dfg = ola_synth::parse_dfg(
+        "y = a * 0.25 + b * 0.5 + c * 0.25",
+        InputFmt { msd_pos: 1, digits: n },
+    )
+    .expect("convolution program parses");
+    let mut out = Vec::new();
+    for style in [Style::Online, Style::Conventional] {
+        for alloc in [
+            AdderStructure::LinearChain,
+            AdderStructure::BalancedTree,
+            AdderStructure::OnlineChained,
+        ] {
+            let dp = elaborate(&optimize(&dfg, alloc), &ElabOptions::new(style));
+            out.push((format!("synth {}/{} N={n}", style.name(), alloc.name()), dp.netlist));
+        }
+    }
+    out
+}
+
 fn issue_codes(issues: &[LintIssue]) -> String {
     if issues.is_empty() {
         "-".to_string()
@@ -81,7 +115,7 @@ pub fn lint(all: bool) -> Result<Vec<Table>, String> {
         Table::new("Lint generated netlists", &["circuit", "nets", "issues", "codes", "details"]);
     let mut dirty: Vec<String> = Vec::new();
     for &n in widths(all) {
-        for (name, nl) in circuits(n) {
+        for (name, nl) in circuits(n).into_iter().chain(synth_circuits(n)) {
             let issues = check(&nl);
             let details = issues.first().map_or_else(String::new, ToString::to_string);
             t.push_row(vec![
@@ -151,8 +185,9 @@ mod tests {
         let tables = lint(false).unwrap();
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
-        // 2 widths × 7 families + the seeded-loop row.
-        assert_eq!(t.rows.len(), 15);
+        // 2 widths × (7 families + 6 synth style/allocation variants)
+        // + the seeded-loop row.
+        assert_eq!(t.rows.len(), 27);
         let seeded = t.rows.last().unwrap();
         assert!(seeded[3].contains("comb-loop"), "seeded row: {seeded:?}");
         // Every generated row is clean.

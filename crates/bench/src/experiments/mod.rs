@@ -10,6 +10,7 @@ mod fig4;
 mod fig5;
 mod lint;
 mod sta;
+mod synth;
 mod table4;
 
 pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
@@ -18,6 +19,7 @@ pub use fig4::fig4;
 pub use fig5::fig5;
 pub use lint::lint;
 pub use sta::{om_certification, om_digit_weights, sta};
+pub use synth::synth;
 pub use table4::table4;
 
 /// Experiment scale: `quick` shrinks sample counts and image sizes for CI;
@@ -103,6 +105,7 @@ pub fn master_seeds(name: &str) -> Vec<(String, u64)> {
         // `1 + index-in-Benchmark::ALL`; record the base.
         "fig6" | "fig7" | "table1" | "table2" | "table3" => mk(&[("image_base", 1)]),
         "faults" => mk(&[("campaign", 0xFA_517E5)]),
+        "synth" => mk(&[("explore", synth::SEED)]),
         _ => Vec::new(),
     }
 }

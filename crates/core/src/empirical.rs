@@ -236,6 +236,44 @@ where
     (curve, acc.stats)
 }
 
+/// Sweeps an *arbitrary* synthesized datapath at the given clock periods —
+/// the public entry to the shared sampling engine for compilers sitting on
+/// top of the operator generators (notably `ola-synth`).
+///
+/// `wires` is the output bus to sample (typically every output-port net,
+/// concatenated); `draw` produces one already-encoded primary-input vector
+/// per sample, and `judge` compares a sampled output-bus bit pattern
+/// against the settled one, returning `(any_violation, abs_error)`. The
+/// judge contract is `judge(x, x) == (false, 0.0)` — required for the
+/// [`StaGate::On`] fast path to stay bit-identical. Backend selection,
+/// batching, STA gating, and determinism guarantees are exactly those of
+/// [`om_gate_level_curve_with`].
+///
+/// # Panics
+///
+/// Panics if `ts_points` or `samples` is empty/zero.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the engine's knobs one-for-one
+pub fn datapath_gate_level_curve_with<M, D, J>(
+    netlist: &Netlist,
+    wires: &[NetId],
+    delay: &M,
+    ts_points: &[u64],
+    samples: usize,
+    seed: u64,
+    backend: SimBackend,
+    sta_gate: StaGate,
+    draw: D,
+    judge: J,
+) -> (GateLevelCurve, BackendStats)
+where
+    M: DelayModel + Sync,
+    D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
+    J: Fn(&[bool], &[bool]) -> (bool, f64) + Sync,
+{
+    curve_with(netlist, wires, delay, ts_points, samples, seed, backend, sta_gate, draw, judge)
+}
+
 /// Sweeps a synthesized online multiplier at the given clock periods on a
 /// chosen [`SimBackend`], returning the curve and the backend's
 /// observability counters.

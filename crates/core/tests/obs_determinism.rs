@@ -25,11 +25,30 @@ use std::sync::Mutex;
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// The instrumented workload: MC sweep + gate-level curve (batch and
-/// event) + a small fault campaign. Deterministic by construction; the
-/// question is whether the *instrumentation* stays deterministic too.
+/// event) + a small fault campaign + a synthesis design-space sweep.
+/// Deterministic by construction; the question is whether the
+/// *instrumentation* stays deterministic too.
 fn workload() {
     let _ = montecarlo::om_monte_carlo(6, Selection::default(), InputModel::UniformDigits, 600, 7);
     let circuit = online_multiplier(4, 3);
+    // The synthesis compiler's `ola.synth.*` metrics (nodes folded,
+    // variants explored, certification skips) are under the same
+    // contract: simulation-domain quantities only.
+    let dfg = ola_synth::parse_dfg(
+        "y = a * 0.5 + b * 0.25 + 0.125",
+        ola_synth::InputFmt { msd_pos: 1, digits: 4 },
+    )
+    .expect("program parses");
+    let _ = ola_synth::explore(
+        &dfg,
+        &ola_synth::ExploreConfig {
+            widths: vec![4],
+            ts_points: 4,
+            samples: 8,
+            seed: 5,
+            ..ola_synth::ExploreConfig::default()
+        },
+    );
     for backend in [SimBackend::Batch, SimBackend::Event] {
         let _ = om_gate_level_curve_with(
             &circuit,
@@ -89,6 +108,11 @@ fn metric_snapshots_are_bit_identical_across_thread_counts() {
         "ola.batch.lanes",
         "ola.campaign.sites",
         "ola.backend.vectors",
+        "ola.synth.nodes_folded",
+        "ola.synth.elaborated",
+        "ola.synth.variants_explored",
+        "ola.synth.certified_points_skipped",
+        "ola.synth.pareto_points",
     ] {
         assert!(single.counters.contains_key(key), "workload never moved {key}: {single:?}");
     }

@@ -22,14 +22,14 @@
 use crate::{Image, Kernel};
 use ola_arith::online::{digits_value, DELTA};
 use ola_arith::synth::{
-    array_multiplier, bits, bs_add_gates, online_multiplier, ArrayMultiplierCircuit, BsSignals,
+    array_multiplier, bits, online_multiplier, ArrayMultiplierCircuit, BsSignals,
     OnlineMultiplierCircuit,
 };
 use ola_core::metrics;
-use ola_netlist::{
-    analyze, simulate_from_zero, BusWaveforms, FpgaDelay, JitteredDelay, NetId, Netlist,
-};
+use ola_netlist::{analyze, simulate_from_zero, BusWaveforms, FpgaDelay, JitteredDelay, Netlist};
 use ola_redundant::{Digit, SdNumber, Q};
+use ola_synth::{allocate_adders, elaborate, eliminate_dead};
+use ola_synth::{AdderStructure, Dfg, ElabOptions, InputFmt, Style};
 use std::collections::HashMap;
 use std::sync::{Mutex, PoisonError};
 
@@ -182,34 +182,38 @@ fn digits_of(bits: &[bool]) -> Vec<Digit> {
     bits[..half].iter().zip(&bits[half..]).map(|(&p, &n)| Digit::from_bits(p, n)).collect()
 }
 
-fn build_online_tree(n: usize, taps: usize) -> OnlineTree {
-    let mut nl = Netlist::new();
-    let width = n + DELTA;
-    let mut level: Vec<BsSignals> = (0..taps)
-        .map(|k| {
-            let p = nl.input_bus(&format!("p{k}"), width);
-            let nn = nl.input_bus(&format!("n{k}"), width);
-            // Digit k of a product has weight 2^-(k-δ+1): MSD position −δ+1.
-            BsSignals::from_nets(1 - DELTA as i32, p, nn)
-        })
-        .collect();
-    while level.len() > 1 {
-        level = level
-            .chunks(2)
-            .map(|pair| {
-                if pair.len() == 2 {
-                    bs_add_gates(&mut nl, &pair[0], &pair[1])
-                } else {
-                    pair[0].clone()
-                }
-            })
-            .collect();
+/// The tap-sum dataflow graph `sum = t0 + … + t{taps−1}`, allocated as
+/// the classic pairwise-reduction tree. The balanced allocation matches
+/// the hand-wired seed tree gate for gate (the elaborator composes the
+/// same adder cores in the same order), which `filter.rs` tests pin down.
+fn tap_sum_dfg(taps: usize, fmt: InputFmt) -> Dfg {
+    let mut d = Dfg::new();
+    let terms: Vec<_> = (0..taps).map(|k| d.input(&format!("t{k}"), fmt)).collect();
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = d.add(acc, t);
     }
-    let out = level.pop().expect("at least one tap");
-    let (p, nn) = out.flat_nets();
-    nl.set_output("sump", p);
-    nl.set_output("sumn", nn);
-    OnlineTree { netlist: nl, out }
+    d.mark_output("sum", acc);
+    // Re-associate the chain into the balanced tree, then drop the dead
+    // chain adders so the netlist carries only live gates.
+    eliminate_dead(&allocate_adders(&d, AdderStructure::BalancedTree))
+}
+
+fn build_online_tree(n: usize, taps: usize) -> OnlineTree {
+    let width = n + DELTA;
+    // Digit k of a product has weight 2^-(k-δ+1): MSD position −δ+1.
+    let fmt = InputFmt { msd_pos: 1 - DELTA as i32, digits: width };
+    let dfg = tap_sum_dfg(taps, fmt);
+    // No pruning: the delay model downstream is net-id-keyed (jittered),
+    // so the netlist must be gate-index-stable against the seed layout.
+    let dp = elaborate(&dfg, &ElabOptions::new(Style::Online).with_prune(false));
+    let p = dp.netlist.output("sump").to_vec();
+    let nn = dp.netlist.output("sumn").to_vec();
+    let ola_synth::PortShape::Online { msd_pos, .. } = dp.outputs[0].shape else {
+        unreachable!("online elaboration yields online ports")
+    };
+    let out = BsSignals::from_nets(msd_pos, p, nn);
+    OnlineTree { netlist: dp.netlist, out }
 }
 
 impl OverclockedFilter for OnlineFilter {
@@ -338,24 +342,13 @@ impl TraditionalFilter {
 }
 
 fn build_tc_tree(width_in: usize, taps: usize) -> TcTree {
-    let mut nl = Netlist::new();
-    let mut level: Vec<Vec<NetId>> =
-        (0..taps).map(|k| nl.input_bus(&format!("t{k}"), width_in)).collect();
-    while level.len() > 1 {
-        level = level
-            .chunks(2)
-            .map(|pair| {
-                if pair.len() == 2 {
-                    bits::add_signed(&mut nl, &pair[0], &pair[1])
-                } else {
-                    pair[0].clone()
-                }
-            })
-            .collect();
-    }
-    let out = level.pop().expect("at least one tap");
-    nl.set_output("sum", out);
-    TcTree { netlist: nl, width_in, taps }
+    // `width_in`-bit two's-complement products: a (width_in − 1)-digit
+    // window elaborates to exactly `width_in` bits; the fractional weight
+    // is uniform across taps so no alignment padding is emitted.
+    let fmt = InputFmt { msd_pos: 0, digits: width_in - 1 };
+    let dfg = tap_sum_dfg(taps, fmt);
+    let dp = elaborate(&dfg, &ElabOptions::new(Style::Conventional).with_prune(false));
+    TcTree { netlist: dp.netlist, width_in, taps }
 }
 
 impl OverclockedFilter for TraditionalFilter {
@@ -565,6 +558,133 @@ mod tests {
         // Edge response must actually be signed somewhere.
         assert!(o.settled.iter().any(|&v| v < -0.01));
         assert!(o.settled.iter().any(|&v| v > 0.01));
+    }
+
+    /// The hand-wired online adder tree exactly as the pre-`ola-synth`
+    /// seed built it — kept as the reference the compiler-built tree is
+    /// pinned against.
+    fn hand_wired_online_tree(n: usize, taps: usize) -> Netlist {
+        use ola_arith::synth::bs_add_gates;
+        let mut nl = Netlist::new();
+        let width = n + DELTA;
+        let mut level: Vec<BsSignals> = (0..taps)
+            .map(|k| {
+                let p = nl.input_bus(&format!("p{k}"), width);
+                let nn = nl.input_bus(&format!("n{k}"), width);
+                BsSignals::from_nets(1 - DELTA as i32, p, nn)
+            })
+            .collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        bs_add_gates(&mut nl, &pair[0], &pair[1])
+                    } else {
+                        pair[0].clone()
+                    }
+                })
+                .collect();
+        }
+        let out = level.pop().expect("at least one tap");
+        let (p, nn) = out.flat_nets();
+        nl.set_output("sump", p);
+        nl.set_output("sumn", nn);
+        nl
+    }
+
+    /// The hand-wired conventional adder tree of the seed.
+    fn hand_wired_tc_tree(width_in: usize, taps: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut level: Vec<Vec<ola_netlist::NetId>> =
+            (0..taps).map(|k| nl.input_bus(&format!("t{k}"), width_in)).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        bits::add_signed(&mut nl, &pair[0], &pair[1])
+                    } else {
+                        pair[0].clone()
+                    }
+                })
+                .collect();
+        }
+        let out = level.pop().expect("at least one tap");
+        nl.set_output("sum", out);
+        nl
+    }
+
+    /// Net-for-net structural equality: same gate kinds, same gate input
+    /// nets, same primary-input count, same named output buses. Identical
+    /// structure under the net-id-keyed jittered delay model implies
+    /// bit-identical waveforms — and therefore bit-identical error and
+    /// SNR curves — at every clock period.
+    fn assert_netlists_identical(a: &Netlist, b: &Netlist, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: net count");
+        assert_eq!(a.inputs().len(), b.inputs().len(), "{what}: input count");
+        for (x, y) in a.nets().zip(b.nets()) {
+            assert_eq!(a.kind(x), b.kind(y), "{what}: gate kind at {x:?}");
+            assert_eq!(a.gate_inputs(x), b.gate_inputs(y), "{what}: gate inputs at {x:?}");
+        }
+        let ao: Vec<_> = a.outputs().collect();
+        let bo: Vec<_> = b.outputs().collect();
+        assert_eq!(ao, bo, "{what}: output buses");
+    }
+
+    #[test]
+    fn synth_built_trees_match_hand_wired_seed_gate_for_gate() {
+        for taps in [1usize, 2, 3, 9] {
+            for n in [4usize, 8] {
+                let synth = build_online_tree(n, taps);
+                let hand = hand_wired_online_tree(n, taps);
+                assert_netlists_identical(
+                    &synth.netlist,
+                    &hand,
+                    &format!("online tree n={n} taps={taps}"),
+                );
+                let w_in = 2 * (n + 1);
+                let synth = build_tc_tree(w_in, taps);
+                let hand = hand_wired_tc_tree(w_in, taps);
+                assert_netlists_identical(
+                    &synth.netlist,
+                    &hand,
+                    &format!("tc tree w={w_in} taps={taps}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synth_built_tree_is_waveform_identical_under_jittered_delay() {
+        // Belt and braces on top of the structural identity: simulate
+        // both netlists under the paper's jittered delay model and sample
+        // every output net at several overclocked periods — the sampled
+        // bits (hence any error curve computed from them) must be equal.
+        let (n, taps) = (4usize, 3usize);
+        let synth = build_online_tree(n, taps).netlist;
+        let hand = hand_wired_online_tree(n, taps);
+        let delay = JitteredDelay::new(FpgaDelay::default(), 15, 2014);
+        let width = n + DELTA;
+        let mut inputs = vec![false; 2 * taps * width];
+        for (i, b) in inputs.iter_mut().enumerate() {
+            *b = i % 3 == 0; // arbitrary but fixed pattern
+        }
+        let rs = simulate_from_zero(&synth, &delay, &inputs);
+        let rh = simulate_from_zero(&hand, &delay, &inputs);
+        let rated = analyze(&synth, &delay).critical_path();
+        for ts in [rated / 3, rated / 2, (rated * 3) / 4, rated] {
+            for (name, bus) in synth.outputs() {
+                let hb = hand.output(name);
+                for (sn, hn) in bus.iter().zip(hb) {
+                    assert_eq!(
+                        rs.value_at(*sn, ts),
+                        rh.value_at(*hn, ts),
+                        "net {sn:?} of {name} at Ts={ts}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! The dataflow-graph IR: nodes, formats, builder, reference evaluators.
+//!
+//! A [`Dfg`] is a topologically ordered vector of [`Op`] nodes plus named
+//! outputs. Every edge carries an implicit fixed-point format — a
+//! signed-digit *window* for the online style ([`Dfg::online_windows`])
+//! and a two's-complement `(width, frac)` pair for the conventional style
+//! ([`Dfg::tc_formats`]) — derived deterministically from the input
+//! formats by the same rules the elaborator uses, so format bookkeeping
+//! and hardware can never drift apart.
+//!
+//! Two reference evaluators pin down the semantics:
+//!
+//! * [`Dfg::eval_exact`] — exact rational (`Q`) evaluation; conventional
+//!   elaboration is bit-true against this (it is exact by construction).
+//! * [`Dfg::eval_online`] — the *bit-level* online reference: borrow-save
+//!   vectors through [`bs_add`]/[`bittrue_mult_bits`], mirroring the
+//!   elaborated netlist signal for signal, including the truncation error
+//!   of each online multiplier and non-canonical digit encodings.
+
+use ola_arith::online::{bittrue_mult_bits, bs_add, DELTA};
+use ola_redundant::{BsVector, SdNumber, Q};
+
+/// Handle to a node inside one [`Dfg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The node's position in the graph's topological node order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Construct a `NodeId` from a raw index (crate-internal: passes use
+    /// this for placeholder slots and tests for fixed references).
+    pub(crate) fn from_raw(i: usize) -> NodeId {
+        NodeId(i)
+    }
+}
+
+/// Fixed-point format of a primary input: a signed-digit window
+/// `msd_pos ..= msd_pos + digits − 1` where position `p` has weight
+/// `2^-p` (so `msd_pos = 1, digits = n` is the canonical fractional
+/// operand of the online operators).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InputFmt {
+    /// Most significant digit position (weight `2^-msd_pos`).
+    pub msd_pos: i32,
+    /// Number of digit positions.
+    pub digits: usize,
+}
+
+impl Default for InputFmt {
+    fn default() -> Self {
+        InputFmt { msd_pos: 1, digits: 8 }
+    }
+}
+
+/// One dataflow node. Operands always refer to earlier nodes, so the node
+/// vector is topologically ordered by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// A named primary input with its fixed-point format.
+    Input {
+        /// Unique input name.
+        name: String,
+        /// Fixed-point format of the input bus.
+        fmt: InputFmt,
+    },
+    /// An exact dyadic constant.
+    Const(Q),
+    /// Addition.
+    Add(NodeId, NodeId),
+    /// Subtraction (`lhs − rhs`).
+    Sub(NodeId, NodeId),
+    /// Negation.
+    Neg(NodeId),
+    /// Multiplication of two variables.
+    Mul(NodeId, NodeId),
+    /// Multiplication by an exact dyadic constant (canonical form for
+    /// `Const × x`, produced by constant folding).
+    ConstMul(Q, NodeId),
+}
+
+impl Op {
+    /// The operand nodes, in argument order.
+    #[must_use]
+    pub fn operands(&self) -> Vec<NodeId> {
+        match *self {
+            Op::Input { .. } | Op::Const(_) => Vec::new(),
+            Op::Neg(a) | Op::ConstMul(_, a) => vec![a],
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => vec![a, b],
+        }
+    }
+}
+
+/// A fixed-point dataflow graph with named outputs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Dfg {
+    nodes: Vec<Op>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Dfg {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Dfg::default()
+    }
+
+    fn push(&mut self, op: Op) -> NodeId {
+        for o in op.operands() {
+            assert!(o.0 < self.nodes.len(), "operand {o:?} does not exist");
+        }
+        self.nodes.push(op);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a named primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or a zero-digit format.
+    pub fn input(&mut self, name: &str, fmt: InputFmt) -> NodeId {
+        assert!(fmt.digits > 0, "input {name:?} needs at least one digit");
+        assert!(!self.inputs().iter().any(|(_, n, _)| *n == name), "duplicate input name {name:?}");
+        self.push(Op::Input { name: name.to_owned(), fmt })
+    }
+
+    /// Adds an exact dyadic constant.
+    pub fn constant(&mut self, value: Q) -> NodeId {
+        self.push(Op::Const(value))
+    }
+
+    /// Adds `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Add(a, b))
+    }
+
+    /// Adds `a − b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Sub(a, b))
+    }
+
+    /// Adds `−a`.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        self.push(Op::Neg(a))
+    }
+
+    /// Adds `a · b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Mul(a, b))
+    }
+
+    /// Adds `c · a` for a dyadic constant `c`.
+    pub fn const_mul(&mut self, c: Q, a: NodeId) -> NodeId {
+        self.push(Op::ConstMul(c, a))
+    }
+
+    /// Names `node` as an output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate output name or an unknown node.
+    pub fn mark_output(&mut self, name: &str, node: NodeId) {
+        assert!(node.0 < self.nodes.len(), "output node {node:?} does not exist");
+        assert!(!self.outputs.iter().any(|(n, _)| n == name), "duplicate output name {name:?}");
+        self.outputs.push((name.to_owned(), node));
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's operation.
+    #[must_use]
+    pub fn op(&self, id: NodeId) -> &Op {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Op)> {
+        self.nodes.iter().enumerate().map(|(i, op)| (NodeId(i), op))
+    }
+
+    /// The named outputs, in marking order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// The primary inputs `(node, name, fmt)`, in node order — the order
+    /// input values are supplied to the evaluators and the elaborated
+    /// netlist's input buses.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<(NodeId, &str, InputFmt)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op {
+                Op::Input { name, fmt } => Some((NodeId(i), name.as_str(), *fmt)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A copy of the graph with every input resized to `digits` digit
+    /// positions (same MSD positions) — the width axis of the explorer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits == 0`.
+    #[must_use]
+    pub fn with_input_digits(&self, digits: usize) -> Dfg {
+        assert!(digits > 0, "need at least one digit");
+        let mut out = self.clone();
+        for op in &mut out.nodes {
+            if let Op::Input { fmt, .. } = op {
+                fmt.digits = digits;
+            }
+        }
+        out
+    }
+
+    /// Evaluates every output exactly (rational semantics). `inputs` are
+    /// given in [`Dfg::inputs`] order. This is the reference the
+    /// conventional elaboration is bit-true against and the passes must
+    /// preserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match.
+    #[must_use]
+    pub fn eval_exact(&self, inputs: &[Q]) -> Vec<Q> {
+        let mut vals: Vec<Q> = Vec::with_capacity(self.nodes.len());
+        let mut next_input = 0usize;
+        for op in &self.nodes {
+            let v = match *op {
+                Op::Input { .. } => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                Op::Const(c) => c,
+                Op::Add(a, b) => vals[a.0] + vals[b.0],
+                Op::Sub(a, b) => vals[a.0] - vals[b.0],
+                Op::Neg(a) => -vals[a.0],
+                Op::Mul(a, b) => vals[a.0] * vals[b.0],
+                Op::ConstMul(c, a) => c * vals[a.0],
+            };
+            vals.push(v);
+        }
+        assert_eq!(next_input, inputs.len(), "input count mismatch");
+        self.outputs.iter().map(|&(_, n)| vals[n.0]).collect()
+    }
+
+    /// Evaluates every output through the *bit-level online reference*:
+    /// borrow-save adders ([`bs_add`]) and the unrolled online multiplier
+    /// ([`bittrue_mult_bits`]) with selection granularity `frac_digits`.
+    /// The result vectors are bit-exact against the settled outputs of the
+    /// online-elaborated netlist — including multiplier truncation and
+    /// non-canonical `(1, 1)` digit encodings.
+    ///
+    /// `inputs` are [`BsVector`]s matching each input's declared window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count, a window, or `frac_digits < 3` mismatch.
+    #[must_use]
+    pub fn eval_online(&self, inputs: &[BsVector], frac_digits: i32) -> Vec<BsVector> {
+        assert!(frac_digits >= 3, "selection estimate must cover ≥ 3 fractional digits");
+        let mut vals: Vec<BsVector> = Vec::with_capacity(self.nodes.len());
+        let mut next_input = 0usize;
+        for op in &self.nodes {
+            let v = match *op {
+                Op::Input { fmt, .. } => {
+                    let v = inputs[next_input].clone();
+                    next_input += 1;
+                    assert_eq!(v.msd_pos(), fmt.msd_pos, "input window MSD mismatch");
+                    assert_eq!(v.len(), fmt.digits, "input window length mismatch");
+                    v
+                }
+                Op::Const(c) => const_bs(c),
+                Op::Add(a, b) => bs_add(&vals[a.0], &vals[b.0]),
+                Op::Sub(a, b) => bs_add(&vals[a.0], &vals[b.0].negated()),
+                Op::Neg(a) => vals[a.0].negated(),
+                Op::Mul(a, b) => mul_online(&vals[a.0], &vals[b.0], frac_digits),
+                Op::ConstMul(c, a) => mul_online(&const_bs(c), &vals[a.0], frac_digits),
+            };
+            vals.push(v);
+        }
+        assert_eq!(next_input, inputs.len(), "input count mismatch");
+        self.outputs.iter().map(|&(_, n)| vals[n.0].clone()).collect()
+    }
+
+    /// The online signed-digit window `(msd_pos, digits)` of every node —
+    /// the per-edge format bookkeeping of the online style, mirroring the
+    /// elaborator's bus shapes exactly.
+    #[must_use]
+    pub fn online_windows(&self) -> Vec<(i32, usize)> {
+        let delta = DELTA as i32;
+        let mut w: Vec<(i32, usize)> = Vec::with_capacity(self.nodes.len());
+        for op in &self.nodes {
+            let win = match *op {
+                Op::Input { fmt, .. } => (fmt.msd_pos, fmt.digits),
+                Op::Const(c) => {
+                    let (sd, k) = const_sd(c);
+                    (1 - k, sd.len())
+                }
+                Op::Add(a, b) | Op::Sub(a, b) => {
+                    let (ma, la) = w[a.0];
+                    let (mb, lb) = w[b.0];
+                    let msd = ma.min(mb) - 1;
+                    let end = (ma + la as i32).max(mb + lb as i32);
+                    (msd, (end - msd) as usize)
+                }
+                Op::Neg(a) => w[a.0],
+                Op::Mul(a, b) => mul_window(w[a.0], w[b.0], delta),
+                Op::ConstMul(c, a) => {
+                    let (sd, k) = const_sd(c);
+                    mul_window((1 - k, sd.len()), w[a.0], delta)
+                }
+            };
+            w.push(win);
+        }
+        w
+    }
+
+    /// The two's-complement format `(width, frac)` of every node — the
+    /// per-edge format bookkeeping of the conventional style (LSB weight
+    /// `2^-frac`), mirroring the elaborator's bus shapes exactly.
+    #[must_use]
+    pub fn tc_formats(&self) -> Vec<(usize, i32)> {
+        let mut f: Vec<(usize, i32)> = Vec::with_capacity(self.nodes.len());
+        for op in &self.nodes {
+            let fmt = match *op {
+                Op::Input { fmt, .. } => (fmt.digits + 1, fmt.msd_pos + fmt.digits as i32 - 1),
+                Op::Const(c) => const_tc_format(c),
+                Op::Add(a, b) | Op::Sub(a, b) => {
+                    let (wa, fa) = f[a.0];
+                    let (wb, fb) = f[b.0];
+                    let frac = fa.max(fb);
+                    let wa = wa + (frac - fa) as usize;
+                    let wb = wb + (frac - fb) as usize;
+                    (wa.max(wb) + 1, frac)
+                }
+                Op::Neg(a) => (f[a.0].0 + 1, f[a.0].1),
+                Op::Mul(a, b) => {
+                    let (wa, fa) = f[a.0];
+                    let (wb, fb) = f[b.0];
+                    (2 * wa.max(wb), fa + fb)
+                }
+                Op::ConstMul(c, a) => {
+                    let (wc, fc) = const_tc_format(c);
+                    let (wa, fa) = f[a.0];
+                    (2 * wc.max(wa), fc + fa)
+                }
+            };
+            f.push(fmt);
+        }
+        f
+    }
+}
+
+/// The window of a (normalized, padded) online multiplication of two
+/// operand windows: operands are shifted to MSD position 1, padded to a
+/// common length `n`, multiplied (result window `1 − δ`, length `n + δ`),
+/// and shifted back.
+fn mul_window(a: (i32, usize), b: (i32, usize), delta: i32) -> (i32, usize) {
+    let (ma, la) = a;
+    let (mb, lb) = b;
+    let n = la.max(lb).max(1);
+    let (sx, sy) = (ma - 1, mb - 1);
+    (1 - delta + sx + sy, n + delta as usize)
+}
+
+/// Canonical signed-digit encoding of a dyadic constant: the normalized
+/// numerator as an `b`-digit SD fraction (positions `1..=b`), plus the
+/// power-of-two shift `k` such that the constant equals the fraction
+/// multiplied by `2^k` (i.e. the encoded window starts at `1 − k`). Zero
+/// encodes as one zero digit with no shift.
+pub(crate) fn const_sd(c: Q) -> (SdNumber, i32) {
+    if c.is_zero() {
+        return (SdNumber::zero(1), 0);
+    }
+    let num = c.numerator();
+    let b = (128 - num.unsigned_abs().leading_zeros()) as usize;
+    let sd = SdNumber::from_value(Q::new(num, b as u32), b)
+        .expect("|num| < 2^bitlen(num) by construction");
+    (sd, b as i32 - c.scale() as i32)
+}
+
+/// The borrow-save encoding of a dyadic constant (the bit pattern the
+/// online elaborator materializes).
+pub(crate) fn const_bs(c: Q) -> BsVector {
+    let (sd, k) = const_sd(c);
+    BsVector::from_sd(&sd).shifted(k)
+}
+
+/// Two's-complement format of a dyadic constant: smallest signed width
+/// holding the normalized numerator, at `frac = scale`.
+pub(crate) fn const_tc_format(c: Q) -> (usize, i32) {
+    if c.is_zero() {
+        return (1, 0);
+    }
+    let b = (128 - c.numerator().unsigned_abs().leading_zeros()) as usize;
+    (b + 1, c.scale() as i32)
+}
+
+/// Bit-level online multiplication of two arbitrary borrow-save windows:
+/// normalize each operand to MSD position 1 (a pure shift), zero-pad to a
+/// common length, run the unrolled-multiplier reference, and shift the
+/// product window back. This is the δ-composition rule: the product window
+/// starts at `1 − δ + (ma − 1) + (mb − 1)` and the multiplier's online
+/// delay shows up as `δ` extra digits, never as a value error larger than
+/// the single-operator truncation bound.
+pub(crate) fn mul_online(x: &BsVector, y: &BsVector, frac_digits: i32) -> BsVector {
+    let delta = DELTA as i32;
+    let (sx, sy) = (x.msd_pos() - 1, y.msd_pos() - 1);
+    let n = x.len().max(y.len()).max(1);
+    let xs = x.shifted(sx).rewindowed(1, n);
+    let ys = y.shifted(sy).rewindowed(1, n);
+    let digits = bittrue_mult_bits(&xs, &ys, frac_digits);
+    let mut prod = BsVector::zero(1 - delta, digits.len());
+    for (i, &d) in digits.iter().enumerate() {
+        prod.set_digit(1 - delta + i as i32, d);
+    }
+    prod.shifted(-(sx + sy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_dfg() -> Dfg {
+        // y = a·g0 + b·g1 + c·g2 over canonical 4-digit inputs.
+        let mut d = Dfg::new();
+        let fmt = InputFmt { msd_pos: 1, digits: 4 };
+        let a = d.input("a", fmt);
+        let b = d.input("b", fmt);
+        let c = d.input("c", fmt);
+        let g0 = d.constant(Q::new(1, 2));
+        let g1 = d.constant(Q::new(1, 1));
+        let g2 = d.constant(Q::new(1, 2));
+        let p0 = d.mul(a, g0);
+        let p1 = d.mul(b, g1);
+        let p2 = d.mul(c, g2);
+        let s = d.add(p0, p1);
+        let y = d.add(s, p2);
+        d.mark_output("y", y);
+        d
+    }
+
+    #[test]
+    fn exact_evaluation_matches_hand_computation() {
+        let d = filter_dfg();
+        let q = |n: i128| Q::new(n, 4);
+        let out = d.eval_exact(&[q(3), q(-5), q(7)]);
+        assert_eq!(out, vec![q(3) * Q::new(1, 2) + q(-5) * Q::new(1, 1) + q(7) * Q::new(1, 2)]);
+    }
+
+    #[test]
+    fn online_windows_follow_delta_composition() {
+        let mut d = Dfg::new();
+        let a = d.input("a", InputFmt { msd_pos: 1, digits: 4 });
+        let b = d.input("b", InputFmt { msd_pos: 1, digits: 4 });
+        let m = d.mul(a, b);
+        let s = d.add(m, a);
+        d.mark_output("y", s);
+        let w = d.online_windows();
+        assert_eq!(w[m.index()], (1 - 3, 7), "product window starts δ early");
+        // Add: msd = min(−2, 1) − 1 = −3; end = max(−2+7, 1+4) = 5.
+        assert_eq!(w[s.index()], (-3, 8));
+    }
+
+    #[test]
+    fn online_eval_matches_exact_value_within_truncation_bound() {
+        let d = filter_dfg();
+        let windows = d.online_windows();
+        let out_node = d.outputs()[0].1;
+        let q = |n: i128| Q::new(n, 4);
+        let ins: Vec<BsVector> = [q(3), q(-5), q(7)]
+            .iter()
+            .map(|&v| BsVector::from_sd(&SdNumber::from_value(v, 4).unwrap()))
+            .collect();
+        let got = d.eval_online(&ins, 3);
+        assert_eq!(got[0].msd_pos(), windows[out_node.index()].0);
+        assert_eq!(got[0].len(), windows[out_node.index()].1);
+        let exact = d.eval_exact(&[q(3), q(-5), q(7)])[0];
+        // Three truncating multiplies, each |err| ≤ 3·2^-(n+1) on the
+        // normalized scale; the adds are exact.
+        let bound = (Q::new(3, 5) + Q::new(3, 5) + Q::new(3, 5)) << 1;
+        assert!((got[0].value() - exact).abs() <= bound, "got {:?}", got[0].value());
+    }
+
+    #[test]
+    fn const_encoding_is_exact_for_awkward_constants() {
+        for c in [Q::ZERO, Q::ONE, Q::new(3, 2), Q::new(-7, 5), Q::from_int(6), Q::new(-1, 7)] {
+            assert_eq!(const_bs(c).value(), c, "constant {c:?}");
+            let (w, f) = const_tc_format(c);
+            let units = if f >= 0 {
+                c.scaled_to(f as u32).expect("fits own scale")
+            } else {
+                c.numerator() << (-f) as u32
+            };
+            assert!(units >= -(1i128 << (w - 1)) && units < (1i128 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn tc_formats_track_width_growth() {
+        let mut d = Dfg::new();
+        let a = d.input("a", InputFmt { msd_pos: 1, digits: 4 }); // (5, 4)
+        let b = d.input("b", InputFmt { msd_pos: 0, digits: 3 }); // (4, 2)
+        let s = d.add(a, b);
+        let m = d.mul(s, a);
+        d.mark_output("y", m);
+        let f = d.tc_formats();
+        assert_eq!(f[a.index()], (5, 4));
+        assert_eq!(f[b.index()], (4, 2));
+        // Align to frac 4: widths 5 and 6 → add = 7 bits.
+        assert_eq!(f[s.index()], (7, 4));
+        assert_eq!(f[m.index()], (14, 8));
+    }
+
+    #[test]
+    fn with_input_digits_rewrites_every_input() {
+        let d = filter_dfg().with_input_digits(9);
+        for (_, _, fmt) in d.inputs() {
+            assert_eq!(fmt.digits, 9);
+            assert_eq!(fmt.msd_pos, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input name")]
+    fn duplicate_inputs_are_rejected() {
+        let mut d = Dfg::new();
+        let _ = d.input("a", InputFmt::default());
+        let _ = d.input("a", InputFmt::default());
+    }
+}

@@ -1,0 +1,42 @@
+//! Dataflow-graph datapath synthesis for online/overclocked arithmetic.
+//!
+//! The paper's subject is datapath *synthesis*: given a fixed-point
+//! computation, compile it to gates in either the online (MSD-first
+//! signed-digit) or the conventional (two's-complement) style and explore
+//! the latency–accuracy–area trade-off under overclocking. This crate is
+//! that compiler layer, sitting between the per-operator generators in
+//! [`ola_arith::synth`] and the experiment harnesses:
+//!
+//! 1. **IR** ([`ir`]): a small dataflow graph — input / const / add / sub /
+//!    neg / mul / const-mul / output nodes with per-edge fixed-point format
+//!    bookkeeping — built through a typed builder API, plus two reference
+//!    evaluators: exact rational semantics ([`Dfg::eval_exact`]) and the
+//!    bit-level online reference ([`Dfg::eval_online`]) that mirrors the
+//!    elaborated netlist signal for signal.
+//! 2. **Parser** ([`parser`]): a tiny expression language
+//!    (`"y = a*g0 + b*g1 + c*g2"`) so experiments and tests can state
+//!    datapaths as strings.
+//! 3. **Passes** ([`passes`]): constant folding, common-subexpression
+//!    elimination, dead-node elimination, and pluggable adder-structure
+//!    allocation (linear chain / balanced tree / online-chained — the
+//!    chains-of-additions allocation decision). Each pass preserves the
+//!    exact semantics of every output.
+//! 4. **Elaborator** ([`elab`]): lowers the IR to one flat gate-level
+//!    [`Netlist`](ola_netlist::Netlist) in both styles, composing the
+//!    operator cores from [`ola_arith::synth`] with correct online-delay
+//!    (δ) bookkeeping across operator boundaries.
+//! 5. **Explorer** ([`mod@explore`]): enumerates style × adder allocation ×
+//!    width variants and evaluates each with STA rated frequency, LUT area,
+//!    and empirical overclocking-error curves, emitting a Pareto frontier.
+
+pub mod elab;
+pub mod explore;
+pub mod ir;
+pub mod parser;
+pub mod passes;
+
+pub use elab::{elaborate, ElabOptions, Port, PortShape, Style, SynthesizedDatapath};
+pub use explore::{explore, DesignPoint, ExploreConfig, ExploreResult};
+pub use ir::{Dfg, InputFmt, NodeId, Op};
+pub use parser::{parse_dfg, ParseError};
+pub use passes::{allocate_adders, constant_fold, cse, eliminate_dead, optimize, AdderStructure};

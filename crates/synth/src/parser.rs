@@ -1,0 +1,385 @@
+//! A tiny expression language for stating datapaths as strings.
+//!
+//! ```text
+//! acc = a*0.25 + b*0.5;
+//! y   = acc + c*0.25
+//! ```
+//!
+//! * Statements are `name = expr`, separated by newlines or `;`.
+//! * `expr` supports `+ − * ( )` and unary minus with the usual
+//!   precedence; `*` binds tighter than `+`/`−`.
+//! * Free identifiers become primary inputs (in first-appearance order)
+//!   with the caller's default [`InputFmt`].
+//! * Bound names that no later statement reads become the graph outputs,
+//!   in binding order.
+//! * Numeric literals must be exact dyadic rationals (`0.25`, `2`,
+//!   `1.5`); `0.1` is rejected rather than silently rounded.
+//! * `#` starts a comment running to end of line.
+
+use crate::ir::{Dfg, InputFmt, NodeId};
+use ola_redundant::Q;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure: message plus byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset of the offending token.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(Q),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    Sep,
+}
+
+fn err<T>(msg: impl Into<String>, pos: usize) -> Result<T, ParseError> {
+    Err(ParseError { msg: msg.into(), pos })
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\n' | ';' => {
+                toks.push((Tok::Sep, i));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut frac_digits = 0u32;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    let fs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    frac_digits = (i - fs) as u32;
+                    if frac_digits == 0 {
+                        return err("expected digits after decimal point", start);
+                    }
+                }
+                toks.push((Tok::Num(parse_number(&src[start..i], frac_digits, start)?), start));
+            }
+            _ => return err(format!("unexpected character {c:?}"), i),
+        }
+    }
+    Ok(toks)
+}
+
+/// Parses a decimal literal into an exact dyadic `Q`, rejecting values
+/// (like `0.1`) that are not representable.
+fn parse_number(text: &str, frac_digits: u32, pos: usize) -> Result<Q, ParseError> {
+    let digits: String = text.chars().filter(char::is_ascii_digit).collect();
+    let Ok(num) = digits.parse::<i128>() else {
+        return err(format!("literal {text} out of range"), pos);
+    };
+    // value = num / 10^k = (num / 5^k) / 2^k: dyadic iff 5^k divides num.
+    let mut five = 1i128;
+    for _ in 0..frac_digits {
+        five = five.checked_mul(5).ok_or(ParseError {
+            msg: format!("literal {text} has too many fractional digits"),
+            pos,
+        })?;
+    }
+    if num % five != 0 {
+        return err(
+            format!("literal {text} is not an exact dyadic rational (try a power-of-two fraction)"),
+            pos,
+        );
+    }
+    if frac_digits > 120 {
+        return err(format!("literal {text} has too many fractional digits"), pos);
+    }
+    Ok(Q::new(num / five, frac_digits))
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, usize)],
+    i: usize,
+    dfg: Dfg,
+    default_fmt: InputFmt,
+    bound: HashMap<String, NodeId>,
+    bound_order: Vec<String>,
+    inputs: HashMap<String, NodeId>,
+    used: HashMap<String, bool>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn pos(&self) -> usize {
+        match self.toks.get(self.i) {
+            Some(&(_, p)) => p,
+            // Past the end: point just after the last token.
+            None => self.toks.last().map_or(0, |&(_, p)| p + 1),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn expr(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.i += 1;
+                    let rhs = self.term()?;
+                    lhs = self.dfg.add(lhs, rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.i += 1;
+                    let rhs = self.term()?;
+                    lhs = self.dfg.sub(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.factor()?;
+        while matches!(self.peek(), Some(Tok::Star)) {
+            self.i += 1;
+            let rhs = self.factor()?;
+            lhs = self.dfg.mul(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<NodeId, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(Tok::Minus) => {
+                let inner = self.factor()?;
+                Ok(self.dfg.neg(inner))
+            }
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => err("expected ')'", pos),
+                }
+            }
+            Some(Tok::Num(q)) => Ok(self.dfg.constant(q)),
+            Some(Tok::Ident(name)) => Ok(self.resolve(&name)),
+            _ => err("expected an operand", pos),
+        }
+    }
+
+    fn resolve(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.bound.get(name) {
+            self.used.insert(name.to_owned(), true);
+            return id;
+        }
+        if let Some(&id) = self.inputs.get(name) {
+            return id;
+        }
+        let id = self.dfg.input(name, self.default_fmt);
+        self.inputs.insert(name.to_owned(), id);
+        id
+    }
+}
+
+/// Parses a datapath description into a [`Dfg`]. Free identifiers become
+/// inputs with `default_fmt`; bound names never read by a later statement
+/// become the outputs.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors, non-dyadic literals,
+/// rebinding a name, shadowing an input, or a program with no statements.
+pub fn parse_dfg(src: &str, default_fmt: InputFmt) -> Result<Dfg, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        i: 0,
+        dfg: Dfg::new(),
+        default_fmt,
+        bound: HashMap::new(),
+        bound_order: Vec::new(),
+        inputs: HashMap::new(),
+        used: HashMap::new(),
+    };
+    loop {
+        while matches!(p.peek(), Some(Tok::Sep)) {
+            p.i += 1;
+        }
+        if p.peek().is_none() {
+            break;
+        }
+        let pos = p.pos();
+        let Some(Tok::Ident(name)) = p.bump() else {
+            return err("expected `name = expr`", pos);
+        };
+        if p.bound.contains_key(&name) {
+            return err(format!("{name:?} is bound twice"), pos);
+        }
+        if p.inputs.contains_key(&name) {
+            return err(format!("{name:?} is already an input and cannot be rebound"), pos);
+        }
+        let eq_pos = p.pos();
+        if !matches!(p.bump(), Some(Tok::Eq)) {
+            return err("expected '='", eq_pos);
+        }
+        let node = p.expr()?;
+        match p.peek() {
+            None | Some(Tok::Sep) => {}
+            _ => return err("expected end of statement", p.pos()),
+        }
+        p.bound.insert(name.clone(), node);
+        p.bound_order.push(name);
+    }
+    if p.bound_order.is_empty() {
+        return err("program has no statements", 0);
+    }
+    let mut dfg = p.dfg;
+    for name in &p.bound_order {
+        if !p.used.get(name).copied().unwrap_or(false) {
+            dfg.mark_output(name, p.bound[name]);
+        }
+    }
+    Ok(dfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+    use ola_redundant::{BsVector, SdNumber};
+
+    fn fmt4() -> InputFmt {
+        InputFmt { msd_pos: 1, digits: 4 }
+    }
+
+    #[test]
+    fn convolution_parses_to_expected_structure() {
+        let d = parse_dfg("y = (a*g0 + b*g1 + c*g2)", fmt4()).unwrap();
+        let names: Vec<&str> = d.inputs().iter().map(|&(_, n, _)| n).collect();
+        assert_eq!(names, ["a", "g0", "b", "g1", "c", "g2"], "first-appearance order");
+        assert_eq!(d.outputs().len(), 1);
+        assert_eq!(d.outputs()[0].0, "y");
+        let muls = d.nodes().filter(|(_, op)| matches!(op, Op::Mul(..))).count();
+        let adds = d.nodes().filter(|(_, op)| matches!(op, Op::Add(..))).count();
+        assert_eq!((muls, adds), (3, 2));
+    }
+
+    #[test]
+    fn intermediate_bindings_are_not_outputs() {
+        let d = parse_dfg("t = a + b; u = t + c; y = u + d", fmt4()).unwrap();
+        assert_eq!(d.outputs().len(), 1);
+        assert_eq!(d.outputs()[0].0, "y");
+    }
+
+    #[test]
+    fn multiple_outputs_in_binding_order() {
+        let d = parse_dfg("s = a + b\nd = a - b", fmt4()).unwrap();
+        let names: Vec<&str> = d.outputs().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["s", "d"]);
+    }
+
+    #[test]
+    fn literals_and_precedence() {
+        // 0.5 + a·(−0.25) — '*' binds tighter, unary minus works.
+        let d = parse_dfg("y = 0.5 + a * -0.25", fmt4()).unwrap();
+        let q = Q::new(3, 2); // a = 3/4
+        let sd = SdNumber::from_value(q, 4).unwrap();
+        let _ = BsVector::from_sd(&sd);
+        let got = d.eval_exact(&[q]);
+        assert_eq!(got, vec![Q::new(1, 1) - q * Q::new(1, 2)]);
+    }
+
+    #[test]
+    fn non_dyadic_literal_is_rejected() {
+        let e = parse_dfg("y = 0.1 * a", fmt4()).unwrap_err();
+        assert!(e.msg.contains("dyadic"), "{e}");
+    }
+
+    #[test]
+    fn rebinding_is_rejected() {
+        assert!(parse_dfg("y = a; y = b", fmt4()).is_err());
+        assert!(parse_dfg("y = a + b; a = c", fmt4()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let d = parse_dfg("# gaussian\n\ny = a + b # tail\n", fmt4()).unwrap();
+        assert_eq!(d.outputs().len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let e = parse_dfg("y = a +", fmt4()).unwrap_err();
+        assert!(e.pos <= 7);
+        assert!(parse_dfg("= a", fmt4()).is_err());
+        assert!(parse_dfg("y = (a", fmt4()).is_err());
+        assert!(parse_dfg("", fmt4()).is_err());
+    }
+}

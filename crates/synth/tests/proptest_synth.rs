@@ -1,0 +1,241 @@
+//! Property-based tests for the datapath synthesis compiler: random
+//! bounded-depth DAGs must elaborate to netlists that are bit-true
+//! against the IR's reference evaluators in both styles, and every
+//! optimization pass must preserve the exact semantics of every output.
+
+use ola_redundant::{BsVector, Q};
+use ola_synth::{
+    allocate_adders, constant_fold, cse, elaborate, eliminate_dead, optimize, AdderStructure, Dfg,
+    ElabOptions, InputFmt, NodeId, Style,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One random operation in a DAG spec. Operand slots are raw draws taken
+/// modulo the number of already-built nodes, so every spec is a valid
+/// DAG by construction.
+#[derive(Clone, Debug)]
+struct OpSpec {
+    kind: u8,
+    a: usize,
+    b: usize,
+    num: i128,
+    scale: u32,
+}
+
+/// A bounded random DAG: input formats, a topologically ordered op list,
+/// one extra output pick, plus the value-draw seed.
+#[derive(Clone, Debug)]
+struct DagSpec {
+    inputs: Vec<InputFmt>,
+    ops: Vec<OpSpec>,
+    extra_output: usize,
+    seed: u64,
+    frac: i32,
+}
+
+fn fmt_strategy() -> impl Strategy<Value = InputFmt> {
+    (-1i32..=2, 2usize..=4).prop_map(|(msd_pos, digits)| InputFmt { msd_pos, digits })
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    (0u8..6, 0usize..64, 0usize..64, -9i128..=9, 0u32..=3)
+        .prop_map(|(kind, a, b, num, scale)| OpSpec { kind, a, b, num, scale })
+}
+
+fn dag_strategy() -> impl Strategy<Value = DagSpec> {
+    (
+        prop::collection::vec(fmt_strategy(), 1..=3),
+        prop::collection::vec(op_strategy(), 1..=7),
+        0usize..64,
+        any::<u64>(),
+        3i32..=5,
+    )
+        .prop_map(|(inputs, ops, extra_output, seed, frac)| DagSpec {
+            inputs,
+            ops,
+            extra_output,
+            seed,
+            frac,
+        })
+}
+
+/// Conventional operand width of `id` in the graph built so far; used to
+/// keep random multiplies inside the Baugh–Wooley array's width cap.
+fn tc_width(d: &Dfg, id: NodeId) -> usize {
+    d.tc_formats()[id.index()].0
+}
+
+fn build(spec: &DagSpec) -> Dfg {
+    let mut d = Dfg::new();
+    let mut nodes: Vec<NodeId> =
+        spec.inputs.iter().enumerate().map(|(i, &fmt)| d.input(&format!("x{i}"), fmt)).collect();
+    for op in &spec.ops {
+        let a = nodes[op.a % nodes.len()];
+        let b = nodes[op.b % nodes.len()];
+        let c = Q::new(op.num, op.scale);
+        let node = match op.kind {
+            0 => d.add(a, b),
+            1 => d.sub(a, b),
+            2 => d.neg(a),
+            3 if tc_width(&d, a).max(tc_width(&d, b)) <= 20 => d.mul(a, b),
+            3 => d.add(a, b), // too wide for the array cap: degrade to add
+            4 => d.const_mul(c, a),
+            _ => d.constant(c),
+        };
+        nodes.push(node);
+    }
+    let last = *nodes.last().expect("ops is non-empty");
+    d.mark_output("y", last);
+    let extra = nodes[spec.extra_output % nodes.len()];
+    if extra != last {
+        d.mark_output("z", extra);
+    }
+    d
+}
+
+/// Random exact input values, one per input port, inside each port's
+/// two's-complement format.
+fn random_tc_inputs(d: &Dfg, rng: &mut ChaCha8Rng) -> Vec<Q> {
+    d.inputs()
+        .iter()
+        .map(|&(_, _, fmt)| {
+            let frac = fmt.msd_pos + fmt.digits as i32 - 1;
+            let bound = 1i128 << fmt.digits;
+            let units = rng.gen_range(-bound..bound);
+            if frac >= 0 {
+                Q::new(units, frac as u32)
+            } else {
+                Q::new(units, 0) << (-frac) as u32
+            }
+        })
+        .collect()
+}
+
+/// Random borrow-save input vectors, one per input port, matching each
+/// port's window. Digits are raw `(p, n)` bit pairs, so non-canonical
+/// encodings (including the `(1, 1)` zero) are exercised.
+fn random_online_inputs(d: &Dfg, rng: &mut ChaCha8Rng) -> Vec<BsVector> {
+    d.inputs()
+        .iter()
+        .map(|&(_, _, fmt)| {
+            let mut v = BsVector::zero(fmt.msd_pos, fmt.digits);
+            for i in 0..fmt.digits {
+                v.set_bits(fmt.msd_pos + i as i32, rng.gen(), rng.gen());
+            }
+            v
+        })
+        .collect()
+}
+
+/// Asserts that `dp` (a conventional elaboration of `dfg`) computes
+/// exactly `reference.eval_exact` on `trials` random input draws.
+fn check_conventional(
+    dfg: &Dfg,
+    reference: &Dfg,
+    rng: &mut ChaCha8Rng,
+    trials: usize,
+) -> Result<(), TestCaseError> {
+    let dp = elaborate(dfg, &ElabOptions::new(Style::Conventional));
+    let wires = dp.output_wires();
+    for _ in 0..trials {
+        let ins = random_tc_inputs(dfg, rng);
+        let want = reference.eval_exact(&ins);
+        let vals = dp.netlist.eval(&dp.encode_inputs_tc(&ins));
+        let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+        for (pi, w) in want.iter().enumerate() {
+            prop_assert_eq!(&dp.decode_output(pi, &bits), w, "port {} inputs {:?}", pi, ins);
+        }
+    }
+    Ok(())
+}
+
+/// Asserts that the online elaboration of `dfg` is bit-identical to
+/// `dfg.eval_online` — digit plane for digit plane, truncation included —
+/// on `trials` random input draws.
+fn check_online(
+    dfg: &Dfg,
+    frac: i32,
+    rng: &mut ChaCha8Rng,
+    trials: usize,
+) -> Result<(), TestCaseError> {
+    let dp = elaborate(dfg, &ElabOptions::new(Style::Online).with_frac_digits(frac));
+    let wires = dp.output_wires();
+    for _ in 0..trials {
+        let ins = random_online_inputs(dfg, rng);
+        let want = dfg.eval_online(&ins, frac);
+        let vals = dp.netlist.eval(&dp.encode_inputs_online(&ins));
+        let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+        for (pi, w) in want.iter().enumerate() {
+            prop_assert_eq!(&dp.decode_output_bs(pi, &bits), w, "port {} inputs {:?}", pi, ins);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite (b), conventional half: random DAGs lower to
+    /// two's-complement netlists that settle to the exact rational
+    /// semantics of the IR.
+    #[test]
+    fn conventional_netlists_are_exact_on_random_dags(spec in dag_strategy()) {
+        let dfg = build(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        check_conventional(&dfg, &dfg, &mut rng, 4)?;
+    }
+
+    /// Satellite (b), online half: random DAGs lower to borrow-save
+    /// netlists bit-true against the IR's online reference evaluator —
+    /// multiplier truncation and non-canonical digits included.
+    #[test]
+    fn online_netlists_are_bit_true_on_random_dags(spec in dag_strategy()) {
+        let dfg = build(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x9e37_79b9);
+        check_online(&dfg, spec.frac, &mut rng, 4)?;
+    }
+
+    /// Every pass — individually and composed through `optimize` with
+    /// each adder structure — preserves `eval_exact` on every output.
+    #[test]
+    fn passes_preserve_exact_semantics(spec in dag_strategy()) {
+        let dfg = build(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x51f1);
+        let variants: Vec<(&str, Dfg)> = vec![
+            ("constant_fold", constant_fold(&dfg)),
+            ("cse", cse(&dfg)),
+            ("eliminate_dead", eliminate_dead(&dfg)),
+            ("alloc/chain", allocate_adders(&dfg, AdderStructure::LinearChain)),
+            ("alloc/tree", allocate_adders(&dfg, AdderStructure::BalancedTree)),
+            ("optimize/chain", optimize(&dfg, AdderStructure::LinearChain)),
+            ("optimize/tree", optimize(&dfg, AdderStructure::BalancedTree)),
+            ("optimize/online-chain", optimize(&dfg, AdderStructure::OnlineChained)),
+        ];
+        for _ in 0..4 {
+            let ins = random_tc_inputs(&dfg, &mut rng);
+            let want = dfg.eval_exact(&ins);
+            for (name, v) in &variants {
+                prop_assert_eq!(&v.eval_exact(&ins), &want, "pass {} inputs {:?}", name, ins);
+            }
+        }
+    }
+
+    /// The composition theorem the explorer relies on: graphs that went
+    /// through the full `optimize` pipeline still elaborate bit-true in
+    /// both styles (conventional against the *original* graph's exact
+    /// semantics; online against the optimized graph's own bit-level
+    /// reference, since restructuring changes digit windows but not
+    /// values).
+    #[test]
+    fn optimized_dags_still_elaborate_bit_true(spec in dag_strategy()) {
+        let dfg = build(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0xabcd);
+        for s in [AdderStructure::LinearChain, AdderStructure::BalancedTree] {
+            let opt = optimize(&dfg, s);
+            check_conventional(&opt, &dfg, &mut rng, 2)?;
+            check_online(&opt, spec.frac, &mut rng, 2)?;
+        }
+    }
+}

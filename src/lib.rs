@@ -7,3 +7,4 @@ pub use ola_core as core;
 pub use ola_imaging as imaging;
 pub use ola_netlist as netlist;
 pub use ola_redundant as redundant;
+pub use ola_synth as synth;
