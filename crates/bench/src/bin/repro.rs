@@ -1,17 +1,31 @@
 //! Regenerates the paper's tables and figures. See `ola-bench` crate docs.
 //!
 //! Every experiment runs in its own worker thread under `catch_unwind` and
-//! a wall-clock budget: a panicking or runaway experiment is reported in
-//! the final *partial results* summary instead of taking down the whole
-//! reproduction run. The exit code reflects completeness — `0` when every
-//! requested experiment (and every CSV write) succeeded, `1` for partial
-//! results, `2` for usage errors, `3` when the environment is unusable
-//! (the `results/` output directory cannot be created). `--list`
-//! enumerates the experiments and exit codes; `--backend
-//! {auto,event,batch}` selects the simulation engine for the gate-level
-//! workloads (results are bit-identical across backends — batch-backed
-//! experiments additionally self-verify with an event-driven spot-check
-//! and report their throughput counters).
+//! a wall-clock budget. The budget is enforced *cooperatively*: the worker
+//! carries a [`CancelToken`] with the budget as its deadline, every
+//! simulation inner loop polls it, and a runaway experiment is cancelled —
+//! it stops computing, its completed work units stay checkpointed, and its
+//! cores come back — instead of being abandoned on a detached thread.
+//!
+//! Runs are crash-safe. Completed work units land in an append-only,
+//! SHA-256-framed checkpoint at `results/checkpoints/repro.ckpt`;
+//! `repro --resume` replays the valid frames and recomputes only the
+//! remainder, producing bit-identical CSVs (the `chaos_check` binary
+//! proves this under injected crashes, torn frames, and forced backend
+//! failures — see `ola_core::resilience`).
+//!
+//! The exit code reflects completeness — `0` when every requested
+//! experiment (and every CSV write) succeeded, `1` for partial results,
+//! `2` for usage errors, `3` when the environment is unusable (the
+//! `results/` output directory cannot be created), `4` when everything
+//! completed but a simulation backend degraded along the way (results are
+//! still exact — the backends are bit-identical — but the configuration
+//! asked for an engine that failed), `86` when a chaos hook aborted the
+//! process on purpose. `--list` enumerates the experiments and exit
+//! codes; `--backend {auto,event,batch}` selects the simulation engine
+//! for the gate-level workloads (results are bit-identical across
+//! backends — batch-backed experiments additionally self-verify with an
+//! event-driven spot-check and report their throughput counters).
 //!
 //! Each experiment writes its CSVs as soon as it finishes and then emits a
 //! run manifest at `results/manifests/<experiment>.json` — git revision,
@@ -22,8 +36,11 @@
 
 use ola_bench::experiments::{self, CaseStudyContext, Scale};
 use ola_bench::report::Table;
+use ola_bench::resume::{ExperimentCtx, RunHeader, RunState};
 use ola_core::obs::{self, OutputRecord, RunManifest, TraceMode};
+use ola_core::resilience::{chaos, is_cancel_payload, DEGRADED_PREFIX};
 use ola_core::SimBackend;
+use ola_netlist::CancelToken;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
@@ -46,10 +63,14 @@ const EXPERIMENTS: [(&str, &str); 12] = [
     ("faults", "single-fault campaigns: online vs conventional resilience"),
 ];
 
+/// How long a cancelled worker gets to notice the token, checkpoint its
+/// state and exit before the driver gives up on joining it.
+const CANCEL_GRACE: Duration = Duration::from_secs(20);
+
 fn print_usage() {
     eprintln!(
-        "usage: repro [EXPERIMENT ...] [--quick] [--all] [--backend auto|event|batch] \
-         [--trace off|pretty|json]"
+        "usage: repro [EXPERIMENT ...] [--quick] [--all] [--resume] \
+         [--backend auto|event|batch] [--trace off|pretty|json]"
     );
     eprintln!("       repro --list");
     eprintln!();
@@ -62,6 +83,11 @@ fn print_usage() {
     eprintln!("  --quick            shrink sample counts and image sizes (CI scale)");
     eprintln!("  --all              extended lint coverage (more operand widths); the");
     eprintln!("                     CI gate runs `repro lint --all`");
+    eprintln!("  --resume           replay completed work units from the checkpoint at");
+    eprintln!("                     results/checkpoints/repro.ckpt and recompute only the");
+    eprintln!("                     remainder; the resumed run's CSVs are bit-identical");
+    eprintln!("                     to an uninterrupted run's (a checkpoint written with");
+    eprintln!("                     different flags is discarded, not spliced)");
     eprintln!("  --backend CHOICE   simulation engine for gate-level workloads:");
     eprintln!("                     auto (default) = batch when the delay model is");
     eprintln!("                     batch-exact, event otherwise; results are");
@@ -76,32 +102,35 @@ fn print_usage() {
     eprintln!("  1  partial results: at least one experiment or output write failed");
     eprintln!("  2  usage error (unknown experiment, flag, or backend)");
     eprintln!("  3  environment error: the results/ output directory cannot be created");
+    eprintln!("  4  completed, but a simulation backend degraded (results still exact;");
+    eprintln!("     see the resilience.degraded.* annotations in the run manifests)");
+    eprintln!("  86 aborted on purpose by an OLA_CHAOS_* fault-injection hook");
 }
 
 /// Outcome of one experiment.
 enum Outcome {
     Ok(Vec<Table>),
     Failed(String),
-    TimedOut(Duration),
+    TimedOut { budget: Duration, cooperative: bool },
 }
 
-/// Runs `f` on a worker thread, waiting at most `budget` wall-clock time
-/// and converting panics into [`Outcome::Failed`]. On timeout the worker
-/// keeps running detached (its result is discarded); the process still
-/// terminates when `main` returns.
-fn run_guarded<F>(budget: Duration, f: F) -> Outcome
-where
-    F: FnOnce() -> Result<Vec<Table>, String> + Send + 'static,
-{
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let result = catch_unwind(AssertUnwindSafe(f));
-        let _ = tx.send(result);
-    });
-    match rx.recv_timeout(budget) {
-        Ok(Ok(Ok(tables))) => Outcome::Ok(tables),
-        Ok(Ok(Err(msg))) => Outcome::Failed(msg),
-        Ok(Err(payload)) => {
+/// One experiment body: receives its checkpoint context from the driver.
+type Job = Box<dyn FnOnce(&ExperimentCtx) -> Result<Vec<Table>, String> + Send + 'static>;
+
+fn decode(
+    result: Result<Result<Vec<Table>, String>, Box<dyn std::any::Any + Send>>,
+    budget: Duration,
+) -> Outcome {
+    match result {
+        Ok(Ok(tables)) => Outcome::Ok(tables),
+        Ok(Err(msg)) => Outcome::Failed(msg),
+        Err(payload) => {
+            // A worker whose deadline token fired before our timer did
+            // unwinds with the typed cancellation payload: that is the
+            // budget, not a crash.
+            if is_cancel_payload(payload.as_ref()) {
+                return Outcome::TimedOut { budget, cooperative: true };
+            }
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
@@ -109,14 +138,49 @@ where
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             Outcome::Failed(format!("panicked: {msg}"))
         }
-        Err(_) => Outcome::TimedOut(budget),
     }
 }
 
+/// Runs `job` on a worker thread under a cooperative wall-clock budget.
+///
+/// The worker installs a deadline [`CancelToken`] as its ambient token, so
+/// every simulation loop underneath polls it (and `ola_core::parallel`
+/// propagates it into its own worker pool). On timeout the driver cancels
+/// the token and waits [`CANCEL_GRACE`] for the worker to unwind — a
+/// responsive worker checkpoints its completed units and frees its cores;
+/// only a worker stuck outside any polling loop is left detached (the
+/// process still terminates when `main` returns).
+fn run_guarded(budget: Duration, ctx: ExperimentCtx, job: Job) -> Outcome {
+    let token = CancelToken::with_deadline(budget);
+    let worker_token = token.clone();
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ambient = ola_core::resilience::install_ambient(worker_token);
+        let result = catch_unwind(AssertUnwindSafe(move || job(&ctx)));
+        let _ = tx.send(result);
+    });
+    let outcome = match rx.recv_timeout(budget) {
+        Ok(result) => decode(result, budget),
+        Err(_) => {
+            token.cancel();
+            match rx.recv_timeout(CANCEL_GRACE) {
+                Ok(_) => Outcome::TimedOut { budget, cooperative: true },
+                // The worker never reached a cancellation point; abandon it
+                // detached rather than blocking the remaining experiments.
+                Err(_) => return Outcome::TimedOut { budget, cooperative: false },
+            }
+        }
+    };
+    let _ = handle.join();
+    outcome
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut all = false;
+    let mut resume = false;
     let mut backend = SimBackend::Auto;
     let mut trace_override: Option<TraceMode> = None;
     let mut what: Vec<&str> = Vec::new();
@@ -126,6 +190,7 @@ fn main() {
         match arg {
             "--quick" => quick = true,
             "--all" => all = true,
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -137,7 +202,8 @@ fn main() {
                 println!();
                 println!(
                     "exit codes: 0 = complete, 1 = partial results, 2 = usage error, \
-                     3 = environment error (cannot create results/)"
+                     3 = environment error (cannot create results/), 4 = complete but \
+                     a backend degraded, 86 = chaos-hook abort"
                 );
                 return;
             }
@@ -215,67 +281,98 @@ fn main() {
         std::process::exit(3);
     }
 
+    // The checkpoint binds the run parameters that change what experiments
+    // compute: resuming across a flag change discards it instead of
+    // splicing tables from different sample counts.
+    let ckpt_path = out_dir.join("checkpoints").join("repro.ckpt");
+    let header = RunHeader {
+        scale: if quick { "quick".into() } else { "full".into() },
+        backend: backend.label().to_string(),
+        all,
+    };
+    let state = if resume {
+        RunState::resume(&ckpt_path, &header)
+    } else {
+        RunState::fresh(&ckpt_path, &header)
+    };
+
     // Per-experiment wall-clock safety net; generous enough that only a
     // genuinely wedged experiment trips it.
     let budget = if quick { Duration::from_secs(1200) } else { Duration::from_secs(7200) };
 
     let wants = |k: &str| what.iter().any(|w| *w == "all" || *w == k);
+    // The shared case-study context is only worth building if some case-
+    // study experiment actually needs to *compute* (a fully checkpointed
+    // one replays without touching it).
+    let needs = |k: &str| wants(k) && !state.is_done(k);
     let ctx_needed =
-        wants("fig6") || wants("fig7") || wants("table1") || wants("table2") || wants("table3");
+        needs("fig6") || needs("fig7") || needs("table1") || needs("table2") || needs("table3");
     let ctx = ctx_needed.then(|| Arc::new(CaseStudyContext::new(scale)));
 
     // (name, job) pairs; each job is 'static so it can run on its own
-    // guarded worker thread.
-    type Job = Box<dyn FnOnce() -> Result<Vec<Table>, String> + Send + 'static>;
+    // guarded worker thread, and receives its checkpoint context there.
     let mut jobs: Vec<(&str, Job)> = Vec::new();
     if wants("sta") {
-        jobs.push(("sta", Box::new(move || experiments::sta(scale))));
+        jobs.push(("sta", Box::new(move |run| experiments::sta(run, scale))));
     }
     if wants("lint") {
-        jobs.push(("lint", Box::new(move || experiments::lint(all))));
+        jobs.push(("lint", Box::new(move |run| experiments::lint(run, all))));
     }
     if wants("synth") {
-        jobs.push(("synth", Box::new(move || experiments::synth(scale, backend))));
+        jobs.push(("synth", Box::new(move |run| experiments::synth(run, scale, backend))));
     }
     if wants("fig4") {
-        jobs.push(("fig4", Box::new(move || experiments::fig4(scale, backend))));
+        jobs.push(("fig4", Box::new(move |run| experiments::fig4(run, scale, backend))));
     }
     if wants("fig5") {
-        jobs.push(("fig5", Box::new(move || Ok(experiments::fig5(scale)))));
+        jobs.push(("fig5", Box::new(move |run| experiments::fig5(run, scale))));
     }
-    if let Some(ctx) = &ctx {
-        if wants("fig6") {
+    if wants("fig6") {
+        let ctx = ctx.clone();
+        jobs.push((
+            "fig6",
+            Box::new(move |run| match &ctx {
+                Some(ctx) => experiments::fig6(run, ctx),
+                None => Ok(Vec::new()), // fully checkpointed: replayed below
+            }),
+        ));
+    }
+    if wants("fig7") {
+        let ctx = ctx.clone();
+        let dir = out_dir.clone();
+        jobs.push((
+            "fig7",
+            Box::new(move |run| match &ctx {
+                Some(ctx) => experiments::fig7(run, ctx, &dir),
+                None => Ok(Vec::new()),
+            }),
+        ));
+    }
+    for (name, f) in [
+        (
+            "table1",
+            experiments::table1
+                as fn(&ExperimentCtx, &CaseStudyContext) -> Result<Vec<Table>, String>,
+        ),
+        ("table2", experiments::table2),
+        ("table3", experiments::table3),
+    ] {
+        if wants(name) {
             let ctx = ctx.clone();
-            jobs.push(("fig6", Box::new(move || Ok(vec![experiments::fig6(&ctx)]))));
-        }
-        if wants("fig7") {
-            let ctx = ctx.clone();
-            let dir = out_dir.clone();
             jobs.push((
-                "fig7",
-                Box::new(move || {
-                    experiments::fig7(&ctx, &dir)
-                        .map(|t| vec![t])
-                        .map_err(|e| format!("image output failed: {e}"))
+                name,
+                Box::new(move |run| match &ctx {
+                    Some(ctx) => f(run, ctx),
+                    None => Ok(Vec::new()),
                 }),
             ));
         }
-        for (name, f) in [
-            ("table1", experiments::table1 as fn(&CaseStudyContext) -> Table),
-            ("table2", experiments::table2),
-            ("table3", experiments::table3),
-        ] {
-            if wants(name) {
-                let ctx = ctx.clone();
-                jobs.push((name, Box::new(move || Ok(vec![f(&ctx)]))));
-            }
-        }
     }
     if wants("table4") {
-        jobs.push(("table4", Box::new(move || Ok(vec![experiments::table4()]))));
+        jobs.push(("table4", Box::new(experiments::table4)));
     }
     if wants("faults") {
-        jobs.push(("faults", Box::new(move || experiments::faults(scale, backend))));
+        jobs.push(("faults", Box::new(move |run| experiments::faults(run, scale, backend))));
     }
 
     if jobs.is_empty() {
@@ -286,6 +383,7 @@ fn main() {
     let git = obs::git_describe();
     let total = jobs.len();
     let mut failures: Vec<(String, String)> = Vec::new();
+    let mut degraded = false;
     for (name, job) in jobs {
         // Attribute registry deltas, spans, annotations and noted output
         // files to this experiment: snapshot + drain before, diff after.
@@ -297,24 +395,56 @@ fn main() {
         let _ = obs::take_noted_outputs();
 
         let start = Instant::now();
-        let span = obs::span(format!("experiment.{name}"));
-        let outcome = run_guarded(budget, job);
-        drop(span);
-        let tables = match outcome {
-            Outcome::Ok(t) => {
-                eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
-                t
+        let tables = if state.is_done(name) {
+            // The experiment's `done` frame landed in a previous run: its
+            // tables (and output-file registrations) come straight from
+            // the checkpoint, bit-identical — nothing recomputes.
+            let unit = state.replay_done(name);
+            for (label, path) in unit.noted {
+                obs::note_output(label, path);
             }
-            Outcome::Failed(msg) => {
-                eprintln!("[{name}] FAILED after {:.1}s: {msg}", start.elapsed().as_secs_f64());
-                failures.push((name.to_string(), msg));
-                continue;
-            }
-            Outcome::TimedOut(b) => {
-                let msg = format!("exceeded wall-clock budget of {}s", b.as_secs());
-                eprintln!("[{name}] TIMED OUT: {msg}");
-                failures.push((name.to_string(), msg));
-                continue;
+            obs::annotate("resilience.replayed", format_args!("true"));
+            eprintln!("[{name}] replayed from checkpoint");
+            unit.tables
+        } else {
+            let job: Job = if chaos::panic_target().as_deref() == Some(name) {
+                Box::new(|_| panic!("injected by OLA_CHAOS_PANIC"))
+            } else {
+                job
+            };
+            let span = obs::span(format!("experiment.{name}"));
+            let outcome = run_guarded(budget, ExperimentCtx::new(name, state.clone()), job);
+            drop(span);
+            match outcome {
+                Outcome::Ok(t) => {
+                    eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+                    state.mark_done(name);
+                    t
+                }
+                Outcome::Failed(msg) => {
+                    eprintln!("[{name}] FAILED after {:.1}s: {msg}", start.elapsed().as_secs_f64());
+                    failures.push((name.to_string(), msg));
+                    continue;
+                }
+                Outcome::TimedOut { budget, cooperative } => {
+                    let msg = if cooperative {
+                        format!(
+                            "exceeded wall-clock budget of {}s (cancelled cooperatively; \
+                             completed units are checkpointed — rerun with --resume)",
+                            budget.as_secs()
+                        )
+                    } else {
+                        format!(
+                            "exceeded wall-clock budget of {}s and ignored cancellation \
+                             for {}s (worker abandoned)",
+                            budget.as_secs(),
+                            CANCEL_GRACE.as_secs()
+                        )
+                    };
+                    eprintln!("[{name}] TIMED OUT: {msg}");
+                    failures.push((name.to_string(), msg));
+                    continue;
+                }
             }
         };
 
@@ -365,6 +495,9 @@ fn main() {
             metrics: obs::registry().snapshot().diff(&before),
             outputs,
         };
+        if manifest.annotations.iter().any(|(k, _)| k.starts_with(DEGRADED_PREFIX)) {
+            degraded = true;
+        }
         match manifest.write(&manifest_dir) {
             Ok(p) => eprintln!("  manifest: {}", p.display()),
             Err(e) => {
@@ -376,6 +509,14 @@ fn main() {
 
     if failures.is_empty() {
         eprintln!("all {total} experiment(s) completed");
+        if degraded {
+            eprintln!(
+                "COMPLETED WITH DEGRADATION: a simulation backend failed and its \
+                 experiments fell back to the event engine (results are exact — the \
+                 engines are bit-identical); see resilience.degraded.* in the manifests"
+            );
+            std::process::exit(4);
+        }
     } else {
         eprintln!("PARTIAL RESULTS: {} of {total} experiment step(s) failed:", failures.len());
         for (name, msg) in &failures {

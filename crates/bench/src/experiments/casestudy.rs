@@ -124,8 +124,18 @@ impl CaseStudyContext {
 /// Figure 6: overclocking error (MRE %) of both designs on UI and
 /// natural-like inputs, versus frequency normalized to each design's
 /// error-free maximum.
-#[must_use]
-pub fn fig6(ctx: &CaseStudyContext) -> Table {
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn fig6(
+    run: &crate::resume::ExperimentCtx,
+    ctx: &CaseStudyContext,
+) -> Result<Vec<Table>, String> {
+    run.unit("mre", || Ok(vec![fig6_inner(ctx)]))
+}
+
+fn fig6_inner(ctx: &CaseStudyContext) -> Table {
     let mut t = Table::new(
         "Fig6 filter MRE vs normalized frequency",
         &["f/f0", "online UI", "online real", "traditional UI", "traditional real"],
@@ -184,8 +194,21 @@ fn interp_mre(run: &DesignRun, f: f64) -> f64 {
 ///
 /// Propagates filesystem errors from creating the output directory or
 /// writing the PGM files (the `repro` summary reports them as a partial
-/// result instead of aborting the run).
-pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
+/// result instead of aborting the run). On replay the PGM files already
+/// exist on disk — the unit frame re-registers them as noted outputs so
+/// the manifest still hashes them.
+pub fn fig7(
+    run: &crate::resume::ExperimentCtx,
+    ctx: &CaseStudyContext,
+    out_dir: &Path,
+) -> Result<Vec<Table>, String> {
+    let dir = out_dir.to_path_buf();
+    run.unit("images", || {
+        fig7_inner(ctx, &dir).map(|t| vec![t]).map_err(|e| format!("fig7 io: {e}"))
+    })
+}
+
+fn fig7_inner(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
     std::fs::create_dir_all(out_dir)?;
     let img = ctx.image(Benchmark::LenaLike, ctx.scale.figure_image_size());
     let mut t = Table::new(
@@ -215,11 +238,17 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
         for (f, run) in factors.iter().zip(&runs.runs) {
             let name = format!("fig7_{}_{:.0}.pgm", filter.name(), f * 100.0);
             let path = out_dir.join(&name);
-            run.image.write_pgm(std::fs::File::create(&path)?)?;
+            // Render into memory and publish atomically: a crash mid-write
+            // must never leave a torn PGM behind for --resume to trust.
+            let mut bytes = Vec::new();
+            run.image.write_pgm(&mut bytes)?;
+            ola_core::resilience::atomic_write(&path, &bytes)?;
             ola_core::obs::note_output(path.display().to_string(), path);
         }
         let settled_path = out_dir.join(format!("fig7_{}_settled.pgm", filter.name()));
-        runs.settled_image.write_pgm(std::fs::File::create(&settled_path)?)?;
+        let mut bytes = Vec::new();
+        runs.settled_image.write_pgm(&mut bytes)?;
+        ola_core::resilience::atomic_write(&settled_path, &bytes)?;
         ola_core::obs::note_output(settled_path.display().to_string(), settled_path);
         ola_core::obs::annotate(
             format!("fig7.{}.f0", filter.name()),
@@ -245,8 +274,18 @@ pub fn fig7(ctx: &CaseStudyContext, out_dir: &Path) -> io::Result<Table> {
 
 /// Table 1: relative reduction of MRE with online arithmetic at the
 /// normalized frequencies, per input, with the geometric-mean column.
-#[must_use]
-pub fn table1(ctx: &CaseStudyContext) -> Table {
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn table1(
+    run: &crate::resume::ExperimentCtx,
+    ctx: &CaseStudyContext,
+) -> Result<Vec<Table>, String> {
+    run.unit("reduction", || Ok(vec![table1_inner(ctx)]))
+}
+
+fn table1_inner(ctx: &CaseStudyContext) -> Table {
     let mut t = Table::new(
         "Table1 relative reduction of MRE with online arithmetic",
         &["Inputs", "1.05", "1.10", "1.15", "1.20", "1.25", "Geo.Mean"],
@@ -272,8 +311,18 @@ pub fn table1(ctx: &CaseStudyContext) -> Table {
 
 /// Table 2: improvement of SNR (dB) with online arithmetic at the
 /// normalized frequencies (natural-like inputs, as in the paper).
-#[must_use]
-pub fn table2(ctx: &CaseStudyContext) -> Table {
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn table2(
+    run: &crate::resume::ExperimentCtx,
+    ctx: &CaseStudyContext,
+) -> Result<Vec<Table>, String> {
+    run.unit("snr", || Ok(vec![table2_inner(ctx)]))
+}
+
+fn table2_inner(ctx: &CaseStudyContext) -> Table {
     let mut t = Table::new(
         "Table2 improvement of SNR (dB) with online arithmetic",
         &["Inputs", "1.05", "1.10", "1.15", "1.20", "1.25"],
@@ -308,8 +357,18 @@ pub fn table2(ctx: &CaseStudyContext) -> Table {
 /// online multiplier's selection CPA depth differs from the paper's FPGA
 /// mapping), so the own-normalized comparison is the faithful one — see
 /// `EXPERIMENTS.md`.
-#[must_use]
-pub fn table3(ctx: &CaseStudyContext) -> Table {
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn table3(
+    run: &crate::resume::ExperimentCtx,
+    ctx: &CaseStudyContext,
+) -> Result<Vec<Table>, String> {
+    run.unit("headroom", || Ok(vec![table3_inner(ctx)]))
+}
+
+fn table3_inner(ctx: &CaseStudyContext) -> Table {
     let mut t = Table::new(
         "Table3 extra frequency headroom (pp) under error budgets",
         &["Inputs", "0.01%", "0.1%", "1%", "10%", "Geo.Mean"],

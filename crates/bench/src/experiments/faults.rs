@@ -33,7 +33,15 @@ use ola_netlist::UnitDelay;
 /// # Errors
 ///
 /// If the batch/event spot-check campaigns disagree.
-pub fn faults(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
+pub fn faults(
+    run: &crate::resume::ExperimentCtx,
+    scale: Scale,
+    backend: SimBackend,
+) -> Result<Vec<Table>, String> {
+    run.unit("campaigns", || faults_inner(scale, backend))
+}
+
+fn faults_inner(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
     let (width, sites, samples) = match scale {
         Scale::Quick => (5usize, 24usize, 4usize),
         Scale::Full => (8, 64, 12),

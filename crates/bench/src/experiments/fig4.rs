@@ -17,18 +17,24 @@ use ola_core::{model, montecarlo, InputModel, SimBackend, StaGate};
 use ola_netlist::{analyze, FpgaDelay, JitteredDelay};
 
 /// Runs the Figure-4 experiment. Returns one stage-domain table and one
-/// gate-level table per word length.
+/// gate-level table per word length; each `(domain, N)` pair is its own
+/// checkpoint unit, so an interrupted run resumes mid-figure.
 ///
 /// # Errors
 ///
 /// If the batch engine ran and its event-driven spot-check disagreed —
 /// which would mean the two simulation backends are no longer
 /// bit-identical.
-pub fn fig4(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
+pub fn fig4(
+    run: &crate::resume::ExperimentCtx,
+    scale: Scale,
+    backend: SimBackend,
+) -> Result<Vec<Table>, String> {
     let mut tables = Vec::new();
     for n in [8usize, 12] {
-        tables.push(stage_domain(n, scale));
-        tables.push(gate_domain(n, scale, backend)?);
+        tables.extend(run.unit(&format!("stage.n{n}"), || Ok(vec![stage_domain(n, scale)]))?);
+        tables
+            .extend(run.unit(&format!("gate.n{n}"), || Ok(vec![gate_domain(n, scale, backend)?]))?);
     }
     Ok(tables)
 }

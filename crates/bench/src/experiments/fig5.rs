@@ -7,10 +7,19 @@ use crate::report::{fmt_f, Table};
 use ola_arith::online::Selection;
 use ola_core::{model, montecarlo, InputModel};
 
-/// Runs the Figure-5 experiment: one table per word length.
-#[must_use]
-pub fn fig5(scale: Scale) -> Vec<Table> {
-    [8usize, 12, 16, 32].iter().map(|&n| profile_table(n, scale)).collect()
+/// Runs the Figure-5 experiment: one table per word length, each its own
+/// checkpoint unit (the N=32 profile dominates the cost, so a resumed run
+/// skips straight to it).
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn fig5(run: &crate::resume::ExperimentCtx, scale: Scale) -> Result<Vec<Table>, String> {
+    let mut tables = Vec::new();
+    for n in [8usize, 12, 16, 32] {
+        tables.extend(run.unit(&format!("n{n}"), || Ok(vec![profile_table(n, scale)]))?);
+    }
+    Ok(tables)
 }
 
 fn profile_table(n: usize, scale: Scale) -> Table {

@@ -110,7 +110,11 @@ fn issue_codes(issues: &[LintIssue]) -> String {
 /// If any generated circuit has lint issues, or the seeded-loop self-check
 /// fails to report a `comb-loop` — either means the static analyzer or a
 /// generator regressed.
-pub fn lint(all: bool) -> Result<Vec<Table>, String> {
+pub fn lint(run: &crate::resume::ExperimentCtx, all: bool) -> Result<Vec<Table>, String> {
+    run.unit("sweep", || lint_inner(all))
+}
+
+fn lint_inner(all: bool) -> Result<Vec<Table>, String> {
     let mut t =
         Table::new("Lint generated netlists", &["circuit", "nets", "issues", "codes", "details"]);
     let mut dirty: Vec<String> = Vec::new();
@@ -182,7 +186,7 @@ mod tests {
 
     #[test]
     fn default_sweep_is_clean_and_catches_the_seeded_loop() {
-        let tables = lint(false).unwrap();
+        let tables = lint(&crate::resume::ExperimentCtx::ephemeral("lint"), false).unwrap();
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         // 2 widths × (7 families + 6 synth style/allocation variants)

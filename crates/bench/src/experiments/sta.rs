@@ -69,23 +69,28 @@ pub fn om_certification<M: DelayModel + ?Sized>(
 }
 
 /// Runs the static-analysis experiment. Pure analysis — no simulation.
+/// Each word length is one checkpointable work unit.
 ///
 /// # Errors
 ///
 /// If any netlist fails the topological precondition (which would mean a
 /// generator emitted a broken circuit).
-pub fn sta(scale: Scale) -> Result<Vec<Table>, String> {
+pub fn sta(run: &crate::resume::ExperimentCtx, scale: Scale) -> Result<Vec<Table>, String> {
     let delay = FpgaDelay::default();
     let mut tables = Vec::new();
     for &n in word_lengths(scale) {
-        let om = online_multiplier(n, 3);
-        // The array multiplier caps at width 31 (exact i64 products).
-        let w = n.min(31);
-        let am = array_multiplier(w);
-        tables.push(paths_table(format!("STA paths online mult N={n}"), &om.netlist, &delay)?);
-        tables.push(paths_table(format!("STA paths array mult W={w}"), &am.netlist, &delay)?);
-        tables.push(slack_table(n, &om.netlist, w, &am.netlist, &delay)?);
-        tables.push(certification_table(&om, &delay, scale)?);
+        tables.extend(run.unit(&format!("n{n}"), || {
+            let om = online_multiplier(n, 3);
+            // The array multiplier caps at width 31 (exact i64 products).
+            let w = n.min(31);
+            let am = array_multiplier(w);
+            Ok(vec![
+                paths_table(format!("STA paths online mult N={n}"), &om.netlist, &delay)?,
+                paths_table(format!("STA paths array mult W={w}"), &am.netlist, &delay)?,
+                slack_table(n, &om.netlist, w, &am.netlist, &delay)?,
+                certification_table(&om, &delay, scale)?,
+            ])
+        })?);
     }
     Ok(tables)
 }
@@ -211,7 +216,7 @@ mod tests {
 
     #[test]
     fn quick_scale_emits_four_tables_per_word_length() {
-        let tables = sta(Scale::Quick).unwrap();
+        let tables = sta(&crate::resume::ExperimentCtx::ephemeral("sta"), Scale::Quick).unwrap();
         assert_eq!(tables.len(), 8);
         assert!(tables[0].title.starts_with("STA paths online"));
         assert!(tables[3].title.starts_with("STA certification"));

@@ -36,11 +36,24 @@ fn widths(scale: Scale) -> Vec<usize> {
 
 /// Runs the synthesis Pareto sweep and renders one row per design point.
 ///
+/// The sweep is one checkpoint unit: the explorer's shared Ts grid
+/// depends on the worst critical path across *all* variants, so a
+/// partial-variant resume would shift the grid and break bit-identity —
+/// the table checkpoints whole or not at all.
+///
 /// # Errors
 ///
 /// If the Pareto frontier has fewer than three non-dominated points, or
 /// no variant received a rated frequency at all.
-pub fn synth(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
+pub fn synth(
+    run: &crate::resume::ExperimentCtx,
+    scale: Scale,
+    backend: SimBackend,
+) -> Result<Vec<Table>, String> {
+    run.unit("pareto", || synth_inner(scale, backend))
+}
+
+fn synth_inner(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> {
     let cfg = ExploreConfig {
         widths: widths(scale),
         styles: vec![Style::Online, Style::Conventional],
@@ -130,7 +143,12 @@ mod tests {
 
     #[test]
     fn quick_sweep_emits_a_nondegenerate_frontier() {
-        let tables = synth(Scale::Quick, SimBackend::Auto).unwrap();
+        let tables = synth(
+            &crate::resume::ExperimentCtx::ephemeral("synth"),
+            Scale::Quick,
+            SimBackend::Auto,
+        )
+        .unwrap();
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         // 2 styles × 3 allocations × 2 widths.
@@ -145,11 +163,12 @@ mod tests {
     }
 
     #[test]
-    fn csv_slug_matches_the_documented_output_name() {
+    fn csv_slug_matches_the_documented_output_name() -> std::io::Result<()> {
         let t = Table::new("Synth Pareto online vs conventional", &["a"]);
         let dir = std::env::temp_dir().join("ola_synth_slug_test");
-        let path = t.write_csv(&dir).unwrap();
+        let path = t.write_csv(&dir)?;
         assert!(path.ends_with("synth_pareto_online_vs_conventional.csv"), "{path:?}");
         let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
     }
 }

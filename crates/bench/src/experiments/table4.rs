@@ -6,8 +6,15 @@ use ola_imaging::filter::{FilterConfig, OnlineFilter, TraditionalFilter};
 use ola_netlist::area;
 
 /// Runs the Table-4 experiment on the paper-default filter configuration.
-#[must_use]
-pub fn table4() -> Table {
+///
+/// # Errors
+///
+/// Never fails on its own; the `Result` carries checkpoint-replay errors.
+pub fn table4(run: &crate::resume::ExperimentCtx) -> Result<Vec<Table>, String> {
+    run.unit("area", || Ok(vec![table4_inner()]))
+}
+
+fn table4_inner() -> Table {
     let online = OnlineFilter::new(FilterConfig::paper_default());
     let trad = TraditionalFilter::new(FilterConfig::paper_default());
 

@@ -1,5 +1,6 @@
 //! Plain-text tables and CSV output for the reproduction harness.
 
+use ola_core::obs::json::JsonValue;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -66,20 +67,28 @@ impl Table {
         out
     }
 
+    /// The CSV file stem derived from the title (lowercased, every
+    /// non-alphanumeric collapsed to `_`).
+    #[must_use]
+    pub fn slug(&self) -> String {
+        self.title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+
     /// Writes the table as CSV into `dir`, named after a slug of the title.
+    ///
+    /// The write is atomic (tmp file + rename): a crash mid-write leaves
+    /// either the previous CSV or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
-        let slug: String = self
-            .title
-            .to_lowercase()
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = dir.join(format!("{slug}.csv"));
+        let path = dir.join(format!("{}.csv", self.slug()));
         let mut body = String::new();
         let esc = |s: &str| {
             if s.contains(',') || s.contains('"') {
@@ -93,8 +102,39 @@ impl Table {
         for row in &self.rows {
             let _ = writeln!(body, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
-        fs::write(&path, body)?;
+        ola_core::resilience::atomic_write(&path, body.as_bytes())?;
         Ok(path)
+    }
+
+    /// This table as a checkpoint-frame JSON document (lossless).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let row = |cells: &Vec<String>| {
+            JsonValue::Array(cells.iter().map(|c| JsonValue::str(c.clone())).collect())
+        };
+        JsonValue::Object(vec![
+            ("title".into(), JsonValue::str(self.title.clone())),
+            ("columns".into(), row(&self.columns)),
+            ("rows".into(), JsonValue::Array(self.rows.iter().map(row).collect())),
+        ])
+    }
+
+    /// Rebuilds a table from [`Table::to_json`] output. Returns `None` on
+    /// shape mismatch (so corrupted frames fail replay instead of
+    /// producing a half-table).
+    #[must_use]
+    pub fn from_json(value: &JsonValue) -> Option<Table> {
+        let strings = |v: &JsonValue| -> Option<Vec<String>> {
+            v.as_array()?.iter().map(|c| c.as_str().map(str::to_owned)).collect()
+        };
+        let title = value.get("title")?.as_str()?.to_owned();
+        let columns = strings(value.get("columns")?)?;
+        let rows: Vec<Vec<String>> =
+            value.get("rows")?.as_array()?.iter().map(&strings).collect::<Option<_>>()?;
+        if rows.iter().any(|r| r.len() != columns.len()) {
+            return None;
+        }
+        Some(Table { title, columns, rows })
     }
 }
 
@@ -148,6 +188,23 @@ mod tests {
         let body = fs::read_to_string(path).unwrap();
         assert!(body.starts_with("a,b\n"));
         assert!(body.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut t = Table::new("Fig 4: curves", &["ts", "err"]);
+        t.push_row(vec!["10".into(), "0.5".into()]);
+        t.push_row(vec!["20, twenty".into(), "0".into()]);
+        let back = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.title, t.title);
+        assert_eq!(back.columns, t.columns);
+        assert_eq!(back.rows, t.rows);
+        // Shape damage is rejected, not silently accepted.
+        let mut j = t.to_json();
+        if let JsonValue::Object(fields) = &mut j {
+            fields.retain(|(k, _)| k != "rows");
+        }
+        assert!(Table::from_json(&j).is_none());
     }
 
     #[test]

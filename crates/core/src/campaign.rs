@@ -35,7 +35,7 @@ use crate::montecarlo::InputModel;
 use crate::parallel::{parallel_accumulate, parallel_accumulate_batched, parallel_map};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
-use ola_netlist::batch::{BatchFaultSet, BatchInputs, BatchProgram, MAX_LANES};
+use ola_netlist::batch::{BatchFaultSet, BatchInputs, MAX_LANES};
 use ola_netlist::fault::logic_fault_sites;
 use ola_netlist::{
     analyze, default_event_budget, simulate_from_zero, simulate_from_zero_with_faults, DelayModel,
@@ -327,13 +327,14 @@ where
     };
 
     let prog = if cfg.backend.wants_batch(delay) {
-        BatchProgram::compile(netlist, delay).ok()
+        crate::resilience::compile_batch_or_degrade(&format!("campaign.{arch}"), netlist, delay)
     } else {
         None
     };
     let started = Instant::now();
 
     let per_site: Vec<Acc> = parallel_map(&sites, |site_idx, &site| {
+        crate::resilience::check_cancelled();
         let site_seed = cfg.seed ^ (site_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match &prog {
             Some(prog) => parallel_accumulate_batched(
@@ -344,6 +345,7 @@ where
                 // Inputs before plan — the exact rng order of the event path.
                 |rng| (draw(rng), class.plan(site, rng, period, cfg)),
                 |group: &[(Vec<bool>, FaultPlan)], acc: &mut Acc| {
+                    crate::resilience::check_cancelled();
                     let lanes = group.len() as u32;
                     let vectors: Vec<Vec<bool>> = group.iter().map(|(v, _)| v.clone()).collect();
                     let plans: Vec<FaultPlan> = group.iter().map(|(_, p)| p.clone()).collect();
@@ -383,6 +385,7 @@ where
                 site_seed,
                 || Acc::new(n_ranks),
                 |rng, acc| {
+                    crate::resilience::check_cancelled();
                     let inputs = draw(rng);
                     let plan = class.plan(site, rng, period, cfg);
                     let clean = simulate_from_zero(netlist, delay, &inputs);

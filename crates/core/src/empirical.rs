@@ -14,15 +14,26 @@
 //! native-typed comparisons, so the produced [`GateLevelCurve`]s are
 //! bit-identical — batch is purely an accelerator. Delay models that are
 //! not batch-exact (e.g. [`JitteredDelay`](ola_netlist::JitteredDelay))
-//! transparently fall back to the event engine.
+//! transparently fall back to the event engine, and batch *compilation
+//! failures* degrade the same way through
+//! [`crate::resilience::compile_batch_or_degrade`] (retry once, then run
+//! the event engine and annotate the manifest) — sound precisely because
+//! the backends are bit-identical. An ambient
+//! [`CancelToken`](crate::CancelToken) (see
+//! [`crate::resilience::install_ambient`]) is honored per sample and
+//! inside both engines' inner loops.
 
 use crate::backend::{BackendStats, SimBackend, StaGate};
 use crate::montecarlo::InputModel;
 use crate::parallel::{parallel_accumulate, parallel_accumulate_batched};
+use crate::resilience::{ambient_token, check_cancelled, compile_batch_or_degrade};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
-use ola_netlist::batch::{BatchInputs, BatchProgram, MAX_LANES};
-use ola_netlist::{analyze, simulate_from_zero, DelayModel, NetId, Netlist};
+use ola_netlist::batch::{BatchInputs, MAX_LANES};
+use ola_netlist::{
+    analyze, default_event_budget, simulate_budgeted_cancellable, simulate_from_zero, Cancelled,
+    DelayModel, NetId, Netlist, SimError,
+};
 use ola_redundant::Digit;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -155,10 +166,14 @@ where
     let skipped = (ts_points.len() - judged.len()) as u64;
     let prog = if backend.wants_batch(delay) {
         let _s = crate::obs::span("empirical.batch_compile");
-        BatchProgram::compile(netlist, delay).ok()
+        compile_batch_or_degrade("empirical.curve", netlist, delay)
     } else {
         None
     };
+    // Captured once here and used by the sampling closures on worker
+    // threads: in-run cancellation polls must not depend on each worker's
+    // own thread-local stack being populated yet.
+    let cancel = ambient_token();
     let started = Instant::now();
     let _sample_span = crate::obs::span("empirical.sample");
     let mut acc = match &prog {
@@ -169,11 +184,20 @@ where
             || Acc::new(ts_points.len()),
             |rng| draw(rng),
             |group: &[Vec<bool>], acc: &mut Acc| {
+                check_cancelled();
                 let lanes = group.len() as u32;
                 let prev = BatchInputs::zeros(prog.num_inputs(), lanes)
                     .expect("group size bounded by MAX_LANES");
                 let new = BatchInputs::pack(group).expect("draw produces full input vectors");
-                let res = prog.run(&prev, &new).expect("shapes validated above");
+                let res = match &cancel {
+                    Some(tok) => prog.run_cancellable(&prev, &new, tok).unwrap_or_else(|e| {
+                        if matches!(e, ola_netlist::BatchError::Cancelled) {
+                            std::panic::panic_any(Cancelled)
+                        }
+                        panic!("shapes validated above: {e}")
+                    }),
+                    None => prog.run(&prev, &new).expect("shapes validated above"),
+                };
                 let bus = res.bus_waves(wires).expect("output bus nets exist");
                 let active_ts: Vec<u64> = judged.iter().map(|&(_, t)| t).collect();
                 let sweep = bus.sweep(&active_ts);
@@ -202,8 +226,22 @@ where
             seed,
             || Acc::new(ts_points.len()),
             |rng, acc| {
+                check_cancelled();
                 let inputs = draw(rng);
-                let res = simulate_from_zero(netlist, delay, &inputs);
+                let res = match &cancel {
+                    Some(tok) => {
+                        let zeros = vec![false; netlist.inputs().len()];
+                        let budget = default_event_budget(netlist);
+                        simulate_budgeted_cancellable(netlist, delay, &zeros, &inputs, budget, tok)
+                            .unwrap_or_else(|e| {
+                                if matches!(e, SimError::Cancelled) {
+                                    std::panic::panic_any(Cancelled)
+                                }
+                                panic!("{e}")
+                            })
+                    }
+                    None => simulate_from_zero(netlist, delay, &inputs),
+                };
                 acc.max_settle = acc.max_settle.max(res.settle_time());
                 let settled = res.final_bus(wires);
                 for &(i, t) in &judged {

@@ -31,7 +31,15 @@
 //!   ([`obs::RunManifest`]) with SHA-256-certified outputs;
 //! * [`parallel`] — deterministic parallel Monte-Carlo accumulation and
 //!   the `OLA_THREADS` resolution ([`parallel::thread_config`]) recorded
-//!   in manifests.
+//!   in manifests;
+//! * [`resilience`] — crash-safe execution: SHA-256-framed checkpoint
+//!   files with resume ([`resilience::open_resumable`]), cooperative
+//!   cancellation ([`resilience::install_ambient`] /
+//!   [`CancelToken`]), typed error taxonomy
+//!   ([`resilience::ResilienceError`]), batch→event degradation policy
+//!   ([`resilience::compile_batch_or_degrade`]), atomic artifact writes
+//!   ([`resilience::atomic_write`]), and the chaos-injection env hooks
+//!   ([`resilience::chaos`]) the `chaos_check` harness drives.
 //!
 //! # Example: model vs Monte-Carlo (the Figure-4 experiment in miniature)
 //!
@@ -64,8 +72,10 @@ pub mod montecarlo;
 pub mod obs;
 pub mod parallel;
 pub mod razor;
+pub mod resilience;
 pub mod sweep;
 pub mod timing;
 
 pub use backend::{BackendStats, SimBackend, StaGate};
 pub use montecarlo::InputModel;
+pub use resilience::{CancelToken, Cancelled, ResilienceError};

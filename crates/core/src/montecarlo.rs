@@ -150,6 +150,7 @@ pub fn om_monte_carlo(
         seed,
         || CurveAcc::new(budgets),
         |rng, acc| {
+            crate::resilience::check_cancelled();
             let x = model.draw(rng, n);
             let y = model.draw(rng, n);
             let sm = StagedMultiplier::new(x, y, policy);
@@ -209,6 +210,7 @@ pub fn max_observed_settling(
         seed,
         || 0usize,
         |rng, acc| {
+            crate::resilience::check_cancelled();
             let x = model.draw(rng, n);
             let y = model.draw(rng, n);
             let sm = StagedMultiplier::new(x, y, policy);

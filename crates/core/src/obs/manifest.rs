@@ -180,6 +180,9 @@ impl RunManifest {
     /// Writes `<dir>/<experiment>.json` (pretty-printed, trailing newline),
     /// creating `dir` first. Returns the path written.
     ///
+    /// The write is atomic (tmp file + rename), so a crash mid-write never
+    /// leaves a truncated manifest for `manifest_check` to choke on.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
@@ -188,7 +191,7 @@ impl RunManifest {
         let path = dir.join(format!("{}.json", self.experiment));
         let mut text = self.to_json().render_pretty();
         text.push('\n');
-        std::fs::write(&path, text)?;
+        crate::resilience::atomic_write(&path, text.as_bytes())?;
         Ok(path)
     }
 }

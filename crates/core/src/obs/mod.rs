@@ -148,6 +148,12 @@ pub fn take_noted_outputs() -> Vec<(String, PathBuf)> {
     std::mem::take(&mut *slot)
 }
 
+/// Serializes tests that drain the process-global annotation and
+/// noted-output queues: drains are destructive and global, so two such
+/// tests racing would steal each other's entries.
+#[cfg(test)]
+pub(crate) static ANNOTATIONS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +202,7 @@ mod tests {
 
     #[test]
     fn annotations_and_noted_outputs_drain_in_order() {
+        let _lock = ANNOTATIONS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
         // Drain anything left over from other tests first.
         let _ = take_annotations();
         let _ = take_noted_outputs();

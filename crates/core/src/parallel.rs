@@ -10,11 +10,24 @@
 //! that failed instead of aborting with a bare join error. Mutex poisoning
 //! while draining results is tolerated: the poisoned chunk is the one that
 //! panicked and its slot is simply absent.
+//!
+//! ## Cancellation
+//!
+//! The caller's ambient [`CancelToken`] (see
+//! [`crate::resilience::install_ambient`]) is captured before workers
+//! spawn and re-installed inside each worker thread, so per-sample
+//! [`crate::resilience::check_cancelled`] probes fire on worker threads
+//! too. Workers stop pulling jobs once the token trips; a typed
+//! [`Cancelled`] unwind is re-raised on the caller thread as-is (not
+//! stringified into a worker-panic message), so it surfaces to
+//! `run_guarded` as cancellation rather than a crash.
 
+use crate::resilience::{ambient_token, install_ambient, is_cancel_payload};
+use ola_netlist::{CancelToken, Cancelled};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 const CHUNK: usize = 256;
@@ -49,15 +62,30 @@ where
     crate::obs::registry().counter("ola.parallel.jobs").add(jobs as u64);
     let next = AtomicUsize::new(0);
     let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let cancelled = AtomicBool::new(false);
+    // Capture the caller's ambient token so worker threads (which have
+    // their own empty thread-local stack) see the same cancellation scope.
+    let ambient: Option<CancelToken> = ambient_token();
 
-    let worker = || loop {
-        let j = next.fetch_add(1, Ordering::Relaxed);
-        if j >= jobs {
-            break;
-        }
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| work(j))) {
-            let mut log = failures.lock().unwrap_or_else(PoisonError::into_inner);
-            log.push((j, panic_message(payload.as_ref())));
+    let worker = || {
+        let _guard = ambient.clone().map(install_ambient);
+        loop {
+            if ambient.as_ref().is_some_and(CancelToken::is_cancelled) {
+                cancelled.store(true, Ordering::Relaxed);
+                break;
+            }
+            let j = next.fetch_add(1, Ordering::Relaxed);
+            if j >= jobs {
+                break;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| work(j))) {
+                if is_cancel_payload(payload.as_ref()) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let mut log = failures.lock().unwrap_or_else(PoisonError::into_inner);
+                log.push((j, panic_message(payload.as_ref())));
+            }
         }
     };
 
@@ -79,6 +107,11 @@ where
             "parallel worker panicked in chunk {j} of {jobs} ({} failing chunk(s) total): {msg}",
             failures.len()
         );
+    }
+    if cancelled.load(Ordering::Relaxed) {
+        // Re-raise the typed payload so callers (`run_guarded`) can tell
+        // cancellation from a genuine worker crash.
+        std::panic::panic_any(Cancelled);
     }
 }
 
@@ -406,6 +439,42 @@ mod tests {
             Some(v) => std::env::set_var("OLA_THREADS", v),
             None => std::env::remove_var("OLA_THREADS"),
         }
+    }
+
+    #[test]
+    fn cancellation_stops_workers_and_reraises_the_typed_payload() {
+        let token = CancelToken::new();
+        let processed = AtomicUsize::new(0);
+        let _guard = install_ambient(token.clone());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_accumulate(
+                10_000,
+                7,
+                || 0usize,
+                |_, acc| {
+                    *acc += 1;
+                    if processed.fetch_add(1, Ordering::Relaxed) == 300 {
+                        token.cancel();
+                    }
+                    crate::resilience::check_cancelled();
+                },
+                |a, b| a + b,
+            )
+        }));
+        let payload = result.expect_err("cancellation must unwind");
+        assert!(is_cancel_payload(payload.as_ref()), "payload must stay typed, not a string");
+        // Far fewer samples than requested ran: workers stopped pulling jobs.
+        assert!(processed.load(Ordering::Relaxed) < 10_000);
+    }
+
+    #[test]
+    fn ambient_token_reaches_worker_threads() {
+        // Workers have fresh thread-local stacks; run_jobs must re-install
+        // the caller's ambient token inside each one.
+        let token = CancelToken::new();
+        let _guard = install_ambient(token.clone());
+        let seen = parallel_map(&[0u8; 64], |_, _| ambient_token().is_some());
+        assert!(seen.into_iter().all(|s| s), "every worker saw the ambient token");
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! # Resilience: cancellation, degradation, and crash-safe artifacts.
+//!
+//! The paper's thesis is graceful degradation at the circuit level — an
+//! overclocked online datapath loses accuracy smoothly instead of failing
+//! catastrophically. This module applies the same principle at the system
+//! level, for the multi-hour reproduction sweeps:
+//!
+//! * **Cooperative cancellation** — an *ambient* (thread-local)
+//!   [`CancelToken`] that the sampling engines ([`crate::empirical`],
+//!   [`crate::campaign`], [`crate::montecarlo`], [`crate::sweep`]) and the
+//!   [`crate::parallel`] work-stealing pool poll between work units.
+//!   Because most of those APIs are infallible by design, cancellation
+//!   propagates as an unwind carrying the typed [`Cancelled`] payload
+//!   ([`check_cancelled`]); the guard thread that owns the token catches
+//!   the unwind and downcasts it back ([`is_cancel_payload`]) to tell an
+//!   orderly stop from a genuine panic.
+//! * **Graceful backend degradation** — [`compile_batch_or_degrade`]
+//!   implements the policy *retry once, then fall back to the event
+//!   engine*: a batch-compile failure is recorded (counter
+//!   `ola.resilience.batch_degraded`, annotation
+//!   `resilience.degraded.<context>`) instead of failing the experiment,
+//!   which is sound because both backends are bit-identical.
+//! * **Crash-safe artifacts** — [`atomic_write`] (write `<path>.tmp`,
+//!   then rename) so no crash point leaves a truncated CSV/PGM/manifest,
+//!   [`retry_io`] with bounded backoff for transient io errors, and the
+//!   append-only SHA-256-framed [`checkpoint`] log that `repro --resume`
+//!   replays.
+//! * **Chaos hooks** — the [`chaos`] submodule reads `OLA_CHAOS_*`
+//!   environment variables so the `chaos_check` harness can inject
+//!   deterministic failures (forced degradation, torn frames, aborts,
+//!   panics) into an otherwise-unmodified binary.
+
+pub mod checkpoint;
+
+pub use checkpoint::{open_resumable, read_frames, CheckpointWriter, ReadOutcome, CHAOS_EXIT};
+pub use ola_netlist::{CancelToken, Cancelled};
+
+use ola_netlist::batch::BatchProgram;
+use ola_netlist::{BatchError, DelayModel, Netlist, SimError};
+use std::cell::RefCell;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+
+/// The crate-spanning resilience error: everything a guarded experiment
+/// run can fail (or stop) with, in one typed enum.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ResilienceError {
+    /// The run's [`CancelToken`] fired (wall-clock budget, user abort).
+    Cancelled,
+    /// A batch-engine failure that was *not* recoverable by degradation.
+    Batch(BatchError),
+    /// An event-simulation failure (oscillation past its budget, arity).
+    Sim(SimError),
+    /// An io failure that survived [`retry_io`]'s bounded retries.
+    Io {
+        /// What was being attempted (for the operator, not for matching).
+        context: String,
+        /// The final underlying error.
+        source: io::Error,
+    },
+    /// A checkpoint frame failed validation (bad magic, digest mismatch,
+    /// truncation, unparseable payload).
+    CorruptFrame {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// Zero-based index of the first bad frame.
+        frame: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Cancelled => write!(f, "run cancelled"),
+            ResilienceError::Batch(e) => write!(f, "batch backend failed: {e}"),
+            ResilienceError::Sim(e) => write!(f, "event simulation failed: {e}"),
+            ResilienceError::Io { context, source } => write!(f, "{context}: {source}"),
+            ResilienceError::CorruptFrame { path, frame, reason } => {
+                write!(f, "corrupt checkpoint frame {frame} in {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::Batch(e) => Some(e),
+            ResilienceError::Sim(e) => Some(e),
+            ResilienceError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<BatchError> for ResilienceError {
+    fn from(e: BatchError) -> Self {
+        match e {
+            BatchError::Cancelled => ResilienceError::Cancelled,
+            e => ResilienceError::Batch(e),
+        }
+    }
+}
+
+impl From<SimError> for ResilienceError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Cancelled => ResilienceError::Cancelled,
+            e => ResilienceError::Sim(e),
+        }
+    }
+}
+
+impl From<Cancelled> for ResilienceError {
+    fn from(_: Cancelled) -> Self {
+        ResilienceError::Cancelled
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient cancellation
+
+thread_local! {
+    /// Stack of installed tokens; the innermost wins. A stack (not a slot)
+    /// so nested guarded scopes restore their outer token on drop, and a
+    /// thread-local (not a process global) so concurrently running tests
+    /// cannot cancel each other.
+    static AMBIENT: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`install_ambient`]; uninstalls on drop.
+#[must_use = "dropping the guard uninstalls the ambient token"]
+pub struct AmbientGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|a| a.borrow_mut().pop());
+    }
+}
+
+/// Installs `token` as this thread's ambient cancellation token until the
+/// returned guard drops. The [`crate::parallel`] pool re-installs the
+/// spawning thread's ambient token inside each worker, so cancellation
+/// reaches every fold of a parallel accumulation.
+pub fn install_ambient(token: CancelToken) -> AmbientGuard {
+    AMBIENT.with(|a| a.borrow_mut().push(token));
+    AmbientGuard { _not_send: std::marker::PhantomData }
+}
+
+/// This thread's innermost ambient token, if one is installed.
+#[must_use]
+pub fn ambient_token() -> Option<CancelToken> {
+    AMBIENT.with(|a| a.borrow().last().cloned())
+}
+
+/// True once the ambient token (if any) is cancelled.
+#[must_use]
+pub fn is_cancelled() -> bool {
+    ambient_token().is_some_and(|t| t.is_cancelled())
+}
+
+/// Unwinds with the typed [`Cancelled`] payload if the ambient token is
+/// cancelled — the cancellation point for infallible APIs. The guard that
+/// installed the token catches the unwind and recognizes the payload via
+/// [`is_cancel_payload`]; no other code observes it.
+pub fn check_cancelled() {
+    if is_cancelled() {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+/// True if a caught panic payload is the [`Cancelled`] signal (an orderly
+/// cooperative stop), as opposed to a genuine panic.
+#[must_use]
+pub fn is_cancel_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<Cancelled>()
+}
+
+// ---------------------------------------------------------------------------
+// Graceful backend degradation
+
+/// Compiles a [`BatchProgram`], applying the degradation policy on
+/// failure: retry once, then return `None` — the caller's event-engine
+/// fallback path runs instead, which is *correct* (backends are
+/// bit-identical) just slower. A degradation is recorded in the metrics
+/// registry (`ola.resilience.batch_degraded`) and as the manifest
+/// annotation `resilience.degraded.<context>`, so the lineage of every
+/// artifact produced on the fallback engine is visible.
+///
+/// Returns `None` without compiling when the delay model is not
+/// batch-exact — choosing the event engine for a jittered model is
+/// selection, not degradation, and is not recorded as one. The chaos hook
+/// [`chaos::batch_fail_forced`] forces the degradation path for the chaos
+/// harness.
+pub fn compile_batch_or_degrade<M: DelayModel + ?Sized>(
+    context: &str,
+    netlist: &Netlist,
+    delay: &M,
+) -> Option<BatchProgram> {
+    if !delay.batch_exact() {
+        return None;
+    }
+    if chaos::batch_fail_forced() {
+        note_degraded(context, "forced by OLA_CHAOS_BATCH_FAIL");
+        return None;
+    }
+    match BatchProgram::compile(netlist, delay) {
+        Ok(p) => Some(p),
+        Err(first) => {
+            // Retry once before degrading. Compilation is deterministic
+            // today, so the retry will fail identically — but the policy
+            // (retry, then degrade, never abort) is uniform across every
+            // batch failure mode, including future nondeterministic ones.
+            crate::obs::registry().counter("ola.resilience.batch_retries").inc();
+            match BatchProgram::compile(netlist, delay) {
+                Ok(p) => Some(p),
+                Err(_) => {
+                    note_degraded(context, &first.to_string());
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Annotation-key prefix shared by every degradation record; the `repro`
+/// driver scans experiment annotations for it to report the "completed
+/// with degradation" outcome (exit code 4).
+pub const DEGRADED_PREFIX: &str = "resilience.degraded.";
+
+fn note_degraded(context: &str, reason: &str) {
+    crate::obs::registry().counter("ola.resilience.batch_degraded").inc();
+    crate::obs::annotate(format!("{DEGRADED_PREFIX}{context}"), reason);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe io
+
+/// Attempts per [`retry_io`] call (1 initial + 2 retries).
+pub const IO_ATTEMPTS: usize = 3;
+
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `f`, retrying transient io errors (interrupted / would-block /
+/// timed-out) up to [`IO_ATTEMPTS`] times with doubling backoff starting
+/// at 10 ms. Non-transient errors fail immediately.
+///
+/// # Errors
+///
+/// [`ResilienceError::Io`] wrapping the last underlying error.
+pub fn retry_io<T>(
+    context: &str,
+    mut f: impl FnMut() -> io::Result<T>,
+) -> Result<T, ResilienceError> {
+    let mut backoff = Duration::from_millis(10);
+    for attempt in 1.. {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < IO_ATTEMPTS && is_transient(&e) => {
+                crate::obs::registry().counter("ola.resilience.io_retries").inc();
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(ResilienceError::Io { context: context.to_string(), source: e }),
+        }
+    }
+    unreachable!("loop exits via return")
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a sibling
+/// `<name>.tmp` first (created, written, fsynced), then renames over the
+/// destination. A crash at any point leaves either the old file or the
+/// new one — never a truncated hybrid for `manifest_check` to trip over.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write or the rename.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut name = path.file_name().map(std::ffi::OsString::from).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "atomic_write needs a file name")
+    })?;
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos hooks
+
+/// Deterministic failure injection for the chaos harness, driven by
+/// `OLA_CHAOS_*` environment variables. All hooks default off; production
+/// runs never set them. Reading the environment at each call keeps the
+/// hooks honest about process-wide state (the variables are set before
+/// spawn and never mutated mid-run).
+pub mod chaos {
+    /// Forces [`compile_batch_or_degrade`](super::compile_batch_or_degrade)
+    /// down its degradation path (set to any non-empty value ≠ `0`).
+    pub const BATCH_FAIL: &str = "OLA_CHAOS_BATCH_FAIL";
+    /// Aborts the process (exit [`CHAOS_EXIT`](super::CHAOS_EXIT)) after
+    /// this many checkpoint frames have been durably appended — a
+    /// SIGKILL at a clean frame boundary.
+    pub const ABORT_AFTER_FRAMES: &str = "OLA_CHAOS_ABORT_AFTER_FRAMES";
+    /// Aborts the process mid-append of this (1-based) checkpoint frame,
+    /// leaving half a frame on disk — a SIGKILL mid-write.
+    pub const TORN_FRAME: &str = "OLA_CHAOS_TORN_FRAME";
+    /// Names an experiment that must panic at its start — a synthetic
+    /// crash inside experiment code.
+    pub const PANIC: &str = "OLA_CHAOS_PANIC";
+
+    fn flag(var: &str) -> bool {
+        std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0")
+    }
+
+    fn num(var: &str) -> Option<u64> {
+        std::env::var(var).ok()?.trim().parse().ok()
+    }
+
+    /// True when [`BATCH_FAIL`] is set.
+    #[must_use]
+    pub fn batch_fail_forced() -> bool {
+        flag(BATCH_FAIL)
+    }
+
+    /// The [`ABORT_AFTER_FRAMES`] threshold, if set.
+    #[must_use]
+    pub fn abort_after_frames() -> Option<u64> {
+        num(ABORT_AFTER_FRAMES)
+    }
+
+    /// The [`TORN_FRAME`] index, if set.
+    #[must_use]
+    pub fn torn_frame() -> Option<u64> {
+        num(TORN_FRAME)
+    }
+
+    /// The experiment named by [`PANIC`], if set.
+    #[must_use]
+    pub fn panic_target() -> Option<String> {
+        std::env::var(PANIC).ok().filter(|v| !v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_tokens_nest_and_uninstall() {
+        assert!(ambient_token().is_none());
+        let outer = CancelToken::new();
+        let g1 = install_ambient(outer.clone());
+        assert!(!is_cancelled());
+        {
+            let inner = CancelToken::new();
+            let _g2 = install_ambient(inner.clone());
+            inner.cancel();
+            assert!(is_cancelled(), "innermost token wins");
+        }
+        assert!(!is_cancelled(), "outer token restored after inner guard drops");
+        outer.cancel();
+        assert!(is_cancelled());
+        drop(g1);
+        assert!(ambient_token().is_none());
+    }
+
+    #[test]
+    fn check_cancelled_unwinds_with_the_typed_payload() {
+        let tok = CancelToken::new();
+        let _g = install_ambient(tok.clone());
+        check_cancelled(); // live token: no-op
+        tok.cancel();
+        let payload =
+            std::panic::catch_unwind(check_cancelled).expect_err("must unwind once cancelled");
+        assert!(is_cancel_payload(payload.as_ref()));
+        assert!(!is_cancel_payload(Box::new("plain panic").as_ref()));
+    }
+
+    #[test]
+    fn error_taxonomy_wraps_and_displays() {
+        let e: ResilienceError = BatchError::Cancelled.into();
+        assert!(matches!(e, ResilienceError::Cancelled));
+        let e: ResilienceError = SimError::Cancelled.into();
+        assert!(matches!(e, ResilienceError::Cancelled));
+        let e: ResilienceError = BatchError::TooManyLanes { got: 99 }.into();
+        assert!(e.to_string().contains("batch backend failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ResilienceError = SimError::Unsettled { events: 9, budget: 5 }.into();
+        assert!(e.to_string().contains("event simulation failed"));
+        let e =
+            ResilienceError::Io { context: "writing x".into(), source: io::Error::other("boom") };
+        assert!(e.to_string().contains("writing x"));
+    }
+
+    #[test]
+    fn retry_io_retries_transient_and_fails_fast_on_hard_errors() {
+        // Transient errors are retried up to the attempt budget.
+        let mut calls = 0;
+        let out: Result<u32, _> = retry_io("flaky", || {
+            calls += 1;
+            if calls < IO_ATTEMPTS {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "blip"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, IO_ATTEMPTS);
+
+        // Hard errors fail on the first attempt.
+        let mut calls = 0;
+        let out: Result<(), _> = retry_io("denied", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert!(matches!(out, Err(ResilienceError::Io { .. })));
+        assert_eq!(calls, 1);
+
+        // Persistent transient errors exhaust the budget.
+        let mut calls = 0;
+        let out: Result<(), _> = retry_io("stuck", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "still stuck"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, IO_ATTEMPTS);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("ola_resilience_atomic_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_file_name("out.csv.tmp").exists(), "tmp renamed away");
+        assert!(atomic_write(Path::new("/"), b"x").is_err(), "no file name");
+    }
+
+    #[test]
+    fn degradation_policy_falls_back_and_annotates() {
+        use ola_netlist::{Netlist, UnitDelay};
+        let _lock =
+            crate::obs::ANNOTATIONS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.not(a);
+        nl.set_output("z", vec![b]);
+
+        // Healthy compile: no degradation recorded.
+        let _ = crate::obs::take_annotations();
+        assert!(compile_batch_or_degrade("test.ok", &nl, &UnitDelay).is_some());
+
+        // Broken topology: retries once, then degrades with an annotation.
+        let n1 = nl.and(a, b);
+        nl.rewire_input(b, 0, n1).unwrap(); // cycle: batch compile must fail
+        let before = crate::obs::registry().snapshot();
+        assert!(compile_batch_or_degrade("test.broken", &nl, &UnitDelay).is_none());
+        let notes = crate::obs::take_annotations();
+        assert!(
+            notes.iter().any(|(k, _)| k == "resilience.degraded.test.broken"),
+            "degradation annotated: {notes:?}"
+        );
+        let delta = crate::obs::registry().snapshot().diff(&before);
+        let get = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(get("ola.resilience.batch_degraded"), 1);
+        assert_eq!(get("ola.resilience.batch_retries"), 1);
+
+        // Non-batch-exact delay models choose the event engine without
+        // recording a degradation.
+        use ola_netlist::JitteredDelay;
+        let mut plain = Netlist::new();
+        let x = plain.input("x");
+        let y = plain.not(x);
+        plain.set_output("z", vec![y]);
+        assert!(compile_batch_or_degrade(
+            "test.jitter",
+            &plain,
+            &JitteredDelay::new(ola_netlist::UnitDelay, 20, 1)
+        )
+        .is_none());
+        // Annotations are process-global, so only assert our key is absent
+        // (other tests may annotate concurrently).
+        let notes = crate::obs::take_annotations();
+        assert!(
+            !notes.iter().any(|(k, _)| k.contains("test.jitter")),
+            "selection is not degradation: {notes:?}"
+        );
+    }
+}

@@ -1,5 +1,10 @@
 //! Frequency-sweep utilities: max error-free frequency and error-budget
 //! solving (the machinery behind Tables 1–3).
+//!
+//! Each binary-search probe is typically a full Monte-Carlo sweep, so the
+//! solvers poll the ambient [`CancelToken`](crate::CancelToken) before
+//! every probe: a budget-exceeded experiment stops between probes instead
+//! of finishing the whole search.
 
 /// The largest frequency (smallest period) whose error metric stays within
 /// `budget`: returns the smallest `ts ∈ [lo, hi]` with `metric(ts) ≤ budget`,
@@ -20,6 +25,7 @@ pub fn min_period_within_budget<F: FnMut(u64) -> f64>(
     let _span = crate::obs::span("sweep.solve");
     let probes = crate::obs::registry().counter("ola.sweep.probes");
     crate::obs::registry().counter("ola.sweep.solves").inc();
+    crate::resilience::check_cancelled();
     probes.inc();
     if metric(hi) > budget {
         return None;
@@ -27,6 +33,7 @@ pub fn min_period_within_budget<F: FnMut(u64) -> f64>(
     let (mut lo, mut hi) = (lo, hi);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        crate::resilience::check_cancelled();
         probes.inc();
         if metric(mid) <= budget {
             hi = mid;
@@ -68,6 +75,7 @@ pub fn min_error_free_period_certified<F: FnMut(u64) -> f64>(
     let (mut lo, mut hi) = (lo, certified);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
+        crate::resilience::check_cancelled();
         probes.inc();
         if metric(mid) <= 0.0 {
             hi = mid;

@@ -19,7 +19,14 @@
 use crate::batch::fault::{BatchFaultSet, LaneFaults};
 use crate::batch::program::{active_mask, BatchInputs, BatchProgram};
 use crate::batch::wave::LaneWave;
+use crate::cancel::CancelToken;
 use crate::{BatchError, GateKind, NetId, NetlistError};
+
+/// How many nets the settling pass evaluates between cancellation polls.
+/// A net's waveform merge is much heavier than one event-simulator event,
+/// so the batch engine polls more often than
+/// [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL) counts events.
+const NET_CHECK_INTERVAL: usize = 256;
 
 /// Word-parallel gate evaluation: every bit position is one lane.
 pub(crate) fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
@@ -315,7 +322,25 @@ impl BatchProgram {
     /// * [`BatchError::LaneMismatch`] if the batches carry different lane
     ///   counts.
     pub fn run(&self, prev: &BatchInputs, new: &BatchInputs) -> Result<BatchSimResult, BatchError> {
-        self.run_inner(prev, new, None)
+        self.run_inner(prev, new, None, None)
+    }
+
+    /// [`BatchProgram::run`] with a cooperative
+    /// [`CancelToken`](crate::CancelToken): the settling pass polls the
+    /// token every [`NET_CHECK_INTERVAL`] nets and returns
+    /// [`BatchError::Cancelled`] once it is set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchProgram::run`], plus [`BatchError::Cancelled`] when
+    /// `cancel` fires before the pass finishes.
+    pub fn run_cancellable(
+        &self,
+        prev: &BatchInputs,
+        new: &BatchInputs,
+        cancel: &CancelToken,
+    ) -> Result<BatchSimResult, BatchError> {
+        self.run_inner(prev, new, None, Some(cancel))
     }
 
     /// Runs the batch engine with one [`FaultPlan`](crate::FaultPlan) per
@@ -338,7 +363,32 @@ impl BatchProgram {
                 len: self.num_nets(),
             }));
         }
-        self.run_inner(prev, new, Some(faults))
+        self.run_inner(prev, new, Some(faults), None)
+    }
+
+    /// [`BatchProgram::run_with_faults`] with a cooperative
+    /// [`CancelToken`](crate::CancelToken) (see
+    /// [`BatchProgram::run_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchProgram::run_with_faults`], plus
+    /// [`BatchError::Cancelled`] when `cancel` fires before the pass
+    /// finishes.
+    pub fn run_with_faults_cancellable(
+        &self,
+        prev: &BatchInputs,
+        new: &BatchInputs,
+        faults: &BatchFaultSet,
+        cancel: &CancelToken,
+    ) -> Result<BatchSimResult, BatchError> {
+        if faults.num_nets() != self.num_nets() {
+            return Err(BatchError::InvalidFault(NetlistError::NetOutOfRange {
+                index: faults.num_nets(),
+                len: self.num_nets(),
+            }));
+        }
+        self.run_inner(prev, new, Some(faults), Some(cancel))
     }
 
     fn run_inner(
@@ -346,7 +396,13 @@ impl BatchProgram {
         prev: &BatchInputs,
         new: &BatchInputs,
         faults: Option<&BatchFaultSet>,
+        cancel: Option<&CancelToken>,
     ) -> Result<BatchSimResult, BatchError> {
+        if let Some(tok) = cancel {
+            if tok.is_cancelled() {
+                return Err(BatchError::Cancelled);
+            }
+        }
         let n = self.num_nets();
         let expected = self.num_inputs();
         for got in [new.num_inputs(), prev.num_inputs()] {
@@ -392,6 +448,13 @@ impl BatchProgram {
         let mut word_steps = 0u64;
         let mut next_input = 0usize;
         for i in 0..n {
+            if i > 0 && i % NET_CHECK_INTERVAL == 0 {
+                if let Some(tok) = cancel {
+                    if tok.is_cancelled() {
+                        return Err(BatchError::Cancelled);
+                    }
+                }
+            }
             let lane_faults = faults.map(|fs| &fs.nets[i]);
             let groups_storage;
             let groups: &[(u64, u64)] = match lane_faults {
@@ -646,6 +709,28 @@ mod tests {
             prog.run_with_faults(&ok, &ok, &alien).unwrap_err(),
             BatchError::InvalidFault(NetlistError::NetOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn cancellation_is_checked_before_and_during_the_pass() {
+        let nl = xor_chain(4);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let b = BatchInputs::zeros(5, 8).unwrap();
+        let tok = crate::CancelToken::new();
+        // Live token: bit-identical to the plain run.
+        let plain = prog.run(&b, &b).unwrap();
+        let live = prog.run_cancellable(&b, &b, &tok).unwrap();
+        for net in nl.nets() {
+            assert_eq!(plain.wave(net), live.wave(net));
+        }
+        // Cancelled token: typed error from both entry points.
+        tok.cancel();
+        assert_eq!(prog.run_cancellable(&b, &b, &tok).unwrap_err(), BatchError::Cancelled);
+        let fs = BatchFaultSet::compile(&[], nl.len()).unwrap();
+        assert_eq!(
+            prog.run_with_faults_cancellable(&b, &b, &fs, &tok).unwrap_err(),
+            BatchError::Cancelled
+        );
     }
 
     #[test]

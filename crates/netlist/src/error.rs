@@ -105,6 +105,10 @@ pub enum SimError {
     },
     /// The supplied fault plan does not fit the netlist.
     InvalidFault(NetlistError),
+    /// The run's [`CancelToken`](crate::CancelToken) was cancelled before
+    /// the netlist settled. The partial waveforms are discarded —
+    /// cancellation is a control-flow signal, not a result.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -119,6 +123,7 @@ impl fmt::Display for SimError {
                  combinational cycle or oscillation"
             ),
             SimError::InvalidFault(e) => write!(f, "invalid fault plan: {e}"),
+            SimError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }
@@ -216,6 +221,9 @@ pub enum BatchError {
     /// A fault plan references nets outside the compiled netlist, or a
     /// fault set was compiled against a different netlist.
     InvalidFault(NetlistError),
+    /// The run's [`CancelToken`](crate::CancelToken) was cancelled before
+    /// the settling pass finished.
+    Cancelled,
 }
 
 impl fmt::Display for BatchError {
@@ -241,6 +249,7 @@ impl fmt::Display for BatchError {
                 write!(f, "previous inputs carry {prev} lanes but new inputs carry {new}")
             }
             BatchError::InvalidFault(e) => write!(f, "invalid batch fault set: {e}"),
+            BatchError::Cancelled => write!(f, "batch simulation cancelled"),
         }
     }
 }

@@ -52,6 +52,7 @@
 
 pub mod area;
 pub mod batch;
+pub mod cancel;
 pub mod cells;
 mod delay;
 mod error;
@@ -64,13 +65,15 @@ pub mod sta;
 pub mod vcd;
 
 pub use area::AreaReport;
+pub use cancel::{CancelToken, Cancelled};
 pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
 pub use error::{BatchError, NetlistError, SimError, StaError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use pipeline::{Pipeline, PipelineStage};
 pub use sim::{
-    default_event_budget, simulate, simulate_budgeted, simulate_from_zero,
-    simulate_from_zero_with_faults, simulate_with_faults, BusWaveforms, SimResult,
+    default_event_budget, simulate, simulate_budgeted, simulate_budgeted_cancellable,
+    simulate_from_zero, simulate_from_zero_with_faults, simulate_with_faults,
+    simulate_with_faults_cancellable, BusWaveforms, SimResult,
 };
 pub use sta::{analyze, try_analyze, TimingReport};
