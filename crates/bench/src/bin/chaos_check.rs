@@ -19,12 +19,23 @@
 //!    *still* bit-identical (the engines agree bit-for-bit);
 //! 5. **panic** — an injected panic inside one experiment yields partial
 //!    results (exit 1); `--resume` completes the run bit-identically.
+//! 6. **serve panic** — a worker panic mid-request (`OLA_CHAOS_SERVE_PANIC`)
+//!    against a live in-process `ola-serve` answers that request with 500
+//!    and the server keeps serving;
+//! 7. **cache rot** — a tampered cache entry (`OLA_CHAOS_CACHE_TAMPER`
+//!    flips a stored byte) fails its SHA-256 re-check on read, is
+//!    recomputed, and the served *result* matches the pre-rot answer —
+//!    rot is never served.
 //!
 //! Exit 0 when every scenario holds, 1 otherwise. CI runs this after the
-//! test suite; it needs no network and about as long as `repro --quick
-//! sta` five times.
+//! test suite; it needs no network (the serve scenarios bind loopback)
+//! and about as long as `repro --quick sta` five times.
 
+use ola_serve::http::{self, HttpLimits, Request};
+use ola_serve::{Server, ServerConfig};
 use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -53,6 +64,8 @@ fn run_repro(dir: &Path, args: &[&str], env: &[(&str, &str)]) -> RunResult {
         ola_core::resilience::chaos::ABORT_AFTER_FRAMES,
         ola_core::resilience::chaos::TORN_FRAME,
         ola_core::resilience::chaos::PANIC,
+        ola_core::resilience::chaos::SERVE_PANIC,
+        ola_core::resilience::chaos::CACHE_TAMPER,
     ] {
         cmd.env_remove(var);
     }
@@ -110,6 +123,40 @@ fn identical(
         }
     }
     ok
+}
+
+/// The analysis query both serve scenarios use (small enough to compute
+/// in milliseconds, real enough to exercise the full pipeline).
+const SERVE_QUERY: &str =
+    r#"{"kind":"sweep","expr":"y = a * 0.5 + b","width":3,"ts_points":3,"samples":8}"#;
+
+/// POSTs one query to the in-process server over loopback and returns the
+/// response (`Connection: close`, one exchange per connection).
+fn post_query(addr: std::net::SocketAddr, query: &str) -> ola_serve::Response {
+    let stream = TcpStream::connect(addr).expect("connect to chaos serve");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    http::write_request(
+        &mut writer,
+        &Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            headers: vec![("Connection".into(), "close".into())],
+            body: query.as_bytes().to_vec(),
+        },
+    )
+    .expect("send query");
+    http::read_response(&mut reader, &HttpLimits::default())
+        .expect("read response")
+        .expect("one response")
+}
+
+/// The rendered `result` portion of a serve response body (the manifest
+/// portion legitimately differs between fills — its timestamp is frozen
+/// per fill, not per query).
+fn result_portion(body: &[u8]) -> Option<String> {
+    let doc = ola_core::obs::json::parse(std::str::from_utf8(body).ok()?).ok()?;
+    Some(doc.get("result")?.render())
 }
 
 struct Harness {
@@ -240,6 +287,52 @@ fn main() {
             .iter()
             .all(|(name, bytes)| resumed.csvs.get(name).is_some_and(|b| b == bytes));
         h.check("panic: resumed sta CSVs bit-identical to baseline", sta_ok);
+    }
+
+    // 6. Worker panic mid-request against a live server: the poisoned
+    // request answers 500, the worker survives, and the very next request
+    // on the same pool answers 200.
+    {
+        let server = Server::start(ServerConfig::default()).expect("bind chaos serve");
+        let addr = server.addr();
+        std::env::set_var(ola_core::resilience::chaos::SERVE_PANIC, "1");
+        let crashed = post_query(addr, SERVE_QUERY);
+        std::env::remove_var(ola_core::resilience::chaos::SERVE_PANIC);
+        h.check("serve panic: poisoned request answers 500", crashed.status == 500);
+        let after = post_query(addr, SERVE_QUERY);
+        h.check("serve panic: server stays up and answers 200", after.status == 200);
+        server.drain_and_join();
+    }
+
+    // 7. Cache rot: the tamper hook flips a byte inside the *stored* cache
+    // entry at fill time. The integrity re-hash on the next read must
+    // reject the entry (never serve rot) and recompute; the recomputed
+    // result matches the clean answer bit-for-bit (only the embedded
+    // manifest timestamp may differ between fills).
+    {
+        let server = Server::start(ServerConfig::default()).expect("bind chaos serve");
+        let addr = server.addr();
+        std::env::set_var(ola_core::resilience::chaos::CACHE_TAMPER, "1");
+        let clean = post_query(addr, SERVE_QUERY);
+        h.check("cache rot: tampered fill still answers the caller clean", clean.status == 200);
+        let reread = post_query(addr, SERVE_QUERY);
+        std::env::remove_var(ola_core::resilience::chaos::CACHE_TAMPER);
+        h.check("cache rot: re-read answers 200", reread.status == 200);
+        let recomputed = http::header(&reread.headers, "x-ola-cache") == Some("miss");
+        h.check("cache rot: rotten entry rejected and recomputed, not served", recomputed);
+        h.check(
+            "cache rot: recomputed result identical to the clean answer",
+            result_portion(&clean.body) == result_portion(&reread.body)
+                && result_portion(&clean.body).is_some(),
+        );
+        let tamper_rejected = ola_core::obs::registry()
+            .snapshot()
+            .counters
+            .get("ola.cache.tamper_rejected")
+            .copied()
+            .unwrap_or(0);
+        h.check("cache rot: integrity check counted the rejection", tamper_rejected >= 1);
+        server.drain_and_join();
     }
 
     if h.failures.is_empty() {

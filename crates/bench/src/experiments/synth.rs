@@ -19,8 +19,11 @@
 
 use super::Scale;
 use crate::report::{fmt_f, Table};
-use ola_core::SimBackend;
+use ola_core::obs::json::{self, JsonValue};
+use ola_core::{CacheConfig, CacheKey, ContentCache, SimBackend};
 use ola_synth::{explore, AdderStructure, ExploreConfig, InputFmt, Style};
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Master seed for the explorer's empirical error curves (recorded in the
 /// run manifest via [`super::master_seeds`]).
@@ -32,6 +35,41 @@ fn widths(scale: Scale) -> Vec<usize> {
         Scale::Quick => vec![4, 6],
         Scale::Full => vec![4, 8, 12],
     }
+}
+
+/// The convolution program every sweep compiles.
+const EXPR: &str = "y = a * 0.25 + b * 0.5 + c * 0.25";
+
+/// The process-wide result cache the sweep runs through — the same
+/// [`ContentCache`] `ola-serve` uses, so a repeated `repro synth` (same
+/// scale, same backend) warm-hits instead of re-exploring. The disk tier
+/// activates when `OLA_CACHE_DIR` names a directory (`repro` defaults it
+/// to `results/cache`, so back-to-back CLI invocations hit across
+/// processes); unset or empty keeps the cache memory-only.
+fn cache() -> &'static ContentCache {
+    static CACHE: OnceLock<ContentCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let disk_dir =
+            std::env::var("OLA_CACHE_DIR").ok().filter(|d| !d.is_empty()).map(PathBuf::from);
+        ContentCache::new(CacheConfig { capacity: 64, disk_dir })
+    })
+}
+
+/// The canonical text whose SHA-256 is the sweep's content address: every
+/// input that can change a row is spelled out, so semantically identical
+/// invocations share a key and any config drift misses.
+fn canonical(cfg: &ExploreConfig) -> String {
+    format!(
+        "repro-synth/v1 expr={EXPR:?} widths={:?} styles={:?} allocations={:?} frac={} ts={} samples={} seed={:#x} backend={}",
+        cfg.widths,
+        cfg.styles.iter().map(|s| s.name()).collect::<Vec<_>>(),
+        cfg.allocations.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        cfg.frac_digits,
+        cfg.ts_points,
+        cfg.samples,
+        cfg.seed,
+        cfg.backend.label(),
+    )
 }
 
 /// Runs the synthesis Pareto sweep and renders one row per design point.
@@ -80,12 +118,33 @@ fn synth_inner(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> 
         ),
     );
 
-    let dfg = ola_synth::parse_dfg(
-        "y = a * 0.25 + b * 0.5 + c * 0.25",
-        InputFmt { msd_pos: 1, digits: 8 },
-    )
-    .map_err(|e| format!("convolution program failed to parse: {e}"))?;
-    let result = explore(&dfg, &cfg);
+    // Content-addressed: the whole sweep dedupes through the same cache
+    // `ola-serve` uses. The frontier validation runs inside the fill, so
+    // a failing sweep is never cached; a warm hit replays rows that
+    // already passed it.
+    let key = CacheKey::of(canonical(&cfg).as_bytes());
+    let (bytes, lookup) = cache().get_or_compute(&key, || {
+        let tables = explore_and_render(&cfg)?;
+        let doc = JsonValue::Array(tables.iter().map(Table::to_json).collect());
+        Ok::<_, String>(doc.render().into_bytes())
+    })?;
+    ola_core::obs::annotate("synth.cache", format_args!("{} {}", lookup.label(), key.hex()));
+    if lookup.is_hit() {
+        eprintln!("  [synth] warm {} for key {}", lookup.label(), &key.hex()[..12]);
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|_| "cached sweep is not utf-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("cached sweep unparseable: {e}"))?;
+    doc.as_array()
+        .ok_or_else(|| "cached sweep is not an array".to_string())?
+        .iter()
+        .map(|t| Table::from_json(t).ok_or_else(|| "cached table malformed".to_string()))
+        .collect()
+}
+
+fn explore_and_render(cfg: &ExploreConfig) -> Result<Vec<Table>, String> {
+    let dfg = ola_synth::parse_dfg(EXPR, InputFmt { msd_pos: 1, digits: 8 })
+        .map_err(|e| format!("convolution program failed to parse: {e}"))?;
+    let result = explore(&dfg, cfg);
 
     let mut t = Table::new(
         "Synth Pareto online vs conventional",
@@ -160,6 +219,47 @@ mod tests {
         assert!(t.rows.iter().any(|r| r[0] == "online"));
         assert!(t.rows.iter().any(|r| r[0] == "conventional"));
         assert!(t.rows.iter().all(|r| r[3].parse::<u64>().is_ok()));
+    }
+
+    #[test]
+    fn second_sweep_warm_hits_the_content_cache() {
+        let hits = || {
+            ola_core::obs::registry()
+                .snapshot()
+                .counters
+                .get("ola.cache.hits")
+                .copied()
+                .unwrap_or(0)
+        };
+        let run = || {
+            synth(&crate::resume::ExperimentCtx::ephemeral("synth"), Scale::Quick, SimBackend::Auto)
+                .unwrap()
+        };
+        let cold = run();
+        let before = hits();
+        let warm = run();
+        assert!(hits() > before, "second identical sweep must warm-hit the cache");
+        // A warm hit replays the exact rows the cold sweep produced.
+        assert_eq!(cold[0].rows, warm[0].rows, "cached rows are bit-identical");
+    }
+
+    #[test]
+    fn canonical_keys_separate_configs_and_stay_stable() {
+        let cfg = |samples| ExploreConfig {
+            widths: vec![4, 6],
+            styles: vec![Style::Online, Style::Conventional],
+            allocations: vec![AdderStructure::LinearChain],
+            frac_digits: 3,
+            ts_points: 4,
+            samples,
+            seed: SEED,
+            backend: SimBackend::Auto,
+        };
+        let a = CacheKey::of(canonical(&cfg(8)).as_bytes());
+        let b = CacheKey::of(canonical(&cfg(8)).as_bytes());
+        let c = CacheKey::of(canonical(&cfg(16)).as_bytes());
+        assert_eq!(a, b, "identical configs share a content address");
+        assert_ne!(a, c, "any config drift changes the key");
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   process-global metrics registry ([`obs::registry()`]) fed by the
 //!   simulation engines, and per-experiment run manifests
 //!   ([`obs::RunManifest`]) with SHA-256-certified outputs;
+//! * [`cache`] — the content-addressed result cache ([`ContentCache`]):
+//!   SHA-256-keyed, single-flight, LRU-bounded, integrity-verified on
+//!   every read, with an optional on-disk tier — the dedupe substrate for
+//!   `ola-serve` and warm `repro synth` re-runs;
 //! * [`parallel`] — deterministic parallel Monte-Carlo accumulation and
 //!   the `OLA_THREADS` resolution ([`parallel::thread_config`]) recorded
 //!   in manifests;
@@ -64,6 +68,7 @@
 
 pub mod backend;
 pub mod baseline;
+pub mod cache;
 pub mod campaign;
 pub mod empirical;
 pub mod metrics;
@@ -77,5 +82,6 @@ pub mod sweep;
 pub mod timing;
 
 pub use backend::{BackendStats, SimBackend, StaGate};
+pub use cache::{CacheConfig, CacheKey, ContentCache, Lookup};
 pub use montecarlo::InputModel;
 pub use resilience::{CancelToken, Cancelled, ResilienceError};

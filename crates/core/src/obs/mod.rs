@@ -118,10 +118,81 @@ pub fn init() {
 static ANNOTATIONS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 static NOTED_OUTPUTS: Mutex<Vec<(String, PathBuf)>> = Mutex::new(Vec::new());
 
+thread_local! {
+    /// Stack of installed annotation scopes; the innermost wins. Mirrors
+    /// the ambient-cancellation stack in [`crate::resilience`]: a stack so
+    /// nested scopes restore the outer one on drop, a thread-local so
+    /// concurrent requests cannot capture each other's annotations.
+    static SCOPES: std::cell::RefCell<Vec<AnnotationScope>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A private annotation sink for one logical unit of work (one `ola-serve`
+/// request, say). While installed on a thread ([`AnnotationScope::install`])
+/// — and on any [`crate::parallel`] workers spawned from it — every
+/// [`annotate`] call lands here instead of in the process-global queue, so
+/// concurrent requests build independent manifests. Clones share the sink.
+#[derive(Clone, Default)]
+pub struct AnnotationScope {
+    sink: std::sync::Arc<Mutex<Vec<(String, String)>>>,
+}
+
+/// RAII guard returned by [`AnnotationScope::install`]; uninstalls on drop.
+#[must_use = "dropping the guard uninstalls the annotation scope"]
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| s.borrow_mut().pop());
+    }
+}
+
+impl AnnotationScope {
+    /// A fresh, empty scope.
+    #[must_use]
+    pub fn new() -> AnnotationScope {
+        AnnotationScope::default()
+    }
+
+    /// Installs this scope as the thread's annotation sink until the
+    /// returned guard drops.
+    pub fn install(&self) -> ScopeGuard {
+        SCOPES.with(|s| s.borrow_mut().push(self.clone()));
+        ScopeGuard { _not_send: std::marker::PhantomData }
+    }
+
+    /// Drains every annotation captured so far (insertion order).
+    #[must_use]
+    pub fn drain(&self) -> Vec<(String, String)> {
+        let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *sink)
+    }
+
+    fn push(&self, key: String, value: String) {
+        let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        sink.push((key, value));
+    }
+}
+
+/// This thread's innermost annotation scope, if one is installed. The
+/// [`crate::parallel`] pool captures it and re-installs it in each worker,
+/// exactly as it does the ambient cancellation token.
+#[must_use]
+pub fn current_scope() -> Option<AnnotationScope> {
+    SCOPES.with(|s| s.borrow().last().cloned())
+}
+
 /// Records a free-form `key = value` annotation for the current
 /// experiment's manifest (Ts grids, sweep shapes, input models, …).
-/// Annotations accumulate until [`take_annotations`] drains them.
+/// Lands in the thread's installed [`AnnotationScope`] when one exists,
+/// else in the process-global queue that [`take_annotations`] drains.
 pub fn annotate(key: impl Into<String>, value: impl std::fmt::Display) {
+    if let Some(scope) = current_scope() {
+        scope.push(key.into(), value.to_string());
+        return;
+    }
     let mut slot = ANNOTATIONS.lock().unwrap_or_else(PoisonError::into_inner);
     slot.push((key.into(), value.to_string()));
 }
@@ -219,5 +290,55 @@ mod tests {
         assert_eq!(noted.len(), 1);
         assert_eq!(noted[0].0, "results/a.pgm");
         assert!(take_noted_outputs().is_empty());
+    }
+
+    #[test]
+    fn annotation_scopes_capture_instead_of_the_global_queue() {
+        let _lock = ANNOTATIONS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = take_annotations();
+
+        let scope = AnnotationScope::new();
+        assert!(current_scope().is_none());
+        {
+            let _g = scope.install();
+            assert!(current_scope().is_some());
+            annotate("req.width", 8);
+            {
+                // Nested scope wins while installed.
+                let inner = AnnotationScope::new();
+                let _g2 = inner.install();
+                annotate("inner.only", "x");
+                assert_eq!(inner.drain(), vec![("inner.only".into(), "x".into())]);
+            }
+            annotate("req.style", "online");
+        }
+        assert!(current_scope().is_none());
+        assert_eq!(
+            scope.drain(),
+            vec![("req.width".into(), "8".into()), ("req.style".into(), "online".into())]
+        );
+        assert!(scope.drain().is_empty(), "drain is destructive");
+        assert!(take_annotations().is_empty(), "nothing leaked to the global queue");
+
+        // Without a scope, annotate falls back to the global queue.
+        annotate("global.key", 1);
+        assert_eq!(take_annotations(), vec![("global.key".into(), "1".into())]);
+    }
+
+    #[test]
+    fn scopes_propagate_into_parallel_workers() {
+        let scope = AnnotationScope::new();
+        let _g = scope.install();
+        let n = crate::parallel::parallel_map(&[1u64, 2, 3, 4], |_, &x| {
+            annotate(format!("worker.{x}"), x);
+            x
+        })
+        .len();
+        assert_eq!(n, 4);
+        let mut notes = scope.drain();
+        notes.sort();
+        assert_eq!(notes.len(), 4);
+        assert_eq!(notes[0], ("worker.1".into(), "1".into()));
+        assert_eq!(notes[3], ("worker.4".into(), "4".into()));
     }
 }

@@ -66,9 +66,13 @@ where
     // Capture the caller's ambient token so worker threads (which have
     // their own empty thread-local stack) see the same cancellation scope.
     let ambient: Option<CancelToken> = ambient_token();
+    // Same for the caller's annotation scope: annotations recorded inside
+    // worker threads must land in the caller's per-request sink.
+    let scope = crate::obs::current_scope();
 
     let worker = || {
         let _guard = ambient.clone().map(install_ambient);
+        let _scope_guard = scope.as_ref().map(crate::obs::AnnotationScope::install);
         loop {
             if ambient.as_ref().is_some_and(CancelToken::is_cancelled) {
                 cancelled.store(true, Ordering::Relaxed);

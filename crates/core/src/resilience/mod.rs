@@ -327,6 +327,14 @@ pub mod chaos {
     /// Names an experiment that must panic at its start — a synthetic
     /// crash inside experiment code.
     pub const PANIC: &str = "OLA_CHAOS_PANIC";
+    /// Makes every `ola-serve` worker panic mid-request (set non-empty,
+    /// ≠ `0`) — the request must become a 500 and the server must stay
+    /// up.
+    pub const SERVE_PANIC: &str = "OLA_CHAOS_SERVE_PANIC";
+    /// Makes the content-addressed cache flip one byte of every payload
+    /// it *stores* (set non-empty, ≠ `0`) — reads must detect the digest
+    /// mismatch and recompute, never serve rot.
+    pub const CACHE_TAMPER: &str = "OLA_CHAOS_CACHE_TAMPER";
 
     fn flag(var: &str) -> bool {
         std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0")
@@ -358,6 +366,18 @@ pub mod chaos {
     #[must_use]
     pub fn panic_target() -> Option<String> {
         std::env::var(PANIC).ok().filter(|v| !v.is_empty())
+    }
+
+    /// True when [`SERVE_PANIC`] is set.
+    #[must_use]
+    pub fn serve_panic_forced() -> bool {
+        flag(SERVE_PANIC)
+    }
+
+    /// True when [`CACHE_TAMPER`] is set.
+    #[must_use]
+    pub fn cache_tamper_forced() -> bool {
+        flag(CACHE_TAMPER)
     }
 }
 

@@ -1,0 +1,136 @@
+//! `ola-serve` — the long-running datapath analysis server.
+//!
+//! ```text
+//! ola-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!           [--deadline-ms MS] [--cache-capacity N] [--cache-dir DIR]
+//!           [--rate-capacity N] [--rate-per-sec N] [--no-rate-limit]
+//! ```
+//!
+//! Prints `listening <addr>` on stdout once bound (so a supervisor using
+//! `--addr 127.0.0.1:0` can discover the port), then serves until either
+//! `POST /admin/drain` arrives or **stdin reaches EOF**. The stdin
+//! watcher is the SIGTERM equivalent under `unsafe_code = "forbid"` (no
+//! libc, no signal handlers): run the server with its stdin on a pipe and
+//! closing that pipe drains it gracefully — queued and in-flight requests
+//! finish, then the process exits 0.
+
+use ola_serve::{RateConfig, Server, ServerConfig};
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: ola-serve [flags]");
+    eprintln!("flags:");
+    eprintln!("  --addr HOST:PORT    bind address (default 127.0.0.1:8841; :0 picks a port)");
+    eprintln!("  --workers N         worker threads (default 4)");
+    eprintln!("  --queue-depth N     bounded accept queue; full => 429 (default 256)");
+    eprintln!("  --deadline-ms MS    per-request compute deadline (default 10000)");
+    eprintln!("  --cache-capacity N  in-memory cache entries (default 1024)");
+    eprintln!("  --cache-dir DIR     enable the disk cache tier under DIR");
+    eprintln!("  --rate-capacity N   per-peer token-bucket burst (default 100)");
+    eprintln!("  --rate-per-sec N    per-peer refill rate (default 2000)");
+    eprintln!("  --no-rate-limit     disable per-peer rate limiting");
+    eprintln!();
+    eprintln!("drain: POST /admin/drain, or close the server's stdin (SIGTERM equivalent)");
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("flag {flag} needs a numeric value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServerConfig { addr: "127.0.0.1:8841".into(), ..ServerConfig::default() };
+    let mut rate = RateConfig::default();
+    let mut rate_enabled = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = parse_num(args.get(i), "--workers");
+            }
+            "--queue-depth" => {
+                i += 1;
+                cfg.queue_depth = parse_num(args.get(i), "--queue-depth");
+            }
+            "--deadline-ms" => {
+                i += 1;
+                cfg.request_deadline =
+                    Duration::from_millis(parse_num(args.get(i), "--deadline-ms"));
+            }
+            "--cache-capacity" => {
+                i += 1;
+                cfg.cache.capacity = parse_num(args.get(i), "--cache-capacity");
+            }
+            "--cache-dir" => {
+                i += 1;
+                cfg.cache.disk_dir =
+                    Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--rate-capacity" => {
+                i += 1;
+                rate.capacity = parse_num(args.get(i), "--rate-capacity");
+            }
+            "--rate-per-sec" => {
+                i += 1;
+                rate.refill_per_sec = parse_num(args.get(i), "--rate-per-sec");
+            }
+            "--no-rate-limit" => rate_enabled = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    cfg.rate = rate_enabled.then_some(rate);
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ola-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening {}", server.addr());
+
+    // SIGTERM equivalent: watch stdin for EOF on a helper thread. When
+    // the supervisor closes the pipe (or the endpoint drains us), stop.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+    while !server.is_draining() && !stdin_closed.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    eprintln!("ola-serve: draining");
+    server.drain_and_join();
+    eprintln!("ola-serve: drained cleanly");
+}

@@ -1,0 +1,444 @@
+//! A hand-rolled HTTP/1.1 subset over `std::io`, matching the repo's
+//! zero-dependency idiom (cf. the hand-rolled JSON in
+//! [`ola_core::obs::json`]).
+//!
+//! Exactly what the wire API needs, nothing more: request-line + headers +
+//! `Content-Length` bodies, keep-alive by default (`Connection: close`
+//! honored), CRLF framing, and hard size limits ([`HttpLimits`]) so a
+//! hostile peer cannot balloon memory. No chunked encoding, no multipart,
+//! no TLS — the service speaks plain JSON bodies on a trusted network.
+//!
+//! Both directions are implemented (the load generator is a first-class
+//! client of this module), and parse(serialize(x)) == x for every
+//! representable message — property-tested in `tests/proptest_http.rs`.
+
+use std::io::{self, BufRead, Write};
+
+/// Size limits for inbound messages.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Longest accepted request/status line, bytes (CRLF included).
+    pub max_line: usize,
+    /// Most accepted headers per message.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_line: 8 * 1024, max_headers: 64, max_body: 1024 * 1024 }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Method token (`GET`, `POST`, …), uppercase by convention.
+    pub method: String,
+    /// Request target (origin form, e.g. `/query`).
+    pub path: String,
+    /// Header fields in wire order. `Content-Length` is derived from the
+    /// body at serialization time and stripped at parse time, so it never
+    /// appears (and can never lie) here.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP/1.1 response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 429, …).
+    pub status: u16,
+    /// Header fields in wire order (same `Content-Length` rule as
+    /// [`Request::headers`]).
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a JSON body and `Content-Type` set.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The standard reason phrase for this status (a small table; unknown
+    /// codes render as `Status`).
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+/// A malformed or over-limit message. The connection should be closed
+/// after one of these — framing cannot be trusted afterwards.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// Protocol violation or limit breach; the message says which.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// Reads one CRLF-terminated line (returned without the CRLF). Bounded by
+/// `max`; EOF before any byte yields `None`.
+fn read_line(r: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(malformed("eof mid-line"));
+            }
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.len() > max {
+                    return Err(malformed(format!("line over {max} bytes")));
+                }
+                if buf.ends_with(b"\r\n") {
+                    buf.truncate(buf.len() - 2);
+                    let s = String::from_utf8(buf).map_err(|_| malformed("non-utf8 line"))?;
+                    return Ok(Some(s));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Validates a header-name token: RFC 7230 `tchar`s only.
+fn valid_token(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Reads headers until the blank line; returns `(headers, content_length)`
+/// with any `Content-Length` field consumed rather than kept.
+fn read_headers(
+    r: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<(Vec<(String, String)>, usize), HttpError> {
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(r, limits.max_line)?.ok_or_else(|| malformed("eof in headers"))?;
+        if line.is_empty() {
+            return Ok((headers, content_length));
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(malformed(format!("more than {} headers", limits.max_headers)));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("header without colon: {line:?}")))?;
+        if !valid_token(name) {
+            return Err(malformed(format!("bad header name {name:?}")));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| malformed(format!("bad content-length {value:?}")))?;
+            if content_length > limits.max_body {
+                return Err(malformed(format!(
+                    "content-length {content_length} over limit {}",
+                    limits.max_body
+                )));
+            }
+        } else {
+            headers.push((name.to_owned(), value.to_owned()));
+        }
+    }
+}
+
+fn read_body(r: &mut impl BufRead, len: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            malformed("eof in body")
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(body)
+}
+
+/// Reads one request off `r`. `Ok(None)` is a clean EOF between requests
+/// (the peer closed a keep-alive connection).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] on any framing violation; [`HttpError::Io`]
+/// on transport failure (including read timeouts).
+pub fn read_request(
+    r: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(r, limits.max_line)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(malformed(format!("bad request line {line:?}"))),
+    };
+    if !valid_token(method) {
+        return Err(malformed(format!("bad method {method:?}")));
+    }
+    if version != "HTTP/1.1" {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let (headers, content_length) = read_headers(r, limits)?;
+    let body = read_body(r, content_length)?;
+    Ok(Some(Request { method: method.to_owned(), path: path.to_owned(), headers, body }))
+}
+
+/// Reads one response off `r`. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Same contract as [`read_request`].
+pub fn read_response(
+    r: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<Option<Response>, HttpError> {
+    let Some(line) = read_line(r, limits.max_line)? else {
+        return Ok(None);
+    };
+    let mut parts = line.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => return Err(malformed(format!("bad status line {line:?}"))),
+    };
+    if version != "HTTP/1.1" {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let status: u16 = code.parse().map_err(|_| malformed(format!("bad status code {code:?}")))?;
+    let (headers, content_length) = read_headers(r, limits)?;
+    let body = read_body(r, content_length)?;
+    Ok(Some(Response { status, headers, body }))
+}
+
+/// Serializes `req` to `w` (adds `Content-Length`, flushes).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut head = format!("{} {} HTTP/1.1\r\n", req.method, req.path);
+    for (k, v) in &req.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", req.body.len()));
+    // One write for head + body: a split write puts the body in its own
+    // TCP segment, and Nagle + delayed ACK turns that into a ~40 ms stall
+    // per message on loopback.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&req.body);
+    w.write_all(&message)?;
+    w.flush()
+}
+
+/// Serializes `resp` to `w` (adds `Content-Length`, flushes).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason());
+    for (k, v) in &resp.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", resp.body.len()));
+    // Same single-write rule as `write_request` (Nagle + delayed ACK).
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&resp.body);
+    w.write_all(&message)?;
+    w.flush()
+}
+
+/// Finds a header by case-insensitive name.
+#[must_use]
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+}
+
+/// True when the message asked to drop the connection after this exchange.
+#[must_use]
+pub fn wants_close(headers: &[(String, String)]) -> bool {
+    header(headers, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, req).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        read_request(&mut r, &HttpLimits::default()).unwrap().expect("one request")
+    }
+
+    #[test]
+    fn request_roundtrips_with_body_and_headers() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            headers: vec![
+                ("X-Trace".into(), "abc".into()),
+                ("Accept".into(), "application/json".into()),
+            ],
+            body: br#"{"kind":"lint"}"#.to_vec(),
+        };
+        assert_eq!(roundtrip_request(&req), req);
+        let empty = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(roundtrip_request(&empty), empty);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = Response::json(429, r#"{"error":"slow down"}"#.into());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let got = read_response(&mut r, &HttpLimits::default()).unwrap().expect("one response");
+        assert_eq!(got, resp);
+        assert_eq!(got.reason(), "Too Many Requests");
+    }
+
+    #[test]
+    fn keep_alive_carries_multiple_requests_per_connection() {
+        let a = Request { method: "GET".into(), path: "/a".into(), headers: vec![], body: vec![] };
+        let b = Request {
+            method: "POST".into(),
+            path: "/b".into(),
+            headers: vec![],
+            body: b"xy".to_vec(),
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &a).unwrap();
+        write_request(&mut wire, &b).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let lim = HttpLimits::default();
+        assert_eq!(read_request(&mut r, &lim).unwrap().unwrap(), a);
+        assert_eq!(read_request(&mut r, &lim).unwrap().unwrap(), b);
+        assert!(read_request(&mut r, &lim).unwrap().is_none(), "clean EOF after the last request");
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected_not_misparsed() {
+        let lim = HttpLimits::default();
+        let cases: &[&[u8]] = &[
+            b"GET\r\n\r\n",                                      // no path
+            b"GET /x HTTP/1.0\r\n\r\n",                          // wrong version
+            b"GET /x HTTP/1.1 extra\r\n\r\n",                    // 4 request-line parts
+            b"GET /x HTTP/1.1\r\nno-colon\r\n\r\n",              // header without colon
+            b"GET /x HTTP/1.1\r\nContent-Length: beef\r\n\r\n",  // bad length
+            b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", // truncated body
+            b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",           // space in header name
+        ];
+        for case in cases {
+            let mut r = BufReader::new(*case);
+            assert!(
+                matches!(read_request(&mut r, &lim), Err(HttpError::Malformed(_))),
+                "must reject {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn limits_bound_lines_headers_and_bodies() {
+        let lim = HttpLimits { max_line: 64, max_headers: 2, max_body: 8 };
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(200));
+        let mut r = BufReader::new(long_path.as_bytes());
+        assert!(read_request(&mut r, &lim).is_err(), "over-long line");
+
+        let many = b"GET /x HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        let mut r = BufReader::new(&many[..]);
+        assert!(read_request(&mut r, &lim).is_err(), "too many headers");
+
+        let big = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let mut r = BufReader::new(&big[..]);
+        assert!(read_request(&mut r, &lim).is_err(), "body over limit");
+    }
+
+    #[test]
+    fn content_length_is_derived_never_trusted_twice() {
+        // A parsed message never exposes Content-Length in headers, so
+        // re-serialization cannot disagree with the actual body.
+        let req = Request {
+            method: "POST".into(),
+            path: "/q".into(),
+            headers: vec![],
+            body: b"12345".to_vec(),
+        };
+        let got = roundtrip_request(&req);
+        assert!(header(&got.headers, "content-length").is_none());
+        assert_eq!(got.body.len(), 5);
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        assert!(wants_close(&[("Connection".into(), "close".into())]));
+        assert!(wants_close(&[("connection".into(), "CLOSE".into())]));
+        assert!(!wants_close(&[("Connection".into(), "keep-alive".into())]));
+        assert!(!wants_close(&[]));
+    }
+}

@@ -1,0 +1,38 @@
+//! `ola-serve`: a high-QPS datapath analysis service with a
+//! content-addressed result cache.
+//!
+//! The server speaks hand-rolled HTTP/1.1 over `std::net` (zero new
+//! dependencies, matching the repo's hand-rolled JSON idiom) and exposes
+//! the `ola-synth` analysis surface as a long-running service:
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `POST /query` | Run a [`ola_synth::Query`] (pareto / sweep / sta / lint); response embeds an `ola.run-manifest/v1` manifest |
+//! | `GET /healthz` | Liveness + drain state |
+//! | `GET /metrics` | Process metric registry (counters + gauges) as JSON |
+//! | `POST /admin/drain` | SIGTERM-equivalent graceful drain |
+//!
+//! Queries are canonicalized, content-addressed with SHA-256, and
+//! deduplicated through [`ola_core::cache::ContentCache`]: N identical
+//! in-flight queries cost exactly one computation (single-flight), and a
+//! cache hit returns bytes **bit-identical** to the cold computation —
+//! manifest artifact hashes included — because the whole response body is
+//! rendered once at fill time. Cache status travels in `X-Ola-Cache` /
+//! `X-Ola-Key` headers, outside the cached bytes.
+//!
+//! Overload is shed at the door: a bounded accept queue answers `429` +
+//! `Retry-After` when full, per-peer token buckets ([`limiter`]) shape
+//! abusive clients, and per-request deadlines ride the PR-6 ambient
+//! [`ola_core::CancelToken`] stack so runaway queries unwind into `503`s
+//! instead of wedging workers. A worker panic answers `500` and the
+//! worker survives. See [`server`] for the full policy and `DESIGN.md`
+//! §15 for rationale.
+
+pub mod http;
+pub mod limiter;
+pub mod server;
+pub mod wire;
+
+pub use http::{HttpLimits, Request, Response};
+pub use limiter::{RateConfig, RateDecision, RateLimiter};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,128 @@
+//! Property tests: every representable wire message survives a
+//! serialize → parse round trip bit-exactly, in both directions.
+//!
+//! "Representable" mirrors the documented parser contract: token methods,
+//! space-free paths, token header names (`Content-Length` is reserved —
+//! derived from the body, never user-supplied), trimmed CR/LF-free header
+//! values, arbitrary byte bodies.
+
+use ola_serve::http::{
+    read_request, read_response, write_request, write_response, HttpLimits, Request, Response,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// The vendored proptest has no regex strategies; strings are built from
+/// per-character alphabets instead.
+fn string_of(alphabet: &str, len: impl Strategy<Value = usize>) -> impl Strategy<Value = String> {
+    let chars: Vec<char> = alphabet.chars().collect();
+    len.prop_flat_map(move |n| prop::collection::vec(prop::sample::select(chars.clone()), n..=n))
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn method() -> impl Strategy<Value = String> {
+    string_of("ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1usize..8)
+}
+
+fn path() -> impl Strategy<Value = String> {
+    string_of("abcdefghijklmnopqrstuvwxyz0123456789_./%?=&-", 0usize..40)
+        .prop_map(|tail| format!("/{tail}"))
+}
+
+fn header_name() -> impl Strategy<Value = String> {
+    string_of(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!#$%&'*+.^_`|~-",
+        1usize..17,
+    )
+    .prop_filter("content-length is derived, never user-supplied", |n| {
+        !n.eq_ignore_ascii_case("content-length")
+    })
+}
+
+/// Header values arrive trimmed (the parser strips optional whitespace),
+/// so representable values carry no leading/trailing whitespace — generate
+/// printable ASCII and trim.
+fn header_value() -> impl Strategy<Value = String> {
+    string_of(
+        " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~",
+        0usize..22,
+    )
+    .prop_map(|v| v.trim().to_owned())
+}
+
+fn headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((header_name(), header_value()), 0..6)
+}
+
+fn body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..512)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_roundtrip_exactly(
+        method in method(),
+        path in path(),
+        headers in headers(),
+        body in body(),
+    ) {
+        let req = Request { method, path, headers, body };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let got = read_request(&mut r, &HttpLimits::default()).unwrap().expect("one request");
+        prop_assert_eq!(got, req);
+        prop_assert!(
+            read_request(&mut r, &HttpLimits::default()).unwrap().is_none(),
+            "clean EOF after the message"
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip_exactly(
+        status in 100u16..1000,
+        headers in headers(),
+        body in body(),
+    ) {
+        let resp = Response { status, headers, body };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let got = read_response(&mut r, &HttpLimits::default()).unwrap().expect("one response");
+        prop_assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn pipelined_requests_keep_their_framing(
+        reqs in prop::collection::vec(
+            (method(), path(), headers(), body())
+                .prop_map(|(method, path, headers, body)| Request { method, path, headers, body }),
+            1..5,
+        ),
+    ) {
+        // Keep-alive framing: N serialized messages on one stream parse
+        // back as exactly those N messages, in order.
+        let mut wire = Vec::new();
+        for req in &reqs {
+            write_request(&mut wire, req).unwrap();
+        }
+        let mut r = BufReader::new(&wire[..]);
+        for req in &reqs {
+            let got = read_request(&mut r, &HttpLimits::default()).unwrap().expect("message");
+            prop_assert_eq!(&got, req);
+        }
+        prop_assert!(read_request(&mut r, &HttpLimits::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_the_parser(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Fuzz the inbound path: any byte soup either parses or errors,
+        // never panics or hangs (the reader is finite).
+        let mut r = BufReader::new(&junk[..]);
+        let _ = read_request(&mut r, &HttpLimits::default());
+        let mut r = BufReader::new(&junk[..]);
+        let _ = read_response(&mut r, &HttpLimits::default());
+    }
+}

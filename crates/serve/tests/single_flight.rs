@@ -1,0 +1,82 @@
+//! End-to-end single-flight proof: K identical concurrent queries
+//! against a live server cost exactly one computation — one `miss`, the
+//! rest `hit`/`coalesced` — and every response body is byte-identical.
+
+use ola_serve::http::{self, HttpLimits, Request};
+use ola_serve::{Server, ServerConfig};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+/// Heavy enough that overlapping clients pile onto the same in-flight
+/// fill instead of finishing before the next one connects.
+const QUERY: &str =
+    r#"{"kind":"sweep","expr":"y = a * 0.5 + b * 0.25","width":4,"ts_points":6,"samples":64}"#;
+
+const K: usize = 8;
+
+#[test]
+fn k_identical_concurrent_queries_cost_one_computation() {
+    let server = Server::start(ServerConfig { workers: K, ..ServerConfig::default() })
+        .expect("bind test server");
+    let addr = server.addr();
+    let barrier = Arc::new(Barrier::new(K));
+
+    let mut handles = Vec::new();
+    for _ in 0..K {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            barrier.wait();
+            http::write_request(
+                &mut writer,
+                &Request {
+                    method: "POST".into(),
+                    path: "/query".into(),
+                    headers: vec![("Connection".into(), "close".into())],
+                    body: QUERY.as_bytes().to_vec(),
+                },
+            )
+            .expect("send");
+            let resp = http::read_response(&mut reader, &HttpLimits::default())
+                .expect("read")
+                .expect("response");
+            assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+            let label =
+                http::header(&resp.headers, "x-ola-cache").expect("cache header").to_owned();
+            let key = http::header(&resp.headers, "x-ola-key").expect("key header").to_owned();
+            (label, key, resp.body)
+        }));
+    }
+
+    let results: Vec<(String, String, Vec<u8>)> =
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+
+    let misses = results.iter().filter(|(label, _, _)| label == "miss").count();
+    assert_eq!(
+        misses,
+        1,
+        "exactly one fill for {K} identical queries; labels: {:?}",
+        results.iter().map(|(l, _, _)| l.as_str()).collect::<Vec<_>>()
+    );
+    for (label, _, _) in &results {
+        assert!(
+            ["miss", "hit", "coalesced", "disk-hit"].contains(&label.as_str()),
+            "unexpected cache label {label:?}"
+        );
+    }
+    let (_, key0, body0) = &results[0];
+    for (_, key, body) in &results {
+        assert_eq!(key, key0, "all clients computed the same content address");
+        assert_eq!(body, body0, "coalesced and cached responses are bit-identical");
+    }
+
+    // The server's own counters agree: one fill, K-1 free rides.
+    let snap = ola_core::obs::registry().snapshot();
+    let fills = snap.counters.get("ola.cache.fills").copied().unwrap_or(0);
+    assert!(fills >= 1, "fill counter recorded");
+
+    server.drain_and_join();
+}

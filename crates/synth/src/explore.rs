@@ -194,7 +194,7 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
                 // its rated frequency stays `None` instead of panicking.
                 (0.0, 0.0, 0)
             } else {
-                let (curve, stats) = empirical_curve(
+                let (curve, stats) = variant_error_curve(
                     &v.datapath,
                     &delay,
                     &ts_grid,
@@ -234,7 +234,17 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
 
 /// Runs the shared-engine empirical sweep for one synthesized variant:
 /// random in-range port values in, per-port exact value comparison out.
-fn empirical_curve(
+///
+/// Public so single-variant consumers (the `ola-serve` sweep query) share
+/// the explorer's exact sampling discipline — same draw encoding, same
+/// judge — and therefore produce curves comparable to explorer rows.
+///
+/// # Panics
+///
+/// Panics if the datapath has no timed logic (callers check
+/// `logic_gate_count() > 0` first, as [`explore`] does).
+#[must_use]
+pub fn variant_error_curve(
     dp: &SynthesizedDatapath,
     delay: &FpgaDelay,
     ts_grid: &[u64],

@@ -34,9 +34,11 @@ pub mod explore;
 pub mod ir;
 pub mod parser;
 pub mod passes;
+pub mod service;
 
 pub use elab::{elaborate, ElabOptions, Port, PortShape, Style, SynthesizedDatapath};
-pub use explore::{explore, DesignPoint, ExploreConfig, ExploreResult};
+pub use explore::{explore, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult};
 pub use ir::{Dfg, InputFmt, NodeId, Op};
 pub use parser::{parse_dfg, ParseError};
 pub use passes::{allocate_adders, constant_fold, cse, eliminate_dead, optimize, AdderStructure};
+pub use service::{Limits, Query, QueryError, VariantSpec};

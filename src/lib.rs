@@ -7,4 +7,5 @@ pub use ola_core as core;
 pub use ola_imaging as imaging;
 pub use ola_netlist as netlist;
 pub use ola_redundant as redundant;
+pub use ola_serve as serve;
 pub use ola_synth as synth;
