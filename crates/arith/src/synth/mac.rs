@@ -13,7 +13,7 @@
 //!   (the conventional Core-Generator-style equivalent).
 
 use crate::online::DELTA;
-use crate::synth::bits::{add_signed, sign_extend};
+use crate::synth::bits::add_signed;
 use crate::synth::bsnets::{bs_add_gates, BsSignals};
 use crate::synth::conventional::array_multiplier_core;
 use crate::synth::online::online_multiplier_core;
@@ -117,7 +117,8 @@ pub fn online_mac(coefficients: &[SdNumber], frac_digits: i32) -> OnlineMacCircu
 #[derive(Clone, Debug)]
 pub struct TraditionalMacCircuit {
     /// Netlist. Inputs: per tap `k`, bus `x{k}` (LSB-first two's
-    /// complement, `width` bits). Output: `sum` (LSB-first, sign-extended).
+    /// complement, `width` bits). Output: `sum` (LSB-first signed, at the
+    /// adder tree's natural width — every bus position distinctly driven).
     pub netlist: Netlist,
     /// Operand bit width.
     pub width: usize,
@@ -187,9 +188,14 @@ pub fn traditional_mac(coefficients: &[i64], width: usize) -> TraditionalMacCirc
             .collect();
     }
     let mut sum = level.pop().expect("non-empty");
-    // Normalize the output width for the caller.
+    // Cap the output at the normalized width, but never *extend*: the
+    // adder tree's natural width already covers the full dot-product
+    // range, and padding the port by repeating the sign net would leave
+    // a bus position without a distinct driver (the exact defect
+    // `LintIssue::OutputWidthMismatch` exists to catch). Decoding is
+    // width-agnostic either way (`decode_signed` sign-extends).
     let out_w = 2 * width + coefficients.len().next_power_of_two().trailing_zeros() as usize + 1;
-    sum = sign_extend(&mut nl, &sum, out_w);
+    sum.truncate(out_w);
     nl.set_output("sum", sum);
     let nl = prune_dead(&nl).expect("generated netlists are DAGs");
     TraditionalMacCircuit { netlist: nl, width, coefficients: coefficients.to_vec() }

@@ -85,7 +85,11 @@ fn read_csvs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     for entry in entries.flatten() {
         let path = entry.path();
         if path.extension().is_some_and(|e| e == "csv") {
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let name = path
+                .file_name()
+                .expect("read_dir entries carry file names")
+                .to_string_lossy()
+                .into_owned();
             out.insert(name, std::fs::read(&path).expect("read csv"));
         }
     }
@@ -236,7 +240,7 @@ fn main() {
         let mut bytes = std::fs::read(&path).expect("checkpoint exists");
         // Flip a byte well inside the *second* frame's payload region so
         // the header frame stays valid and the run parameters still match.
-        let first_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let first_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice")) as usize;
         let second_payload = 40 + first_len + 40;
         assert!(second_payload + 8 < bytes.len(), "checkpoint long enough to tamper");
         bytes[second_payload + 8] ^= 0x40;

@@ -48,9 +48,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// `(name, one-line description)` for every experiment, in run order.
-const EXPERIMENTS: [(&str, &str); 12] = [
+const EXPERIMENTS: [(&str, &str); 13] = [
     ("sta", "static timing: critical paths, per-digit slack + certification (no simulation)"),
     ("lint", "netlist lint over every generated operator family (+ seeded-loop self-check)"),
+    ("equiv", "formal verification: pass rewrites proved equivalent, online=conventional at settled Ts, absint error bounds vs measured"),
     ("synth", "datapath-synthesis Pareto sweep: style x allocation x width of a 1x3 kernel"),
     ("fig4", "overclocking error: model vs Monte-Carlo vs gate-level netlist (N=8,12)"),
     ("fig5", "per-chain-delay profile, analytic model next to Monte-Carlo (N=8..32)"),
@@ -323,6 +324,9 @@ fn main() {
     }
     if wants("lint") {
         jobs.push(("lint", Box::new(move |run| experiments::lint(run, all))));
+    }
+    if wants("equiv") {
+        jobs.push(("equiv", Box::new(move |run| experiments::equiv(run, scale, all, backend))));
     }
     if wants("synth") {
         jobs.push(("synth", Box::new(move |run| experiments::synth(run, scale, backend))));

@@ -12,12 +12,16 @@
 //!   variant of the 1×3 convolution datapath. A non-empty issue list
 //!   fails the experiment, which is what lets CI run `repro lint --all`
 //!   as a gate.
-//! * **detector self-check** — a combinational loop is deliberately seeded
-//!   into a copy of an online multiplier (via
-//!   [`rewire_input`](ola_netlist::Netlist::rewire_input)) and the lint
-//!   pass must flag it *statically* — no simulation, no `Unsettled`
-//!   fallback. Its row appears in the table with the expected `comb-loop`
-//!   code so the CSV documents the detector working.
+//! * **detector self-checks** — defects are deliberately seeded and the
+//!   lint pass must flag each *statically* — no simulation, no
+//!   `Unsettled` fallback: a combinational loop rewired into a copy of an
+//!   online multiplier (via
+//!   [`rewire_input`](ola_netlist::Netlist::rewire_input)), an output bus
+//!   widened by repeating its MSB net (`output-width-mismatch`), and an
+//!   odd inverter ring standing in for a digit recurrence fed back into
+//!   its own slot (`non-settling-feedback`). Each self-check's row
+//!   appears in the table with the expected code so the CSV documents the
+//!   detectors working.
 
 use crate::report::Table;
 use ola_arith::synth::{
@@ -40,8 +44,9 @@ fn online_taps(n: usize) -> Vec<SdNumber> {
     TAPS.iter().map(|&v| SdNumber::from_value(Q::new(v.into(), 4), n).expect("taps fit")).collect()
 }
 
-/// Operand widths linted per family: `--all` extends the sweep.
-fn widths(all: bool) -> &'static [usize] {
+/// Operand widths linted per family: `--all` extends the sweep. Shared
+/// with the `equiv` experiment so the two gates cover the same variants.
+pub(crate) fn widths(all: bool) -> &'static [usize] {
     if all {
         &[4, 8, 12, 16, 24, 31]
     } else {
@@ -50,7 +55,7 @@ fn widths(all: bool) -> &'static [usize] {
 }
 
 /// Every generated circuit family at width `n`, by name.
-fn circuits(n: usize) -> Vec<(String, Netlist)> {
+pub(crate) fn circuits(n: usize) -> Vec<(String, Netlist)> {
     vec![
         (format!("online adder N={n}"), online_adder(n).netlist),
         (format!("online mult N={n}"), online_multiplier(n, 3).netlist),
@@ -66,7 +71,7 @@ fn circuits(n: usize) -> Vec<(String, Netlist)> {
 /// convolution datapath at input width `n` — the compiler-generated
 /// netlists the lint gate covers in addition to the hand-written operator
 /// families.
-fn synth_circuits(n: usize) -> Vec<(String, Netlist)> {
+pub(crate) fn synth_circuits(n: usize) -> Vec<(String, Netlist)> {
     // The conventional style lowers an n-digit input to an (n+1)-bit
     // two's-complement operand, and the Baugh–Wooley array caps operands
     // at 31 bits — skip the one sweep width that would overflow it.
@@ -156,6 +161,55 @@ fn lint_inner(all: bool) -> Result<Vec<Table>, String> {
             issue_codes(&issues)
         ));
     }
+
+    // Self-check 2: a duplicated output bit — the adder's sum port widened
+    // by repeating its MSB logic net must trip `output-width-mismatch`.
+    let mut dup = ripple_carry_adder(8).netlist;
+    let mut widened = dup.output("sum").to_vec();
+    let msb = *widened.last().expect("sum bus is nonempty");
+    widened.push(msb);
+    dup.set_output("sum", widened);
+    let issues = check(&dup);
+    let caught_width = issues.iter().any(|i| i.code() == "output-width-mismatch");
+    t.push_row(vec![
+        "ripple adder W=8 + repeated sum MSB".to_string(),
+        dup.len().to_string(),
+        issues.len().to_string(),
+        issue_codes(&issues),
+        format!("caught={caught_width}"),
+    ]);
+    if !caught_width {
+        return Err(format!(
+            "duplicated output bit was not flagged (got: {})",
+            issue_codes(&issues)
+        ));
+    }
+
+    // Self-check 3: an online digit-recurrence wired back into its own
+    // digit slot — an odd inverter ring — must be diagnosed as feedback
+    // that can *never* settle, not just as a loop.
+    let mut osc = Netlist::new();
+    let w = osc.input("w");
+    let r1 = osc.not(w);
+    let r2 = osc.not(r1);
+    let r3 = osc.not(r2);
+    osc.set_output("w_next", vec![r3]);
+    osc.rewire_input(r1, 0, r3).expect("rewire accepts arbitrary sources");
+    let issues = check(&osc);
+    let caught_feedback = issues.iter().any(|i| i.code() == "non-settling-feedback");
+    t.push_row(vec![
+        "digit recurrence fed back combinationally".to_string(),
+        osc.len().to_string(),
+        issues.len().to_string(),
+        issue_codes(&issues),
+        format!("caught={caught_feedback}"),
+    ]);
+    if !caught_feedback {
+        return Err(format!(
+            "inverting recurrence feedback was not flagged as non-settling (got: {})",
+            issue_codes(&issues)
+        ));
+    }
     if !dirty.is_empty() {
         return Err(format!("{} circuit(s) have lint issues: {}", dirty.len(), dirty.join("; ")));
     }
@@ -190,12 +244,19 @@ mod tests {
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         // 2 widths × (7 families + 6 synth style/allocation variants)
-        // + the seeded-loop row.
-        assert_eq!(t.rows.len(), 27);
-        let seeded = t.rows.last().unwrap();
+        // + the three seeded detector self-check rows.
+        assert_eq!(t.rows.len(), 29);
+        let seeded = &t.rows[t.rows.len() - 3];
         assert!(seeded[3].contains("comb-loop"), "seeded row: {seeded:?}");
+        let width_row = &t.rows[t.rows.len() - 2];
+        assert!(width_row[3].contains("output-width-mismatch"), "width row: {width_row:?}");
+        let feedback_row = t.rows.last().unwrap();
+        assert!(
+            feedback_row[3].contains("non-settling-feedback"),
+            "feedback row: {feedback_row:?}"
+        );
         // Every generated row is clean.
-        for row in &t.rows[..t.rows.len() - 1] {
+        for row in &t.rows[..t.rows.len() - 3] {
             assert_eq!(row[2], "0", "unexpected lint issues: {row:?}");
         }
     }

@@ -5,6 +5,7 @@
 //! paper-vs-measured comparison.
 
 mod casestudy;
+mod equiv;
 mod faults;
 mod fig4;
 mod fig5;
@@ -14,6 +15,7 @@ mod synth;
 mod table4;
 
 pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
+pub use equiv::equiv;
 pub use faults::faults;
 pub use fig4::fig4;
 pub use fig5::fig5;
@@ -106,6 +108,7 @@ pub fn master_seeds(name: &str) -> Vec<(String, u64)> {
         "fig6" | "fig7" | "table1" | "table2" | "table3" => mk(&[("image_base", 1)]),
         "faults" => mk(&[("campaign", 0xFA_517E5)]),
         "synth" => mk(&[("explore", synth::SEED)]),
+        "equiv" => mk(&[("verify", equiv::SEED)]),
         _ => Vec::new(),
     }
 }

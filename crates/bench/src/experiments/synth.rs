@@ -37,8 +37,9 @@ fn widths(scale: Scale) -> Vec<usize> {
     }
 }
 
-/// The convolution program every sweep compiles.
-const EXPR: &str = "y = a * 0.25 + b * 0.5 + c * 0.25";
+/// The convolution program every sweep compiles (shared with the `equiv`
+/// experiment so the verification gate covers the explored kernel).
+pub(crate) const EXPR: &str = "y = a * 0.25 + b * 0.5 + c * 0.25";
 
 /// The process-wide result cache the sweep runs through — the same
 /// [`ContentCache`] `ola-serve` uses, so a repeated `repro synth` (same

@@ -4,6 +4,11 @@
 //! criterion of the crash-safe execution engine, held by `cargo test`
 //! (the `chaos_check` binary covers the wider scenario matrix).
 
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// `allow-unwrap-in-tests` doesn't reach them; a loud panic is still the
+// right failure mode here.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;

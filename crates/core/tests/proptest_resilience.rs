@@ -4,6 +4,11 @@
 //! quarantines the rest, and a healed file round-trips to the same frames
 //! an uninterrupted writer would have produced.
 
+// Integration-test helpers sit outside `#[test]` fns, so clippy's
+// `allow-unwrap-in-tests` doesn't reach them; a loud panic is still the
+// right failure mode here.
+#![allow(clippy::unwrap_used)]
+
 use ola_core::obs::json::JsonValue;
 use ola_core::resilience::checkpoint::{
     open_resumable, quarantine_path, read_frames, CheckpointWriter, HEADER_LEN,

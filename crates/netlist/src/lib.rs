@@ -13,6 +13,10 @@
 //!   (the "rated" frequency a tool would report), per-net slack, top-K
 //!   critical paths, per-digit settlement certification, and a structural
 //!   lint pass with dead-cone pruning;
+//! * [`equiv`] — staged combinational equivalence checking (structural
+//!   hashing → ROBDD → exhaustive/random 64-lane evaluation) returning
+//!   typed [`EquivVerdict`]s with replayable counterexamples — the
+//!   safety net under every semantics-preserving rewrite;
 //! * [`DelayModel`]s — [`UnitDelay`], [`FpgaDelay`], and [`JitteredDelay`]
 //!   standing in for place-and-route delay variation;
 //! * [`fault`] — stuck-at / transient-SEU / delay-push fault overlays
@@ -55,6 +59,7 @@ pub mod batch;
 pub mod cancel;
 pub mod cells;
 mod delay;
+pub mod equiv;
 mod error;
 pub mod fault;
 mod netlist;
@@ -67,6 +72,10 @@ pub mod vcd;
 pub use area::AreaReport;
 pub use cancel::{CancelToken, Cancelled};
 pub use delay::{DelayModel, FpgaDelay, JitteredDelay, UnitDelay};
+pub use equiv::{
+    check_equiv, check_equiv_with, Counterexample, EquivError, EquivMethod, EquivOptions,
+    EquivVerdict,
+};
 pub use error::{BatchError, NetlistError, SimError, StaError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use netlist::{GateKind, NetId, Netlist};

@@ -1,5 +1,7 @@
-//! Structural netlist lint: static detection of combinational loops, dead
-//! logic, constant-foldable gates and suspicious fanout.
+//! Structural netlist lint: static detection of combinational loops
+//! (including provably non-settling inverting feedback), dead logic,
+//! under-driven output ports, constant-foldable gates and suspicious
+//! fanout.
 //!
 //! Today a combinational cycle is only caught *dynamically* — the
 //! event-driven simulator burns its event budget and reports
@@ -28,6 +30,21 @@ pub enum LintIssue {
         /// The nets on the cycle, in dataflow order.
         cycle: Vec<NetId>,
     },
+    /// A combinational cycle whose polarity around the loop is inverting
+    /// no matter what the off-cycle inputs hold — the shape of an online
+    /// digit-recurrence wired back into its *own* digit slot instead of
+    /// the next one. Unlike an even-polarity loop (which can latch into a
+    /// stable state), a sensitized inverting loop has no fixed point at
+    /// all: event-driven simulation oscillates until the event budget
+    /// trips [`SimError::Unsettled`](crate::SimError::Unsettled).
+    ///
+    /// Reported *in addition to* the loop's [`CombinationalLoop`] entry.
+    ///
+    /// [`CombinationalLoop`]: LintIssue::CombinationalLoop
+    NonSettlingFeedback {
+        /// The nets on the inverting cycle, in dataflow order.
+        cycle: Vec<NetId>,
+    },
     /// A gate reads a net created at or after itself without closing a
     /// cycle. Harmless to the event-driven simulator but rejected by every
     /// single-pass analysis ([`StaError::NotTopological`]).
@@ -40,6 +57,22 @@ pub enum LintIssue {
     /// The netlist declares no output nets, so every gate is dead and
     /// nothing constrains timing.
     NoOutputs,
+    /// An output bus that declares more bits than it actually drives:
+    /// the same *logic* net appears at more than one bus position, or the
+    /// bus is empty. Shared constant bits are exempt — constants are
+    /// deduplicated per polarity by construction
+    /// ([`Netlist::constant`](crate::Netlist::constant)), so repeating a
+    /// constant net is the normal way to zero-pad a port, while repeating
+    /// a computed net means the generator declared a wider port than it
+    /// synthesized.
+    OutputWidthMismatch {
+        /// The output bus name.
+        bus: String,
+        /// The declared port width (bus positions).
+        declared: usize,
+        /// Positions backed by a distinct driver (constants always count).
+        driven: usize,
+    },
     /// A primary input that no gate reads and no output exposes.
     UnusedInput {
         /// The unused input net.
@@ -84,8 +117,10 @@ impl LintIssue {
     pub fn code(&self) -> &'static str {
         match self {
             LintIssue::CombinationalLoop { .. } => "comb-loop",
+            LintIssue::NonSettlingFeedback { .. } => "non-settling-feedback",
             LintIssue::BackReference { .. } => "back-reference",
             LintIssue::NoOutputs => "no-outputs",
+            LintIssue::OutputWidthMismatch { .. } => "output-width-mismatch",
             LintIssue::UnusedInput { .. } => "unused-input",
             LintIssue::FloatingNet { .. } => "floating-net",
             LintIssue::DeadCone { .. } => "dead-cone",
@@ -101,10 +136,27 @@ impl fmt::Display for LintIssue {
             LintIssue::CombinationalLoop { cycle } => {
                 write!(f, "combinational loop through {} net(s): {cycle:?}", cycle.len())
             }
+            LintIssue::NonSettlingFeedback { cycle } => {
+                write!(
+                    f,
+                    "inverting feedback through {} net(s) can never settle: {cycle:?}",
+                    cycle.len()
+                )
+            }
             LintIssue::BackReference { gate, src } => {
                 write!(f, "gate {gate:?} reads later-created net {src:?} (no cycle)")
             }
             LintIssue::NoOutputs => write!(f, "netlist declares no output nets"),
+            LintIssue::OutputWidthMismatch { bus, declared, driven } => {
+                if *declared == 0 {
+                    write!(f, "output bus {bus:?} declares no bits")
+                } else {
+                    write!(
+                        f,
+                        "output bus {bus:?} declares {declared} bit(s) but only {driven} are distinctly driven (a logic net repeats)"
+                    )
+                }
+            }
             LintIssue::UnusedInput { net } => write!(f, "primary input {net:?} is never read"),
             LintIssue::FloatingNet { net } => {
                 write!(f, "net {net:?} drives nothing and is not an output")
@@ -168,7 +220,13 @@ pub fn check_with(netlist: &Netlist, opts: &LintOptions) -> Vec<LintIssue> {
             }
             let lists = fanout_lists.get_or_insert_with(|| netlist.fanout_lists());
             match trace_cycle(gate, src, lists, n) {
-                Some(cycle) => issues.push(LintIssue::CombinationalLoop { cycle }),
+                Some(cycle) => {
+                    let inverting = cycle_polarity(netlist, &cycle) == Some(true);
+                    issues.push(LintIssue::CombinationalLoop { cycle: cycle.clone() });
+                    if inverting {
+                        issues.push(LintIssue::NonSettlingFeedback { cycle });
+                    }
+                }
                 None => issues.push(LintIssue::BackReference { gate, src }),
             }
         }
@@ -185,6 +243,23 @@ pub fn check_with(netlist: &Netlist, opts: &LintOptions) -> Vec<LintIssue> {
     }
     if !any_output {
         issues.push(LintIssue::NoOutputs);
+    }
+    for (bus, nets) in netlist.outputs() {
+        let mut seen = vec![false; n];
+        let mut driven = 0usize;
+        for &net in nets {
+            let dup = std::mem::replace(&mut seen[net.index()], true);
+            if !dup || netlist.kind(net) == GateKind::Const {
+                driven += 1;
+            }
+        }
+        if nets.is_empty() || driven != nets.len() {
+            issues.push(LintIssue::OutputWidthMismatch {
+                bus: bus.to_string(),
+                declared: nets.len(),
+                driven,
+            });
+        }
     }
     let live = live_set(netlist, &is_output);
     let fanout = netlist.fanout_counts();
@@ -348,6 +423,49 @@ fn trace_cycle(gate: NetId, src: NetId, fanout: &[Vec<NetId>], n: usize) -> Opti
     None
 }
 
+/// `Some(true)` when the gate inverts the value arriving at input
+/// position `pos` regardless of its other inputs, `Some(false)` when it
+/// passes it through monotonically, `None` when the polarity depends on
+/// the off-path inputs (the xor family, a mux select).
+fn edge_polarity(kind: GateKind, pos: usize) -> Option<bool> {
+    match kind {
+        GateKind::Not | GateKind::Nand | GateKind::Nor => Some(true),
+        GateKind::And | GateKind::Or => Some(false),
+        GateKind::Mux if pos > 0 => Some(false),
+        GateKind::Mux | GateKind::Xor | GateKind::Xnor => None,
+        GateKind::Input | GateKind::Const => unreachable!("not a logic gate"),
+    }
+}
+
+/// Folds [`edge_polarity`] around a cycle (in dataflow order, as returned
+/// by [`trace_cycle`]): `Some(true)` means the loop inverts itself — no
+/// stable point exists when it is sensitized. `None` when any edge's
+/// polarity depends on off-cycle values, or the cycle re-enters a gate at
+/// positions of mixed polarity.
+fn cycle_polarity(netlist: &Netlist, cycle: &[NetId]) -> Option<bool> {
+    let mut inverting = false;
+    let k = cycle.len();
+    for i in 0..k {
+        let src = cycle[i];
+        let reader = cycle[(i + 1) % k];
+        let kind = netlist.kind(reader);
+        let mut edge: Option<bool> = None;
+        for (pos, &inp) in netlist.gate_inputs(reader).iter().enumerate() {
+            if inp != src {
+                continue;
+            }
+            let p = edge_polarity(kind, pos)?;
+            match edge {
+                None => edge = Some(p),
+                Some(prev) if prev == p => {}
+                Some(_) => return None,
+            }
+        }
+        inverting ^= edge?;
+    }
+    Some(inverting)
+}
+
 fn const_value(netlist: &Netlist, net: NetId) -> Option<bool> {
     let node = &netlist.gate_nodes()[net.index()];
     if node.kind == GateKind::Const {
@@ -443,6 +561,106 @@ mod tests {
         let issues = check(&nl);
         assert!(issues.contains(&LintIssue::BackReference { gate: n1, src: n2 }));
         assert!(!codes(&issues).contains(&"comb-loop"));
+    }
+
+    #[test]
+    fn odd_inverting_feedback_is_non_settling_but_a_latch_is_not() {
+        // Three inverters closed into a ring: odd polarity, no fixed point.
+        let mut ring = Netlist::new();
+        let a = ring.input("a");
+        let n1 = ring.not(a);
+        let n2 = ring.not(n1);
+        let n3 = ring.not(n2);
+        ring.set_output("z", vec![n3]);
+        ring.rewire_input(n1, 0, n3).unwrap();
+        let issues = check(&ring);
+        assert!(issues.contains(&LintIssue::NonSettlingFeedback { cycle: vec![n1, n2, n3] }));
+        assert!(codes(&issues).contains(&"comb-loop"), "the loop itself is still reported");
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.code() == "non-settling-feedback"
+                    && i.to_string().contains("never settle"))
+        );
+
+        // Two inverters: even polarity — a loop, but it can latch.
+        let mut latch = Netlist::new();
+        let a = latch.input("a");
+        let n1 = latch.not(a);
+        let n2 = latch.not(n1);
+        latch.set_output("z", vec![n2]);
+        latch.rewire_input(n1, 0, n2).unwrap();
+        let issues = check(&latch);
+        assert!(codes(&issues).contains(&"comb-loop"));
+        assert!(!codes(&issues).contains(&"non-settling-feedback"), "{issues:?}");
+
+        // A xor on the cycle: polarity depends on the side input — the
+        // lint stays silent rather than guessing.
+        let mut x = Netlist::new();
+        let a = x.input("a");
+        let b = x.input("b");
+        let n1 = x.not(a);
+        let g = x.xor(n1, b);
+        x.set_output("z", vec![g]);
+        x.rewire_input(n1, 0, g).unwrap();
+        let issues = check(&x);
+        assert!(codes(&issues).contains(&"comb-loop"));
+        assert!(!codes(&issues).contains(&"non-settling-feedback"), "{issues:?}");
+    }
+
+    #[test]
+    fn self_nand_is_the_smallest_non_settling_loop() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let g = nl.nand(a, a);
+        nl.set_output("z", vec![g]);
+        nl.rewire_input(g, 0, g).unwrap();
+        nl.rewire_input(g, 1, g).unwrap();
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::NonSettlingFeedback { cycle: vec![g] }));
+    }
+
+    #[test]
+    fn duplicated_output_bits_are_flagged_but_constant_padding_is_not() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.xor(a, b);
+        let zero = nl.constant(false);
+        // `s` repeats (a fake sign extension); the shared zero pad is fine.
+        nl.set_output("z", vec![zero, s, s, zero]);
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::OutputWidthMismatch {
+            bus: "z".to_string(),
+            declared: 4,
+            driven: 3,
+        }));
+
+        let mut ok = Netlist::new();
+        let a = ok.input("a");
+        let g = ok.not(a);
+        let zero = ok.constant(false);
+        ok.set_output("z", vec![zero, g, zero]);
+        assert!(
+            !check(&ok).iter().any(|i| i.code() == "output-width-mismatch"),
+            "constant padding alone is legitimate"
+        );
+    }
+
+    #[test]
+    fn empty_output_buses_are_flagged() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let g = nl.not(a);
+        nl.set_output("z", vec![g]);
+        nl.set_output("empty", Vec::new());
+        let issues = check(&nl);
+        assert!(issues.contains(&LintIssue::OutputWidthMismatch {
+            bus: "empty".to_string(),
+            declared: 0,
+            driven: 0,
+        }));
+        assert!(issues.iter().any(|i| i.to_string().contains("declares no bits")));
     }
 
     #[test]

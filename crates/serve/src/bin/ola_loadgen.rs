@@ -45,13 +45,14 @@ use std::time::{Duration, Instant};
 /// The query mix: distinct analyses, all cheap enough to serve from cache
 /// at four-digit QPS. Width and expression variety exercise distinct
 /// cache keys.
-const QUERIES: [&str; 6] = [
+const QUERIES: [&str; 7] = [
     r#"{"kind":"lint","expr":"y = a * 0.5 + b","width":3}"#,
     r#"{"kind":"lint","expr":"y = (a + b) * 0.25","width":4}"#,
     r#"{"kind":"sta","expr":"y = a + b","width":2,"ts_points":4}"#,
     r#"{"kind":"sta","expr":"y = a * 0.5 + b","width":3,"ts_points":4}"#,
     r#"{"kind":"sweep","expr":"y = a * 0.5 + b","width":2,"ts_points":3,"samples":8}"#,
     r#"{"kind":"sweep","expr":"y = (a + b) * 0.5","width":2,"ts_points":3,"samples":8}"#,
+    r#"{"kind":"verify","expr":"y = a * 0.5 + b","width":2,"ts_points":3}"#,
 ];
 
 struct Baseline {

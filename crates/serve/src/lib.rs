@@ -7,7 +7,7 @@
 //!
 //! | Endpoint | What it does |
 //! |---|---|
-//! | `POST /query` | Run a [`ola_synth::Query`] (pareto / sweep / sta / lint); response embeds an `ola.run-manifest/v1` manifest |
+//! | `POST /query` | Run a [`ola_synth::Query`] (pareto / sweep / sta / lint / verify); response embeds an `ola.run-manifest/v1` manifest |
 //! | `GET /healthz` | Liveness + drain state |
 //! | `GET /metrics` | Process metric registry (counters + gauges) as JSON |
 //! | `POST /admin/drain` | SIGTERM-equivalent graceful drain |
@@ -27,6 +27,15 @@
 //! instead of wedging workers. A worker panic answers `500` and the
 //! worker survives. See [`server`] for the full policy and `DESIGN.md`
 //! §15 for rationale.
+
+// Request-derived data must never panic the worker, not even on a
+// violated "can't happen": this crate forgoes `.expect()` outside tests
+// and threads typed errors to a `400`/`500` response instead. The
+// workspace-wide `clippy::unwrap_used` ban plus this crate-local bar is
+// what keeps the catch_unwind 500 path a last resort rather than a
+// control-flow mechanism. (`allow-expect-in-tests` in clippy.toml keeps
+// test assertions loud.)
+#![warn(clippy::expect_used)]
 
 pub mod http;
 pub mod limiter;

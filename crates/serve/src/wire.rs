@@ -71,7 +71,9 @@ pub fn fill_body(query: &Query, key: &CacheKey) -> Result<Vec<u8>, QueryError> {
         Query::Pareto { backend, seed, .. } | Query::Sweep { backend, seed, .. } => {
             (backend.label().to_owned(), vec![("query".to_owned(), *seed)])
         }
-        Query::Sta { .. } | Query::Lint { .. } => ("none".to_owned(), Vec::new()),
+        Query::Sta { .. } | Query::Lint { .. } | Query::Verify { .. } => {
+            ("none".to_owned(), Vec::new())
+        }
     };
     let manifest = RunManifest {
         experiment: experiment.clone(),
@@ -194,6 +196,19 @@ mod tests {
         );
         // And the result is still a real sweep.
         assert_eq!(doc.get("result").unwrap().get("kind").unwrap().as_str(), Some("sweep"));
+    }
+
+    #[test]
+    fn verify_queries_flow_through_the_wire_layer() {
+        let q = query(r#"{"kind":"verify","expr":"y = a * 0.5 + b","width":2,"ts_points":3}"#);
+        let key = q.cache_key();
+        let name = experiment_name(&q, &key);
+        assert!(name.starts_with("serve_verify_"), "experiment {name:?}");
+        let body = fill_body(&q, &key).unwrap();
+        let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let result = doc.get("result").expect("result present");
+        assert_eq!(result.get("kind").unwrap().as_str(), Some("verify"));
+        assert_eq!(result.get("passes_verdict").unwrap().as_str(), Some("equivalent"));
     }
 
     #[test]

@@ -410,8 +410,17 @@ fn elaborate_online(dfg: &Dfg, opts: &ElabOptions) -> SynthesizedDatapath {
         });
     }
 
-    let nl = if opts.prune { prune_dead(&nl).expect("elaborated netlists are DAGs") } else { nl };
+    let nl = if opts.prune { prune_with_gate(&nl) } else { nl };
     SynthesizedDatapath { netlist: nl, style: Style::Online, inputs, outputs, frac_digits: t }
+}
+
+/// Prunes unreachable logic, proving — under the [`crate::verify`]
+/// `OLA_PROVE_REWRITES` debug gate — that the surviving cone is
+/// bit-for-bit equivalent to the full netlist on every output bus.
+fn prune_with_gate(nl: &Netlist) -> Netlist {
+    let pruned = prune_dead(nl).expect("elaborated netlists are DAGs");
+    crate::verify::debug_prove_netlist_rewrite("prune-dead", nl, &pruned);
+    pruned
 }
 
 /// The online multiply lowering: normalize both operands to MSD position
@@ -527,7 +536,7 @@ fn elaborate_conventional(dfg: &Dfg, opts: &ElabOptions) -> SynthesizedDatapath 
         });
     }
 
-    let nl = if opts.prune { prune_dead(&nl).expect("elaborated netlists are DAGs") } else { nl };
+    let nl = if opts.prune { prune_with_gate(&nl) } else { nl };
     SynthesizedDatapath {
         netlist: nl,
         style: Style::Conventional,

@@ -28,17 +28,25 @@
 //! 5. **Explorer** ([`mod@explore`]): enumerates style × adder allocation ×
 //!    width variants and evaluates each with STA rated frequency, LUT area,
 //!    and empirical overclocking-error curves, emitting a Pareto frontier.
+//! 6. **Verifier** ([`mod@verify`], [`absint`]): prove-after-rewrite
+//!    equivalence gates over every semantics-preserving pass (backed by
+//!    [`ola_netlist::equiv`]) and an abstract interpreter deriving sound
+//!    per-`Ts` error bounds that bracket the explorer's measured curves.
 
+pub mod absint;
 pub mod elab;
 pub mod explore;
 pub mod ir;
 pub mod parser;
 pub mod passes;
 pub mod service;
+pub mod verify;
 
+pub use absint::{interpret, sampling_bounds, AbsintReport, SamplingBounds, ValueForm};
 pub use elab::{elaborate, ElabOptions, Port, PortShape, Style, SynthesizedDatapath};
 pub use explore::{explore, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult};
 pub use ir::{Dfg, InputFmt, NodeId, Op};
 pub use parser::{parse_dfg, ParseError};
 pub use passes::{allocate_adders, constant_fold, cse, eliminate_dead, optimize, AdderStructure};
 pub use service::{Limits, Query, QueryError, VariantSpec};
+pub use verify::{aligned_conventional_pair, conventional_caps_ok, prove_pass_equivalence};

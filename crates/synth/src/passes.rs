@@ -158,6 +158,7 @@ pub fn constant_fold(dfg: &Dfg) -> Dfg {
     }
     copy_outputs(dfg, &mut out, &map);
     ola_core::obs::registry().counter("ola.synth.nodes_folded").add(folded);
+    crate::verify::debug_prove_rewrite("const-fold", dfg, &out);
     out
 }
 
@@ -230,6 +231,7 @@ pub fn cse(dfg: &Dfg) -> Dfg {
     }
     copy_outputs(dfg, &mut out, &map);
     ola_core::obs::registry().counter("ola.synth.cse_merged").add(merged);
+    crate::verify::debug_prove_rewrite("cse", dfg, &out);
     out
 }
 
@@ -273,6 +275,7 @@ pub fn eliminate_dead(dfg: &Dfg) -> Dfg {
     }
     copy_outputs(dfg, &mut out, &map);
     ola_core::obs::registry().counter("ola.synth.dead_removed").add(removed);
+    crate::verify::debug_prove_rewrite("eliminate-dead", dfg, &out);
     out
 }
 
@@ -362,6 +365,7 @@ pub fn allocate_adders(dfg: &Dfg, structure: AdderStructure) -> Dfg {
         map.push(new);
     }
     copy_outputs(dfg, &mut out, &map);
+    crate::verify::debug_prove_rewrite("allocate-adders", dfg, &out);
     out
 }
 

@@ -1,7 +1,7 @@
 //! Typed query entry points for the `ola-serve` analysis service.
 //!
 //! A [`Query`] is the service's unit of work: a datapath written in the
-//! expression language plus the analysis to run on it. Four analyses are
+//! expression language plus the analysis to run on it. Five analyses are
 //! served, mirroring the CLI surfaces:
 //!
 //! * **pareto** — the full design-space exploration ([`explore`]):
@@ -12,7 +12,12 @@
 //! * **sta** — static timing + the per-digit certification report
 //!   ([`ola_netlist::sta::certify`]);
 //! * **lint** — the netlist lint catalogue
-//!   ([`ola_netlist::sta::lint`]).
+//!   ([`ola_netlist::sta::lint`]);
+//! * **verify** — the formal story for one variant: the optimizer
+//!   pipeline is *proved* value-preserving via the staged equivalence
+//!   checker ([`crate::verify`]), and the abstract interpreter
+//!   ([`crate::absint`]) reports sound settled and per-`Ts` sampling
+//!   error bounds.
 //!
 //! Queries are **canonicalizable**: [`Query::canonical`] renders a fully
 //! defaulted, field-ordered JSON form, and [`Query::cache_key`] is the
@@ -182,6 +187,14 @@ pub enum Query {
         /// The variant to lint.
         spec: VariantSpec,
     },
+    /// Formal verification of a single variant: optimizer-pipeline
+    /// equivalence proof plus abstract-interpretation error bounds.
+    Verify {
+        /// The variant to verify.
+        spec: VariantSpec,
+        /// Ts-grid size for the sampling-bound sweep.
+        ts_points: usize,
+    },
 }
 
 fn field_u64(obj: &JsonValue, key: &str, default: u64) -> Result<u64, QueryError> {
@@ -334,7 +347,10 @@ impl Query {
             "sweep" => Ok(Query::Sweep { spec: spec(body)?, ts_points, samples, seed, backend }),
             "sta" => Ok(Query::Sta { spec: spec(body)?, ts_points }),
             "lint" => Ok(Query::Lint { spec: spec(body)? }),
-            other => Err(bad(format!("unknown kind {other:?} (want pareto|sweep|sta|lint)"))),
+            "verify" => Ok(Query::Verify { spec: spec(body)?, ts_points }),
+            other => {
+                Err(bad(format!("unknown kind {other:?} (want pareto|sweep|sta|lint|verify)")))
+            }
         }
     }
 
@@ -346,6 +362,7 @@ impl Query {
             Query::Sweep { .. } => "sweep",
             Query::Sta { .. } => "sta",
             Query::Lint { .. } => "lint",
+            Query::Verify { .. } => "verify",
         }
     }
 
@@ -393,6 +410,10 @@ impl Query {
             }
             Query::Lint { spec } => {
                 fields.extend(spec.canonical_fields());
+            }
+            Query::Verify { spec, ts_points } => {
+                fields.extend(spec.canonical_fields());
+                fields.push(("ts_points".into(), JsonValue::U64(*ts_points as u64)));
             }
         }
         JsonValue::Object(fields)
@@ -576,6 +597,73 @@ impl Query {
                     ("issues".into(), JsonValue::Array(issues)),
                 ]))
             }
+            Query::Verify { spec, ts_points } => {
+                let fmt = InputFmt { msd_pos: spec.msd_pos, digits: spec.width };
+                let dfg =
+                    parse_dfg(&spec.expr, fmt).map_err(|e| bad(format!("expression: {e}")))?;
+                let opt = optimize(&dfg, spec.allocation);
+
+                // Pipeline proof: the optimized graph computes exactly the
+                // source graph's outputs. A mismatch is a compiler bug; the
+                // service reports it rather than panicking.
+                let proof = crate::verify::prove_pass_equivalence(&dfg, &opt);
+                let (verdict, method, cex) = match &proof {
+                    None => ("skipped", JsonValue::Null, JsonValue::Null),
+                    Some(v) => (
+                        match v {
+                            v if v.is_proof() && v.is_equivalent() => "equivalent",
+                            v if v.is_equivalent() => "probably-equivalent",
+                            _ => "mismatch",
+                        },
+                        JsonValue::str(v.method().name()),
+                        match v {
+                            ola_netlist::EquivVerdict::Mismatch { counterexample, .. } => {
+                                JsonValue::str(counterexample.to_string())
+                            }
+                            _ => JsonValue::Null,
+                        },
+                    ),
+                };
+
+                // Abstract interpretation: settled bounds on the IR plus
+                // per-Ts sampling bounds on the elaborated netlist.
+                let report = crate::absint::interpret(&opt, spec.style);
+                let settled: Vec<JsonValue> = report
+                    .settled_error_bounds()
+                    .iter()
+                    .map(|q| JsonValue::F64(q.to_f64()))
+                    .collect();
+                let elab_opts = ElabOptions::new(spec.style).with_frac_digits(spec.frac_digits);
+                let dp = elaborate(&opt, &elab_opts);
+                let delay = FpgaDelay::default();
+                let (ts_grid, per_ts) = if dp.netlist.logic_gate_count() == 0 {
+                    (Vec::new(), Vec::new())
+                } else {
+                    let critical = analyze(&dp.netlist, &delay).critical_path().max(1);
+                    let grid: Vec<u64> = (1..=*ts_points as u64)
+                        .map(|i| (critical * i).div_ceil(*ts_points as u64).max(1))
+                        .collect();
+                    let bounds = crate::absint::sampling_bounds(&dp, &delay, &grid)
+                        .map_err(|e| bad(format!("sta: {e}")))?;
+                    let rows: Vec<JsonValue> =
+                        (0..grid.len()).map(|i| JsonValue::F64(bounds.total_f64(i))).collect();
+                    (grid, rows)
+                };
+                ola_core::obs::registry().counter("ola.verify.service_queries").add(1);
+                Ok(JsonValue::Object(vec![
+                    ("kind".into(), JsonValue::str("verify")),
+                    ("passes_verdict".into(), JsonValue::str(verdict)),
+                    ("method".into(), method),
+                    ("counterexample".into(), cex),
+                    ("settled_exact".into(), JsonValue::Bool(report.settled_exact())),
+                    ("settled_error_bounds".into(), JsonValue::Array(settled)),
+                    (
+                        "ts".into(),
+                        JsonValue::Array(ts_grid.iter().map(|&t| JsonValue::U64(t)).collect()),
+                    ),
+                    ("error_bound".into(), JsonValue::Array(per_ts)),
+                ]))
+            }
         }
     }
 }
@@ -684,6 +772,36 @@ mod tests {
         let points = doc.get("points").unwrap().as_array().unwrap();
         assert_eq!(points.len(), 2 * 3 * 2, "styles × allocations × widths");
         assert!(doc.get("frontier_size").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn verify_query_proves_the_pipeline_and_bounds_the_error() {
+        let q =
+            parse_query(&format!(r#"{{"kind":"verify","expr":"{EXPR}","width":3,"ts_points":4}}"#))
+                .unwrap();
+        let a = q.run().unwrap().render();
+        assert_eq!(a, q.run().unwrap().render(), "verify results are deterministic");
+        let doc = json::parse(&a).unwrap();
+        assert_eq!(doc.get("passes_verdict").unwrap().as_str(), Some("equivalent"));
+        assert_eq!(doc.get("counterexample"), Some(&JsonValue::Null));
+        let ts = doc.get("ts").unwrap().as_array().unwrap();
+        let bounds = doc.get("error_bound").unwrap().as_array().unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(bounds.len(), 4);
+        // Bounds shrink (weakly) as Ts approaches the critical path.
+        let b: Vec<f64> = bounds
+            .iter()
+            .map(|v| match v {
+                JsonValue::F64(f) => *f,
+                other => panic!("bound must be a float, got {other:?}"),
+            })
+            .collect();
+        assert!(b.windows(2).all(|w| w[1] <= w[0]), "monotone bounds: {b:?}");
+        // Distinct kind ⇒ distinct cache key versus an identical sta query.
+        let sta =
+            parse_query(&format!(r#"{{"kind":"sta","expr":"{EXPR}","width":3,"ts_points":4}}"#))
+                .unwrap();
+        assert_ne!(q.cache_key(), sta.cache_key());
     }
 
     #[test]

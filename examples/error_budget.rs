@@ -31,7 +31,10 @@ fn main() {
 
     // Max error-free frequency for each design.
     let f0 = |ts: &[u64], err: &[f64]| -> u64 {
-        ts.iter().zip(err).find(|(_, &e)| e == 0.0).map_or(*ts.last().unwrap(), |(&t, _)| t)
+        ts.iter()
+            .zip(err)
+            .find(|(_, &e)| e == 0.0)
+            .map_or(*ts.last().expect("the Ts grid is nonempty"), |(&t, _)| t)
     };
     let om_f0 = f0(&om_curve.ts, &om_curve.mean_abs_error);
     let am_f0 = f0(&am_curve.ts, &am_curve.mean_abs_error);
