@@ -52,7 +52,7 @@ fn cache() -> &'static ContentCache {
     CACHE.get_or_init(|| {
         let disk_dir =
             std::env::var("OLA_CACHE_DIR").ok().filter(|d| !d.is_empty()).map(PathBuf::from);
-        ContentCache::new(CacheConfig { capacity: 64, disk_dir })
+        ContentCache::new(CacheConfig { capacity: 64, disk_dir, ..CacheConfig::default() })
     })
 }
 

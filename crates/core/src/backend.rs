@@ -129,6 +129,23 @@ impl fmt::Display for StaGate {
     }
 }
 
+/// Lane words per batch pass, resolved once from `OLA_LANE_WORDS`.
+///
+/// `1` selects the legacy 64-lane single-word engine, `2`/`8` the narrower
+/// and wider multi-word blocks; anything else (including unset) selects the
+/// default 4-word / 256-lane engine. Lane width never changes *results* —
+/// samples fold in sample order inside fixed 256-sample chunks regardless
+/// of how many lanes one engine pass carries — only throughput.
+pub(crate) fn lane_words() -> usize {
+    static WORDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORDS.get_or_init(|| match std::env::var("OLA_LANE_WORDS").as_deref() {
+        Ok("1") => 1,
+        Ok("2") => 2,
+        Ok("8") => 8,
+        _ => 4,
+    })
+}
+
 /// Cheap observability counters for one experiment's simulation work.
 ///
 /// Deliberately *not* part of any result struct compared for
@@ -148,6 +165,10 @@ pub struct BackendStats {
     pub event_runs: u64,
     /// Sum of active lanes over all batch passes.
     pub lanes_used: u64,
+    /// Lanes one batch pass can carry (64 per lane word; 0 when no batch
+    /// pass ran — [`BackendStats::lane_utilization`] then assumes the
+    /// legacy single-word width).
+    pub lane_capacity: u64,
     /// Word-level waveform steps stored by the batch engine.
     pub word_steps: u64,
     /// Per-lane transitions the batch engine represented (the equivalent
@@ -175,20 +196,24 @@ impl BackendStats {
         self.batch_runs += other.batch_runs;
         self.event_runs += other.event_runs;
         self.lanes_used += other.lanes_used;
+        self.lane_capacity = self.lane_capacity.max(other.lane_capacity);
         self.word_steps += other.word_steps;
         self.lane_transitions += other.lane_transitions;
         self.sta_skipped_points += other.sta_skipped_points;
         self.wall += other.wall;
     }
 
-    /// Mean fraction of the 64 lanes occupied per batch pass (1.0 when
-    /// every pass was full).
+    /// Mean fraction of the available lanes occupied per batch pass (1.0
+    /// when every pass was full). Uses [`BackendStats::lane_capacity`];
+    /// stats merged from sources that never set it fall back to the legacy
+    /// 64-lane width.
     #[must_use]
     pub fn lane_utilization(&self) -> f64 {
         if self.batch_runs == 0 {
             0.0
         } else {
-            self.lanes_used as f64 / (64.0 * self.batch_runs as f64)
+            let cap = if self.lane_capacity == 0 { 64 } else { self.lane_capacity };
+            self.lanes_used as f64 / (cap as f64 * self.batch_runs as f64)
         }
     }
 

@@ -139,11 +139,20 @@ pub struct CacheConfig {
     /// Optional persistent tier: entries are mirrored to
     /// `<dir>/<key>.entry` and consulted on memory misses.
     pub disk_dir: Option<PathBuf>,
+    /// Suppress the `ola.cache.*` registry counters for this cache.
+    ///
+    /// Used by caches whose hit/miss pattern depends on cross-run state
+    /// (e.g. the compile-memoization tier, warm after the first workload):
+    /// their counters would differ between otherwise identical runs and
+    /// break the determinism contract asserted over full metric-snapshot
+    /// deltas. Quiet caches expose their traffic through caller-owned
+    /// stats instead.
+    pub quiet: bool,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { capacity: 1024, disk_dir: None }
+        CacheConfig { capacity: 1024, disk_dir: None, quiet: false }
     }
 }
 
@@ -184,8 +193,10 @@ impl ContentCache {
         self.len() == 0
     }
 
-    fn counter(name: &str) {
-        crate::obs::registry().counter(name).inc();
+    fn counter(&self, name: &str) {
+        if !self.config.quiet {
+            crate::obs::registry().counter(name).inc();
+        }
     }
 
     /// Looks `key` up in memory (verifying integrity), then on disk, and
@@ -211,19 +222,19 @@ impl ContentCache {
         loop {
             // Tier 1: memory, with integrity re-verification.
             if let Some(bytes) = self.memory_get(key) {
-                Self::counter("ola.cache.hits");
+                self.counter("ola.cache.hits");
                 return Ok((bytes, Lookup::Hit));
             }
             // Tier 2: disk.
             if let Some(bytes) = self.disk_get(key) {
-                Self::counter("ola.cache.hits");
-                Self::counter("ola.cache.disk_hits");
+                self.counter("ola.cache.hits");
+                self.counter("ola.cache.disk_hits");
                 return Ok((bytes, Lookup::DiskHit));
             }
             // Single flight: first caller leads, the rest wait.
             let (flight, leader) = self.join_flight(key);
             if leader {
-                Self::counter("ola.cache.misses");
+                self.counter("ola.cache.misses");
                 // Panic safety: if `fill` unwinds (worker panic, chaos
                 // injection, cooperative cancellation), the flight must
                 // still settle as Failed — otherwise every coalesced
@@ -234,7 +245,7 @@ impl ContentCache {
                 return match result {
                     Ok(bytes) => {
                         let bytes = self.insert(key, bytes);
-                        Self::counter("ola.cache.fills");
+                        self.counter("ola.cache.fills");
                         self.settle_flight(key, &flight, FlightState::Done(Arc::clone(&bytes)));
                         Ok((bytes, Lookup::Miss))
                     }
@@ -251,8 +262,8 @@ impl ContentCache {
                         state = flight.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
                     }
                     FlightState::Done(bytes) => {
-                        Self::counter("ola.cache.hits");
-                        Self::counter("ola.cache.coalesced");
+                        self.counter("ola.cache.hits");
+                        self.counter("ola.cache.coalesced");
                         return Ok((Arc::clone(bytes), Lookup::Coalesced));
                     }
                     // The leader failed; retry from the top (this caller
@@ -276,7 +287,7 @@ impl ContentCache {
         }
         store.entries.remove(key.hex());
         drop(store);
-        Self::counter("ola.cache.tamper_rejected");
+        self.counter("ola.cache.tamper_rejected");
         // The disk mirror of a tampered memory entry is suspect too: it
         // was written from the same fill. Let the disk tier re-verify it
         // independently (it may still be sound).
@@ -299,7 +310,7 @@ impl ContentCache {
                 Some(bytes)
             }
             _ => {
-                Self::counter("ola.cache.tamper_rejected");
+                self.counter("ola.cache.tamper_rejected");
                 let _ = std::fs::remove_file(&path);
                 None
             }
@@ -352,7 +363,7 @@ impl ContentCache {
             evicted += 1;
         }
         drop(store);
-        if evicted > 0 {
+        if evicted > 0 && !self.config.quiet {
             crate::obs::registry().counter("ola.cache.evictions").add(evicted);
         }
     }
@@ -448,7 +459,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_coldest_entry() {
-        let cache = ContentCache::new(CacheConfig { capacity: 2, disk_dir: None });
+        let cache = ContentCache::new(CacheConfig { capacity: 2, ..CacheConfig::default() });
         let (a, b, c) = (CacheKey::of(b"a"), CacheKey::of(b"b"), CacheKey::of(b"c"));
         cache.get_or_compute(&a, fill_ok(b"A")).unwrap();
         cache.get_or_compute(&b, fill_ok(b"B")).unwrap();
@@ -525,7 +536,8 @@ mod tests {
     fn disk_tier_survives_a_fresh_cache_and_rejects_rot() {
         let dir = std::env::temp_dir().join(format!("ola_cache_disk_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = CacheConfig { capacity: 8, disk_dir: Some(dir.clone()) };
+        let cfg =
+            CacheConfig { capacity: 8, disk_dir: Some(dir.clone()), ..CacheConfig::default() };
         let key = CacheKey::of(b"persisted");
 
         let warm = ContentCache::new(cfg.clone());

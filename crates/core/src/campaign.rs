@@ -35,7 +35,7 @@ use crate::montecarlo::InputModel;
 use crate::parallel::{parallel_accumulate, parallel_accumulate_batched, parallel_map};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
-use ola_netlist::batch::{BatchFaultSet, BatchInputs, MAX_LANES};
+use ola_netlist::batch::{BatchProgram, LaneBlock, LaneFaultSet, LaneInputs, LaneWord};
 use ola_netlist::fault::logic_fault_sites;
 use ola_netlist::{
     analyze, default_event_budget, simulate_from_zero, simulate_from_zero_with_faults, DelayModel,
@@ -252,6 +252,83 @@ fn select_sites(netlist: &Netlist, cfg: &CampaignConfig) -> Vec<NetId> {
     }
 }
 
+/// The per-sample recorder a fault-site loop folds observations through:
+/// `(acc, clean_bits, faulty_main_bits, faulty_shadow_bits)`.
+type RecordFn<'a> = dyn Fn(&mut Acc, &[bool], &[bool], &[bool]) + Sync + 'a;
+
+/// One fault site's batch sampling loop, generic over the lane word `B`.
+///
+/// Each group of up to `B::LANES` samples takes two engine passes: a clean
+/// full pass, then a faulty pass derived from it *incrementally* — the
+/// inputs are identical, so [`BatchProgram::run_incremental`] recomputes
+/// only the levelized fanout cone of each lane's fault site and shares the
+/// clean waveforms everywhere else. The result is bit-identical to a full
+/// faulty recompute (the engine's equivalence tests pin that down), so the
+/// campaign report cannot depend on which path produced it.
+#[allow(clippy::too_many_arguments)] // internal: mirrors run_campaign's captures
+fn batch_site_accumulate<B, D>(
+    prog: &BatchProgram,
+    wires: &[NetId],
+    t_main: u64,
+    t_shadow: u64,
+    n_ranks: usize,
+    site_seed: u64,
+    site: NetId,
+    period: u64,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+    draw: &D,
+    record: &RecordFn<'_>,
+) -> Acc
+where
+    B: LaneWord,
+    D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
+{
+    parallel_accumulate_batched(
+        cfg.samples_per_site,
+        site_seed,
+        B::LANES as usize,
+        || Acc::new(n_ranks),
+        // Inputs before plan — the exact rng order of the event path.
+        |rng| (draw(rng), class.plan(site, rng, period, cfg)),
+        |group: &[(Vec<bool>, FaultPlan)], acc: &mut Acc| {
+            crate::resilience::check_cancelled();
+            let lanes = group.len() as u32;
+            let vectors: Vec<Vec<bool>> = group.iter().map(|(v, _)| v.clone()).collect();
+            let plans: Vec<FaultPlan> = group.iter().map(|(_, p)| p.clone()).collect();
+            let prev = LaneInputs::<B>::zeros(prog.num_inputs(), lanes)
+                .expect("group size bounded by B::LANES");
+            let new = LaneInputs::<B>::pack(&vectors).expect("draw produces full vectors");
+            let clean = prog.run(&prev, &new).expect("shapes validated above");
+            let faults = LaneFaultSet::<B>::compile(&plans, prog.num_nets())
+                .expect("plans target in-range nets");
+            let faulty = prog
+                .run_incremental(&clean, &prev, &new, Some(&faults))
+                .expect("fault set compiled against this program");
+            for lane in 0..lanes {
+                // Batch programs are compiled from validated DAGs,
+                // so no lane can oscillate: `unsettled` stays 0,
+                // exactly as the event path finds on these netlists.
+                record(
+                    acc,
+                    &clean.final_bus(wires, lane),
+                    &faulty.sample_bus(wires, lane, t_main),
+                    &faulty.sample_bus(wires, lane, t_shadow),
+                );
+            }
+            acc.stats.backend = "batch";
+            acc.stats.vectors += u64::from(lanes);
+            acc.stats.ts_points += 2 * u64::from(lanes);
+            acc.stats.batch_runs += 2;
+            acc.stats.lanes_used += 2 * u64::from(lanes);
+            acc.stats.lane_capacity = u64::from(B::LANES);
+            acc.stats.word_steps += clean.word_steps() + faulty.word_steps();
+            acc.stats.lane_transitions += clean.lane_transitions() + faulty.lane_transitions();
+        },
+        Acc::merge,
+    )
+}
+
 /// The generic campaign engine. `draw` encodes one random operand pair as
 /// the simulator input vector; `value` decodes an output-bus bit vector to
 /// a *normalized* numeric value (full scale = 1.0); `raw_scale` converts a
@@ -260,11 +337,15 @@ fn select_sites(netlist: &Netlist, cfg: &CampaignConfig) -> Vec<NetId> {
 /// significance rank (0 = MSB).
 ///
 /// Per [`CampaignConfig::backend`], samples run either one at a time on
-/// the event-driven simulator or in ≤ [`MAX_LANES`]-sample groups on the
-/// batch engine (one clean pass + one pass carrying a *different* fault
-/// plan per lane). Both paths share the same random stream (inputs drawn
-/// before the plan, sample for sample) and the same per-sample judgement
-/// (`record`), folded in sample order — so the reports are bit-identical.
+/// the event-driven simulator or in groups of up to `B::LANES` (lane word
+/// selected by `OLA_LANE_WORDS`, see [`crate::backend::lane_words`]) on
+/// the batch engine: one clean pass, then one *incremental* pass carrying
+/// a different fault plan per lane — the faulty pass shares every input
+/// with the clean pass, so only each fault's fanout cone is recomputed
+/// ([`BatchProgram::run_incremental`]). Both paths share the same random
+/// stream (inputs drawn before the plan, sample for sample) and the same
+/// per-sample judgement (`record`), folded in sample order — so the
+/// reports are bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn run_campaign<M, D, V>(
     arch: &str,
@@ -337,49 +418,24 @@ where
         crate::resilience::check_cancelled();
         let site_seed = cfg.seed ^ (site_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match &prog {
-            Some(prog) => parallel_accumulate_batched(
-                cfg.samples_per_site,
-                site_seed,
-                MAX_LANES as usize,
-                || Acc::new(n_ranks),
-                // Inputs before plan — the exact rng order of the event path.
-                |rng| (draw(rng), class.plan(site, rng, period, cfg)),
-                |group: &[(Vec<bool>, FaultPlan)], acc: &mut Acc| {
-                    crate::resilience::check_cancelled();
-                    let lanes = group.len() as u32;
-                    let vectors: Vec<Vec<bool>> = group.iter().map(|(v, _)| v.clone()).collect();
-                    let plans: Vec<FaultPlan> = group.iter().map(|(_, p)| p.clone()).collect();
-                    let prev = BatchInputs::zeros(prog.num_inputs(), lanes)
-                        .expect("group size bounded by MAX_LANES");
-                    let new = BatchInputs::pack(&vectors).expect("draw produces full vectors");
-                    let clean = prog.run(&prev, &new).expect("shapes validated above");
-                    let faults = BatchFaultSet::compile(&plans, prog.num_nets())
-                        .expect("plans target in-range nets");
-                    let faulty = prog
-                        .run_with_faults(&prev, &new, &faults)
-                        .expect("fault set compiled against this program");
-                    for lane in 0..lanes {
-                        // Batch programs are compiled from validated DAGs,
-                        // so no lane can oscillate: `unsettled` stays 0,
-                        // exactly as the event path finds on these netlists.
-                        record(
-                            acc,
-                            &clean.final_bus(wires, lane),
-                            &faulty.sample_bus(wires, lane, t_main),
-                            &faulty.sample_bus(wires, lane, t_shadow),
-                        );
-                    }
-                    acc.stats.backend = "batch";
-                    acc.stats.vectors += u64::from(lanes);
-                    acc.stats.ts_points += 2 * u64::from(lanes);
-                    acc.stats.batch_runs += 2;
-                    acc.stats.lanes_used += 2 * u64::from(lanes);
-                    acc.stats.word_steps += clean.word_steps() + faulty.word_steps();
-                    acc.stats.lane_transitions +=
-                        clean.lane_transitions() + faulty.lane_transitions();
-                },
-                Acc::merge,
-            ),
+            Some(prog) => match crate::backend::lane_words() {
+                1 => batch_site_accumulate::<u64, _>(
+                    prog, wires, t_main, t_shadow, n_ranks, site_seed, site, period, class, cfg,
+                    &draw, &record,
+                ),
+                2 => batch_site_accumulate::<LaneBlock<2>, _>(
+                    prog, wires, t_main, t_shadow, n_ranks, site_seed, site, period, class, cfg,
+                    &draw, &record,
+                ),
+                8 => batch_site_accumulate::<LaneBlock<8>, _>(
+                    prog, wires, t_main, t_shadow, n_ranks, site_seed, site, period, class, cfg,
+                    &draw, &record,
+                ),
+                _ => batch_site_accumulate::<LaneBlock<4>, _>(
+                    prog, wires, t_main, t_shadow, n_ranks, site_seed, site, period, class, cfg,
+                    &draw, &record,
+                ),
+            },
             None => parallel_accumulate(
                 cfg.samples_per_site,
                 site_seed,

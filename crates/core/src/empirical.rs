@@ -8,7 +8,8 @@
 //! Both public curves funnel into one shared sampling engine ([`curve_with`])
 //! that is parameterized over a [`SimBackend`]: the event-driven simulator
 //! (one vector per run) or the bit-parallel batch engine (64 vectors per
-//! pass, [`ola_netlist::batch`]). The two backends draw the *same* random
+//! lane word, up to 512 per pass — see `OLA_LANE_WORDS` below,
+//! [`ola_netlist::batch`]). The two backends draw the *same* random
 //! stream (see [`crate::parallel::parallel_accumulate_batched`]) and judge
 //! samples in the same per-sample / per-`Ts` order with the same
 //! native-typed comparisons, so the produced [`GateLevelCurve`]s are
@@ -29,10 +30,10 @@ use crate::parallel::{parallel_accumulate, parallel_accumulate_batched};
 use crate::resilience::{ambient_token, check_cancelled, compile_batch_or_degrade};
 use ola_arith::online::digits_value;
 use ola_arith::synth::{ArrayMultiplierCircuit, OnlineMultiplierCircuit};
-use ola_netlist::batch::{BatchInputs, MAX_LANES};
+use ola_netlist::batch::{BatchProgram, LaneBlock, LaneInputs, LaneWord};
 use ola_netlist::{
-    analyze, default_event_budget, simulate_budgeted_cancellable, simulate_from_zero, Cancelled,
-    DelayModel, NetId, Netlist, SimError,
+    analyze, default_event_budget, simulate_budgeted_cancellable, simulate_from_zero, CancelToken,
+    Cancelled, DelayModel, NetId, Netlist, SimError,
 };
 use ola_redundant::Digit;
 use rand::Rng;
@@ -106,6 +107,76 @@ fn merge(mut a: Acc, b: &Acc) -> Acc {
     a
 }
 
+use crate::backend::lane_words;
+
+/// The batch sampling loop, generic over the lane word `B` (64 lanes per
+/// word). One engine pass simulates up to `B::LANES` drawn vectors and
+/// sweeps the whole judged `Ts` grid over them.
+#[allow(clippy::too_many_arguments)] // internal: mirrors curve_with's captures
+fn batch_accumulate<B, D, J>(
+    prog: &BatchProgram,
+    wires: &[NetId],
+    judged: &[(usize, u64)],
+    skipped: u64,
+    ts_len: usize,
+    samples: usize,
+    seed: u64,
+    cancel: &Option<CancelToken>,
+    draw: &D,
+    judge: &J,
+) -> Acc
+where
+    B: LaneWord,
+    D: Fn(&mut ChaCha8Rng) -> Vec<bool> + Sync,
+    J: Fn(&[bool], &[bool]) -> (bool, f64) + Sync,
+{
+    let active_ts: Vec<u64> = judged.iter().map(|&(_, t)| t).collect();
+    parallel_accumulate_batched(
+        samples,
+        seed,
+        B::LANES as usize,
+        || Acc::new(ts_len),
+        |rng| draw(rng),
+        |group: &[Vec<bool>], acc: &mut Acc| {
+            check_cancelled();
+            let lanes = group.len() as u32;
+            let prev = LaneInputs::<B>::zeros(prog.num_inputs(), lanes)
+                .expect("group size bounded by B::LANES");
+            let new = LaneInputs::<B>::pack(group).expect("draw produces full input vectors");
+            let res = match cancel {
+                Some(tok) => prog.run_cancellable(&prev, &new, tok).unwrap_or_else(|e| {
+                    if matches!(e, ola_netlist::BatchError::Cancelled) {
+                        std::panic::panic_any(Cancelled)
+                    }
+                    panic!("shapes validated above: {e}")
+                }),
+                None => prog.run(&prev, &new).expect("shapes validated above"),
+            };
+            let bus = res.bus_waves(wires).expect("output bus nets exist");
+            let sweep = bus.sweep(&active_ts);
+            for lane in 0..lanes {
+                acc.max_settle = acc.max_settle.max(res.settle_time(lane));
+                let settled = bus.settled_lane(lane);
+                for (si, &(i, _)) in judged.iter().enumerate() {
+                    let (violation, abs_error) = judge(&sweep.lane_bits(si, lane), &settled);
+                    acc.record(i, violation, abs_error);
+                }
+            }
+            acc.samples += group.len();
+            acc.stats.backend = "batch";
+            acc.stats.vectors += u64::from(lanes);
+            acc.stats.ts_points += u64::from(lanes) * judged.len() as u64;
+            acc.stats.sta_skipped_points += u64::from(lanes) * skipped;
+            acc.stats.batch_runs += 1;
+            acc.stats.lanes_used += u64::from(lanes);
+            acc.stats.lane_capacity = u64::from(B::LANES);
+            acc.stats.word_steps += res.word_steps();
+            acc.stats.lane_transitions += res.lane_transitions();
+        },
+        merge,
+    )
+}
+
 /// The shared per-`Ts` sampling engine behind every gate-level curve.
 ///
 /// `draw` produces one already-encoded primary-input vector per sample;
@@ -116,8 +187,10 @@ fn merge(mut a: Acc, b: &Acc) -> Acc {
 /// the identical comparison.
 ///
 /// The event path simulates one vector per run; the batch path compiles
-/// the netlist once and runs up to [`MAX_LANES`] vectors per pass, sampling
-/// the whole `Ts` grid with one sweep per pass. Lane order is sample order
+/// the netlist once (memoized by content digest, see [`crate::memo`]) and
+/// runs up to `B::LANES` vectors per pass — the lane word `B` is selected
+/// by `OLA_LANE_WORDS` (see [`lane_words`]) — sampling the whole `Ts` grid
+/// with one sweep per pass. Lane order is sample order
 /// and the per-chunk accumulation order (sample-outer, `Ts`-inner) matches
 /// the event path exactly, so `f64` additions happen in the same order and
 /// the curves are bit-identical. If batch compilation declines (non
@@ -176,51 +249,22 @@ where
     let cancel = ambient_token();
     let started = Instant::now();
     let _sample_span = crate::obs::span("empirical.sample");
+    let ts_len = ts_points.len();
     let mut acc = match &prog {
-        Some(prog) => parallel_accumulate_batched(
-            samples,
-            seed,
-            MAX_LANES as usize,
-            || Acc::new(ts_points.len()),
-            |rng| draw(rng),
-            |group: &[Vec<bool>], acc: &mut Acc| {
-                check_cancelled();
-                let lanes = group.len() as u32;
-                let prev = BatchInputs::zeros(prog.num_inputs(), lanes)
-                    .expect("group size bounded by MAX_LANES");
-                let new = BatchInputs::pack(group).expect("draw produces full input vectors");
-                let res = match &cancel {
-                    Some(tok) => prog.run_cancellable(&prev, &new, tok).unwrap_or_else(|e| {
-                        if matches!(e, ola_netlist::BatchError::Cancelled) {
-                            std::panic::panic_any(Cancelled)
-                        }
-                        panic!("shapes validated above: {e}")
-                    }),
-                    None => prog.run(&prev, &new).expect("shapes validated above"),
-                };
-                let bus = res.bus_waves(wires).expect("output bus nets exist");
-                let active_ts: Vec<u64> = judged.iter().map(|&(_, t)| t).collect();
-                let sweep = bus.sweep(&active_ts);
-                for lane in 0..lanes {
-                    acc.max_settle = acc.max_settle.max(res.settle_time(lane));
-                    let settled = bus.settled_lane(lane);
-                    for (si, &(i, _)) in judged.iter().enumerate() {
-                        let (violation, abs_error) = judge(&sweep.lane_bits(si, lane), &settled);
-                        acc.record(i, violation, abs_error);
-                    }
-                }
-                acc.samples += group.len();
-                acc.stats.backend = "batch";
-                acc.stats.vectors += u64::from(lanes);
-                acc.stats.ts_points += u64::from(lanes) * judged.len() as u64;
-                acc.stats.sta_skipped_points += u64::from(lanes) * skipped;
-                acc.stats.batch_runs += 1;
-                acc.stats.lanes_used += u64::from(lanes);
-                acc.stats.word_steps += res.word_steps();
-                acc.stats.lane_transitions += res.lane_transitions();
-            },
-            merge,
-        ),
+        Some(prog) => match lane_words() {
+            1 => batch_accumulate::<u64, _, _>(
+                prog, wires, &judged, skipped, ts_len, samples, seed, &cancel, &draw, &judge,
+            ),
+            2 => batch_accumulate::<LaneBlock<2>, _, _>(
+                prog, wires, &judged, skipped, ts_len, samples, seed, &cancel, &draw, &judge,
+            ),
+            8 => batch_accumulate::<LaneBlock<8>, _, _>(
+                prog, wires, &judged, skipped, ts_len, samples, seed, &cancel, &draw, &judge,
+            ),
+            _ => batch_accumulate::<LaneBlock<4>, _, _>(
+                prog, wires, &judged, skipped, ts_len, samples, seed, &cancel, &draw, &judge,
+            ),
+        },
         None => parallel_accumulate(
             samples,
             seed,
@@ -587,7 +631,8 @@ mod tests {
             assert_eq!(ev, ba, "curves must be bit-identical");
             assert_eq!(ev_stats.backend, "event");
             assert_eq!(ba_stats.backend, "batch");
-            assert_eq!(ba_stats.batch_runs, 2, "100 samples = 64 + 36 lanes");
+            let cap = ba_stats.lane_capacity.max(64);
+            assert_eq!(ba_stats.batch_runs, 100u64.div_ceil(cap), "one pass per {cap} lanes");
             assert_eq!(ba_stats.vectors, 100);
             assert_eq!(ev_stats.ts_points, 500);
             assert_eq!(ba_stats.ts_points, 500);
@@ -659,7 +704,49 @@ mod tests {
             StaGate::On,
         );
         assert_eq!(ev, ba);
-        assert!(stats.lane_utilization() > 0.5);
+        assert_eq!(stats.lanes_used, 90, "every sample occupies one lane");
+        assert_eq!(stats.batch_runs, 90u64.div_ceil(stats.lane_capacity.max(64)));
+        let expected = 90.0 / (stats.lane_capacity.max(64) * stats.batch_runs) as f64;
+        assert!((stats.lane_utilization() - expected).abs() < 1e-12);
+    }
+
+    /// Regression guard for tail-lane handling: 65 samples is one lane past
+    /// the legacy 64-lane word and far short of a full multi-word block, so
+    /// whichever lane width runs, the final batch pass carries unused high
+    /// lanes. Those lanes hold engine-internal values that must be masked
+    /// out of every reduction (violation counts, error sums, settle times)
+    /// — any leak breaks bit-identity with the event path.
+    #[test]
+    fn tail_lanes_stay_out_of_reductions_at_population_65() {
+        let circuit = online_multiplier(6, 3);
+        let rep = analyze(&circuit.netlist, &UnitDelay);
+        let cp = rep.critical_path();
+        let ts: Vec<u64> = vec![cp / 3, cp / 2, cp * 3 / 4, cp];
+        let (ev, ev_stats) = om_gate_level_curve_with(
+            &circuit,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            &ts,
+            65,
+            21,
+            SimBackend::Event,
+            StaGate::Off,
+        );
+        let (ba, ba_stats) = om_gate_level_curve_with(
+            &circuit,
+            &UnitDelay,
+            InputModel::UniformDigits,
+            &ts,
+            65,
+            21,
+            SimBackend::Batch,
+            StaGate::Off,
+        );
+        assert_eq!(ev, ba, "tail lanes leaked into a reduction");
+        assert_eq!(ev_stats.vectors, 65);
+        assert_eq!(ba_stats.vectors, 65, "exactly the requested population, no phantom lanes");
+        assert_eq!(ba_stats.lanes_used, 65);
+        assert_eq!(ba_stats.batch_runs, 65u64.div_ceil(ba_stats.lane_capacity.max(64)));
     }
 
     #[test]

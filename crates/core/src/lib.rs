@@ -71,6 +71,7 @@ pub mod baseline;
 pub mod cache;
 pub mod campaign;
 pub mod empirical;
+pub mod memo;
 pub mod metrics;
 pub mod model;
 pub mod montecarlo;

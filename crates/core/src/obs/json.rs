@@ -158,9 +158,15 @@ impl JsonValue {
                     if *v == v.trunc() && v.abs() < 1e15 {
                         // Keep integral floats readable and re-parseable.
                         let _ = write!(out, "{v:.1}");
+                    } else if *v != v.trunc() && (1e-4..1e17).contains(&v.abs()) {
+                        // Rust's float Display is the shortest decimal that
+                        // re-parses to the same f64 — canonical and humane
+                        // ("0.22062625", not "2.20626249999999996e-1").
+                        let _ = write!(out, "{v}");
                     } else {
-                        // 17 significant digits round-trip any f64.
-                        let _ = write!(out, "{v:.17e}");
+                        // Extreme magnitudes: shortest mantissa, explicit
+                        // exponent, so tiny/huge values stay compact.
+                        let _ = write!(out, "{v:e}");
                     }
                 } else {
                     out.push_str("null");
@@ -517,6 +523,30 @@ mod tests {
             }
         }
         assert_eq!(JsonValue::F64(f64::NAN).render(), "null");
+    }
+
+    /// Regression: the old writer rendered every non-integral float as
+    /// 17-significant-digit scientific notation, so BENCH files carried
+    /// `"elapsed_secs":2.20626249999999996e-1` instead of `0.22062625`.
+    /// Non-extreme floats must render as the shortest plain decimal that
+    /// re-parses to the identical bits.
+    #[test]
+    fn floats_render_shortest_plain_decimal() {
+        assert_eq!(JsonValue::F64(0.220_626_25).render(), "0.22062625");
+        assert_eq!(JsonValue::F64(36_260.417_788_001_2).render(), "36260.4177880012");
+        assert_eq!(JsonValue::F64(0.017_146_524).render(), "0.017146524");
+        assert_eq!(JsonValue::F64(-1.5).render(), "-1.5");
+        assert_eq!(JsonValue::F64(2.0).render(), "2.0", "integral floats keep the .0 marker");
+        // Extreme magnitudes keep exponent form, shortest mantissa.
+        assert_eq!(JsonValue::F64(f64::MAX).render(), "1.7976931348623157e308");
+        assert_eq!(JsonValue::F64(1e-300).render(), "1e-300");
+        // Every form still round-trips bit-exactly.
+        for v in [0.220_626_25, 1e18, -1e18, 1e-300, f64::MIN_POSITIVE, 9.99e16, 1.01e-4] {
+            match parse(&JsonValue::F64(v).render()).unwrap() {
+                JsonValue::F64(back) => assert_eq!(back.to_bits(), v.to_bits(), "{v}"),
+                other => panic!("expected float back, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 // ---------------------------------------------------------------------------
@@ -207,7 +208,7 @@ pub fn compile_batch_or_degrade<M: DelayModel + ?Sized>(
     context: &str,
     netlist: &Netlist,
     delay: &M,
-) -> Option<BatchProgram> {
+) -> Option<Arc<BatchProgram>> {
     if !delay.batch_exact() {
         return None;
     }
@@ -215,7 +216,10 @@ pub fn compile_batch_or_degrade<M: DelayModel + ?Sized>(
         note_degraded(context, "forced by OLA_CHAOS_BATCH_FAIL");
         return None;
     }
-    match BatchProgram::compile(netlist, delay) {
+    // Compiles go through the content-addressed memo: sweeps over the same
+    // netlist + delay model levelize once and share the program. Failed
+    // compiles are never cached, so the retry below really recompiles.
+    match crate::memo::batch_program(netlist, delay) {
         Ok(p) => Some(p),
         Err(first) => {
             // Retry once before degrading. Compilation is deterministic
@@ -223,7 +227,7 @@ pub fn compile_batch_or_degrade<M: DelayModel + ?Sized>(
             // (retry, then degrade, never abort) is uniform across every
             // batch failure mode, including future nondeterministic ones.
             crate::obs::registry().counter("ola.resilience.batch_retries").inc();
-            match BatchProgram::compile(netlist, delay) {
+            match crate::memo::batch_program(netlist, delay) {
                 Ok(p) => Some(p),
                 Err(_) => {
                     note_degraded(context, &first.to_string());
@@ -422,7 +426,7 @@ mod tests {
         assert!(matches!(e, ResilienceError::Cancelled));
         let e: ResilienceError = SimError::Cancelled.into();
         assert!(matches!(e, ResilienceError::Cancelled));
-        let e: ResilienceError = BatchError::TooManyLanes { got: 99 }.into();
+        let e: ResilienceError = BatchError::TooManyLanes { got: 99, cap: 64 }.into();
         assert!(e.to_string().contains("batch backend failed"));
         assert!(std::error::Error::source(&e).is_some());
         let e: ResilienceError = SimError::Unsettled { events: 9, budget: 5 }.into();

@@ -1,26 +1,43 @@
 //! The lane-word batch execution engine.
 //!
 //! One [`BatchProgram::run`] replays the event-driven simulator's
-//! transport-delay semantics for 64 input vectors at once, *without an
-//! event queue*: because the program is a levelized DAG and every gate's
-//! delay is a compile-time constant, each net's settling waveform is a pure
-//! function of its fanin waveforms — `out(t + d) = f(inputs(t))` — so a
-//! single pass in topological order produces the exact waveform of every
-//! net. Word-level change detection (a step is recorded only when some
-//! lane's bit changes) is the batch counterpart of the event simulator's
-//! schedule-equal-value cancellation.
+//! transport-delay semantics for a whole lane word of input vectors at
+//! once, *without an event queue*: because the program is a levelized DAG
+//! and every gate's delay is a compile-time constant, each net's settling
+//! waveform is a pure function of its fanin waveforms —
+//! `out(t + d) = f(inputs(t))` — so a single pass in topological order
+//! produces the exact waveform of every net. Word-level change detection
+//! (a step is recorded only when some lane's bit changes) is the batch
+//! counterpart of the event simulator's schedule-equal-value cancellation.
+//! The word type is any [`LaneWord`]: `u64` is the legacy 64-lane path,
+//! [`LaneBlock<W>`](crate::batch::LaneBlock) runs `64·W` lanes per pass.
 //!
 //! With faults ([`BatchProgram::run_with_faults`]) each lane may carry a
 //! *different* [`FaultPlan`](crate::FaultPlan): stuck bits and transient
 //! windows transform the observed waveform per lane, and per-lane delay
 //! pushes split a gate's output into delay groups that are shifted
 //! independently and re-merged.
+//!
+//! # Dirty-cone incremental resimulation
+//!
+//! [`BatchProgram::run_incremental`] reruns against a *base* result when
+//! only a few inputs or fault sites changed: a net is **dirty** iff its own
+//! stimulus changed (an input whose packed words differ from the base run,
+//! or a net whose per-lane fault state differs) or any fanin is dirty.
+//! Only dirty nets recompute their waveforms; clean nets share the base
+//! run's waveform by reference counting. An equality cutoff re-marks a
+//! recomputed net clean when its new waveform equals the base one (a fault
+//! that does not change behaviour, or a cone that reconverges), which
+//! prunes the fanout cone early. Setting `OLA_BATCH_CHECK_INCREMENTAL=1`
+//! cross-checks every incremental run against a full recompute.
 
-use crate::batch::fault::{BatchFaultSet, LaneFaults};
-use crate::batch::program::{active_mask, BatchInputs, BatchProgram};
-use crate::batch::wave::LaneWave;
+use crate::batch::block::{LaneBlock, LaneWord};
+use crate::batch::fault::{LaneFaultSet, LaneFaults};
+use crate::batch::program::{BatchProgram, LaneInputs};
+use crate::batch::wave::Wave;
 use crate::cancel::CancelToken;
 use crate::{BatchError, GateKind, NetId, NetlistError};
+use std::sync::Arc;
 
 /// How many nets the settling pass evaluates between cancellation polls.
 /// A net's waveform merge is much heavier than one event-simulator event,
@@ -29,16 +46,16 @@ use crate::{BatchError, GateKind, NetId, NetlistError};
 const NET_CHECK_INTERVAL: usize = 256;
 
 /// Word-parallel gate evaluation: every bit position is one lane.
-pub(crate) fn eval_word(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
+pub(crate) fn eval_word<B: LaneWord>(kind: GateKind, a: B, b: B, c: B) -> B {
     match kind {
-        GateKind::Not => !a,
-        GateKind::And => a & b,
-        GateKind::Or => a | b,
-        GateKind::Xor => a ^ b,
-        GateKind::Nand => !(a & b),
-        GateKind::Nor => !(a | b),
-        GateKind::Xnor => !(a ^ b),
-        GateKind::Mux => (a & b) | (!a & c),
+        GateKind::Not => a.not(),
+        GateKind::And => a.and(b),
+        GateKind::Or => a.or(b),
+        GateKind::Xor => a.xor(b),
+        GateKind::Nand => a.and(b).not(),
+        GateKind::Nor => a.or(b).not(),
+        GateKind::Xnor => a.xor(b).not(),
+        GateKind::Mux => a.and(b).or(a.not().and(c)),
         GateKind::Input | GateKind::Const => unreachable!("not a logic gate"),
     }
 }
@@ -53,24 +70,24 @@ fn gate_arity(kind: GateKind) -> usize {
 
 /// The input waveform: lanes switch from their previous to their new bit at
 /// their delay-push time (0 without faults). Groups are sorted by push.
-fn input_wave(prev: u64, new: u64, groups: &[(u64, u64)]) -> LaneWave {
+fn input_wave<B: LaneWord>(prev: B, new: B, groups: &[(u64, B)]) -> Wave<B> {
     let mut steps = Vec::new();
     let mut word = prev;
     let mut i = 0;
     while i < groups.len() {
         let t = groups[i].0;
-        let mut mask = 0u64;
+        let mut mask = B::ZERO;
         while i < groups.len() && groups[i].0 == t {
-            mask |= groups[i].1;
+            mask = mask.or(groups[i].1);
             i += 1;
         }
-        let next = (word & !mask) | (new & mask);
+        let next = word.and(mask.not()).or(new.and(mask));
         if next != word {
             word = next;
             steps.push((t, word));
         }
     }
-    LaneWave { initial: prev, steps }
+    Wave { initial: prev, steps }
 }
 
 /// One gate's raw output waveform from its fanin waveforms.
@@ -79,21 +96,21 @@ fn input_wave(prev: u64, new: u64, groups: &[(u64, u64)]) -> LaneWave {
 /// any fanin changes — then each delay group `g` shifts that stream by its
 /// effective delay `(base + push_g).max(1)` and contributes its lanes; the
 /// group streams are k-way merged back into one waveform.
-fn gate_wave(
+fn gate_wave<B: LaneWord>(
     kind: GateKind,
-    ins: &[&LaneWave],
-    init: u64,
+    ins: &[&Wave<B>],
+    init: B,
     base_delay: u64,
-    groups: &[(u64, u64)],
-) -> LaneWave {
+    groups: &[(u64, B)],
+) -> Wave<B> {
     // Function stream.
-    let mut cur = [0u64; 3];
+    let mut cur = [B::ZERO; 3];
     let mut idx = [0usize; 3];
     for (j, w) in ins.iter().enumerate() {
         cur[j] = w.initial;
     }
     let mut f_prev = init;
-    let mut fstream: Vec<(u64, u64)> = Vec::new();
+    let mut fstream: Vec<(u64, B)> = Vec::new();
     loop {
         let mut t_next = u64::MAX;
         let mut any = false;
@@ -125,14 +142,14 @@ fn gate_wave(
         // Fast path: one delay for every lane (the fault-free case).
         let d = base_delay.saturating_add(*push).max(1);
         let steps = fstream.into_iter().map(|(t, f)| (t.saturating_add(d), f)).collect();
-        return LaneWave { initial: init, steps };
+        return Wave { initial: init, steps };
     }
 
     // Per-lane delays: merge the per-group shifted streams.
     let ds: Vec<u64> =
         groups.iter().map(|&(push, _)| base_delay.saturating_add(push).max(1)).collect();
     let mut cursors = vec![0usize; groups.len()];
-    let mut words: Vec<u64> = groups.iter().map(|&(_, mask)| init & mask).collect();
+    let mut words: Vec<B> = groups.iter().map(|&(_, mask)| init.and(mask)).collect();
     let mut last = init;
     let mut steps = Vec::new();
     loop {
@@ -150,28 +167,28 @@ fn gate_wave(
         for (g, &d) in ds.iter().enumerate() {
             while let Some(&(t, f)) = fstream.get(cursors[g]) {
                 if t.saturating_add(d) == t_next {
-                    words[g] = f & groups[g].1;
+                    words[g] = f.and(groups[g].1);
                     cursors[g] += 1;
                 } else {
                     break;
                 }
             }
         }
-        let word = words.iter().fold(0u64, |acc, &w| acc | w);
+        let word = words.iter().fold(B::ZERO, |acc, &w| acc.or(w));
         if word != last {
             last = word;
             steps.push((t_next, word));
         }
     }
-    LaneWave { initial: init, steps }
+    Wave { initial: init, steps }
 }
 
 /// Applies the per-lane observation transform (stuck bits, transient
 /// windows) to a raw waveform: candidate change times are the raw step
 /// times plus the window boundaries, and at each the observed word is
 /// `((raw ^ flips) & !stuck_mask) | stuck_vals`.
-fn observe_wave(raw: &LaneWave, f: &LaneFaults) -> LaneWave {
-    let init = (raw.initial & !f.stuck_mask) | f.stuck_vals;
+fn observe_wave<B: LaneWord>(raw: &Wave<B>, f: &LaneFaults<B>) -> Wave<B> {
+    let init = raw.initial.and(f.stuck_mask.not()).or(f.stuck_vals);
     let mut times: Vec<u64> = raw.steps.iter().map(|&(t, _)| t).collect();
     for &(start, end, _) in &f.windows {
         times.push(start);
@@ -193,41 +210,76 @@ fn observe_wave(raw: &LaneWave, f: &LaneFaults) -> LaneWave {
                 break;
             }
         }
-        let mut flips = 0u64;
+        let mut flips = B::ZERO;
         for &(start, end, mask) in &f.windows {
             if t >= start && t < end {
-                flips |= mask;
+                flips = flips.or(mask);
             }
         }
-        let word = ((cur_raw ^ flips) & !f.stuck_mask) | f.stuck_vals;
+        let word = cur_raw.xor(flips).and(f.stuck_mask.not()).or(f.stuck_vals);
         if word != last {
             last = word;
             steps.push((t, word));
         }
     }
-    LaneWave { initial: init, steps }
+    Wave { initial: init, steps }
 }
 
-const NO_FAULT_GROUPS: [(u64, u64); 1] = [(0, u64::MAX)];
+/// True when `OLA_BATCH_CHECK_INCREMENTAL=1` asks every incremental run to
+/// be cross-checked against a full recompute.
+fn incremental_check_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("OLA_BATCH_CHECK_INCREMENTAL")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
 
-/// The settling history of one batch run: 64-lane waveforms for every net,
-/// per-lane settle times, and engine-work counters.
+/// Per-net scan products cached in a result so an incremental rerun can
+/// fold a clean (`Arc`-shared) net's contribution into its counters and
+/// settle times without rescanning the waveform: the masked transition
+/// count, and the "retire list" — backward-ordered `(t, lanes)` entries
+/// recording each lane's *last* transition time, the compressed form of
+/// this net's per-lane settle contribution.
+#[derive(Clone, Debug)]
+struct NetStats<B: LaneWord> {
+    transitions: u64,
+    retire: Vec<(u64, B)>,
+}
+
+/// The settling history of one batch run: lane-word waveforms for every
+/// net, per-lane settle times, and engine-work counters.
 ///
-/// The per-lane view ([`BatchSimResult::value_at`],
-/// [`BatchSimResult::lane_waveform`](Self::lane_waveform)) is bit-identical
+/// The per-lane view ([`LaneSimResult::value_at`],
+/// [`LaneSimResult::lane_waveform`](Self::lane_waveform)) is bit-identical
 /// to the event-driven [`SimResult`](crate::SimResult) of the same
 /// (vector, fault-plan) pair — the equivalence the proptest suite pins
-/// down.
+/// down. Waveforms are reference-counted so an incremental rerun
+/// ([`BatchProgram::run_incremental`]) can share every clean net's
+/// waveform with its base instead of copying it — per-net scan products
+/// ([`NetStats`]) ride along so counters need no rescan either.
 #[derive(Clone, Debug)]
-pub struct BatchSimResult {
+pub struct LaneSimResult<B: LaneWord = u64> {
     lanes: u32,
-    waves: Vec<LaneWave>,
+    waves: Vec<Arc<Wave<B>>>,
+    net_stats: Vec<Arc<NetStats<B>>>,
     settle: Vec<u64>,
     word_steps: u64,
     lane_transitions: u64,
+    /// The stimulus this run was produced from, kept so an incremental
+    /// rerun can seed its dirty set from the delta against it.
+    prev_words: Vec<B>,
+    new_words: Vec<B>,
+    faults: Option<LaneFaultSet<B>>,
 }
 
-impl BatchSimResult {
+/// The legacy 64-lane simulation result.
+pub type BatchSimResult = LaneSimResult<u64>;
+
+/// A multi-word simulation result carrying `64·W` lanes.
+pub type WideSimResult<const W: usize> = LaneSimResult<LaneBlock<W>>;
+
+impl<B: LaneWord> LaneSimResult<B> {
     /// Number of active lanes (input vectors).
     #[must_use]
     pub fn lanes(&self) -> u32 {
@@ -236,19 +288,20 @@ impl BatchSimResult {
 
     /// The lane-word waveform of `net`.
     #[must_use]
-    pub fn wave(&self, net: NetId) -> &LaneWave {
+    pub fn wave(&self, net: NetId) -> &Wave<B> {
         &self.waves[net.index()]
     }
 
-    /// Like [`BatchSimResult::wave`], validating the net index.
+    /// Like [`LaneSimResult::wave`], validating the net index.
     ///
     /// # Errors
     ///
     /// [`NetlistError::NetOutOfRange`] if `net` is not a net of the
     /// simulated netlist.
-    pub fn try_wave(&self, net: NetId) -> Result<&LaneWave, NetlistError> {
+    pub fn try_wave(&self, net: NetId) -> Result<&Wave<B>, NetlistError> {
         self.waves
             .get(net.index())
+            .map(Arc::as_ref)
             .ok_or(NetlistError::NetOutOfRange { index: net.index(), len: self.waves.len() })
     }
 
@@ -275,7 +328,7 @@ impl BatchSimResult {
     /// The settled values of a bus in one lane.
     #[must_use]
     pub fn final_bus(&self, nets: &[NetId], lane: u32) -> Vec<bool> {
-        nets.iter().map(|&n| self.waves[n.index()].final_word() >> lane & 1 == 1).collect()
+        nets.iter().map(|&n| self.waves[n.index()].final_word().bit(lane)).collect()
     }
 
     /// Time of the last observed transition in `lane` across all nets.
@@ -296,8 +349,8 @@ impl BatchSimResult {
         self.settle.iter().copied().max().unwrap_or(0)
     }
 
-    /// Total word-level steps stored (engine work: one step covers up to 64
-    /// lanes).
+    /// Total word-level steps stored (engine work: one step covers a whole
+    /// lane word).
     #[must_use]
     pub fn word_steps(&self) -> u64 {
         self.word_steps
@@ -309,11 +362,21 @@ impl BatchSimResult {
     pub fn lane_transitions(&self) -> u64 {
         self.lane_transitions
     }
+
+    /// How many nets of this result share their waveform with an
+    /// incremental base (reference count > 1) — a diagnostic for the
+    /// dirty-cone cutoff, not a semantic property.
+    #[must_use]
+    pub fn shared_waves(&self) -> usize {
+        self.waves.iter().filter(|w| Arc::strong_count(w) > 1).count()
+    }
 }
 
 impl BatchProgram {
     /// Runs the batch engine for the input switch `prev → new` (applied at
-    /// `t = 0`), fault-free.
+    /// `t = 0`), fault-free. Generic over the lane word: `u64` batches run
+    /// 64 lanes, [`LaneBlock<W>`](crate::batch::LaneBlock) batches run
+    /// `64·W`.
     ///
     /// # Errors
     ///
@@ -321,7 +384,11 @@ impl BatchProgram {
     ///   from the netlist's input count;
     /// * [`BatchError::LaneMismatch`] if the batches carry different lane
     ///   counts.
-    pub fn run(&self, prev: &BatchInputs, new: &BatchInputs) -> Result<BatchSimResult, BatchError> {
+    pub fn run<B: LaneWord>(
+        &self,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+    ) -> Result<LaneSimResult<B>, BatchError> {
         self.run_inner(prev, new, None, None)
     }
 
@@ -334,12 +401,12 @@ impl BatchProgram {
     ///
     /// As for [`BatchProgram::run`], plus [`BatchError::Cancelled`] when
     /// `cancel` fires before the pass finishes.
-    pub fn run_cancellable(
+    pub fn run_cancellable<B: LaneWord>(
         &self,
-        prev: &BatchInputs,
-        new: &BatchInputs,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
         cancel: &CancelToken,
-    ) -> Result<BatchSimResult, BatchError> {
+    ) -> Result<LaneSimResult<B>, BatchError> {
         self.run_inner(prev, new, None, Some(cancel))
     }
 
@@ -351,18 +418,13 @@ impl BatchProgram {
     ///
     /// As for [`BatchProgram::run`], plus [`BatchError::InvalidFault`] if
     /// `faults` was compiled against a different netlist size.
-    pub fn run_with_faults(
+    pub fn run_with_faults<B: LaneWord>(
         &self,
-        prev: &BatchInputs,
-        new: &BatchInputs,
-        faults: &BatchFaultSet,
-    ) -> Result<BatchSimResult, BatchError> {
-        if faults.num_nets() != self.num_nets() {
-            return Err(BatchError::InvalidFault(NetlistError::NetOutOfRange {
-                index: faults.num_nets(),
-                len: self.num_nets(),
-            }));
-        }
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: &LaneFaultSet<B>,
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        self.check_faults(faults)?;
         self.run_inner(prev, new, Some(faults), None)
     }
 
@@ -375,35 +437,77 @@ impl BatchProgram {
     /// As for [`BatchProgram::run_with_faults`], plus
     /// [`BatchError::Cancelled`] when `cancel` fires before the pass
     /// finishes.
-    pub fn run_with_faults_cancellable(
+    pub fn run_with_faults_cancellable<B: LaneWord>(
         &self,
-        prev: &BatchInputs,
-        new: &BatchInputs,
-        faults: &BatchFaultSet,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: &LaneFaultSet<B>,
         cancel: &CancelToken,
-    ) -> Result<BatchSimResult, BatchError> {
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        self.check_faults(faults)?;
+        self.run_inner(prev, new, Some(faults), Some(cancel))
+    }
+
+    /// Reruns the engine against `base`, recomputing only the fanout cone
+    /// of what changed (see the [module docs](self) for the dirty-cone
+    /// algorithm). `base` must come from this program; `faults` is the
+    /// *complete* fault set of the new run (not a delta), compared
+    /// per net against the base run's. The result is bit-identical to a
+    /// full [`BatchProgram::run`] / [`run_with_faults`]
+    /// ([`BatchProgram::run_with_faults`]) with the same arguments —
+    /// property-tested, and cross-checked on every call when
+    /// `OLA_BATCH_CHECK_INCREMENTAL=1`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchProgram::run_with_faults`], plus
+    /// [`BatchError::IncrementalBaseMismatch`] if `base` was not produced
+    /// by a program of this shape.
+    pub fn run_incremental<B: LaneWord>(
+        &self,
+        base: &LaneSimResult<B>,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        self.run_incremental_inner(base, prev, new, faults, None)
+    }
+
+    /// [`BatchProgram::run_incremental`] with a cooperative
+    /// [`CancelToken`](crate::CancelToken) (see
+    /// [`BatchProgram::run_cancellable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchProgram::run_incremental`], plus
+    /// [`BatchError::Cancelled`] when `cancel` fires before the pass
+    /// finishes.
+    pub fn run_incremental_cancellable<B: LaneWord>(
+        &self,
+        base: &LaneSimResult<B>,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+        cancel: &CancelToken,
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        self.run_incremental_inner(base, prev, new, faults, Some(cancel))
+    }
+
+    fn check_faults<B: LaneWord>(&self, faults: &LaneFaultSet<B>) -> Result<(), BatchError> {
         if faults.num_nets() != self.num_nets() {
             return Err(BatchError::InvalidFault(NetlistError::NetOutOfRange {
                 index: faults.num_nets(),
                 len: self.num_nets(),
             }));
         }
-        self.run_inner(prev, new, Some(faults), Some(cancel))
+        Ok(())
     }
 
-    fn run_inner(
+    fn check_shapes<B: LaneWord>(
         &self,
-        prev: &BatchInputs,
-        new: &BatchInputs,
-        faults: Option<&BatchFaultSet>,
-        cancel: Option<&CancelToken>,
-    ) -> Result<BatchSimResult, BatchError> {
-        if let Some(tok) = cancel {
-            if tok.is_cancelled() {
-                return Err(BatchError::Cancelled);
-            }
-        }
-        let n = self.num_nets();
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+    ) -> Result<u32, BatchError> {
         let expected = self.num_inputs();
         for got in [new.num_inputs(), prev.num_inputs()] {
             if got != expected {
@@ -413,13 +517,19 @@ impl BatchProgram {
         if prev.lanes != new.lanes {
             return Err(BatchError::LaneMismatch { prev: prev.lanes, new: new.lanes });
         }
-        let lanes = prev.lanes;
+        Ok(prev.lanes)
+    }
 
-        // Initial (settled previous-input) state: raw driver outputs and
-        // observed values, word-parallel. Net-id order is topological
-        // (validated at compile time).
-        let mut raw_init = vec![0u64; n];
-        let mut obs_init = vec![0u64; n];
+    /// The settled-previous-state pass: raw driver outputs and observed
+    /// values of every net, word-parallel, in topological order.
+    fn initial_state<B: LaneWord>(
+        &self,
+        prev: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+    ) -> (Vec<B>, Vec<B>) {
+        let n = self.num_nets();
+        let mut raw_init = vec![B::ZERO; n];
+        let mut obs_init = vec![B::ZERO; n];
         let mut next_input = 0usize;
         for i in 0..n {
             let r = match self.kinds[i] {
@@ -428,7 +538,7 @@ impl BatchProgram {
                     next_input += 1;
                     w
                 }
-                GateKind::Const => self.const_words[i],
+                GateKind::Const => B::splat(self.const_ones[i]),
                 kind => eval_word(
                     kind,
                     obs_init[self.in0[i] as usize],
@@ -442,10 +552,133 @@ impl BatchProgram {
                 None => r,
             };
         }
+        (raw_init, obs_init)
+    }
+
+    /// Computes the waveform of net `i` from already-settled fanin waves.
+    #[allow(clippy::too_many_arguments)]
+    fn net_wave<B: LaneWord>(
+        &self,
+        i: usize,
+        input_slot: usize,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+        raw_init: &[B],
+        waves: &[Arc<Wave<B>>],
+    ) -> Wave<B> {
+        let lane_faults = faults.map(|fs| &fs.nets[i]);
+        let no_fault_groups = [(0u64, B::ONES)];
+        let groups_storage;
+        let groups: &[(u64, B)] = match lane_faults {
+            Some(f) if !f.pushes.is_empty() => {
+                groups_storage = f.delay_groups();
+                &groups_storage
+            }
+            _ => &no_fault_groups,
+        };
+        let raw = match self.kinds[i] {
+            GateKind::Input => input_wave(prev.words[input_slot], new.words[input_slot], groups),
+            GateKind::Const => Wave::constant(B::splat(self.const_ones[i])),
+            kind => {
+                // Unused slots default to net 0 — valid (any logic gate
+                // has index > 0 in a validated DAG) and ignored by
+                // `eval_word` for the gate's actual arity.
+                let ins = [
+                    waves[self.in0[i] as usize].as_ref(),
+                    waves[self.in1[i] as usize].as_ref(),
+                    waves[self.in2[i] as usize].as_ref(),
+                ];
+                gate_wave(kind, &ins[..gate_arity(kind)], raw_init[i], self.delays[i], groups)
+            }
+        };
+        match lane_faults {
+            Some(f) if !f.observe_is_identity() => observe_wave(&raw, f),
+            _ => raw,
+        }
+    }
+
+    fn run_inner<B: LaneWord>(
+        &self,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        if let Some(tok) = cancel {
+            if tok.is_cancelled() {
+                return Err(BatchError::Cancelled);
+            }
+        }
+        let n = self.num_nets();
+        let lanes = self.check_shapes(prev, new)?;
+        let (raw_init, obs_init) = self.initial_state(prev, faults);
 
         // Settling pass: one waveform per net, in topological order.
-        let mut waves: Vec<LaneWave> = Vec::with_capacity(n);
-        let mut word_steps = 0u64;
+        let mut waves: Vec<Arc<Wave<B>>> = Vec::with_capacity(n);
+        let mut next_input = 0usize;
+        #[allow(clippy::needless_range_loop)] // indexes several program arrays, not just one slice
+        for i in 0..n {
+            if i > 0 && i % NET_CHECK_INTERVAL == 0 {
+                if let Some(tok) = cancel {
+                    if tok.is_cancelled() {
+                        return Err(BatchError::Cancelled);
+                    }
+                }
+            }
+            let slot = next_input;
+            if self.kinds[i] == GateKind::Input {
+                next_input += 1;
+            }
+            let wave = self.net_wave(i, slot, prev, new, faults, &raw_init, &waves);
+            debug_assert_eq!(wave.initial, obs_init[i], "net {i}");
+            waves.push(Arc::new(wave));
+        }
+
+        Ok(finish_run(lanes, waves, prev, new, faults, None))
+    }
+
+    fn run_incremental_inner<B: LaneWord>(
+        &self,
+        base: &LaneSimResult<B>,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<LaneSimResult<B>, BatchError> {
+        if let Some(tok) = cancel {
+            if tok.is_cancelled() {
+                return Err(BatchError::Cancelled);
+            }
+        }
+        let n = self.num_nets();
+        let lanes = self.check_shapes(prev, new)?;
+        if let Some(fs) = faults {
+            self.check_faults(fs)?;
+        }
+        if base.waves.len() != n || base.prev_words.len() != self.num_inputs() {
+            return Err(BatchError::IncrementalBaseMismatch { expected: n, got: base.waves.len() });
+        }
+        if base.lanes != lanes {
+            return Err(BatchError::LaneMismatch { prev: base.lanes, new: lanes });
+        }
+        let (raw_init, obs_init) = self.initial_state(prev, faults);
+
+        let default_faults = LaneFaults::default();
+        fn fault_of<'a, B: LaneWord>(
+            set: Option<&'a LaneFaultSet<B>>,
+            i: usize,
+            default: &'a LaneFaults<B>,
+        ) -> &'a LaneFaults<B> {
+            set.map_or(default, |fs| &fs.nets[i])
+        }
+
+        // Dirty-cone pass: one topological sweep that seeds dirtiness from
+        // the stimulus delta, propagates it through fanin edges, recomputes
+        // only dirty nets, and un-dirties a net whose recomputed waveform
+        // equals the base one (equality cutoff).
+        let mut dirty = vec![false; n];
+        let mut waves: Vec<Arc<Wave<B>>> = Vec::with_capacity(n);
         let mut next_input = 0usize;
         for i in 0..n {
             if i > 0 && i % NET_CHECK_INTERVAL == 0 {
@@ -455,71 +688,147 @@ impl BatchProgram {
                     }
                 }
             }
-            let lane_faults = faults.map(|fs| &fs.nets[i]);
-            let groups_storage;
-            let groups: &[(u64, u64)] = match lane_faults {
-                Some(f) if !f.pushes.is_empty() => {
-                    groups_storage = f.delay_groups();
-                    &groups_storage
-                }
-                _ => &NO_FAULT_GROUPS,
-            };
-            let raw = match self.kinds[i] {
+            let slot = next_input;
+            let mut is_dirty = fault_of(base.faults.as_ref(), i, &default_faults)
+                != fault_of(faults, i, &default_faults);
+            match self.kinds[i] {
                 GateKind::Input => {
-                    let slot = next_input;
                     next_input += 1;
-                    input_wave(prev.words[slot], new.words[slot], groups)
+                    is_dirty |= prev.words[slot] != base.prev_words[slot]
+                        || new.words[slot] != base.new_words[slot];
                 }
-                GateKind::Const => LaneWave::constant(self.const_words[i]),
+                GateKind::Const => {}
                 kind => {
-                    // Unused slots default to net 0 — valid (any logic gate
-                    // has index > 0 in a validated DAG) and ignored by
-                    // `eval_word` for the gate's actual arity.
-                    let ins = [
-                        &waves[self.in0[i] as usize],
-                        &waves[self.in1[i] as usize],
-                        &waves[self.in2[i] as usize],
-                    ];
-                    gate_wave(kind, &ins[..gate_arity(kind)], raw_init[i], self.delays[i], groups)
-                }
-            };
-            let wave = match lane_faults {
-                Some(f) if !f.observe_is_identity() => observe_wave(&raw, f),
-                _ => raw,
-            };
-            debug_assert_eq!(wave.initial, obs_init[i]);
-            word_steps += wave.steps.len() as u64;
-            waves.push(wave);
-        }
-
-        // Per-lane settle times and transition counts (active lanes only).
-        let mask = active_mask(lanes);
-        let mut settle = vec![0u64; lanes as usize];
-        let mut lane_transitions = 0u64;
-        for w in &waves {
-            let mut prev_word = w.initial;
-            for &(t, word) in &w.steps {
-                let mut changed = (prev_word ^ word) & mask;
-                lane_transitions += u64::from(changed.count_ones());
-                while changed != 0 {
-                    let l = changed.trailing_zeros() as usize;
-                    if settle[l] < t {
-                        settle[l] = t;
+                    for &inp in &[self.in0[i], self.in1[i], self.in2[i]][..gate_arity(kind)] {
+                        is_dirty |= dirty[inp as usize];
                     }
-                    changed &= changed - 1;
                 }
-                prev_word = word;
+            }
+            if !is_dirty {
+                waves.push(Arc::clone(&base.waves[i]));
+                continue;
+            }
+            let wave = self.net_wave(i, slot, prev, new, faults, &raw_init, &waves);
+            debug_assert_eq!(wave.initial, obs_init[i]);
+            if wave == *base.waves[i] {
+                // The cone reconverged: downstream nets see the base
+                // waveform, so they need not recompute because of net `i`.
+                waves.push(Arc::clone(&base.waves[i]));
+            } else {
+                dirty[i] = true;
+                waves.push(Arc::new(wave));
             }
         }
 
-        crate::obs::with_observer(|o| o.batch_run(u64::from(lanes), word_steps, lane_transitions));
-        Ok(BatchSimResult { lanes, waves, settle, word_steps, lane_transitions })
+        let result = finish_run(lanes, waves, prev, new, faults, Some(base));
+        if incremental_check_enabled() {
+            let full = self.run_inner(prev, new, faults, cancel)?;
+            for i in 0..n {
+                assert_eq!(
+                    *result.waves[i], *full.waves[i],
+                    "incremental/full divergence on net {i} (OLA_BATCH_CHECK_INCREMENTAL)"
+                );
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// One net's scan products: the masked transition count (a forward scan
+/// of word ops only) and the retire list for settle times. The retire
+/// list comes from a backward scan that retires each lane at its first
+/// hit — every lane is touched at most once per net, where a forward
+/// per-transition update would make the per-lane loop scale with total
+/// lane transitions and dominate the whole engine on glitchy waves.
+fn scan_wave<B: LaneWord>(w: &Wave<B>, mask: B) -> NetStats<B> {
+    let mut transitions = 0u64;
+    let mut prev_word = w.initial;
+    for &(_, word) in &w.steps {
+        transitions += u64::from(prev_word.xor(word).and(mask).count_ones());
+        prev_word = word;
+    }
+    let mut retire = Vec::new();
+    let mut remaining = mask;
+    for k in (0..w.steps.len()).rev() {
+        if remaining.is_zero() {
+            break;
+        }
+        let before = if k == 0 { w.initial } else { w.steps[k - 1].1 };
+        let (t, word) = w.steps[k];
+        let changed = before.xor(word).and(remaining);
+        if !changed.is_zero() {
+            retire.push((t, changed));
+            remaining = remaining.and(changed.not());
+        }
+    }
+    NetStats { transitions, retire }
+}
+
+/// Derives the per-lane settle times and work counters from a finished
+/// wave set and assembles the result (shared by the full and incremental
+/// paths so both stay bit-identical, counters included).
+fn finish_run<B: LaneWord>(
+    lanes: u32,
+    waves: Vec<Arc<Wave<B>>>,
+    prev: &LaneInputs<B>,
+    new: &LaneInputs<B>,
+    faults: Option<&LaneFaultSet<B>>,
+    base: Option<&LaneSimResult<B>>,
+) -> LaneSimResult<B> {
+    // Per-lane settle times and transition counts (active lanes only: the
+    // mask keeps unused high lanes out of every reduction, so garbage in
+    // inactive lanes of an inverter's output can never leak into settle
+    // times, transition counts, or anything derived from them).
+    //
+    // The forward pass only counts transitions (word ops, no per-lane
+    // work). Settle times come from a backward pass per wave: a lane's
+    // contribution is its *last* transition in that wave, so scanning
+    // from the end and retiring each lane at its first hit touches every
+    // lane at most once per net — glitchy waves would otherwise make the
+    // per-lane update the hottest loop in the engine by a wide margin.
+    let mask = B::active_mask(lanes);
+    let mut settle = vec![0u64; lanes as usize];
+    let mut word_steps = 0u64;
+    let mut lane_transitions = 0u64;
+    let mut net_stats: Vec<Arc<NetStats<B>>> = Vec::with_capacity(waves.len());
+    for (i, w) in waves.iter().enumerate() {
+        word_steps += w.steps.len() as u64;
+        // An incremental rerun's clean nets share the base waveform by
+        // pointer; their cached scan products are valid verbatim (the
+        // active mask is identical — lane counts are checked upfront).
+        let stats = match base {
+            Some(b) if Arc::ptr_eq(w, &b.waves[i]) => Arc::clone(&b.net_stats[i]),
+            _ => Arc::new(scan_wave(w, mask)),
+        };
+        lane_transitions += stats.transitions;
+        for &(t, word) in &stats.retire {
+            word.for_each_lane(|l| {
+                if settle[l as usize] < t {
+                    settle[l as usize] = t;
+                }
+            });
+        }
+        net_stats.push(stats);
+    }
+
+    crate::obs::with_observer(|o| o.batch_run(u64::from(lanes), word_steps, lane_transitions));
+    LaneSimResult {
+        lanes,
+        waves,
+        net_stats,
+        settle,
+        word_steps,
+        lane_transitions,
+        prev_words: prev.words.clone(),
+        new_words: new.words.clone(),
+        faults: faults.cloned(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::{BatchFaultSet, BatchInputs, WideFaultSet, WideInputs};
     use crate::{
         default_event_budget, simulate_with_faults, FaultPlan, FpgaDelay, Netlist, UnitDelay,
     };
@@ -532,17 +841,17 @@ mod tests {
     /// time and its neighbours (the event engine may record same-time
     /// duplicate entries at transient boundaries, so raw lists can differ
     /// in representation while denoting the same waveform).
-    fn assert_equiv<M: crate::DelayModel>(
+    fn assert_equiv_generic<B: LaneWord, M: crate::DelayModel>(
         nl: &Netlist,
         delay: &M,
         prev_vecs: &[Vec<bool>],
         new_vecs: &[Vec<bool>],
         plans: &[FaultPlan],
-    ) -> BatchSimResult {
+    ) -> LaneSimResult<B> {
         let prog = BatchProgram::compile(nl, delay).unwrap();
-        let prev = BatchInputs::pack(prev_vecs).unwrap();
-        let new = BatchInputs::pack(new_vecs).unwrap();
-        let fs = BatchFaultSet::compile(plans, nl.len()).unwrap();
+        let prev = LaneInputs::<B>::pack(prev_vecs).unwrap();
+        let new = LaneInputs::<B>::pack(new_vecs).unwrap();
+        let fs = LaneFaultSet::<B>::compile(plans, nl.len()).unwrap();
         let res = if plans.is_empty() {
             prog.run(&prev, &new).unwrap()
         } else {
@@ -588,6 +897,16 @@ mod tests {
         res
     }
 
+    fn assert_equiv<M: crate::DelayModel>(
+        nl: &Netlist,
+        delay: &M,
+        prev_vecs: &[Vec<bool>],
+        new_vecs: &[Vec<bool>],
+        plans: &[FaultPlan],
+    ) -> BatchSimResult {
+        assert_equiv_generic::<u64, M>(nl, delay, prev_vecs, new_vecs, plans)
+    }
+
     fn xor_chain(n: usize) -> Netlist {
         let mut nl = Netlist::new();
         let a = nl.input("a");
@@ -624,6 +943,43 @@ mod tests {
         assert_eq!(res.lanes(), 64);
         assert!(res.word_steps() > 0);
         assert!(res.lane_transitions() >= res.word_steps());
+    }
+
+    #[test]
+    fn wide_lanes_match_event_sim_past_64_vectors() {
+        let nl = xor_chain(7);
+        let news = all_vectors(8);
+        let prevs = vec![vec![false; 8]; news.len()];
+        let res = assert_equiv_generic::<crate::batch::LaneBlock<4>, _>(
+            &nl,
+            &UnitDelay,
+            &prevs,
+            &news,
+            &[],
+        );
+        assert_eq!(res.lanes(), 256);
+    }
+
+    #[test]
+    fn wide_and_narrow_runs_agree_lane_for_lane() {
+        let nl = glitchy();
+        let news = all_vectors(1);
+        let prevs = vec![vec![true]; news.len()];
+        let narrow = assert_equiv(&nl, &FpgaDelay::default(), &prevs, &news, &[]);
+        let wide = assert_equiv_generic::<crate::batch::LaneBlock<8>, _>(
+            &nl,
+            &FpgaDelay::default(),
+            &prevs,
+            &news,
+            &[],
+        );
+        for net in nl.nets() {
+            for lane in 0..news.len() as u32 {
+                assert_eq!(narrow.lane_waveform(net, lane), wide.lane_waveform(net, lane));
+            }
+        }
+        assert_eq!(narrow.word_steps(), wide.word_steps());
+        assert_eq!(narrow.settle_times(), wide.settle_times());
     }
 
     #[test]
@@ -668,6 +1024,9 @@ mod tests {
         let prevs: Vec<Vec<bool>> =
             (0..plans.len()).map(|l| (0..4).map(|i| (l * i) % 2 == 1).collect()).collect();
         assert_equiv(&nl, &UnitDelay, &prevs, &news, &plans);
+        assert_equiv_generic::<crate::batch::LaneBlock<2>, _>(
+            &nl, &UnitDelay, &prevs, &news, &plans,
+        );
     }
 
     #[test]
@@ -731,6 +1090,10 @@ mod tests {
             prog.run_with_faults_cancellable(&b, &b, &fs, &tok).unwrap_err(),
             BatchError::Cancelled
         );
+        assert_eq!(
+            prog.run_incremental_cancellable(&plain, &b, &b, None, &tok).unwrap_err(),
+            BatchError::Cancelled
+        );
     }
 
     #[test]
@@ -757,5 +1120,146 @@ mod tests {
             assert_eq!(clean.wave(net), faulty.wave(net));
         }
         assert_eq!(clean.settle_times(), faulty.settle_times());
+    }
+
+    /// Asserts an incremental rerun is bit-identical to the full recompute
+    /// with the same stimulus, counters and settle times included.
+    fn assert_incremental_matches_full<B: LaneWord>(
+        nl: &Netlist,
+        prog: &BatchProgram,
+        base: &LaneSimResult<B>,
+        prev: &LaneInputs<B>,
+        new: &LaneInputs<B>,
+        faults: Option<&LaneFaultSet<B>>,
+    ) -> LaneSimResult<B> {
+        let inc = prog.run_incremental(base, prev, new, faults).unwrap();
+        let full = match faults {
+            Some(fs) => prog.run_with_faults(prev, new, fs).unwrap(),
+            None => prog.run(prev, new).unwrap(),
+        };
+        for net in nl.nets() {
+            assert_eq!(inc.wave(net), full.wave(net), "net {net:?}");
+        }
+        assert_eq!(inc.settle_times(), full.settle_times());
+        assert_eq!(inc.word_steps(), full.word_steps());
+        assert_eq!(inc.lane_transitions(), full.lane_transitions());
+        inc
+    }
+
+    #[test]
+    fn incremental_fault_rerun_shares_the_clean_cone() {
+        let nl = xor_chain(5);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let news = all_vectors(6);
+        let prev = BatchInputs::zeros(6, news.len() as u32).unwrap();
+        let new = BatchInputs::pack(&news).unwrap();
+        let clean = prog.run(&prev, &new).unwrap();
+        // A fault on the last XOR: only its fanout cone (itself) is dirty.
+        let out = nl.output("z")[0];
+        let plans = vec![FaultPlan::new().stuck_at(out, true)];
+        let fs = BatchFaultSet::compile(&plans, nl.len()).unwrap();
+        let inc = assert_incremental_matches_full(&nl, &prog, &clean, &prev, &new, Some(&fs));
+        // Every net but the faulted output shares its waveform with the base.
+        assert_eq!(inc.shared_waves(), nl.len() - 1);
+    }
+
+    #[test]
+    fn incremental_input_delta_recomputes_only_the_cone() {
+        let nl = xor_chain(6);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let zero = BatchInputs::zeros(7, 8).unwrap();
+        let a = BatchInputs::pack(
+            &(0..8).map(|l| (0..7).map(|i| (l + i) % 2 == 0).collect()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let base = prog.run(&zero, &a).unwrap();
+        // Flip only the last input's new words: the cone is the last XOR.
+        let mut vecs: Vec<Vec<bool>> = (0..8).map(|l| a.lane(l)).collect();
+        for v in &mut vecs {
+            let last = v.len() - 1;
+            v[last] = !v[last];
+        }
+        let b = BatchInputs::pack(&vecs).unwrap();
+        let inc = assert_incremental_matches_full(&nl, &prog, &base, &zero, &b, None);
+        // Untouched inputs and early XORs share with the base: only the
+        // flipped input net and the final XOR differ.
+        assert!(inc.shared_waves() >= nl.len() - 2, "shared {}", inc.shared_waves());
+    }
+
+    #[test]
+    fn incremental_noop_delta_shares_everything() {
+        let nl = glitchy();
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let prev = BatchInputs::pack(&[vec![false], vec![true]]).unwrap();
+        let new = BatchInputs::pack(&[vec![true], vec![false]]).unwrap();
+        let base = prog.run(&prev, &new).unwrap();
+        let inc = assert_incremental_matches_full(&nl, &prog, &base, &prev, &new, None);
+        assert_eq!(inc.shared_waves(), nl.len());
+    }
+
+    #[test]
+    fn incremental_equality_cutoff_stops_masked_faults() {
+        // Stuck-at-0 on a net that settles to 0 anyway with these inputs:
+        // the recomputed wave may differ mid-flight but the cutoff fires
+        // wherever it reconverges; the result must still be exact.
+        let nl = xor_chain(4);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let prev = BatchInputs::zeros(5, 4).unwrap();
+        let new = BatchInputs::pack(&all_vectors(5)[..4]).unwrap();
+        let base = prog.run(&prev, &new).unwrap();
+        let mid = nl.net(2);
+        let plans = vec![FaultPlan::new().stuck_at(mid, false); 4];
+        let fs = BatchFaultSet::compile(&plans, nl.len()).unwrap();
+        assert_incremental_matches_full(&nl, &prog, &base, &prev, &new, Some(&fs));
+    }
+
+    #[test]
+    fn incremental_from_faulty_base_back_to_clean() {
+        let nl = xor_chain(5);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let prev = BatchInputs::zeros(6, 8).unwrap();
+        let new = BatchInputs::pack(&all_vectors(6)[..8]).unwrap();
+        let mid = nl.net(4);
+        let plans = vec![FaultPlan::new().delay_push(mid, 3 * U), FaultPlan::new()];
+        let fs = BatchFaultSet::compile(&plans, nl.len()).unwrap();
+        let faulty = prog.run_with_faults(&prev, &new, &fs).unwrap();
+        // Rerun fault-free against the faulty base.
+        assert_incremental_matches_full(&nl, &prog, &faulty, &prev, &new, None);
+    }
+
+    #[test]
+    fn incremental_wide_matches_full_wide() {
+        let nl = xor_chain(6);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let news = all_vectors(7);
+        let prev = WideInputs::<2>::zeros(7, news.len() as u32).unwrap();
+        let new = WideInputs::<2>::pack(&news).unwrap();
+        let clean = prog.run(&prev, &new).unwrap();
+        let mid = nl.net(6);
+        let mut plans = vec![FaultPlan::new(); 100];
+        plans[97] = FaultPlan::new().transient(mid, U, 2 * U);
+        let fs = WideFaultSet::<2>::compile(&plans, nl.len()).unwrap();
+        assert_incremental_matches_full(&nl, &prog, &clean, &prev, &new, Some(&fs));
+    }
+
+    #[test]
+    fn incremental_validates_the_base() {
+        let nl = xor_chain(2);
+        let other = xor_chain(5);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let alien_prog = BatchProgram::compile(&other, &UnitDelay).unwrap();
+        let b = BatchInputs::zeros(3, 4).unwrap();
+        let ab = BatchInputs::zeros(6, 4).unwrap();
+        let alien = alien_prog.run(&ab, &ab).unwrap();
+        assert!(matches!(
+            prog.run_incremental(&alien, &b, &b, None).unwrap_err(),
+            BatchError::IncrementalBaseMismatch { .. }
+        ));
+        let base = prog.run(&b, &b).unwrap();
+        let narrow = BatchInputs::zeros(3, 2).unwrap();
+        assert!(matches!(
+            prog.run_incremental(&base, &narrow, &narrow, None).unwrap_err(),
+            BatchError::LaneMismatch { .. }
+        ));
     }
 }

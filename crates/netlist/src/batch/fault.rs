@@ -1,56 +1,74 @@
 //! Per-lane fault divergence for the batch engine.
 //!
-//! A [`BatchFaultSet`] compiles up to 64 [`FaultPlan`]s — one per lane —
-//! into dense per-net *lane words*: a stuck mask/value pair, transient
-//! windows annotated with the lanes they flip, and delay pushes grouped
-//! into `(push, lane-mask)` partitions. The engine then evaluates 64
+//! A [`LaneFaultSet`] compiles one [`FaultPlan`] per lane into dense
+//! per-net *lane words*: a stuck mask/value pair, transient windows
+//! annotated with the lanes they flip, and delay pushes grouped into
+//! `(push, lane-mask)` partitions. The engine then evaluates that many
 //! *different* fault scenarios in one pass over the netlist, which is what
 //! turns fault campaigns from `sites × vectors` event-driven runs into
-//! `sites × vectors / 64` batch runs.
+//! `sites × vectors / lanes` batch runs. [`BatchFaultSet`]
+//! (= `LaneFaultSet<u64>`) carries up to 64 plans, [`WideFaultSet<W>`] up
+//! to `64·W`.
 //!
 //! The merge semantics per lane are exactly those of
 //! [`FaultPlan`]'s overlay: later stuck-at / transient entries on the same
 //! net replace earlier ones, delay pushes accumulate (saturating).
 
-use crate::batch::MAX_LANES;
+use crate::batch::block::{LaneBlock, LaneWord};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::{BatchError, NetlistError};
 use std::collections::BTreeMap;
 
 /// The aggregated fault state of one net across all lanes.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub(crate) struct LaneFaults {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct LaneFaults<B: LaneWord> {
     /// Lanes whose plan sticks this net.
-    pub(crate) stuck_mask: u64,
+    pub(crate) stuck_mask: B,
     /// The stuck values on those lanes (subset of `stuck_mask`).
-    pub(crate) stuck_vals: u64,
+    pub(crate) stuck_vals: B,
     /// Transient windows `(start, end, lane_mask)`: the listed lanes read
     /// inverted during `[start, end)`.
-    pub(crate) windows: Vec<(u64, u64, u64)>,
+    pub(crate) windows: Vec<(u64, u64, B)>,
     /// Non-zero delay pushes `(push, lane_mask)`; lanes not covered here
     /// have push 0. Masks are disjoint, pushes distinct.
-    pub(crate) pushes: Vec<(u64, u64)>,
+    pub(crate) pushes: Vec<(u64, B)>,
 }
 
-impl LaneFaults {
+impl<B: LaneWord> Default for LaneFaults<B> {
+    fn default() -> Self {
+        LaneFaults {
+            stuck_mask: B::ZERO,
+            stuck_vals: B::ZERO,
+            windows: Vec::new(),
+            pushes: Vec::new(),
+        }
+    }
+}
+
+impl<B: LaneWord> LaneFaults<B> {
     /// True if observation is the identity on this net (no stuck bits, no
     /// windows) — delay pushes do not change the observation transform.
     pub(crate) fn observe_is_identity(&self) -> bool {
-        self.stuck_mask == 0 && self.windows.is_empty()
+        self.stuck_mask.is_zero() && self.windows.is_empty()
+    }
+
+    /// True if this net carries no fault of any kind on any lane.
+    pub(crate) fn is_identity(&self) -> bool {
+        self.observe_is_identity() && self.pushes.is_empty()
     }
 
     /// The delay-group partition of the full lane word: `(push, mask)`
     /// pairs whose masks are disjoint and together cover every lane, sorted
     /// by push (so the zero-push group comes first).
-    pub(crate) fn delay_groups(&self) -> Vec<(u64, u64)> {
-        let mut covered = 0u64;
+    pub(crate) fn delay_groups(&self) -> Vec<(u64, B)> {
+        let mut covered = B::ZERO;
         let mut groups = Vec::with_capacity(self.pushes.len() + 1);
         for &(push, mask) in &self.pushes {
-            covered |= mask;
+            covered = covered.or(mask);
             groups.push((push, mask));
         }
-        if covered != u64::MAX {
-            groups.push((0, !covered));
+        if covered != B::ONES {
+            groups.push((0, covered.not()));
         }
         groups.sort_unstable_by_key(|&(push, _)| push);
         groups
@@ -65,33 +83,39 @@ struct OneLaneFault {
     push: u64,
 }
 
-/// Up to 64 per-lane [`FaultPlan`]s compiled for one netlist.
+/// One per-lane [`FaultPlan`] per lane word bit, compiled for one netlist.
 ///
 /// Lane `l` runs under `plans[l]`; lanes beyond `plans.len()` are
 /// fault-free. An empty slice (or all-empty plans) is the identity.
-#[derive(Clone, Debug)]
-pub struct BatchFaultSet {
-    pub(crate) nets: Vec<LaneFaults>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneFaultSet<B: LaneWord = u64> {
+    pub(crate) nets: Vec<LaneFaults<B>>,
     lanes: u32,
     any: bool,
 }
 
-impl BatchFaultSet {
+/// The legacy 64-lane fault set (up to 64 plans).
+pub type BatchFaultSet = LaneFaultSet<u64>;
+
+/// A multi-word fault set carrying up to `64·W` plans.
+pub type WideFaultSet<const W: usize> = LaneFaultSet<LaneBlock<W>>;
+
+impl<B: LaneWord> LaneFaultSet<B> {
     /// Compiles one plan per lane against a netlist with `num_nets` nets.
     ///
     /// # Errors
     ///
-    /// * [`BatchError::TooManyLanes`] for more than [`MAX_LANES`] plans;
+    /// * [`BatchError::TooManyLanes`] for more than `B::LANES` plans;
     /// * [`BatchError::InvalidFault`] if any plan references a net outside
     ///   the netlist.
-    pub fn compile(plans: &[FaultPlan], num_nets: usize) -> Result<BatchFaultSet, BatchError> {
-        if plans.len() > MAX_LANES as usize {
-            return Err(BatchError::TooManyLanes { got: plans.len() });
+    pub fn compile(plans: &[FaultPlan], num_nets: usize) -> Result<LaneFaultSet<B>, BatchError> {
+        if plans.len() > B::LANES as usize {
+            return Err(BatchError::TooManyLanes { got: plans.len(), cap: B::LANES });
         }
-        let mut nets = vec![LaneFaults::default(); num_nets];
+        let mut nets: Vec<LaneFaults<B>> = vec![LaneFaults::default(); num_nets];
         let mut any = false;
         for (lane, plan) in plans.iter().enumerate() {
-            let bit = 1u64 << lane;
+            let bit = B::lane_bit(lane as u32);
             // Merge this lane's faults per net with the overlay semantics:
             // last stuck/window wins, pushes accumulate.
             let mut merged: BTreeMap<u32, OneLaneFault> = BTreeMap::new();
@@ -114,29 +138,29 @@ impl BatchFaultSet {
             for (net, f) in merged {
                 let slot = &mut nets[net as usize];
                 if let Some(v) = f.stuck {
-                    slot.stuck_mask |= bit;
+                    slot.stuck_mask = slot.stuck_mask.or(bit);
                     if v {
-                        slot.stuck_vals |= bit;
+                        slot.stuck_vals = slot.stuck_vals.or(bit);
                     }
                     any = true;
                 }
                 if let Some((start, end)) = f.window {
                     match slot.windows.iter_mut().find(|w| w.0 == start && w.1 == end) {
-                        Some(w) => w.2 |= bit,
+                        Some(w) => w.2 = w.2.or(bit),
                         None => slot.windows.push((start, end, bit)),
                     }
                     any = true;
                 }
                 if f.push > 0 {
                     match slot.pushes.iter_mut().find(|p| p.0 == f.push) {
-                        Some(p) => p.1 |= bit,
+                        Some(p) => p.1 = p.1.or(bit),
                         None => slot.pushes.push((f.push, bit)),
                     }
                     any = true;
                 }
             }
         }
-        Ok(BatchFaultSet { nets, lanes: plans.len() as u32, any })
+        Ok(LaneFaultSet { nets, lanes: plans.len() as u32, any })
     }
 
     /// Number of nets this set was compiled against.
@@ -157,11 +181,18 @@ impl BatchFaultSet {
         !self.any
     }
 
+    /// The nets touched by at least one lane's plan, ascending — the dirty
+    /// seeds of an incremental rerun against a fault-free base.
+    #[must_use]
+    pub fn touched_nets(&self) -> Vec<usize> {
+        self.nets.iter().enumerate().filter(|(_, f)| !f.is_identity()).map(|(i, _)| i).collect()
+    }
+
     /// The observed initial lane word of net `idx` given its raw word
     /// (before `t = 0`: transients inactive, only stuck bits apply).
-    pub(crate) fn observe_initial(&self, idx: usize, raw: u64) -> u64 {
+    pub(crate) fn observe_initial(&self, idx: usize, raw: B) -> B {
         let f = &self.nets[idx];
-        (raw & !f.stuck_mask) | f.stuck_vals
+        raw.and(f.stuck_mask.not()).or(f.stuck_vals)
     }
 }
 
@@ -187,6 +218,7 @@ mod tests {
         assert_eq!(f.pushes, vec![(15, 0b010)], "pushes accumulate");
         assert!(f.windows.is_empty(), "later zero-duration transient clears the window");
         assert_eq!(fs.observe_initial(2, 0b110), 0b111);
+        assert_eq!(fs.touched_nets(), vec![2]);
     }
 
     #[test]
@@ -216,6 +248,25 @@ mod tests {
         assert!(fs2.is_identity());
         assert!(fs2.nets[0].observe_is_identity());
         assert_eq!(fs2.nets[0].delay_groups(), vec![(0, u64::MAX)]);
+        assert!(fs2.touched_nets().is_empty());
+    }
+
+    #[test]
+    fn wide_sets_address_lanes_past_64() {
+        let z = NetId(1);
+        let mut plans = vec![FaultPlan::new(); 70];
+        plans[69] = FaultPlan::new().stuck_at(z, true);
+        let fs = WideFaultSet::<2>::compile(&plans, 2).unwrap();
+        assert_eq!(fs.lanes(), 70);
+        assert!(!fs.is_identity());
+        assert!(fs.nets[1].stuck_mask.bit(69));
+        assert_eq!(fs.nets[1].stuck_mask.count_ones(), 1);
+        assert_eq!(fs.touched_nets(), vec![1]);
+        // The same plans exceed the 64-lane set's capacity.
+        assert_eq!(
+            BatchFaultSet::compile(&plans, 2).unwrap_err(),
+            BatchError::TooManyLanes { got: 70, cap: 64 }
+        );
     }
 
     #[test]
@@ -229,7 +280,7 @@ mod tests {
         let many: Vec<FaultPlan> = (0..65).map(|_| FaultPlan::new()).collect();
         assert_eq!(
             BatchFaultSet::compile(&many, 3).unwrap_err(),
-            BatchError::TooManyLanes { got: 65 }
+            BatchError::TooManyLanes { got: 65, cap: 64 }
         );
     }
 }

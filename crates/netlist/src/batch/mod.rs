@@ -8,18 +8,28 @@
 //!
 //! 1. [`BatchProgram::compile`] flattens a [`Netlist`](crate::Netlist)
 //!    once into a levelized struct-of-arrays program, sampling each gate's
-//!    delay from a [batch-exact](crate::DelayModel::batch_exact) model;
-//! 2. [`BatchProgram::run`] evaluates **64 input vectors at once**, one
-//!    bit-lane per vector packed into `u64` words ([`BatchInputs`]). With
-//!    deterministic delays, each net's settling waveform is an exact
-//!    ordered list of `(time, word)` steps ([`LaneWave`]) computed in one
-//!    topological pass — no event queue;
-//! 3. [`BatchSimResult::bus_waves`] + [`BatchBusWaves::sweep`] sample the
+//!    delay from a [batch-exact](crate::DelayModel::batch_exact) model.
+//!    Programs serialize deterministically ([`BatchProgram::to_bytes`]),
+//!    so callers can memoize compiles keyed by a netlist digest;
+//! 2. [`BatchProgram::run`] evaluates **one lane word of input vectors at
+//!    once**, one bit-lane per vector ([`LaneInputs`]). The word type is
+//!    any [`LaneWord`]: `u64` ([`BatchInputs`]) runs 64 lanes,
+//!    [`LaneBlock<W>`] ([`WideInputs`]) runs `64·W` — 256 or 512 lanes per
+//!    pass. With deterministic delays, each net's settling waveform is an
+//!    exact ordered list of `(time, word)` steps ([`Wave`]) computed in
+//!    one topological pass — no event queue;
+//! 3. [`LaneSimResult::bus_waves`] + [`LaneBusWaves::sweep`] sample the
 //!    flip-flop-captured value of an output bus for an *entire* `Ts` grid
-//!    from the same run;
+//!    from the same run ([`LaneBusWaves::try_sweep`] also rejects grids
+//!    that would double-count an observation time);
 //! 4. [`BatchProgram::run_with_faults`] additionally diverges lanes at
-//!    [`FaultPlan`](crate::FaultPlan) sites ([`BatchFaultSet`]), so 64
-//!    *different* fault scenarios share one pass.
+//!    [`FaultPlan`](crate::FaultPlan) sites ([`BatchFaultSet`],
+//!    [`WideFaultSet`]), so a whole lane word of *different* fault
+//!    scenarios shares one pass;
+//! 5. [`BatchProgram::run_incremental`] reruns against a previous result,
+//!    recomputing only the levelized fanout cone of the nets whose
+//!    stimulus (input words or fault state) changed — clean nets share
+//!    their waveforms with the base run by reference.
 //!
 //! Exactness is the point, not an approximation: under transport-delay
 //! semantics with per-gate constant delays, `out(t + d) = f(inputs(t))`,
@@ -53,17 +63,20 @@
 //! assert!(!res.value_at(z, 1, 100));
 //! ```
 
+mod block;
 mod engine;
 mod fault;
 mod program;
 mod sampler;
 mod wave;
 
-pub use engine::BatchSimResult;
-pub use fault::BatchFaultSet;
-pub use program::{BatchInputs, BatchProgram};
-pub use sampler::{BatchBusWaves, TsSweep};
-pub use wave::LaneWave;
+pub use block::{LaneBlock, LaneWord};
+pub use engine::{BatchSimResult, LaneSimResult, WideSimResult};
+pub use fault::{BatchFaultSet, LaneFaultSet, WideFaultSet};
+pub use program::{BatchInputs, BatchProgram, LaneInputs, WideInputs};
+pub use sampler::{BatchBusWaves, LaneBusWaves, LaneTsSweep, TsSweep, WideBusWaves, WideTsSweep};
+pub use wave::{LaneWave, Wave, WideWave};
 
-/// Number of vectors one lane word carries.
+/// Number of vectors one legacy `u64` lane word carries; `LaneBlock<W>`
+/// words carry `64·W` (see [`LaneWord::LANES`]).
 pub const MAX_LANES: u32 = 64;

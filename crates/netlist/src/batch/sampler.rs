@@ -2,39 +2,52 @@
 //!
 //! The paper's experiments all ask the same question of a settled run:
 //! *what does a register clocked at period `Ts` capture?* — for an entire
-//! grid of `Ts` values. [`BatchBusWaves`] detaches one output bus's lane
-//! waveforms from a [`BatchSimResult`](crate::batch::BatchSimResult) and
-//! [`BatchBusWaves::sweep`] extracts the captured words for every grid
+//! grid of `Ts` values. [`LaneBusWaves`] detaches one output bus's lane
+//! waveforms from a [`LaneSimResult`](crate::batch::LaneSimResult) and
+//! [`LaneBusWaves::sweep`] extracts the captured words for every grid
 //! point in a single cursor pass per net (ascending grids cost
 //! `O(steps + |Ts|)` instead of `O(|Ts| · log steps)`), turning the
 //! `(vector × Ts)` product loop into one sweep over one simulation.
+//!
+//! [`LaneBusWaves::try_sweep`] additionally rejects grids that name the
+//! same observation time twice ([`BatchError::DuplicateTs`]): a duplicated
+//! grid point would be counted twice by every violation-rate and
+//! mean-error reduction downstream, silently biasing the sweep. Grid
+//! *producers* should deduplicate; `try_sweep` is the backstop that turns
+//! the remaining cases into a typed error instead of a wrong statistic.
 
-use crate::batch::wave::LaneWave;
-use crate::batch::BatchSimResult;
-use crate::{NetId, NetlistError};
+use crate::batch::block::{LaneBlock, LaneWord};
+use crate::batch::engine::LaneSimResult;
+use crate::{BatchError, NetId, NetlistError};
 
 /// One output bus's lane waveforms, detached from the simulation result.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BatchBusWaves {
+pub struct LaneBusWaves<B: LaneWord = u64> {
     lanes: u32,
-    waves: Vec<LaneWave>,
+    waves: Vec<crate::batch::Wave<B>>,
 }
 
-impl BatchSimResult {
+/// The legacy 64-lane bus view.
+pub type BatchBusWaves = LaneBusWaves<u64>;
+
+/// A multi-word bus view carrying `64·W` lanes.
+pub type WideBusWaves<const W: usize> = LaneBusWaves<LaneBlock<W>>;
+
+impl<B: LaneWord> LaneSimResult<B> {
     /// Detaches the waveforms of a bus (in the given net order) for
     /// sampling.
     ///
     /// # Errors
     ///
     /// [`NetlistError::NetOutOfRange`] naming the first invalid net.
-    pub fn bus_waves(&self, nets: &[NetId]) -> Result<BatchBusWaves, NetlistError> {
+    pub fn bus_waves(&self, nets: &[NetId]) -> Result<LaneBusWaves<B>, NetlistError> {
         let waves =
             nets.iter().map(|&n| self.try_wave(n).cloned()).collect::<Result<Vec<_>, _>>()?;
-        Ok(BatchBusWaves { lanes: self.lanes(), waves })
+        Ok(LaneBusWaves { lanes: self.lanes(), waves })
     }
 }
 
-impl BatchBusWaves {
+impl<B: LaneWord> LaneBusWaves<B> {
     /// Number of nets in the bus.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -55,7 +68,7 @@ impl BatchBusWaves {
 
     /// The lane words of every bus net at time `t`.
     #[must_use]
-    pub fn sample_words(&self, t: u64) -> Vec<u64> {
+    pub fn sample_words(&self, t: u64) -> Vec<B> {
         self.waves.iter().map(|w| w.word_at(t)).collect()
     }
 
@@ -68,17 +81,18 @@ impl BatchBusWaves {
     /// The settled bus bits of one lane.
     #[must_use]
     pub fn settled_lane(&self, lane: u32) -> Vec<bool> {
-        self.waves.iter().map(|w| w.final_word() >> lane & 1 == 1).collect()
+        self.waves.iter().map(|w| w.final_word().bit(lane)).collect()
     }
 
     /// Samples the whole `Ts` grid: entry `[ti][net]` of the result is the
     /// lane word of bus net `net` at time `ts[ti]`. Ascending grids are
     /// swept with one cursor pass per net; arbitrary grids fall back to
-    /// per-point binary search.
+    /// per-point binary search. Duplicate grid points are sampled as
+    /// given — use [`LaneBusWaves::try_sweep`] to reject them instead.
     #[must_use]
-    pub fn sweep(&self, ts: &[u64]) -> TsSweep {
+    pub fn sweep(&self, ts: &[u64]) -> LaneTsSweep<B> {
         let ascending = ts.windows(2).all(|w| w[0] <= w[1]);
-        let mut words = vec![0u64; ts.len() * self.waves.len()];
+        let mut words = vec![B::ZERO; ts.len() * self.waves.len()];
         if ascending {
             for (ni, w) in self.waves.iter().enumerate() {
                 let mut cur = w.initial();
@@ -103,22 +117,45 @@ impl BatchBusWaves {
                 }
             }
         }
-        TsSweep { num_nets: self.waves.len(), lanes: self.lanes, ts: ts.to_vec(), words }
+        LaneTsSweep { num_nets: self.waves.len(), lanes: self.lanes, ts: ts.to_vec(), words }
+    }
+
+    /// Like [`LaneBusWaves::sweep`], but rejects grids containing the same
+    /// observation time more than once (in any order) — the typed guard
+    /// against silently double-counting a `Ts` point in downstream
+    /// violation-rate and error statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::DuplicateTs`] naming the first duplicated time.
+    pub fn try_sweep(&self, ts: &[u64]) -> Result<LaneTsSweep<B>, BatchError> {
+        let mut sorted = ts.to_vec();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(BatchError::DuplicateTs { ts: w[0] });
+        }
+        Ok(self.sweep(ts))
     }
 }
 
 /// The result of sampling a bus over a whole `Ts` grid: for every grid
 /// point, the captured lane word of every bus net.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TsSweep {
+pub struct LaneTsSweep<B: LaneWord = u64> {
     num_nets: usize,
     lanes: u32,
     ts: Vec<u64>,
     /// Row-major `[ts.len()][num_nets]`.
-    words: Vec<u64>,
+    words: Vec<B>,
 }
 
-impl TsSweep {
+/// The legacy 64-lane sweep result.
+pub type TsSweep = LaneTsSweep<u64>;
+
+/// A multi-word sweep result carrying `64·W` lanes.
+pub type WideTsSweep<const W: usize> = LaneTsSweep<LaneBlock<W>>;
+
+impl<B: LaneWord> LaneTsSweep<B> {
     /// The sampled grid.
     #[must_use]
     pub fn ts(&self) -> &[u64] {
@@ -139,21 +176,21 @@ impl TsSweep {
 
     /// The lane words of the whole bus at grid point `ti`.
     #[must_use]
-    pub fn words_at(&self, ti: usize) -> &[u64] {
+    pub fn words_at(&self, ti: usize) -> &[B] {
         &self.words[ti * self.num_nets..(ti + 1) * self.num_nets]
     }
 
     /// The bus bits lane `lane` captures at grid point `ti`.
     #[must_use]
     pub fn lane_bits(&self, ti: usize, lane: u32) -> Vec<bool> {
-        self.words_at(ti).iter().map(|&w| w >> lane & 1 == 1).collect()
+        self.words_at(ti).iter().map(|w| w.bit(lane)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::{BatchInputs, BatchProgram};
+    use crate::batch::{BatchInputs, BatchProgram, BatchSimResult, WideInputs};
     use crate::{Netlist, UnitDelay};
 
     fn run() -> (Netlist, BatchSimResult) {
@@ -207,6 +244,46 @@ mod tests {
         let sweep = bus.sweep(&grid);
         for (ti, &t) in grid.iter().enumerate() {
             assert_eq!(sweep.words_at(ti), bus.sample_words(t).as_slice(), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn try_sweep_rejects_duplicate_grid_points() {
+        let (nl, res) = run();
+        let bus = res.bus_waves(nl.output("z")).unwrap();
+        // Ascending duplicates and shuffled duplicates are both caught.
+        assert_eq!(
+            bus.try_sweep(&[0, 50, 50, 100]).unwrap_err(),
+            BatchError::DuplicateTs { ts: 50 }
+        );
+        assert_eq!(
+            bus.try_sweep(&[100, 0, 50, 100]).unwrap_err(),
+            BatchError::DuplicateTs { ts: 100 }
+        );
+        // A duplicate-free grid passes through identically to `sweep`.
+        let grid = [0u64, 50, 100, 150];
+        assert_eq!(bus.try_sweep(&grid).unwrap(), bus.sweep(&grid));
+    }
+
+    #[test]
+    fn wide_sweeps_sample_lanes_past_64() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let z = nl.not(a);
+        nl.set_output("z", vec![z]);
+        let prog = BatchProgram::compile(&nl, &UnitDelay).unwrap();
+        let vecs: Vec<Vec<bool>> = (0..100).map(|l| vec![l % 2 == 0]).collect();
+        let prev = WideInputs::<2>::zeros(1, 100).unwrap();
+        let new = WideInputs::<2>::pack(&vecs).unwrap();
+        let res = prog.run(&prev, &new).unwrap();
+        let bus = res.bus_waves(nl.output("z")).unwrap();
+        assert_eq!(bus.lanes(), 100);
+        let sweep = bus.try_sweep(&[0, UnitDelay::UNIT, 10 * UnitDelay::UNIT]).unwrap();
+        for lane in [0u32, 63, 64, 99] {
+            // Before the gate delay the NOT still shows !prev = true; after
+            // settling it shows !new.
+            assert!(sweep.lane_bits(0, lane)[0]);
+            assert_eq!(sweep.lane_bits(2, lane)[0], lane % 2 != 0);
         }
     }
 }

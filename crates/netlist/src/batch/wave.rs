@@ -1,44 +1,55 @@
 //! The lane-word waveform store.
 //!
-//! One [`LaneWave`] is the settling history of one net for **64 input
-//! vectors at once**: bit `l` of every word belongs to lane (vector) `l`.
-//! A waveform is an initial word plus a strictly time-ordered list of
-//! `(time, word)` steps, each step differing from its predecessor — the
-//! batch counterpart of the event-driven simulator's per-net
-//! `Vec<(u64, bool)>` transition list.
+//! One [`Wave`] is the settling history of one net for an entire lane word
+//! of input vectors at once: bit `l` of every word belongs to lane
+//! (vector) `l`. A waveform is an initial word plus a strictly
+//! time-ordered list of `(time, word)` steps, each step differing from its
+//! predecessor — the batch counterpart of the event-driven simulator's
+//! per-net `Vec<(u64, bool)>` transition list.
+//!
+//! The word type is any [`LaneWord`]: [`LaneWave`] (= `Wave<u64>`) is the
+//! legacy 64-lane waveform, `Wave<LaneBlock<W>>` carries `64·W` lanes.
 
-/// The settling waveform of one net across up to 64 lanes.
+use crate::batch::block::{LaneBlock, LaneWord};
+
+/// The settling waveform of one net across one lane word of vectors.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct LaneWave {
+pub struct Wave<B: LaneWord = u64> {
     /// Lane word before `t = 0` (the settled previous-input state).
-    pub(crate) initial: u64,
+    pub(crate) initial: B,
     /// Strictly increasing `(time, word)` steps; every word differs from
     /// the one before it.
-    pub(crate) steps: Vec<(u64, u64)>,
+    pub(crate) steps: Vec<(u64, B)>,
 }
 
-impl LaneWave {
+/// The legacy 64-lane waveform: one `u64` word per step.
+pub type LaneWave = Wave<u64>;
+
+/// A multi-word waveform carrying `64·W` lanes per step.
+pub type WideWave<const W: usize> = Wave<LaneBlock<W>>;
+
+impl<B: LaneWord> Wave<B> {
     /// A constant waveform.
-    pub(crate) fn constant(word: u64) -> LaneWave {
-        LaneWave { initial: word, steps: Vec::new() }
+    pub(crate) fn constant(word: B) -> Wave<B> {
+        Wave { initial: word, steps: Vec::new() }
     }
 
     /// The lane word before the inputs switched.
     #[must_use]
-    pub fn initial(&self) -> u64 {
+    pub fn initial(&self) -> B {
         self.initial
     }
 
     /// The `(time, word)` steps.
     #[must_use]
-    pub fn steps(&self) -> &[(u64, u64)] {
+    pub fn steps(&self) -> &[(u64, B)] {
         &self.steps
     }
 
     /// The lane word a register clocked `t` time units after the input
     /// switch would capture.
     #[must_use]
-    pub fn word_at(&self, t: u64) -> u64 {
+    pub fn word_at(&self, t: u64) -> B {
         match self.steps.partition_point(|&(time, _)| time <= t) {
             0 => self.initial,
             k => self.steps[k - 1].1,
@@ -47,7 +58,7 @@ impl LaneWave {
 
     /// The fully settled lane word.
     #[must_use]
-    pub fn final_word(&self) -> u64 {
+    pub fn final_word(&self) -> B {
         self.steps.last().map_or(self.initial, |&(_, w)| w)
     }
 
@@ -60,7 +71,7 @@ impl LaneWave {
 
     /// Samples a whole (ascending or not) `ts` grid in one pass per point.
     #[must_use]
-    pub fn sample_grid(&self, ts: &[u64]) -> Vec<u64> {
+    pub fn sample_grid(&self, ts: &[u64]) -> Vec<B> {
         ts.iter().map(|&t| self.word_at(t)).collect()
     }
 
@@ -69,14 +80,13 @@ impl LaneWave {
     /// that do not change this lane's bit.
     #[must_use]
     pub fn lane_waveform(&self, lane: u32) -> Vec<(u64, bool)> {
-        let mask = 1u64 << lane;
         let mut out = Vec::new();
-        let mut cur = self.initial & mask;
+        let mut cur = self.initial.bit(lane);
         for &(t, w) in &self.steps {
-            let bit = w & mask;
+            let bit = w.bit(lane);
             if bit != cur {
                 cur = bit;
-                out.push((t, bit != 0));
+                out.push((t, bit));
             }
         }
         out
@@ -85,7 +95,7 @@ impl LaneWave {
     /// The value of one lane at time `t`.
     #[must_use]
     pub fn lane_value_at(&self, lane: u32, t: u64) -> bool {
-        self.word_at(t) >> lane & 1 == 1
+        self.word_at(t).bit(lane)
     }
 
     /// Number of word-level steps (engine work, not per-lane transitions).
@@ -143,5 +153,17 @@ mod tests {
         assert_eq!(w.final_word(), 0xFF);
         assert_eq!(w.last_change(), None);
         assert!(w.lane_waveform(3).is_empty());
+    }
+
+    #[test]
+    fn wide_waves_track_lanes_past_word_boundaries() {
+        use crate::batch::block::LaneBlock;
+        let hi = |l: u32| <LaneBlock<2> as LaneWord>::lane_bit(l);
+        let w = WideWave::<2> { initial: hi(70), steps: vec![(5, hi(70).or(hi(3))), (9, hi(3))] };
+        assert_eq!(w.lane_waveform(70), vec![(9, false)]);
+        assert_eq!(w.lane_waveform(3), vec![(5, true)]);
+        assert!(w.lane_value_at(70, 0));
+        assert!(!w.lane_value_at(70, 9));
+        assert_eq!(w.final_word(), hi(3));
     }
 }

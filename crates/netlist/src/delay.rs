@@ -23,6 +23,15 @@ pub trait DelayModel {
     fn batch_exact(&self) -> bool {
         true
     }
+
+    /// A string that, combined with a netlist digest, uniquely identifies
+    /// the batch program this model compiles to — the memoization key
+    /// component for compile caching. `None` (the default) opts out:
+    /// compiled programs for this model are never cached. Only return
+    /// `Some` if equal keys *guarantee* equal `gate_delay` functions.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<M: DelayModel + ?Sized> DelayModel for &M {
@@ -32,6 +41,10 @@ impl<M: DelayModel + ?Sized> DelayModel for &M {
 
     fn batch_exact(&self) -> bool {
         (**self).batch_exact()
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        (**self).cache_key()
     }
 }
 
@@ -51,6 +64,10 @@ impl DelayModel for UnitDelay {
         } else {
             0
         }
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("unit/{}", Self::UNIT))
     }
 }
 
@@ -80,6 +97,10 @@ impl DelayModel for FpgaDelay {
             GateKind::Mux => self.mux,
             _ => self.two_input,
         }
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("fpga/{}/{}/{}", self.not, self.two_input, self.mux))
     }
 }
 
@@ -193,5 +214,18 @@ mod tests {
     fn zero_base_delay_stays_zero() {
         let m = JitteredDelay::new(UnitDelay, 30, 7);
         assert_eq!(m.gate_delay(GateKind::Input, NetId(5)), 0);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_models_and_jitter_opts_out() {
+        assert_eq!(UnitDelay.cache_key().unwrap(), "unit/100");
+        let fpga = FpgaDelay::default();
+        assert_ne!(fpga.cache_key(), UnitDelay.cache_key());
+        let slow = FpgaDelay { two_input: 200, ..fpga };
+        assert_ne!(slow.cache_key(), fpga.cache_key());
+        // Jitter emulates per-run variation; memoizing it would be unsound.
+        assert_eq!(JitteredDelay::new(UnitDelay, 1, 1).cache_key(), None);
+        // The blanket &M impl forwards.
+        assert_eq!(UnitDelay.cache_key().unwrap(), "unit/100");
     }
 }

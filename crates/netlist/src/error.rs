@@ -198,11 +198,14 @@ pub enum BatchError {
         /// The first gate referencing a net at or after itself.
         net: NetId,
     },
-    /// More input vectors (or per-lane fault plans) than the 64 lanes of
-    /// one machine word.
+    /// More input vectors (or per-lane fault plans) than the lane word can
+    /// carry: 64 for `u64` batches, `64·W` for
+    /// [`LaneBlock<W>`](crate::batch::LaneBlock) batches.
     TooManyLanes {
         /// The number of vectors or plans supplied.
         got: usize,
+        /// The lane capacity of the word type in use.
+        cap: u32,
     },
     /// An input-vector slice had the wrong length.
     InputArity {
@@ -224,6 +227,31 @@ pub enum BatchError {
     /// The run's [`CancelToken`](crate::CancelToken) was cancelled before
     /// the settling pass finished.
     Cancelled,
+    /// Serialized [`BatchProgram`](crate::batch::BatchProgram) bytes failed
+    /// validation: wrong magic, truncated, trailing garbage, or internally
+    /// inconsistent (a fanin referencing a later net, an unknown gate
+    /// kind). Deserialization never trusts its input — a corrupted cache
+    /// entry degrades to a recompile, not a wrong simulation.
+    MalformedProgram {
+        /// What failed to parse.
+        reason: &'static str,
+    },
+    /// A sampling grid contains the same observation time twice, which
+    /// would silently double-count that instant in every violation-rate
+    /// and error reduction derived from the sweep.
+    DuplicateTs {
+        /// The duplicated observation time.
+        ts: u64,
+    },
+    /// The base result handed to
+    /// [`BatchProgram::run_incremental`](crate::batch::BatchProgram::run_incremental)
+    /// was produced by a different program shape.
+    IncrementalBaseMismatch {
+        /// Nets in the program being run.
+        expected: usize,
+        /// Nets in the base result.
+        got: usize,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -239,8 +267,8 @@ impl fmt::Display for BatchError {
                 "netlist is not topologically ordered at gate {net:?}: \
                  batch programs require a DAG"
             ),
-            BatchError::TooManyLanes { got } => {
-                write!(f, "batch holds at most 64 vectors per lane word, got {got}")
+            BatchError::TooManyLanes { got, cap } => {
+                write!(f, "batch holds at most {cap} vectors per lane word, got {got}")
             }
             BatchError::InputArity { expected, got } => {
                 write!(f, "batch input arity mismatch: expected {expected} values, got {got}")
@@ -250,6 +278,17 @@ impl fmt::Display for BatchError {
             }
             BatchError::InvalidFault(e) => write!(f, "invalid batch fault set: {e}"),
             BatchError::Cancelled => write!(f, "batch simulation cancelled"),
+            BatchError::MalformedProgram { reason } => {
+                write!(f, "malformed batch program bytes: {reason}")
+            }
+            BatchError::DuplicateTs { ts } => {
+                write!(f, "sampling grid contains observation time {ts} more than once")
+            }
+            BatchError::IncrementalBaseMismatch { expected, got } => write!(
+                f,
+                "incremental base result has {got} nets but the program has {expected}: \
+                 base must come from the same compiled program"
+            ),
         }
     }
 }

@@ -147,6 +147,43 @@ impl Netlist {
         self.gates.is_empty()
     }
 
+    /// A deterministic byte encoding of the netlist's structure: gates
+    /// (kind, fanins, constant values), primary inputs, and named output
+    /// buses in sorted order. Two netlists produce the same bytes iff they
+    /// are structurally identical, so a content hash of this encoding is a
+    /// sound memoization key for anything derived purely from the netlist
+    /// (compiled batch programs, certification tables). Input *names* are
+    /// documentation only and deliberately excluded.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.gates.len() * 16);
+        out.extend_from_slice(b"olanl/1\n");
+        let push_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        push_u32(&mut out, self.gates.len() as u32);
+        for g in &self.gates {
+            out.push(g.kind as u8);
+            out.push(g.num_inputs);
+            out.push(u8::from(g.const_value));
+            for inp in g.input_slice() {
+                push_u32(&mut out, inp.0);
+            }
+        }
+        push_u32(&mut out, self.inputs.len() as u32);
+        for id in &self.inputs {
+            push_u32(&mut out, id.0);
+        }
+        push_u32(&mut out, self.outputs.len() as u32);
+        for (name, nets) in &self.outputs {
+            push_u32(&mut out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+            push_u32(&mut out, nets.len() as u32);
+            for id in nets {
+                push_u32(&mut out, id.0);
+            }
+        }
+        out
+    }
+
     /// The primary inputs in declaration order. `eval`/`simulate` take input
     /// values in this order.
     #[must_use]

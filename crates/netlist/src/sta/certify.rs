@@ -38,6 +38,25 @@ pub struct CertificationReport {
 }
 
 impl CertificationReport {
+    /// Rebuilds a report from its `Ts` grid and per-digit worst-case
+    /// arrivals — the inverse of ([`CertificationReport::ts_grid`],
+    /// [`CertificationReport::arrivals`]), used by memoization layers that
+    /// persist the arrival table keyed by netlist digest. The caller is
+    /// responsible for the arrivals actually belonging to the netlist the
+    /// key claims (a content-addressed store makes that sound).
+    #[must_use]
+    pub fn from_parts(ts: Vec<u64>, arrival: Vec<u64>) -> CertificationReport {
+        CertificationReport { ts, arrival }
+    }
+
+    /// Worst-case arrival per digit, in digit order — the entire
+    /// netlist-dependent content of the report (everything else derives
+    /// from these and the grid).
+    #[must_use]
+    pub fn arrivals(&self) -> &[u64] {
+        &self.arrival
+    }
+
     /// The `Ts` grid the report was computed against, in caller order.
     #[must_use]
     pub fn ts_grid(&self) -> &[u64] {

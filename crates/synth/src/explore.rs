@@ -128,6 +128,25 @@ impl ExploreResult {
     }
 }
 
+/// Builds the canonical `points`-point absolute `Ts` grid over
+/// `[1, span]` and deduplicates it.
+///
+/// The raw grid is `(span * i).div_ceil(points)` for `i = 1..=points`,
+/// clamped to at least 1. When `span < points` the integer division
+/// repeats values; a sweep over such a grid would silently double-count
+/// those periods, and the batch sampler's
+/// [`try_sweep`](ola_netlist::batch::TsSweep::try_sweep) rejects them
+/// with [`DuplicateTs`](ola_netlist::BatchError::DuplicateTs). Every
+/// grid producer in this crate routes through this helper so the
+/// duplicates never reach the engine.
+#[must_use]
+pub fn ts_grid(span: u64, points: usize) -> Vec<u64> {
+    let n = points.max(1) as u64;
+    let mut grid: Vec<u64> = (1..=n).map(|i| (span * i).div_ceil(n).max(1)).collect();
+    grid.dedup();
+    grid
+}
+
 struct Variant {
     style: Style,
     allocation: AdderStructure,
@@ -180,9 +199,7 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
     // Phase 2: a shared absolute Ts grid spanning up to the worst rated
     // period, so error curves are comparable across variants.
     let worst = variants.iter().map(|v| v.critical).max().unwrap_or(0).max(1);
-    let ts_grid: Vec<u64> = (1..=cfg.ts_points as u64)
-        .map(|i| (worst * i).div_ceil(cfg.ts_points as u64).max(1))
-        .collect();
+    let grid = ts_grid(worst, cfg.ts_points);
 
     // Phase 3: empirical overclocking error per variant.
     let mut points = Vec::with_capacity(variants.len());
@@ -197,7 +214,7 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
                 let (curve, stats) = variant_error_curve(
                     &v.datapath,
                     &delay,
-                    &ts_grid,
+                    &grid,
                     cfg.samples,
                     cfg.seed.wrapping_add(k as u64),
                     cfg.backend,
@@ -229,7 +246,7 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
     reg.counter("ola.synth.certified_points_skipped")
         .add(points.iter().map(|p| p.certified_skipped).sum());
 
-    ExploreResult { points, ts_grid }
+    ExploreResult { points, ts_grid: grid }
 }
 
 /// Runs the shared-engine empirical sweep for one synthesized variant:
@@ -334,6 +351,26 @@ mod tests {
 
     fn small_cfg() -> ExploreConfig {
         ExploreConfig { widths: vec![2, 3], ts_points: 4, samples: 6, ..ExploreConfig::default() }
+    }
+
+    #[test]
+    fn ts_grid_spans_evenly_without_duplicates() {
+        assert_eq!(ts_grid(100, 4), vec![25, 50, 75, 100]);
+        assert_eq!(ts_grid(12, 12), (1..=12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ts_grid_dedupes_when_span_is_below_point_count() {
+        // span=3, points=8: the raw div_ceil grid repeats 1, 2, and 3.
+        assert_eq!(ts_grid(3, 8), vec![1, 2, 3]);
+        assert_eq!(ts_grid(1, 5), vec![1]);
+        for span in 1..40u64 {
+            for points in 1..20usize {
+                let g = ts_grid(span, points);
+                assert!(g.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+                assert_eq!(*g.last().expect("nonempty"), span.max(1));
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod verify;
 
 pub use absint::{interpret, sampling_bounds, AbsintReport, SamplingBounds, ValueForm};
 pub use elab::{elaborate, ElabOptions, Port, PortShape, Style, SynthesizedDatapath};
-pub use explore::{explore, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult};
+pub use explore::{
+    explore, ts_grid, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult,
+};
 pub use ir::{Dfg, InputFmt, NodeId, Op};
 pub use parser::{parse_dfg, ParseError};
 pub use passes::{allocate_adders, constant_fold, cse, eliminate_dead, optimize, AdderStructure};

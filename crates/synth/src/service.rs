@@ -41,7 +41,7 @@ use crate::passes::{optimize, AdderStructure};
 use crate::InputFmt;
 use ola_core::obs::json::JsonValue;
 use ola_core::{CacheKey, SimBackend};
-use ola_netlist::sta::{certify, lint};
+use ola_netlist::sta::lint;
 use ola_netlist::{analyze, FpgaDelay};
 
 /// Default online selection granularity for service queries.
@@ -507,9 +507,7 @@ impl Query {
                     ]));
                 }
                 let critical = analyze(&dp.netlist, &delay).critical_path().max(1);
-                let ts_grid: Vec<u64> = (1..=*ts_points as u64)
-                    .map(|i| (critical * i).div_ceil(*ts_points as u64).max(1))
-                    .collect();
+                let ts_grid = crate::explore::ts_grid(critical, *ts_points);
                 let (curve, stats) =
                     variant_error_curve(&dp, &delay, &ts_grid, *samples, *seed, *backend);
                 Ok(JsonValue::Object(vec![
@@ -543,11 +541,9 @@ impl Query {
                 let report = analyze(&dp.netlist, &delay);
                 let critical = report.critical_path();
                 let grid_span = critical.max(1);
-                let ts_grid: Vec<u64> = (1..=*ts_points as u64)
-                    .map(|i| (grid_span * i).div_ceil(*ts_points as u64).max(1))
-                    .collect();
+                let ts_grid = crate::explore::ts_grid(grid_span, *ts_points);
                 let digits = dp.output_digit_groups();
-                let cert = certify(&dp.netlist, &delay, &digits, &ts_grid)
+                let cert = ola_core::memo::certification(&dp.netlist, &delay, &digits, &ts_grid)
                     .map_err(|e| bad(format!("certification: {e}")))?;
                 let rows: Vec<JsonValue> = ts_grid
                     .iter()
@@ -640,9 +636,7 @@ impl Query {
                     (Vec::new(), Vec::new())
                 } else {
                     let critical = analyze(&dp.netlist, &delay).critical_path().max(1);
-                    let grid: Vec<u64> = (1..=*ts_points as u64)
-                        .map(|i| (critical * i).div_ceil(*ts_points as u64).max(1))
-                        .collect();
+                    let grid = crate::explore::ts_grid(critical, *ts_points);
                     let bounds = crate::absint::sampling_bounds(&dp, &delay, &grid)
                         .map_err(|e| bad(format!("sta: {e}")))?;
                     let rows: Vec<JsonValue> =
