@@ -1,0 +1,300 @@
+//! Fused online multiply-accumulate: the inner product as one redundant
+//! accumulation, never collapsing to non-redundant form between terms.
+//!
+//! The unrolled online multiplier (see
+//! [`bittrue_mult`](crate::online::bittrue_mult)) spends most of
+//! its critical path *digitizing*: every stage runs a selection CPA and a
+//! top-digit recode just to emit one signed digit, and an inner product
+//! built as a tree of such multipliers digitizes every partial product
+//! only to immediately re-redundantize it in the adder tree. The fused
+//! operator skips all of that. It uses the prefix telescoping identity
+//!
+//! ```text
+//! X[j] = Σ_{i≤j} x_i 2^-i     ⇒     x·y = Σ_{j=1..n} H_j · 2^-j,
+//! H_j  = x_j · Y[j]  +  y_j · X[j−1]
+//! ```
+//!
+//! so each digit pair `(x_j, y_j)` contributes one borrow-save *row*
+//! `H_j` — two SDVM muxes and one digit-parallel online adder (two FA
+//! levels, [`bs_add`]) — and every row of every term feeds one balanced
+//! [`bs_add`] reduction tree. The accumulator stays borrow-save
+//! throughout: there is no selection function, no residual recode, and no
+//! per-product truncation, which makes the fused inner product **exact**
+//! (the settled value equals `Σ x_k·y_k` as rationals) while the unfused
+//! form pays the online truncation `|ε| ≤ 3·2^-(n+2)` per product.
+//!
+//! Three artifacts here mirror the crate's usual layering:
+//! [`fused_mac_bits`] is the bit-true reference (signal-for-signal
+//! against the gate netlist in `crate::synth::fused_mac_gates`),
+//! [`fused_mac_value`] the golden rational semantics, and
+//! [`fused_mac_window`] the pure window algebra — the
+//! δ-composition-under-accumulation rule `ola-synth` replays for its IR
+//! bookkeeping.
+
+use crate::online::{bs_add, sdvm_bits};
+use ola_redundant::{BsVector, Q};
+
+/// A digit window `(msd position, digit count)` — the currency of the
+/// window algebra in [`fused_mac_window`].
+pub type DigitWindow = (i32, usize);
+
+/// The golden semantics: the exact inner product `Σ x_k · y_k`.
+#[must_use]
+pub fn fused_mac_value(terms: &[(BsVector, BsVector)]) -> Q {
+    terms.iter().fold(Q::ZERO, |acc, (x, y)| acc + x.value() * y.value())
+}
+
+/// The operand prefix `positions 1..=k` (appending logic: wires only).
+fn prefix(v: &BsVector, k: i32) -> BsVector {
+    let len = k.max(0) as usize;
+    let mut out = BsVector::zero(1, len);
+    for pos in 1..=k {
+        let (p, n) = v.bits(pos);
+        out.set_bits(pos, p, n);
+    }
+    out
+}
+
+/// Appends the borrow-save rows of one term to `rows`: operands are
+/// normalized to msd position 1 (shifts `sx`, `sy` — pure wiring), padded
+/// to a common digit count `n`, and row `j` is `H_j` placed at its final
+/// weight via `shifted(-(j + sx + sy))`.
+fn term_rows(rows: &mut Vec<BsVector>, x: &BsVector, y: &BsVector) {
+    let sx = x.msd_pos() - 1;
+    let sy = y.msd_pos() - 1;
+    let n = x.len().max(y.len()).max(1);
+    let xv = x.shifted(sx).rewindowed(1, n);
+    let yv = y.shifted(sy).rewindowed(1, n);
+    for j in 1..=n as i32 {
+        let (xp, xn) = xv.bits(j);
+        let (yp, yn) = yv.bits(j);
+        let a = sdvm_bits(xp, xn, &prefix(&yv, j));
+        let b = sdvm_bits(yp, yn, &prefix(&xv, j - 1));
+        rows.push(bs_add(&a, &b).shifted(-(j + sx + sy)));
+    }
+}
+
+/// Folds rows with a balanced `chunks(2)` tree of online adders, exactly
+/// like the elaborated netlist. Depth is `⌈log2(#rows)⌉` two-FA levels.
+fn fold_rows(mut rows: Vec<BsVector>) -> BsVector {
+    assert!(!rows.is_empty(), "fused MAC needs at least one row");
+    while rows.len() > 1 {
+        rows = rows
+            .chunks(2)
+            .map(|c| if c.len() == 2 { bs_add(&c[0], &c[1]) } else { c[0].clone() })
+            .collect();
+    }
+    rows.swap_remove(0)
+}
+
+/// Runs the fused online MAC bit-true over borrow-save operand pairs (any
+/// windows, any encodings — including non-canonical `(1, 1)` digit
+/// pairs). Bit-exact against the settled outputs of the gate-level
+/// `fused_mac_gates` netlist, and *value-exact* against
+/// [`fused_mac_value`]: the result window carries `Σ x_k · y_k` with zero
+/// truncation.
+///
+/// # Panics
+///
+/// Panics if `terms` is empty.
+#[must_use]
+pub fn fused_mac_bits(terms: &[(BsVector, BsVector)]) -> BsVector {
+    assert!(!terms.is_empty(), "fused MAC needs at least one term");
+    let mut rows = Vec::new();
+    for (x, y) in terms {
+        term_rows(&mut rows, x, y);
+    }
+    fold_rows(rows)
+}
+
+/// The δ-composition-under-accumulation rule: the output window of a
+/// fused MAC over terms with operand windows `((msd, len), (msd, len))`,
+/// computed by replaying the exact same algebra [`fused_mac_bits`] (and
+/// the gate lowering) performs — row `j` of a term with shifts `sx`, `sy`
+/// occupies `(j + sx + sy, j + 1)`, and each [`bs_add`] combine takes
+/// `msd = min − 1`, `end = max`. No closed form is assumed: mixed-window
+/// terms make the fold windows ragged, so the tree is walked
+/// structurally.
+///
+/// # Panics
+///
+/// Panics if `terms` is empty.
+#[must_use]
+pub fn fused_mac_window(terms: &[(DigitWindow, DigitWindow)]) -> DigitWindow {
+    assert!(!terms.is_empty(), "fused MAC needs at least one term");
+    let mut rows: Vec<(i32, usize)> = Vec::new();
+    for &((mx, lx), (my, ly)) in terms {
+        let sx = mx - 1;
+        let sy = my - 1;
+        let n = lx.max(ly).max(1);
+        for j in 1..=n as i32 {
+            rows.push((j + sx + sy, (j + 1) as usize));
+        }
+    }
+    while rows.len() > 1 {
+        rows = rows
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    let msd = c[0].0.min(c[1].0) - 1;
+                    let end = (c[0].0 + c[0].1 as i32).max(c[1].0 + c[1].1 as i32);
+                    (msd, (end - msd) as usize)
+                } else {
+                    c[0]
+                }
+            })
+            .collect();
+    }
+    rows[0]
+}
+
+/// Number of two-FA online-adder levels on the fused accumulation path:
+/// one for the row adder plus `⌈log2(#rows)⌉` for the reduction tree.
+/// The unfused form pays `n + δ` *selection* stages per product before
+/// the tree even starts — this is the settled-latency gap the DSP
+/// experiments measure.
+#[must_use]
+pub fn fused_fold_depth(rows: usize) -> usize {
+    1 + rows.next_power_of_two().trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use ola_redundant::{random, SdNumber};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn canonical(q: Q, n: usize) -> BsVector {
+        BsVector::from_sd(&SdNumber::from_value(q, n).unwrap())
+    }
+
+    #[test]
+    fn exhaustive_small_inner_products_are_exact() {
+        for n in 1..=3usize {
+            let limit = (1i128 << n) - 1;
+            for xv in -limit..=limit {
+                for yv in -limit..=limit {
+                    for wv in [-limit, 0, 1, limit] {
+                        let x = canonical(Q::new(xv, n as u32), n);
+                        let y = canonical(Q::new(yv, n as u32), n);
+                        let w = canonical(Q::new(wv, n as u32), n);
+                        let terms = vec![(x, y.clone()), (y, w)];
+                        let got = fused_mac_bits(&terms);
+                        assert_eq!(got.value(), fused_mac_value(&terms));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_terms_random_windows_are_exact_and_windowed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for _ in 0..300 {
+            let k = rng.gen_range(1..=6usize);
+            let terms: Vec<(BsVector, BsVector)> = (0..k)
+                .map(|_| {
+                    let mut operand = || {
+                        let n = rng.gen_range(1..=9usize);
+                        let msd = rng.gen_range(-3..=4i32);
+                        BsVector::from_sd(&random::uniform_digits(&mut rng, n)).shifted(1 - msd)
+                    };
+                    (operand(), operand())
+                })
+                .collect();
+            let got = fused_mac_bits(&terms);
+            assert_eq!(got.value(), fused_mac_value(&terms), "terms={terms:?}");
+            let windows: Vec<_> = terms
+                .iter()
+                .map(|(x, y)| ((x.msd_pos(), x.len()), (y.msd_pos(), y.len())))
+                .collect();
+            assert_eq!((got.msd_pos(), got.len()), fused_mac_window(&windows));
+        }
+    }
+
+    #[test]
+    fn noncanonical_encodings_stay_exact() {
+        // (1, 1) bit pairs are zeros in value; the fused datapath is pure
+        // SDVM + online adders, so exactness must survive any encoding.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            let k = rng.gen_range(1..=4usize);
+            let terms: Vec<(BsVector, BsVector)> = (0..k)
+                .map(|_| {
+                    let mut operand = || {
+                        let n = rng.gen_range(1..=7usize);
+                        let mut v = BsVector::zero(1, n);
+                        for pos in 1..=n as i32 {
+                            v.set_bits(pos, rng.gen(), rng.gen());
+                        }
+                        v
+                    };
+                    (operand(), operand())
+                })
+                .collect();
+            let got = fused_mac_bits(&terms);
+            assert_eq!(got.value(), fused_mac_value(&terms));
+        }
+    }
+
+    #[test]
+    fn single_term_matches_plain_product() {
+        // K = 1 degenerates to an exact multiplier — unlike the unfused
+        // online multiplier, whose settled value truncates the residual.
+        let x = canonical(Q::new(5, 3), 3);
+        let y = canonical(Q::new(-3, 3), 3);
+        let z = fused_mac_bits(&[(x.clone(), y.clone())]);
+        assert_eq!(z.value(), x.value() * y.value());
+    }
+
+    #[test]
+    fn first_row_handles_the_empty_prefix() {
+        // j = 1 uses X[0], a zero-length window; the row must still carry
+        // x_1·y_1·2^-2 exactly.
+        let x = canonical(Q::new(1, 1), 1);
+        let y = canonical(Q::new(-1, 1), 1);
+        let z = fused_mac_bits(&[(x, y)]);
+        assert_eq!(z.value(), Q::new(-1, 2));
+        assert_eq!((z.msd_pos(), z.len()), fused_mac_window(&[((1, 1), (1, 1))]));
+    }
+
+    #[test]
+    fn window_rule_closed_form_for_equal_canonical_terms() {
+        // K equal-window msd-1 terms of width n: K·n rows, row j spanning
+        // positions j..2j (the product LSD sits at weight 2^-2j), so the
+        // fold ends at position 2n and lifts the msd by ⌈log2(K·n)⌉.
+        for (k, n) in [(1usize, 4usize), (3, 4), (8, 6), (16, 8)] {
+            let w = fused_mac_window(&vec![((1, n), (1, n)); k]);
+            let rows = k * n;
+            let levels = rows.next_power_of_two().trailing_zeros() as i32;
+            assert_eq!(w.0, 1 - levels, "k={k} n={n}");
+            assert_eq!(w.0 + w.1 as i32, 2 * n as i32 + 1, "k={k} n={n}");
+            assert_eq!(fused_fold_depth(rows), (levels + 1) as usize);
+        }
+    }
+
+    #[test]
+    fn accumulation_is_order_sensitive_in_window_only() {
+        // Reordering terms never changes the value (the sum is exact) but
+        // may change the structural window of the fold tree.
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        for _ in 0..50 {
+            let mut terms: Vec<(BsVector, BsVector)> = (0..4)
+                .map(|_| {
+                    let mut operand = || {
+                        let n = rng.gen_range(1..=6usize);
+                        BsVector::from_sd(&random::uniform_digits(&mut rng, n))
+                    };
+                    (operand(), operand())
+                })
+                .collect();
+            let forward = fused_mac_bits(&terms);
+            terms.reverse();
+            let reverse = fused_mac_bits(&terms);
+            assert_eq!(forward.value(), reverse.value());
+        }
+    }
+}

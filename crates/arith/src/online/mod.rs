@@ -14,6 +14,7 @@
 mod adder;
 mod bittrue;
 mod div;
+mod mac;
 mod mult;
 mod select;
 mod staged;
@@ -24,6 +25,7 @@ pub use bittrue::{
     BitTrueProduct, StageIo,
 };
 pub use div::{online_div, DivideDomainError, OnlineQuotient, DELTA_DIV};
+pub use mac::{fused_fold_depth, fused_mac_bits, fused_mac_value, fused_mac_window};
 pub use mult::{online_mult, OnlineProduct, SerialMultiplier, DELTA};
 pub use select::{estimate, select, select_exact, Selection};
 pub use staged::{StagedMultiplier, WaveState};

@@ -10,6 +10,7 @@
 pub mod bits;
 mod bsnets;
 mod conventional;
+mod fused_mac;
 mod mac;
 mod online;
 
@@ -18,6 +19,7 @@ pub use conventional::{
     array_multiplier, array_multiplier_core, carry_select_adder, ripple_carry_adder,
     ArrayMultiplierCircuit, CarrySelectAdderCircuit, RippleAdderCircuit,
 };
+pub use fused_mac::{fused_mac_gates, fused_online_mac, FusedMacCircuit};
 pub use mac::{
     decode_digit_planes, online_mac, traditional_mac, OnlineMacCircuit, TraditionalMacCircuit,
 };

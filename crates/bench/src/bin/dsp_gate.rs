@@ -1,0 +1,156 @@
+//! Acceptance benchmark for the fused online MAC subsystem: writes
+//! `BENCH_dsp.json` and gates on the subsystem's two headline claims.
+//!
+//! The pinned workload is the 16-tap FIR bank at 16 input digits — the
+//! largest kernel instance `repro dsp` sweeps — compiled through the
+//! online elaborator in both fusion flavours:
+//!
+//! * **fused** — one [`Op::Mac`](ola_synth::Op) node lowered to
+//!   digit-serial partial products folded into a single redundant
+//!   carry-save accumulation (no per-term collapse);
+//! * **unfused** — sixteen online multipliers feeding a balanced adder
+//!   tree.
+//!
+//! Both run the same seeded overclocking error sweep on both simulation
+//! engines. The gate requires:
+//!
+//! 1. the event and batch curves to be **bit-identical** per flavour;
+//! 2. the batch engine to beat the event engine by at least 1.5x of
+//!    wall time on the unfused datapath (the long-running sweep, so the
+//!    ratio is well conditioned);
+//! 3. the fused flavour to **dominate** the unfused one on settled
+//!    latency (STA critical path) or transition-count activity (the
+//!    batch engine's lane-transition counter).
+//!
+//! ```sh
+//! cargo run --release -p ola-bench --bin dsp_gate
+//! ```
+//!
+//! Exit code 0 when all three hold, 1 otherwise.
+
+use ola_core::obs::json::JsonValue;
+use ola_core::SimBackend;
+use ola_netlist::{analyze, FpgaDelay};
+use ola_synth::{
+    elaborate, fir_bank, optimize, ts_grid, variant_error_curve, AdderStructure, ElabOptions,
+    InputFmt, MacFusion, Style, SynthesizedDatapath,
+};
+use std::time::Instant;
+
+const TAPS: usize = 16;
+const WIDTH: usize = 16;
+const SAMPLES: usize = 48;
+const TS_POINTS: usize = 8;
+const SEED: u64 = 0xD59_6A7E;
+
+struct Flavour {
+    name: &'static str,
+    critical: u64,
+    transitions: u64,
+    event_secs: f64,
+    batch_secs: f64,
+    identical: bool,
+}
+
+fn compile(fusion: MacFusion) -> SynthesizedDatapath {
+    let dfg = fir_bank(TAPS, fusion, InputFmt { msd_pos: 1, digits: WIDTH });
+    elaborate(&optimize(&dfg, AdderStructure::BalancedTree), &ElabOptions::new(Style::Online))
+}
+
+fn measure(
+    name: &'static str,
+    dp: &SynthesizedDatapath,
+    grid: &[u64],
+    delay: &FpgaDelay,
+) -> Flavour {
+    let critical = analyze(&dp.netlist, delay).critical_path();
+    // Small warm pass so neither engine pays first-touch allocator costs
+    // (a full-size warm pass would double the slowest arm's runtime).
+    let _ = variant_error_curve(dp, delay, &grid[..2.min(grid.len())], 8, SEED, SimBackend::Event);
+    let _ = variant_error_curve(dp, delay, &grid[..2.min(grid.len())], 8, SEED, SimBackend::Batch);
+    let start = Instant::now();
+    let (ev_curve, _) = variant_error_curve(dp, delay, grid, SAMPLES, SEED, SimBackend::Event);
+    let event_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (ba_curve, ba) = variant_error_curve(dp, delay, grid, SAMPLES, SEED, SimBackend::Batch);
+    let batch_secs = start.elapsed().as_secs_f64();
+    let identical = ev_curve == ba_curve;
+    eprintln!(
+        "  [{name}] critical={critical} event={event_secs:.3}s batch={batch_secs:.3}s \
+         transitions={} identical={identical}",
+        ba.lane_transitions
+    );
+    Flavour { name, critical, transitions: ba.lane_transitions, event_secs, batch_secs, identical }
+}
+
+fn main() {
+    let delay = FpgaDelay::default();
+    eprintln!("dsp_gate: {TAPS}-tap FIR, {WIDTH} digits, {SAMPLES} samples x {TS_POINTS} Ts");
+    let fused_dp = compile(MacFusion::Fused);
+    let unfused_dp = compile(MacFusion::Unfused);
+    // Shared grid spanning the slower flavour, as in `repro dsp`.
+    let span = analyze(&fused_dp.netlist, &delay)
+        .critical_path()
+        .max(analyze(&unfused_dp.netlist, &delay).critical_path())
+        .max(1);
+    let grid = ts_grid(span, TS_POINTS);
+
+    let fused = measure("fused", &fused_dp, &grid, &delay);
+    let unfused = measure("unfused", &unfused_dp, &grid, &delay);
+
+    let identical = fused.identical && unfused.identical;
+    // The speedup gate reads the *unfused* flavour: its sweep runs long
+    // enough (tens of seconds) that the event/batch ratio is well
+    // conditioned; the fused sweep finishes in milliseconds and its
+    // ratio would be timer noise.
+    let speedup = unfused.event_secs / unfused.batch_secs.max(f64::EPSILON);
+    let dominates = fused.critical < unfused.critical || fused.transitions < unfused.transitions;
+
+    let mut fields = vec![
+        ("bench".into(), JsonValue::str("fused online MAC vs tree-of-multiplies")),
+        ("workload".into(), JsonValue::str("16-tap FIR width 16, online elaboration")),
+        ("samples".into(), JsonValue::U64(SAMPLES as u64)),
+        ("ts_points".into(), JsonValue::U64(grid.len() as u64)),
+        ("seed".into(), JsonValue::U64(SEED)),
+    ];
+    for f in [&fused, &unfused] {
+        fields.push((format!("{}_critical_path", f.name), JsonValue::U64(f.critical)));
+        fields.push((format!("{}_transitions", f.name), JsonValue::U64(f.transitions)));
+        fields.push((format!("{}_event_secs", f.name), JsonValue::F64(f.event_secs)));
+        fields.push((format!("{}_batch_secs", f.name), JsonValue::F64(f.batch_secs)));
+    }
+    let latency_delta = unfused.critical as f64 / fused.critical.max(1) as f64;
+    let activity_delta = unfused.transitions as f64 / fused.transitions.max(1) as f64;
+    fields.push(("speedup_batch_vs_event".into(), JsonValue::F64(speedup)));
+    fields.push(("latency_unfused_over_fused".into(), JsonValue::F64(latency_delta)));
+    fields.push(("activity_unfused_over_fused".into(), JsonValue::F64(activity_delta)));
+    fields.push(("bit_identical".into(), JsonValue::Bool(identical)));
+    fields.push(("fused_dominates".into(), JsonValue::Bool(dominates)));
+
+    let json = JsonValue::Object(fields);
+    let path = "BENCH_dsp.json";
+    if let Err(e) = std::fs::write(path, format!("{}\n", json.render())) {
+        eprintln!("  write {path} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "  wrote {path}: batch speedup {speedup:.1}x, latency delta {latency_delta:.2}x, \
+         activity delta {activity_delta:.2}x"
+    );
+
+    if !identical {
+        eprintln!("FAIL: event and batch curves disagree");
+        std::process::exit(1);
+    }
+    if speedup < 1.5 {
+        eprintln!("FAIL: batch engine is only {speedup:.2}x the event engine (need >= 1.5x)");
+        std::process::exit(1);
+    }
+    if !dominates {
+        eprintln!(
+            "FAIL: fused MAC dominates on neither latency ({} vs {}) nor activity ({} vs {})",
+            fused.critical, unfused.critical, fused.transitions, unfused.transitions
+        );
+        std::process::exit(1);
+    }
+}

@@ -48,11 +48,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// `(name, one-line description)` for every experiment, in run order.
-const EXPERIMENTS: [(&str, &str); 13] = [
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("sta", "static timing: critical paths, per-digit slack + certification (no simulation)"),
     ("lint", "netlist lint over every generated operator family (+ seeded-loop self-check)"),
     ("equiv", "formal verification: pass rewrites proved equivalent, online=conventional at settled Ts, absint error bounds vs measured"),
     ("synth", "datapath-synthesis Pareto sweep: style x allocation x width of a 1x3 kernel"),
+    ("dsp", "fused vs unfused online MACs: FIR/conv2d/mat-vec area, latency, error + activity on both engines"),
     ("fig4", "overclocking error: model vs Monte-Carlo vs gate-level netlist (N=8,12)"),
     ("fig5", "per-chain-delay profile, analytic model next to Monte-Carlo (N=8..32)"),
     ("fig6", "image-filter MRE vs normalized frequency (case study)"),
@@ -330,6 +331,9 @@ fn main() {
     }
     if wants("synth") {
         jobs.push(("synth", Box::new(move |run| experiments::synth(run, scale, backend))));
+    }
+    if wants("dsp") {
+        jobs.push(("dsp", Box::new(move |run| experiments::dsp(run, scale))));
     }
     if wants("fig4") {
         jobs.push(("fig4", Box::new(move |run| experiments::fig4(run, scale, backend))));

@@ -1,0 +1,402 @@
+//! `repro dsp`: the fused-MAC DSP workload pack.
+//!
+//! Three kernel families come out of the [`ola_synth::dsp`] generators —
+//! FIR tap banks, a separable 2-D convolution, and a small dense
+//! mat-vec — each compiled twice through the online elaborator: once
+//! through the fused [`Op::Mac`](ola_synth::Op) lowering (digit-serial
+//! partial products folded into one redundant carry-save accumulation,
+//! never collapsed between terms) and once as the unfused
+//! tree-of-multiplies. Per `(kernel, size, width, fusion)` variant the
+//! sweep records:
+//!
+//! * **LUT area** and the **STA rated frequency** of the online netlist;
+//! * the empirical **overclocking error curve** over a Ts grid shared
+//!   between the fused and unfused flavours (so their error columns are
+//!   comparable point for point), executed on **both** simulation
+//!   engines — the event-driven reference and the wide-lane batch
+//!   engine — and required to be bit-identical;
+//! * the batch engine's **lane-transition count** — the equivalent
+//!   event-driven work, used here as the switching-activity /
+//!   interconnect-energy proxy;
+//! * a per-point soundness check of the abstract interpreter's
+//!   [`sampling_bounds`](ola_synth::sampling_bounds) against the
+//!   measured curve (every measured mean error must sit at or below its
+//!   bound).
+//!
+//! The experiment *fails* unless, at every swept `(kernel, size, width)`
+//! triple, the fused datapath beats the unfused one on settled latency
+//! (STA critical path) or on transition-count activity — the fused-MAC
+//! dominance claim — and unless every bounds check is sound. Two CSVs:
+//! `dsp_fused_vs_unfused_online_macs.csv` (one row per variant) and
+//! `dsp_fused_dominance_by_width.csv` (one row per triple). All columns
+//! are simulation-domain counts — no wall-clock figures — so cached
+//! replays and recomputations render bit-identical tables; engine
+//! *throughput* comparisons live in the `dsp_gate` binary instead.
+
+use super::Scale;
+use crate::report::{fmt_f, Table};
+use ola_core::obs::json::{self, JsonValue};
+use ola_core::{CacheConfig, CacheKey, ContentCache, SimBackend};
+use ola_netlist::{analyze, area, FpgaDelay};
+use ola_synth::{
+    conv2d_separable, elaborate, fir_bank, matvec, optimize, sampling_bounds, ts_grid,
+    variant_error_curve, AdderStructure, Dfg, ElabOptions, InputFmt, MacFusion, Style,
+};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Master seed for the empirical error curves (recorded in the run
+/// manifest via [`super::master_seeds`]).
+pub(crate) const SEED: u64 = 0xD5_90AC;
+
+/// One kernel instance of the pack: `rows` is only meaningful for the
+/// mat-vec kernel (its column count is `size`).
+#[derive(Clone, Copy)]
+struct Kernel {
+    kind: &'static str,
+    size: usize,
+    rows: usize,
+}
+
+impl Kernel {
+    fn label(self) -> String {
+        match self.kind {
+            "matvec" => format!("matvec {}x{}", self.rows, self.size),
+            "conv2d" => format!("conv2d {0}x{0}", self.size),
+            _ => format!("fir {} taps", self.size),
+        }
+    }
+
+    fn build(self, fusion: MacFusion, width: usize) -> Dfg {
+        let fmt = InputFmt { msd_pos: 1, digits: width };
+        match self.kind {
+            "matvec" => matvec(self.rows, self.size, fusion, fmt),
+            "conv2d" => conv2d_separable(self.size, fusion, fmt),
+            _ => fir_bank(self.size, fusion, fmt),
+        }
+    }
+}
+
+/// The swept `(kernel, widths)` pack per scale. Full scale includes the
+/// 16-tap / 16-digit FIR the `dsp_gate` acceptance benchmark pins.
+fn pack(scale: Scale) -> Vec<(Kernel, Vec<usize>)> {
+    let fir = |size| Kernel { kind: "fir", size, rows: 0 };
+    let conv = |size| Kernel { kind: "conv2d", size, rows: 0 };
+    let mv = |rows, size| Kernel { kind: "matvec", size, rows };
+    match scale {
+        Scale::Quick => vec![(fir(4), vec![4, 6]), (conv(2), vec![4]), (mv(2, 2), vec![4])],
+        Scale::Full => vec![
+            (fir(4), vec![4, 8]),
+            (fir(8), vec![8]),
+            (fir(16), vec![8, 16]),
+            (conv(3), vec![4, 8]),
+            (mv(3, 3), vec![4, 8]),
+        ],
+    }
+}
+
+/// Error-sweep samples per variant. Deliberately smaller than
+/// [`Scale::gate_samples`]: every variant sweeps on *both* engines, and
+/// the event-driven arm of the width-16 unfused tree (45k nets) costs
+/// seconds per sample — the dominance and soundness checks are about
+/// deterministic counts, not Monte-Carlo depth.
+fn samples(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 24,
+        Scale::Full => 64,
+    }
+}
+
+/// The process-wide result cache (same [`ContentCache`] pattern as
+/// `repro synth`): a repeated `repro dsp` at the same scale warm-hits
+/// instead of re-simulating. Disk tier via `OLA_CACHE_DIR`.
+fn cache() -> &'static ContentCache {
+    static CACHE: OnceLock<ContentCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let disk_dir =
+            std::env::var("OLA_CACHE_DIR").ok().filter(|d| !d.is_empty()).map(PathBuf::from);
+        ContentCache::new(CacheConfig { capacity: 64, disk_dir, ..CacheConfig::default() })
+    })
+}
+
+/// Canonical text whose SHA-256 is the sweep's content address.
+fn canonical(scale: Scale) -> String {
+    let work: Vec<String> =
+        pack(scale).iter().map(|(k, widths)| format!("{}:{:?}", k.label(), widths)).collect();
+    format!(
+        "repro-dsp/v1 pack={work:?} ts={} samples={} seed={SEED:#x}",
+        scale.grid_points(),
+        samples(scale),
+    )
+}
+
+/// Everything measured for one `(kernel, width, fusion)` variant.
+struct Measured {
+    luts: usize,
+    critical: u64,
+    rated_mhz: Option<f64>,
+    mean_error: f64,
+    worst_violation: f64,
+    sta_skipped: u64,
+    transitions: u64,
+    identical: bool,
+    sound: bool,
+}
+
+/// Compiles one flavour and sweeps it on both engines over `grid`.
+fn measure(
+    kernel: Kernel,
+    fusion: MacFusion,
+    width: usize,
+    grid: &[u64],
+    samples: usize,
+    delay: &FpgaDelay,
+) -> Result<Measured, String> {
+    let dfg = kernel.build(fusion, width);
+    let dp =
+        elaborate(&optimize(&dfg, AdderStructure::BalancedTree), &ElabOptions::new(Style::Online));
+    let report = analyze(&dp.netlist, delay);
+    let luts = area::estimate(&dp.netlist, 4).luts;
+
+    let seed = SEED ^ ((width as u64) << 16) ^ (kernel.size as u64) << 4 ^ fusion as u64;
+    let (ev_curve, _ev) = variant_error_curve(&dp, delay, grid, samples, seed, SimBackend::Event);
+    let (ba_curve, ba) = variant_error_curve(&dp, delay, grid, samples, seed, SimBackend::Batch);
+    let identical = ev_curve == ba_curve;
+
+    let bounds = sampling_bounds(&dp, delay, grid).map_err(|e| format!("sampling bounds: {e}"))?;
+    let sound = (0..grid.len()).all(|i| ev_curve.mean_abs_error[i] <= bounds.total_f64(i));
+
+    let mean = ev_curve.mean_abs_error.iter().sum::<f64>() / ev_curve.mean_abs_error.len() as f64;
+    let worst = ev_curve.violation_rate.iter().copied().fold(0.0f64, f64::max);
+    ola_core::obs::registry().counter("ola.dsp.variants_evaluated").inc();
+    Ok(Measured {
+        luts,
+        critical: report.critical_path(),
+        rated_mhz: report.rated_frequency(),
+        mean_error: mean,
+        worst_violation: worst,
+        sta_skipped: ba.sta_skipped_points,
+        transitions: ba.lane_transitions,
+        identical,
+        sound,
+    })
+}
+
+/// Runs the DSP workload pack.
+///
+/// # Errors
+///
+/// If the fused flavour fails to dominate the unfused one on settled
+/// latency or activity at any swept `(kernel, size, width)`, if any
+/// engine pair disagrees, or if any measured error point exceeds its
+/// abstract-interpretation bound.
+pub fn dsp(run: &crate::resume::ExperimentCtx, scale: Scale) -> Result<Vec<Table>, String> {
+    run.unit("pack", || dsp_inner(scale))
+}
+
+fn dsp_inner(scale: Scale) -> Result<Vec<Table>, String> {
+    ola_core::obs::annotate(
+        "dsp.pack",
+        format_args!(
+            "{} kernel instances, {} Ts points x {} samples, both engines",
+            pack(scale).len(),
+            scale.grid_points(),
+            samples(scale)
+        ),
+    );
+    let key = CacheKey::of(canonical(scale).as_bytes());
+    let (bytes, lookup) = cache().get_or_compute(&key, || {
+        let tables = sweep_and_render(scale)?;
+        let doc = JsonValue::Array(tables.iter().map(Table::to_json).collect());
+        Ok::<_, String>(doc.render().into_bytes())
+    })?;
+    ola_core::obs::annotate("dsp.cache", format_args!("{} {}", lookup.label(), key.hex()));
+    if lookup.is_hit() {
+        eprintln!("  [dsp] warm {} for key {}", lookup.label(), &key.hex()[..12]);
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|_| "cached sweep is not utf-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("cached sweep unparseable: {e}"))?;
+    doc.as_array()
+        .ok_or_else(|| "cached sweep is not an array".to_string())?
+        .iter()
+        .map(|t| Table::from_json(t).ok_or_else(|| "cached table malformed".to_string()))
+        .collect()
+}
+
+fn sweep_and_render(scale: Scale) -> Result<Vec<Table>, String> {
+    let delay = FpgaDelay::default();
+    let samples = samples(scale);
+    let points = scale.grid_points();
+
+    let mut variants = Table::new(
+        "DSP fused vs unfused online MACs",
+        &[
+            "kernel",
+            "width",
+            "fusion",
+            "luts",
+            "critical_path",
+            "rated_mhz",
+            "mean_error",
+            "worst_violation_rate",
+            "sta_skipped",
+            "transitions",
+            "engines_identical",
+            "bounds_sound",
+        ],
+    );
+    let mut dominance = Table::new(
+        "DSP fused dominance by width",
+        &[
+            "kernel",
+            "width",
+            "latency_fused",
+            "latency_unfused",
+            "transitions_fused",
+            "transitions_unfused",
+            "dominates",
+        ],
+    );
+    let mut bad: Vec<String> = Vec::new();
+
+    for (kernel, widths) in pack(scale) {
+        for width in widths {
+            // One Ts grid per (kernel, width), spanning the *slower*
+            // flavour's critical path, so the fused and unfused error
+            // columns sample identical periods.
+            let span = [MacFusion::Fused, MacFusion::Unfused]
+                .iter()
+                .map(|&f| {
+                    let dp = elaborate(
+                        &optimize(&kernel.build(f, width), AdderStructure::BalancedTree),
+                        &ElabOptions::new(Style::Online),
+                    );
+                    analyze(&dp.netlist, &delay).critical_path()
+                })
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let grid = ts_grid(span, points);
+
+            let fused = measure(kernel, MacFusion::Fused, width, &grid, samples, &delay)?;
+            let unfused = measure(kernel, MacFusion::Unfused, width, &grid, samples, &delay)?;
+            let name = kernel.label();
+            for (fusion, m) in [("fused", &fused), ("unfused", &unfused)] {
+                if !m.identical {
+                    bad.push(format!("{name} W={width} {fusion}: engines disagree"));
+                }
+                if !m.sound {
+                    bad.push(format!(
+                        "{name} W={width} {fusion}: measured error exceeds its absint bound"
+                    ));
+                }
+                variants.push_row(vec![
+                    name.clone(),
+                    width.to_string(),
+                    fusion.to_string(),
+                    m.luts.to_string(),
+                    m.critical.to_string(),
+                    m.rated_mhz.map_or_else(|| "-".to_string(), fmt_f),
+                    fmt_f(m.mean_error),
+                    fmt_f(m.worst_violation),
+                    m.sta_skipped.to_string(),
+                    m.transitions.to_string(),
+                    m.identical.to_string(),
+                    m.sound.to_string(),
+                ]);
+            }
+            let dominates =
+                fused.critical < unfused.critical || fused.transitions < unfused.transitions;
+            if !dominates {
+                bad.push(format!(
+                    "{name} W={width}: fused MAC dominates on neither settled latency \
+                     ({} vs {}) nor activity ({} vs {})",
+                    fused.critical, unfused.critical, fused.transitions, unfused.transitions
+                ));
+            }
+            dominance.push_row(vec![
+                name,
+                width.to_string(),
+                fused.critical.to_string(),
+                unfused.critical.to_string(),
+                fused.transitions.to_string(),
+                unfused.transitions.to_string(),
+                dominates.to_string(),
+            ]);
+        }
+    }
+
+    if bad.is_empty() {
+        Ok(vec![variants, dominance])
+    } else {
+        Err(format!("{} dsp check(s) failed: {}", bad.len(), bad.join("; ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pack_shows_fused_dominance_everywhere() {
+        let tables = dsp(&crate::resume::ExperimentCtx::ephemeral("dsp"), Scale::Quick).unwrap();
+        assert_eq!(tables.len(), 2);
+        let variants = &tables[0];
+        // 4 (kernel, width) pairs x 2 fusion flavours.
+        assert_eq!(variants.rows.len(), 8);
+        for row in &variants.rows {
+            assert_eq!(row[10], "true", "engine mismatch: {row:?}");
+            assert_eq!(row[11], "true", "unsound bound: {row:?}");
+        }
+        let dom = &tables[1];
+        assert_eq!(dom.rows.len(), 4);
+        for row in &dom.rows {
+            assert_eq!(row[6], "true", "fused fails to dominate: {row:?}");
+        }
+        // The fused flavour's settled latency is strictly lower on the
+        // 4-tap FIR (log-depth fold vs serial product chains).
+        let fir = &dom.rows[0];
+        assert!(
+            fir[2].parse::<u64>().unwrap() < fir[3].parse::<u64>().unwrap(),
+            "fir latency row: {fir:?}"
+        );
+    }
+
+    #[test]
+    fn second_pack_warm_hits_the_content_cache() {
+        let hits = || {
+            ola_core::obs::registry()
+                .snapshot()
+                .counters
+                .get("ola.cache.hits")
+                .copied()
+                .unwrap_or(0)
+        };
+        let run = || dsp(&crate::resume::ExperimentCtx::ephemeral("dsp"), Scale::Quick).unwrap();
+        let cold = run();
+        let before = hits();
+        let warm = run();
+        assert!(hits() > before, "second identical pack must warm-hit the cache");
+        assert_eq!(cold[0].rows, warm[0].rows, "cached rows are bit-identical");
+    }
+
+    #[test]
+    fn canonical_keys_separate_scales() {
+        let a = CacheKey::of(canonical(Scale::Quick).as_bytes());
+        let b = CacheKey::of(canonical(Scale::Quick).as_bytes());
+        let c = CacheKey::of(canonical(Scale::Full).as_bytes());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csv_slugs_match_the_documented_output_names() -> std::io::Result<()> {
+        let dir = std::env::temp_dir().join("ola_dsp_slug_test");
+        let t = Table::new("DSP fused vs unfused online MACs", &["a"]);
+        assert!(t.write_csv(&dir)?.ends_with("dsp_fused_vs_unfused_online_macs.csv"));
+        let d = Table::new("DSP fused dominance by width", &["a"]);
+        assert!(d.write_csv(&dir)?.ends_with("dsp_fused_dominance_by_width.csv"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+}

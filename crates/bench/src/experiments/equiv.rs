@@ -71,6 +71,13 @@ fn kernel_dfg(n: usize) -> Dfg {
     parse_dfg(synth::EXPR, InputFmt { msd_pos: 1, digits: n }).expect("kernel parses")
 }
 
+/// The fused-MAC counterpart of the convolution kernel: a 3-tap FIR bank
+/// lowered through the [`Op::Mac`](ola_synth::Op) node, in both fusion
+/// flavours so the rewrite unit can prove fused ≡ tree-of-multiplies.
+fn mac_dfg(n: usize, fusion: ola_synth::MacFusion) -> Dfg {
+    ola_synth::fir_bank(3, fusion, InputFmt { msd_pos: 1, digits: n })
+}
+
 /// Runs the formal-verification experiment; `all` extends the width sweep
 /// to match `repro lint --all`.
 ///
@@ -183,6 +190,39 @@ fn rewrites_unit(all: bool) -> Result<Vec<Table>, String> {
                 }
             }
         }
+        // Fusion proof: the fused MAC graph must compute exactly what the
+        // unfused tree-of-multiplies computes — proved in the conventional
+        // domain through the staged checker. Wide operands overflow the
+        // Baugh–Wooley product cap and are reported as SKIPPED, like the
+        // optimizer proofs.
+        let fused = mac_dfg(n, ola_synth::MacFusion::Fused);
+        let unfused = mac_dfg(n, ola_synth::MacFusion::Unfused);
+        let name = format!("mac fused-vs-unfused N={n}");
+        match prove_pass_equivalence(&unfused, &fused) {
+            None => {
+                ola_core::obs::registry().counter("ola.verify.prove_skipped").inc();
+                t.push_row(vec![
+                    name,
+                    "fuse-mac".into(),
+                    unfused.len().to_string(),
+                    fused.len().to_string(),
+                    "SKIPPED (width caps)".into(),
+                ]);
+            }
+            Some(verdict) => {
+                if let EquivVerdict::Mismatch { counterexample, .. } = &verdict {
+                    bad.push(format!("{name}: fuse-mac mismatch: {counterexample}"));
+                }
+                let label = tally(&verdict);
+                t.push_row(vec![
+                    name,
+                    "fuse-mac".into(),
+                    unfused.len().to_string(),
+                    fused.len().to_string(),
+                    label,
+                ]);
+            }
+        }
     }
 
     if bad.is_empty() {
@@ -208,6 +248,63 @@ fn encode_online(dp: &SynthesizedDatapath, values: &[Q], digits: usize) -> Vec<b
     dp.encode_inputs_online(&windows)
 }
 
+/// Runs one settled online-vs-conventional comparison and appends its
+/// row; unsound variants land in `bad`.
+#[allow(clippy::too_many_arguments)]
+fn settled_variant(
+    t: &mut Table,
+    bad: &mut Vec<String>,
+    name: &str,
+    dfg: &Dfg,
+    alloc: AdderStructure,
+    n: usize,
+    samples: usize,
+    seed: u64,
+) {
+    let opt = optimize(dfg, alloc);
+    let online = elaborate(&opt, &ElabOptions::new(Style::Online));
+    let tc = elaborate(&opt, &ElabOptions::new(Style::Conventional));
+    let bound = interpret(&opt, Style::Online).settled_error_bounds()[0];
+    // `Netlist::eval` answers per-net; `decode_output` reads the
+    // `output_wires()` projection of that answer.
+    let settle = |dp: &SynthesizedDatapath, bits: &[bool]| -> Q {
+        let vals = dp.netlist.eval(bits);
+        let wires = dp.output_wires();
+        let sampled: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+        dp.decode_output(0, &sampled)
+    };
+    let inputs = dfg.inputs().len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut worst = Q::ZERO;
+    let mut tc_exact = true;
+    for _ in 0..samples {
+        let values = draw_values(&mut rng, n, inputs);
+        let exact = dfg.eval_exact(&values)[0];
+        let diff = (settle(&online, &encode_online(&online, &values, n)) - exact).abs();
+        if diff > worst {
+            worst = diff;
+        }
+        tc_exact &= settle(&tc, &tc.encode_inputs_tc(&values)) == exact;
+    }
+    let sound = worst <= bound && tc_exact;
+    if !sound {
+        bad.push(format!(
+            "{name}: worst online error {} vs bound {} (tc exact: {tc_exact})",
+            worst.to_f64(),
+            bound.to_f64()
+        ));
+    }
+    ola_core::obs::registry().counter("ola.verify.settled_comparisons").inc();
+    t.push_row(vec![
+        name.to_owned(),
+        samples.to_string(),
+        tc_exact.to_string(),
+        format!("{:.3e}", worst.to_f64()),
+        format!("{:.3e}", bound.to_f64()),
+        if sound { "yes" } else { "NO" }.to_string(),
+    ]);
+}
+
 fn settled_unit(scale: Scale, all: bool) -> Result<Vec<Table>, String> {
     let mut t = Table::new(
         "Equiv online vs conventional",
@@ -220,49 +317,31 @@ fn settled_unit(scale: Scale, all: bool) -> Result<Vec<Table>, String> {
             continue;
         }
         let dfg = kernel_dfg(n);
+        let mac = mac_dfg(n, ola_synth::MacFusion::Fused);
         for alloc in ALLOCATIONS {
-            let opt = optimize(&dfg, alloc);
-            let online = elaborate(&opt, &ElabOptions::new(Style::Online));
-            let tc = elaborate(&opt, &ElabOptions::new(Style::Conventional));
-            let bound = interpret(&opt, Style::Online).settled_error_bounds()[0];
-            // `Netlist::eval` answers per-net; `decode_output` reads the
-            // `output_wires()` projection of that answer.
-            let settle = |dp: &SynthesizedDatapath, bits: &[bool]| -> Q {
-                let vals = dp.netlist.eval(bits);
-                let wires = dp.output_wires();
-                let sampled: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
-                dp.decode_output(0, &sampled)
-            };
-            let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ ((n as u64) << 8) ^ alloc as u64);
-            let mut worst = Q::ZERO;
-            let mut tc_exact = true;
-            for _ in 0..samples {
-                let values = draw_values(&mut rng, n, 3);
-                let exact = dfg.eval_exact(&values)[0];
-                let diff = (settle(&online, &encode_online(&online, &values, n)) - exact).abs();
-                if diff > worst {
-                    worst = diff;
-                }
-                tc_exact &= settle(&tc, &tc.encode_inputs_tc(&values)) == exact;
-            }
-            let sound = worst <= bound && tc_exact;
-            let name = format!("kernel {} N={n}", alloc.name());
-            if !sound {
-                bad.push(format!(
-                    "{name}: worst online error {} vs bound {} (tc exact: {tc_exact})",
-                    worst.to_f64(),
-                    bound.to_f64()
-                ));
-            }
-            ola_core::obs::registry().counter("ola.verify.settled_comparisons").inc();
-            t.push_row(vec![
-                name,
-                samples.to_string(),
-                tc_exact.to_string(),
-                format!("{:.3e}", worst.to_f64()),
-                format!("{:.3e}", bound.to_f64()),
-                if sound { "yes" } else { "NO" }.to_string(),
-            ]);
+            let seed = SEED ^ ((n as u64) << 8) ^ alloc as u64;
+            settled_variant(
+                &mut t,
+                &mut bad,
+                &format!("kernel {} N={n}", alloc.name()),
+                &dfg,
+                alloc,
+                n,
+                samples,
+                seed,
+            );
+            // The fused MAC is settled-*exact*: its absint bound is zero,
+            // so this row demands bit-for-bit agreement with `eval_exact`.
+            settled_variant(
+                &mut t,
+                &mut bad,
+                &format!("mac fused {} N={n}", alloc.name()),
+                &mac,
+                alloc,
+                n,
+                samples,
+                seed ^ 0x11AC,
+            );
         }
     }
     if bad.is_empty() {
@@ -281,10 +360,12 @@ fn bounds_unit(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> 
     let delay = FpgaDelay::default();
     let points = scale.grid_points();
     for &n in &[4usize, 8] {
-        let dfg = kernel_dfg(n);
-        for style in [Style::Online, Style::Conventional] {
+        let dfgs = [("kernel", kernel_dfg(n)), ("mac", mac_dfg(n, ola_synth::MacFusion::Fused))];
+        for ((label, dfg), style) in
+            dfgs.iter().flat_map(|d| [Style::Online, Style::Conventional].map(move |s| (d, s)))
+        {
             let dp: SynthesizedDatapath =
-                elaborate(&optimize(&dfg, AdderStructure::BalancedTree), &ElabOptions::new(style));
+                elaborate(&optimize(dfg, AdderStructure::BalancedTree), &ElabOptions::new(style));
             let critical = analyze(&dp.netlist, &delay).critical_path().max(1);
             let ts_grid: Vec<u64> = (1..=points as u64)
                 .map(|i| (critical * i).div_ceil(points as u64).max(1))
@@ -303,7 +384,7 @@ fn bounds_unit(scale: Scale, backend: SimBackend) -> Result<Vec<Table>, String> 
                 let measured = curve.mean_abs_error[i];
                 let bound = bounds.total_f64(i);
                 let sound = measured <= bound;
-                let name = format!("kernel {} tree N={n}", style.name());
+                let name = format!("{label} {} tree N={n}", style.name());
                 if !sound {
                     bad.push(format!("{name} ts={ts}: measured {measured} > bound {bound}"));
                 }

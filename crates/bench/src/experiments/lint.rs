@@ -25,8 +25,8 @@
 
 use crate::report::Table;
 use ola_arith::synth::{
-    array_multiplier, carry_select_adder, online_adder, online_mac, online_multiplier,
-    ripple_carry_adder, traditional_mac,
+    array_multiplier, carry_select_adder, fused_online_mac, online_adder, online_mac,
+    online_multiplier, ripple_carry_adder, traditional_mac,
 };
 use ola_netlist::sta::lint::{check, LintIssue};
 use ola_netlist::Netlist;
@@ -60,6 +60,7 @@ pub(crate) fn circuits(n: usize) -> Vec<(String, Netlist)> {
         (format!("online adder N={n}"), online_adder(n).netlist),
         (format!("online mult N={n}"), online_multiplier(n, 3).netlist),
         (format!("online mac N={n}"), online_mac(&online_taps(n), 3).netlist),
+        (format!("fused online mac N={n}"), fused_online_mac(&online_taps(n)).netlist),
         (format!("ripple adder W={n}"), ripple_carry_adder(n).netlist),
         (format!("carry-select adder W={n}"), carry_select_adder(n, 4).netlist),
         (format!("array mult W={n}"), array_multiplier(n).netlist),
@@ -210,6 +211,62 @@ fn lint_inner(all: bool) -> Result<Vec<Table>, String> {
             issue_codes(&issues)
         ));
     }
+
+    // Self-check 4 (MAC family): the fused MAC's redundant sum bus widened
+    // by repeating one of its computed digits must trip
+    // `output-width-mismatch` just like a conventional bus would. (The bus
+    // ends in constant padding, which may legitimately repeat — pick a
+    // *logic* net.)
+    let mut mac_wide = fused_online_mac(&online_taps(8)).netlist;
+    let mut widened = mac_wide.output("sump").to_vec();
+    let digit = *widened
+        .iter()
+        .find(|&&net| mac_wide.kind(net).is_logic())
+        .expect("sump bus carries computed digits");
+    widened.push(digit);
+    mac_wide.set_output("sump", widened);
+    let issues = check(&mac_wide);
+    let caught_mac_width = issues.iter().any(|i| i.code() == "output-width-mismatch");
+    t.push_row(vec![
+        "fused online mac N=8 + repeated sump MSD".to_string(),
+        mac_wide.len().to_string(),
+        issues.len().to_string(),
+        issue_codes(&issues),
+        format!("caught={caught_mac_width}"),
+    ]);
+    if !caught_mac_width {
+        return Err(format!(
+            "duplicated MAC output digit was not flagged (got: {})",
+            issue_codes(&issues)
+        ));
+    }
+
+    // Self-check 5 (MAC family): an accumulator digit recurrence rewired
+    // back into the fused MAC combinationally — an odd inversion ring fed
+    // from the datapath — must be diagnosed as non-settling feedback.
+    let mut mac_fb = fused_online_mac(&online_taps(8)).netlist;
+    let src = mac_fb.output("sump")[0];
+    let r1 = mac_fb.not(src);
+    let r2 = mac_fb.not(r1);
+    let r3 = mac_fb.not(r2);
+    mac_fb.set_output("acc_next", vec![r3]);
+    mac_fb.rewire_input(r1, 0, r3).expect("rewire accepts arbitrary sources");
+    let issues = check(&mac_fb);
+    let caught_mac_feedback = issues.iter().any(|i| i.code() == "non-settling-feedback");
+    t.push_row(vec![
+        "fused online mac N=8 + accumulator feedback".to_string(),
+        mac_fb.len().to_string(),
+        issues.len().to_string(),
+        issue_codes(&issues),
+        format!("caught={caught_mac_feedback}"),
+    ]);
+    if !caught_mac_feedback {
+        return Err(format!(
+            "MAC accumulator feedback was not flagged as non-settling (got: {})",
+            issue_codes(&issues)
+        ));
+    }
+
     if !dirty.is_empty() {
         return Err(format!("{} circuit(s) have lint issues: {}", dirty.len(), dirty.join("; ")));
     }
@@ -243,20 +300,30 @@ mod tests {
         let tables = lint(&crate::resume::ExperimentCtx::ephemeral("lint"), false).unwrap();
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
-        // 2 widths × (7 families + 6 synth style/allocation variants)
-        // + the three seeded detector self-check rows.
-        assert_eq!(t.rows.len(), 29);
-        let seeded = &t.rows[t.rows.len() - 3];
+        // 2 widths × (8 families + 6 synth style/allocation variants)
+        // + the five seeded detector self-check rows.
+        assert_eq!(t.rows.len(), 33);
+        let seeded = &t.rows[t.rows.len() - 5];
         assert!(seeded[3].contains("comb-loop"), "seeded row: {seeded:?}");
-        let width_row = &t.rows[t.rows.len() - 2];
+        let width_row = &t.rows[t.rows.len() - 4];
         assert!(width_row[3].contains("output-width-mismatch"), "width row: {width_row:?}");
-        let feedback_row = t.rows.last().unwrap();
+        let feedback_row = &t.rows[t.rows.len() - 3];
         assert!(
             feedback_row[3].contains("non-settling-feedback"),
             "feedback row: {feedback_row:?}"
         );
+        let mac_width_row = &t.rows[t.rows.len() - 2];
+        assert!(
+            mac_width_row[3].contains("output-width-mismatch"),
+            "mac width row: {mac_width_row:?}"
+        );
+        let mac_feedback_row = t.rows.last().unwrap();
+        assert!(
+            mac_feedback_row[3].contains("non-settling-feedback"),
+            "mac feedback row: {mac_feedback_row:?}"
+        );
         // Every generated row is clean.
-        for row in &t.rows[..t.rows.len() - 3] {
+        for row in &t.rows[..t.rows.len() - 5] {
             assert_eq!(row[2], "0", "unexpected lint issues: {row:?}");
         }
     }

@@ -5,6 +5,7 @@
 //! paper-vs-measured comparison.
 
 mod casestudy;
+mod dsp;
 mod equiv;
 mod faults;
 mod fig4;
@@ -15,6 +16,7 @@ mod synth;
 mod table4;
 
 pub use casestudy::{fig6, fig7, table1, table2, table3, CaseStudyContext};
+pub use dsp::dsp;
 pub use equiv::equiv;
 pub use faults::faults;
 pub use fig4::fig4;
@@ -109,6 +111,7 @@ pub fn master_seeds(name: &str) -> Vec<(String, u64)> {
         "faults" => mk(&[("campaign", 0xFA_517E5)]),
         "synth" => mk(&[("explore", synth::SEED)]),
         "equiv" => mk(&[("verify", equiv::SEED)]),
+        "dsp" => mk(&[("pack", dsp::SEED)]),
         _ => Vec::new(),
     }
 }

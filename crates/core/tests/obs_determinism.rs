@@ -49,6 +49,27 @@ fn workload() {
             ..ola_synth::ExploreConfig::default()
         },
     );
+    // The fused-MAC DSP subsystem (`ola.dsp.*`, `ola.synth.mac.*`): kernel
+    // generation, both Mac lowerings, and the accumulation-length axis of
+    // the explorer — all simulation-domain counts.
+    let fir = ola_synth::fir_bank(
+        2,
+        ola_synth::MacFusion::Fused,
+        ola_synth::InputFmt { msd_pos: 1, digits: 4 },
+    );
+    let _ = ola_synth::elaborate(&fir, &ola_synth::ElabOptions::new(ola_synth::Style::Online));
+    let _ =
+        ola_synth::elaborate(&fir, &ola_synth::ElabOptions::new(ola_synth::Style::Conventional));
+    let _ = ola_synth::explore_mac(
+        &ola_synth::ExploreConfig {
+            widths: vec![3],
+            ts_points: 3,
+            samples: 4,
+            seed: 5,
+            ..ola_synth::ExploreConfig::default()
+        },
+        &[2],
+    );
     for backend in [SimBackend::Batch, SimBackend::Event] {
         let _ = om_gate_level_curve_with(
             &circuit,
@@ -113,6 +134,12 @@ fn metric_snapshots_are_bit_identical_across_thread_counts() {
         "ola.synth.variants_explored",
         "ola.synth.certified_points_skipped",
         "ola.synth.pareto_points",
+        "ola.synth.mac.fused_lowered",
+        "ola.synth.mac.conventional_lowered",
+        "ola.synth.mac.terms",
+        "ola.synth.mac.explored",
+        "ola.dsp.fir_graphs",
+        "ola.dsp.inner_products",
     ] {
         assert!(single.counters.contains_key(key), "workload never moved {key}: {single:?}");
     }

@@ -68,7 +68,9 @@ pub fn fill_body(query: &Query, key: &CacheKey) -> Result<Vec<u8>, QueryError> {
     let rendered = result.render();
     let experiment = experiment_name(query, key);
     let (backend, seeds) = match query {
-        Query::Pareto { backend, seed, .. } | Query::Sweep { backend, seed, .. } => {
+        Query::Pareto { backend, seed, .. }
+        | Query::Sweep { backend, seed, .. }
+        | Query::Dsp { backend, seed, .. } => {
             (backend.label().to_owned(), vec![("query".to_owned(), *seed)])
         }
         Query::Sta { .. } | Query::Lint { .. } | Query::Verify { .. } => {
@@ -209,6 +211,19 @@ mod tests {
         let result = doc.get("result").expect("result present");
         assert_eq!(result.get("kind").unwrap().as_str(), Some("verify"));
         assert_eq!(result.get("passes_verdict").unwrap().as_str(), Some("equivalent"));
+    }
+
+    #[test]
+    fn dsp_queries_flow_through_the_wire_layer() {
+        let q = query(r#"{"kind":"dsp","kernel":"fir","size":3,"width":4,"ts_points":3}"#);
+        let key = q.cache_key();
+        let name = experiment_name(&q, &key);
+        assert!(name.starts_with("serve_dsp_"), "experiment {name:?}");
+        let body = fill_body(&q, &key).unwrap();
+        let doc = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let result = doc.get("result").expect("result present");
+        assert_eq!(result.get("kind").unwrap().as_str(), Some("dsp"));
+        assert!(result.get("fused").is_some() && result.get("unfused").is_some());
     }
 
     #[test]

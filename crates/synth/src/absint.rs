@@ -170,6 +170,24 @@ pub fn interpret(dfg: &Dfg, style: Style) -> AbsintReport {
                 };
                 ValueForm { lo, hi, err }
             }
+            Op::Mac(ref terms) => {
+                // Fused accumulation never digitizes between terms: no
+                // per-product truncation, only the operands' affine cross
+                // terms, summed in accumulation order.
+                let mut lo = Q::ZERO;
+                let mut hi = Q::ZERO;
+                let mut err = Q::ZERO;
+                for &(a, b) in terms {
+                    let (fa, fb) = (forms[a.index()], forms[b.index()]);
+                    let (l, h) = interval_mul(&fa, &fb);
+                    lo += l;
+                    hi += h;
+                    if let Style::Online = style {
+                        err += mul_affine_err(&fa, &fb);
+                    }
+                }
+                ValueForm { lo, hi, err }
+            }
         };
         debug_assert!(f.lo <= f.hi, "interval inverted at node {}", id.index());
         debug_assert!(f.err >= Q::ZERO, "negative error bound at node {}", id.index());
@@ -490,6 +508,93 @@ mod tests {
                 fine <= coarse + 1e-12,
                 "Ts={ts}: single-wire bound {fine} exceeds per-digit bound {coarse}"
             );
+        }
+    }
+
+    fn mac_filter(digits: usize) -> Dfg {
+        let mut dfg = Dfg::new();
+        let fmt = InputFmt { msd_pos: 1, digits };
+        let a = dfg.input("a", fmt);
+        let b = dfg.input("b", fmt);
+        let c = dfg.input("c", fmt);
+        let q = dfg.constant(Q::new(1, 2));
+        let h = dfg.constant(Q::new(1, 1));
+        let y = dfg.mac(&[(a, q), (b, h), (c, q)]);
+        dfg.mark_output("y", y);
+        dfg
+    }
+
+    #[test]
+    fn fused_mac_graphs_are_settled_exact_with_exact_operands() {
+        // The fused accumulator never digitizes between terms, so a MAC
+        // over exact operands carries err = 0 in *both* styles — unlike
+        // the Mul/Add tree, which pays one truncation per product online.
+        for style in [Style::Online, Style::Conventional] {
+            let rep = interpret(&mac_filter(5), style);
+            assert!(rep.settled_exact(), "{style:?}");
+        }
+        let tree = filter(5);
+        assert!(!interpret(&tree, Style::Online).settled_exact(), "unfused tree truncates");
+    }
+
+    #[test]
+    fn mac_intervals_contain_every_exact_evaluation() {
+        let digits = 4;
+        let dfg = mac_filter(digits);
+        let rep = interpret(&dfg, Style::Online);
+        let f = rep.form(dfg.outputs()[0].1);
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let bound = (1i128 << digits) - 1;
+        for _ in 0..200 {
+            let ins: Vec<Q> =
+                (0..3).map(|_| Q::new(rng.gen_range(-bound..=bound), digits as u32)).collect();
+            let v = dfg.eval_exact(&ins)[0];
+            assert!(f.lo <= v && v <= f.hi, "{v:?} outside [{:?}, {:?}]", f.lo, f.hi);
+        }
+    }
+
+    #[test]
+    fn mac_sampling_bounds_dominate_measured_error_curves() {
+        let delay = FpgaDelay::default();
+        for style in [Style::Online, Style::Conventional] {
+            let dp = elaborate(&mac_filter(4), &ElabOptions::new(style));
+            let critical = analyze(&dp.netlist, &delay).critical_path();
+            let ts_grid: Vec<u64> = (1..=8u64).map(|i| (critical * i).div_ceil(8)).collect();
+            let bounds = sampling_bounds(&dp, &delay, &ts_grid).unwrap();
+            let (curve, _) =
+                variant_error_curve(&dp, &delay, &ts_grid, 24, 0xAB6, SimBackend::Auto);
+            for (k, &measured) in curve.mean_abs_error.iter().enumerate() {
+                let b = bounds.total_f64(k);
+                assert!(
+                    measured <= b,
+                    "{style:?} Ts={}: measured {measured} > certified {b}",
+                    ts_grid[k]
+                );
+            }
+            assert_eq!(bounds.total(ts_grid.len() - 1), Q::ZERO);
+        }
+    }
+
+    #[test]
+    fn mac_settled_error_bound_dominates_the_online_reference() {
+        for digits in [3usize, 4, 6] {
+            let dfg = mac_filter(digits);
+            let rep = interpret(&dfg, Style::Online);
+            let bound = rep.settled_error_bounds()[0];
+            let mut rng = ChaCha8Rng::seed_from_u64(131 + digits as u64);
+            let m = (1i128 << digits) - 1;
+            for _ in 0..100 {
+                let qs: Vec<Q> =
+                    (0..3).map(|_| Q::new(rng.gen_range(-m..=m), digits as u32)).collect();
+                let bs: Vec<BsVector> = qs
+                    .iter()
+                    .map(|&q| BsVector::from_sd(&SdNumber::from_value(q, digits).unwrap()))
+                    .collect();
+                let exact = dfg.eval_exact(&qs)[0];
+                let online = dfg.eval_online(&bs, 3)[0].value();
+                let err = (online - exact).abs();
+                assert!(err <= bound, "w={digits}: err {err:?} > bound {bound:?}");
+            }
         }
     }
 

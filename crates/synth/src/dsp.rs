@@ -1,0 +1,254 @@
+//! DSP workload generators over the IR: FIR banks, separable 2-D
+//! convolution, and small matrix-vector kernels.
+//!
+//! Every generator is deterministic (fixed dyadic coefficient schedules,
+//! no RNG) and comes in two flavours selected by [`MacFusion`]:
+//!
+//! * [`MacFusion::Fused`] — inner products are single [`Op::Mac`] nodes,
+//!   lowering to the fused online MAC (redundant accumulation, no
+//!   per-product digitization) or the conventional balanced product
+//!   tree.
+//! * [`MacFusion::Unfused`] — the paper-style baseline: one [`Op::Mul`]
+//!   per product feeding a balanced [`Op::Add`] tree, so the online
+//!   elaboration pays one selection CPA and one truncation per product.
+//!
+//! The two flavours of the same kernel are *exactly* equivalent in the
+//! conventional domain (both lower to exact arithmetic), which is what
+//! the staged equivalence checker proves in `repro equiv` and the
+//! proptest suite. In the online domain the fused flavour is settled
+//! exact while the unfused one carries per-product truncation — the
+//! latency/accuracy contrast the `repro dsp` experiment measures.
+//!
+//! [`Op::Mac`]: crate::ir::Op::Mac
+//! [`Op::Mul`]: crate::ir::Op::Mul
+//! [`Op::Add`]: crate::ir::Op::Add
+
+use crate::ir::{Dfg, InputFmt, NodeId};
+use ola_redundant::Q;
+
+/// Whether inner products fuse into a single MAC node or stay a
+/// multiply/add tree.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum MacFusion {
+    /// One [`Op::Mac`](crate::ir::Op::Mac) node per inner product.
+    Fused,
+    /// One multiplier per product, balanced adder tree to sum.
+    Unfused,
+}
+
+impl MacFusion {
+    /// Stable lower-case name for labels and CSV cells.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MacFusion::Fused => "fused",
+            MacFusion::Unfused => "unfused",
+        }
+    }
+}
+
+/// The deterministic dyadic coefficient schedule shared by every
+/// generator: `c_i = ±2^{−(1 + i mod 3)}`, sign alternating. Exactly
+/// representable at any operand width, so kernels stay width-sweepable.
+#[must_use]
+pub fn dyadic_coeff(i: usize) -> Q {
+    let mag = Q::pow2_neg(1 + (i % 3) as u32);
+    if i.is_multiple_of(2) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Balanced pairwise sum of `terms` (the `chunks(2)` fold the passes and
+/// lowerings use everywhere).
+fn sum_tree(dfg: &mut Dfg, mut terms: Vec<NodeId>) -> NodeId {
+    assert!(!terms.is_empty(), "sum of no terms");
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut it = terms.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(dfg.add(a, b)),
+                None => next.push(a),
+            }
+        }
+        terms = next;
+    }
+    terms[0]
+}
+
+/// One inner product `Σ c_k·x_k` in the requested flavour.
+fn inner_product(dfg: &mut Dfg, xs: &[NodeId], cs: &[Q], fusion: MacFusion) -> NodeId {
+    assert_eq!(xs.len(), cs.len(), "one coefficient per operand");
+    match fusion {
+        MacFusion::Fused => {
+            let mut pairs = Vec::with_capacity(xs.len());
+            for (&x, &c) in xs.iter().zip(cs) {
+                let cn = dfg.constant(c);
+                pairs.push((x, cn));
+            }
+            dfg.mac(&pairs)
+        }
+        MacFusion::Unfused => {
+            let mut prods = Vec::with_capacity(xs.len());
+            for (&x, &c) in xs.iter().zip(cs) {
+                let cn = dfg.constant(c);
+                prods.push(dfg.mul(x, cn));
+            }
+            sum_tree(dfg, prods)
+        }
+    }
+}
+
+/// A `taps`-tap FIR inner product `y = Σ_k c_k·x_k` over parallel delay
+/// line inputs `x0..x{taps−1}` (the combinational datapath of one output
+/// sample).
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+#[must_use]
+pub fn fir_bank(taps: usize, fusion: MacFusion, fmt: InputFmt) -> Dfg {
+    assert!(taps > 0, "FIR needs at least one tap");
+    let mut dfg = Dfg::new();
+    let xs: Vec<NodeId> = (0..taps).map(|k| dfg.input(&format!("x{k}"), fmt)).collect();
+    let cs: Vec<Q> = (0..taps).map(dyadic_coeff).collect();
+    let y = inner_product(&mut dfg, &xs, &cs, fusion);
+    dfg.mark_output("y", y);
+    let reg = ola_core::obs::registry();
+    reg.counter("ola.dsp.fir_graphs").add(1);
+    reg.counter("ola.dsp.inner_products").add(1);
+    dfg
+}
+
+/// A separable `k×k` 2-D convolution patch: horizontal kernel `h_c =
+/// dyadic_coeff(c)` inside each row, vertical kernel `v_r =
+/// dyadic_coeff(r+1)` across row results — `y = Σ_r v_r·(Σ_c
+/// h_c·x{r}_{c})`. In the fused flavour this is a MAC of MACs,
+/// exercising accumulation-window composition through two levels.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn conv2d_separable(k: usize, fusion: MacFusion, fmt: InputFmt) -> Dfg {
+    assert!(k > 0, "convolution needs a nonzero kernel");
+    let mut dfg = Dfg::new();
+    let h: Vec<Q> = (0..k).map(dyadic_coeff).collect();
+    let v: Vec<Q> = (0..k).map(|r| dyadic_coeff(r + 1)).collect();
+    let mut rows = Vec::with_capacity(k);
+    for r in 0..k {
+        let xs: Vec<NodeId> = (0..k).map(|c| dfg.input(&format!("x{r}_{c}"), fmt)).collect();
+        rows.push(inner_product(&mut dfg, &xs, &h, fusion));
+    }
+    let y = inner_product(&mut dfg, &rows, &v, fusion);
+    dfg.mark_output("y", y);
+    let reg = ola_core::obs::registry();
+    reg.counter("ola.dsp.conv2d_graphs").add(1);
+    reg.counter("ola.dsp.inner_products").add(1 + k as u64);
+    dfg
+}
+
+/// A small `rows×cols` constant-matrix mat-vec `y_r = Σ_k
+/// dyadic_coeff(r·cols + k)·x_k`, one output port per row.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+#[must_use]
+pub fn matvec(rows: usize, cols: usize, fusion: MacFusion, fmt: InputFmt) -> Dfg {
+    assert!(rows > 0 && cols > 0, "mat-vec needs a nonempty matrix");
+    let mut dfg = Dfg::new();
+    let xs: Vec<NodeId> = (0..cols).map(|k| dfg.input(&format!("x{k}"), fmt)).collect();
+    for r in 0..rows {
+        let cs: Vec<Q> = (0..cols).map(|k| dyadic_coeff(r * cols + k)).collect();
+        let y = inner_product(&mut dfg, &xs, &cs, fusion);
+        dfg.mark_output(&format!("y{r}"), y);
+    }
+    let reg = ola_core::obs::registry();
+    reg.counter("ola.dsp.matvec_graphs").add(1);
+    reg.counter("ola.dsp.inner_products").add(rows as u64);
+    dfg
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use ola_redundant::{BsVector, SdNumber};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn fmt(digits: usize) -> InputFmt {
+        InputFmt { msd_pos: 1, digits }
+    }
+
+    fn random_inputs(rng: &mut ChaCha8Rng, n: usize, digits: usize) -> Vec<Q> {
+        let m = (1i128 << digits) - 1;
+        (0..n).map(|_| Q::new(rng.gen_range(-m..=m), digits as u32)).collect()
+    }
+
+    #[test]
+    fn fused_and_unfused_flavours_agree_exactly() {
+        let digits = 4;
+        let cases: Vec<(Dfg, Dfg, usize)> = vec![
+            (
+                fir_bank(7, MacFusion::Fused, fmt(digits)),
+                fir_bank(7, MacFusion::Unfused, fmt(digits)),
+                7,
+            ),
+            (
+                conv2d_separable(3, MacFusion::Fused, fmt(digits)),
+                conv2d_separable(3, MacFusion::Unfused, fmt(digits)),
+                9,
+            ),
+            (
+                matvec(2, 4, MacFusion::Fused, fmt(digits)),
+                matvec(2, 4, MacFusion::Unfused, fmt(digits)),
+                4,
+            ),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        for (fused, unfused, n_in) in &cases {
+            for _ in 0..30 {
+                let ins = random_inputs(&mut rng, *n_in, 4);
+                assert_eq!(fused.eval_exact(&ins), unfused.eval_exact(&ins));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_online_evaluation_is_settled_exact() {
+        let digits = 5;
+        let dfg = conv2d_separable(2, MacFusion::Fused, fmt(digits));
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        for _ in 0..30 {
+            let qs = random_inputs(&mut rng, 4, digits);
+            let bs: Vec<BsVector> = qs
+                .iter()
+                .map(|&q| BsVector::from_sd(&SdNumber::from_value(q, digits).unwrap()))
+                .collect();
+            let exact = dfg.eval_exact(&qs);
+            let online: Vec<Q> = dfg.eval_online(&bs, 3).iter().map(BsVector::value).collect();
+            assert_eq!(online, exact, "fused MACs never digitize between terms");
+        }
+    }
+
+    #[test]
+    fn coefficient_schedule_is_dyadic_and_alternating() {
+        assert_eq!(dyadic_coeff(0), Q::pow2_neg(1));
+        assert_eq!(dyadic_coeff(1), -Q::pow2_neg(2));
+        assert_eq!(dyadic_coeff(2), Q::pow2_neg(3));
+        assert_eq!(dyadic_coeff(3), -Q::pow2_neg(1));
+    }
+
+    #[test]
+    fn matvec_has_one_output_per_row() {
+        let dfg = matvec(3, 2, MacFusion::Fused, fmt(3));
+        assert_eq!(dfg.outputs().len(), 3);
+        let ins = vec![Q::new(1, 3), Q::new(-2, 3)];
+        assert_eq!(dfg.eval_exact(&ins).len(), 3);
+    }
+}

@@ -23,7 +23,9 @@
 
 use crate::ir::{Dfg, Op};
 use ola_arith::synth::bits::{add_signed, encode_const, ripple_add, sign_extend};
-use ola_arith::synth::{array_multiplier_core, bs_add_gates, online_multiplier_core, BsSignals};
+use ola_arith::synth::{
+    array_multiplier_core, bs_add_gates, fused_mac_gates, online_multiplier_core, BsSignals,
+};
 use ola_netlist::sta::prune_dead;
 use ola_netlist::{NetId, Netlist};
 use ola_redundant::{BsVector, Q};
@@ -389,6 +391,18 @@ fn elaborate_online(dfg: &Dfg, opts: &ElabOptions) -> SynthesizedDatapath {
                 let xa = sigs[a.index()].clone();
                 mul_gates(&mut nl, &cs, &xa, t)
             }
+            Op::Mac(ref terms) => {
+                // Fused lowering: redundant accumulation end to end — no
+                // selection CPAs, no per-product digitization.
+                let pairs: Vec<(BsSignals, BsSignals)> = terms
+                    .iter()
+                    .map(|&(a, b)| (sigs[a.index()].clone(), sigs[b.index()].clone()))
+                    .collect();
+                let reg = ola_core::obs::registry();
+                reg.counter("ola.synth.mac.fused_lowered").add(1);
+                reg.counter("ola.synth.mac.terms").add(terms.len() as u64);
+                fused_mac_gates(&mut nl, &pairs)
+            }
         };
         debug_assert_eq!(
             (sig.msd_pos(), sig.len()),
@@ -517,6 +531,22 @@ fn elaborate_conventional(dfg: &Dfg, opts: &ElabOptions) -> SynthesizedDatapath 
                 let (ab, af) = (sigs[a.index()].bits.clone(), sigs[a.index()].frac);
                 mul_tc(&mut nl, &cb, frac, &ab, af)
             }
+            Op::Mac(ref terms) => {
+                // Conventional MAC: per-term Baugh–Wooley arrays into one
+                // balanced signed adder tree (exact, paper-style baseline).
+                let reg = ola_core::obs::registry();
+                reg.counter("ola.synth.mac.conventional_lowered").add(1);
+                reg.counter("ola.synth.mac.terms").add(terms.len() as u64);
+                let prods: Vec<TcSignal> = terms
+                    .iter()
+                    .map(|&(a, b)| {
+                        let (ab, af) = (sigs[a.index()].bits.clone(), sigs[a.index()].frac);
+                        let (bb, bf) = (sigs[b.index()].bits.clone(), sigs[b.index()].frac);
+                        mul_tc(&mut nl, &ab, af, &bb, bf)
+                    })
+                    .collect();
+                mac_tc_tree(&mut nl, prods)
+            }
         };
         debug_assert_eq!(
             (sig.bits.len(), sig.frac),
@@ -557,6 +587,29 @@ fn align(nl: &mut Netlist, a: &TcSignal, b: &TcSignal) -> (Vec<NetId>, Vec<NetId
         v
     };
     (pad(nl, a), pad(nl, b))
+}
+
+/// Folds conventional product signals with a balanced `chunks(2)` signed
+/// adder tree — the format walk of [`crate::ir`]'s `mac_tc_fold`, in
+/// gates.
+fn mac_tc_tree(nl: &mut Netlist, prods: Vec<TcSignal>) -> TcSignal {
+    let mut level = prods;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(x) = it.next() {
+            match it.next() {
+                Some(y) => {
+                    let (av, bv) = align(nl, &x, &y);
+                    let frac = x.frac.max(y.frac);
+                    next.push(TcSignal { bits: add_signed(nl, &av, &bv), frac });
+                }
+                None => next.push(x),
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("fused MAC needs at least one term")
 }
 
 /// Exact signed multiply: pad both operands to a common width `w ≤ 31`,
@@ -691,6 +744,97 @@ mod tests {
         let w = dfg.online_windows();
         let PortShape::Online { msd_pos, digits } = dp.outputs[0].shape else { panic!() };
         assert_eq!((msd_pos, digits), w[s.index()]);
+    }
+
+    fn mac_filter_dfg(digits: usize) -> Dfg {
+        let mut dfg = Dfg::new();
+        let fmt = InputFmt { msd_pos: 1, digits };
+        let a = dfg.input("a", fmt);
+        let b = dfg.input("b", fmt);
+        let c = dfg.input("c", fmt);
+        let q = dfg.constant(Q::new(1, 2));
+        let h = dfg.constant(Q::new(1, 1));
+        let y = dfg.mac(&[(a, q), (b, h), (c, q)]);
+        dfg.mark_output("y", y);
+        dfg
+    }
+
+    #[test]
+    fn mac_online_elaboration_is_bit_true_against_the_ir_reference() {
+        let digits = 4;
+        let dfg = mac_filter_dfg(digits);
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Online));
+        let wires = dp.output_wires();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..40 {
+            let ins: Vec<BsVector> = (0..3).map(|_| random_operand(&mut rng, digits)).collect();
+            let want = dfg.eval_online(&ins, 3);
+            let vals = dp.netlist.eval(&dp.encode_inputs_online(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            assert_eq!(dp.decode_output_bs(0, &bits), want[0], "inputs {ins:?}");
+        }
+    }
+
+    #[test]
+    fn mac_online_elaboration_is_settled_exact() {
+        // The fused accumulator never digitizes, so the settled value is
+        // the exact inner product — not just the online reference.
+        let digits = 5;
+        let dfg = mac_filter_dfg(digits);
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Online));
+        let wires = dp.output_wires();
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        for _ in 0..40 {
+            let ins: Vec<BsVector> = (0..3).map(|_| random_operand(&mut rng, digits)).collect();
+            let want = dfg.eval_exact(&[ins[0].value(), ins[1].value(), ins[2].value()]);
+            let vals = dp.netlist.eval(&dp.encode_inputs_online(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            assert_eq!(dp.decode_output(0, &bits), want[0], "inputs {ins:?}");
+        }
+    }
+
+    #[test]
+    fn mac_conventional_elaboration_is_exact_against_eval_exact() {
+        let digits = 4;
+        let dfg = mac_filter_dfg(digits);
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Conventional));
+        let wires = dp.output_wires();
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..40 {
+            let ins: Vec<Q> =
+                (0..3).map(|_| Q::new(rng.gen_range(-15i128..=15), digits as u32)).collect();
+            let want = dfg.eval_exact(&ins);
+            let vals = dp.netlist.eval(&dp.encode_inputs_tc(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            assert_eq!(dp.decode_output(0, &bits), want[0], "inputs {ins:?}");
+        }
+    }
+
+    #[test]
+    fn mac_of_variable_pairs_handles_mixed_formats() {
+        // Different MSD positions and widths exercise the accumulation
+        // window rule and the conventional alignment fold.
+        let mut dfg = Dfg::new();
+        let a = dfg.input("a", InputFmt { msd_pos: 0, digits: 4 });
+        let b = dfg.input("b", InputFmt { msd_pos: 2, digits: 3 });
+        let y = dfg.mac(&[(a, b), (b, b)]);
+        dfg.mark_output("y", y);
+
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Conventional));
+        let PortShape::Tc { width, frac } = dp.outputs[0].shape else { panic!() };
+        assert_eq!((width, frac), dfg.tc_formats()[y.index()]);
+        let wires = dp.output_wires();
+        for (av, bv) in [(7i128, 3i128), (-8, -4), (0, 3), (5, -2)] {
+            // a: msd 0, 4 digits → frac 3; b: msd 2, 3 digits → frac 4.
+            let ins = [Q::new(av, 3), Q::new(bv, 4)];
+            let vals = dp.netlist.eval(&dp.encode_inputs_tc(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            assert_eq!(dp.decode_output(0, &bits), ins[0] * ins[1] + ins[1] * ins[1]);
+        }
+
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Online));
+        let PortShape::Online { msd_pos, digits } = dp.outputs[0].shape else { panic!() };
+        assert_eq!((msd_pos, digits), dfg.online_windows()[y.index()]);
     }
 
     #[test]

@@ -99,14 +99,21 @@ pub struct DesignPoint {
     /// True if the point is on the Pareto frontier of
     /// (LUT area, rated period, mean error).
     pub pareto: bool,
+    /// Accumulation length (tap count) for fused-MAC sweeps
+    /// ([`explore_mac`]); [`None`] for plain [`explore`] rows.
+    pub mac_len: Option<usize>,
 }
 
 impl DesignPoint {
     /// Stable variant label for logs and CSV rows, e.g.
-    /// `online/tree/w8`.
+    /// `online/tree/w8`, or `online/tree/w8/k16` for MAC sweeps.
     #[must_use]
     pub fn label(&self) -> String {
-        format!("{}/{}/w{}", self.style.name(), self.allocation.name(), self.width)
+        let base = format!("{}/{}/w{}", self.style.name(), self.allocation.name(), self.width);
+        match self.mac_len {
+            Some(len) => format!("{base}/k{len}"),
+            None => base,
+        }
     }
 }
 
@@ -151,57 +158,58 @@ struct Variant {
     style: Style,
     allocation: AdderStructure,
     width: usize,
+    mac_len: Option<usize>,
     datapath: SynthesizedDatapath,
     area: AreaReport,
     critical: u64,
     rated_mhz: Option<f64>,
 }
 
-/// Enumerates and evaluates the design space of `dfg`.
-///
-/// # Panics
-///
-/// Panics if any axis of `cfg` is empty, `cfg.frac_digits < 3`,
-/// `cfg.ts_points == 0`, or `cfg.samples == 0`.
-#[must_use]
-pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
+/// Compiles one variant: [`optimize`] at `width` digits, elaborate in
+/// `style`, then STA and area.
+fn compile_variant(
+    dfg: &Dfg,
+    style: Style,
+    allocation: AdderStructure,
+    width: usize,
+    mac_len: Option<usize>,
+    frac_digits: i32,
+    delay: &FpgaDelay,
+) -> Variant {
+    let opt = optimize(&dfg.with_input_digits(width), allocation);
+    let opts = ElabOptions::new(style).with_frac_digits(frac_digits);
+    let datapath = elaborate(&opt, &opts);
+    let report = analyze(&datapath.netlist, delay);
+    let area = area::estimate(&datapath.netlist, 4);
+    Variant {
+        style,
+        allocation,
+        width,
+        mac_len,
+        area,
+        critical: report.critical_path(),
+        rated_mhz: report.rated_frequency(),
+        datapath,
+    }
+}
+
+fn check_axes(cfg: &ExploreConfig) {
     assert!(!cfg.widths.is_empty(), "need at least one width");
     assert!(!cfg.styles.is_empty(), "need at least one style");
     assert!(!cfg.allocations.is_empty(), "need at least one allocation");
     assert!(cfg.ts_points > 0, "need at least one Ts point");
     assert!(cfg.samples > 0, "need at least one sample");
-    let _span = ola_core::obs::span("synth.explore");
+}
+
+/// Phases 2–3 of the explorer: one shared absolute Ts grid spanning the
+/// worst rated period across *all* variants (so error curves are
+/// comparable), empirical overclocking error per variant, and Pareto
+/// marking.
+fn evaluate_variants(variants: &[Variant], cfg: &ExploreConfig) -> ExploreResult {
     let delay = FpgaDelay::default();
-
-    // Phase 1: compile every variant, collect STA + area.
-    let mut variants = Vec::new();
-    for &style in &cfg.styles {
-        for &allocation in &cfg.allocations {
-            for &width in &cfg.widths {
-                let opt = optimize(&dfg.with_input_digits(width), allocation);
-                let opts = ElabOptions::new(style).with_frac_digits(cfg.frac_digits);
-                let datapath = elaborate(&opt, &opts);
-                let report = analyze(&datapath.netlist, &delay);
-                let area = area::estimate(&datapath.netlist, 4);
-                variants.push(Variant {
-                    style,
-                    allocation,
-                    width,
-                    area,
-                    critical: report.critical_path(),
-                    rated_mhz: report.rated_frequency(),
-                    datapath,
-                });
-            }
-        }
-    }
-
-    // Phase 2: a shared absolute Ts grid spanning up to the worst rated
-    // period, so error curves are comparable across variants.
     let worst = variants.iter().map(|v| v.critical).max().unwrap_or(0).max(1);
     let grid = ts_grid(worst, cfg.ts_points);
 
-    // Phase 3: empirical overclocking error per variant.
     let mut points = Vec::with_capacity(variants.len());
     for (k, v) in variants.iter().enumerate() {
         let (mean_error, worst_violation_rate, certified_skipped) =
@@ -235,6 +243,7 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
             worst_violation_rate,
             certified_skipped,
             pareto: false,
+            mac_len: v.mac_len,
         });
     }
 
@@ -247,6 +256,88 @@ pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
         .add(points.iter().map(|p| p.certified_skipped).sum());
 
     ExploreResult { points, ts_grid: grid }
+}
+
+/// Enumerates and evaluates the design space of `dfg`.
+///
+/// # Panics
+///
+/// Panics if any axis of `cfg` is empty, `cfg.frac_digits < 3`,
+/// `cfg.ts_points == 0`, or `cfg.samples == 0`.
+#[must_use]
+pub fn explore(dfg: &Dfg, cfg: &ExploreConfig) -> ExploreResult {
+    check_axes(cfg);
+    let _span = ola_core::obs::span("synth.explore");
+    let delay = FpgaDelay::default();
+
+    // Phase 1: compile every variant, collect STA + area.
+    let mut variants = Vec::new();
+    for &style in &cfg.styles {
+        for &allocation in &cfg.allocations {
+            for &width in &cfg.widths {
+                variants.push(compile_variant(
+                    dfg,
+                    style,
+                    allocation,
+                    width,
+                    None,
+                    cfg.frac_digits,
+                    &delay,
+                ));
+            }
+        }
+    }
+    evaluate_variants(&variants, cfg)
+}
+
+/// Explores the fused-MAC design space: style × adder allocation × width
+/// × accumulation length, over the canonical FIR inner product
+/// ([`crate::dsp::fir_bank`], fused flavour) at each length in `lens`.
+///
+/// All lengths share one absolute Ts grid (spanning the worst rated
+/// period across the whole sweep), so the error axis is comparable both
+/// across widths *and* across accumulation depths — which is what makes
+/// the length axis an actual trade-off dimension rather than a family of
+/// incomparable frontiers. Rows carry
+/// [`mac_len`](DesignPoint::mac_len)` = Some(len)` and labels like
+/// `online/tree/w8/k16`.
+///
+/// # Panics
+///
+/// Panics if `lens` is empty or any axis of `cfg` is empty (as
+/// [`explore`]).
+#[must_use]
+pub fn explore_mac(cfg: &ExploreConfig, lens: &[usize]) -> ExploreResult {
+    check_axes(cfg);
+    assert!(!lens.is_empty(), "need at least one accumulation length");
+    let _span = ola_core::obs::span("synth.explore_mac");
+    let delay = FpgaDelay::default();
+
+    let mut variants = Vec::new();
+    for &len in lens {
+        let dfg = crate::dsp::fir_bank(
+            len,
+            crate::dsp::MacFusion::Fused,
+            crate::ir::InputFmt { msd_pos: 1, digits: cfg.widths[0] },
+        );
+        for &style in &cfg.styles {
+            for &allocation in &cfg.allocations {
+                for &width in &cfg.widths {
+                    variants.push(compile_variant(
+                        &dfg,
+                        style,
+                        allocation,
+                        width,
+                        Some(len),
+                        cfg.frac_digits,
+                        &delay,
+                    ));
+                }
+            }
+        }
+    }
+    ola_core::obs::registry().counter("ola.synth.mac.explored").add(variants.len() as u64);
+    evaluate_variants(&variants, cfg)
 }
 
 /// Runs the shared-engine empirical sweep for one synthesized variant:
@@ -415,12 +506,45 @@ mod tests {
             worst_violation_rate: 0.0,
             certified_skipped: 0,
             pareto: false,
+            mac_len: None,
         };
         let mut pts = vec![mk(10, 100, 0.5), mk(20, 200, 0.6), mk(5, 300, 0.1)];
         mark_pareto(&mut pts);
         assert!(pts[0].pareto);
         assert!(!pts[1].pareto, "dominated by the first point");
         assert!(pts[2].pareto);
+    }
+
+    #[test]
+    fn mac_exploration_sweeps_the_accumulation_axis() {
+        let cfg = ExploreConfig {
+            widths: vec![3],
+            allocations: vec![AdderStructure::BalancedTree],
+            ts_points: 4,
+            samples: 6,
+            ..ExploreConfig::default()
+        };
+        let res = explore_mac(&cfg, &[2, 4]);
+        // 2 lens × 2 styles × 1 allocation × 1 width.
+        assert_eq!(res.points.len(), 4);
+        for p in &res.points {
+            assert!(p.mac_len.is_some());
+            assert!(p.label().contains("/k"), "label {} carries the length", p.label());
+            assert!(p.rated_period.is_some());
+        }
+        // Deeper accumulation means strictly more logic at equal width.
+        let luts = |len: usize, style: Style| {
+            res.points
+                .iter()
+                .find(|p| p.mac_len == Some(len) && p.style == style)
+                .expect("row exists")
+                .area
+                .luts
+        };
+        for style in [Style::Online, Style::Conventional] {
+            assert!(luts(4, style) > luts(2, style));
+        }
+        assert!(!res.frontier().is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   elaborated netlist signal for signal, including the truncation error
 //!   of each online multiplier and non-canonical digit encodings.
 
-use ola_arith::online::{bittrue_mult_bits, bs_add, DELTA};
+use ola_arith::online::{bittrue_mult_bits, bs_add, fused_mac_bits, fused_mac_window, DELTA};
 use ola_redundant::{BsVector, SdNumber, Q};
 
 /// Handle to a node inside one [`Dfg`].
@@ -80,16 +80,22 @@ pub enum Op {
     /// Multiplication by an exact dyadic constant (canonical form for
     /// `Const × x`, produced by constant folding).
     ConstMul(Q, NodeId),
+    /// Fused multiply-accumulate: the inner product `Σ xₖ · yₖ` over the
+    /// term pairs, accumulated in redundant form (online style: no
+    /// per-product digitization, so the node is *exact*; conventional
+    /// style: per-term array multipliers into one signed adder tree).
+    Mac(Vec<(NodeId, NodeId)>),
 }
 
 impl Op {
     /// The operand nodes, in argument order.
     #[must_use]
     pub fn operands(&self) -> Vec<NodeId> {
-        match *self {
+        match self {
             Op::Input { .. } | Op::Const(_) => Vec::new(),
-            Op::Neg(a) | Op::ConstMul(_, a) => vec![a],
-            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => vec![a, b],
+            Op::Neg(a) | Op::ConstMul(_, a) => vec![*a],
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => vec![*a, *b],
+            Op::Mac(terms) => terms.iter().flat_map(|&(a, b)| [a, b]).collect(),
         }
     }
 }
@@ -155,6 +161,16 @@ impl Dfg {
     /// Adds `c · a` for a dyadic constant `c`.
     pub fn const_mul(&mut self, c: Q, a: NodeId) -> NodeId {
         self.push(Op::ConstMul(c, a))
+    }
+
+    /// Adds the fused inner product `Σ xₖ · yₖ` over `terms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn mac(&mut self, terms: &[(NodeId, NodeId)]) -> NodeId {
+        assert!(!terms.is_empty(), "fused MAC needs at least one term");
+        self.push(Op::Mac(terms.to_vec()))
     }
 
     /// Names `node` as an output.
@@ -255,6 +271,9 @@ impl Dfg {
                 Op::Neg(a) => -vals[a.0],
                 Op::Mul(a, b) => vals[a.0] * vals[b.0],
                 Op::ConstMul(c, a) => c * vals[a.0],
+                Op::Mac(ref terms) => {
+                    terms.iter().fold(Q::ZERO, |acc, &(a, b)| acc + vals[a.0] * vals[b.0])
+                }
             };
             vals.push(v);
         }
@@ -294,6 +313,15 @@ impl Dfg {
                 Op::Neg(a) => vals[a.0].negated(),
                 Op::Mul(a, b) => mul_online(&vals[a.0], &vals[b.0], frac_digits),
                 Op::ConstMul(c, a) => mul_online(&const_bs(c), &vals[a.0], frac_digits),
+                Op::Mac(ref terms) => {
+                    // Fused: redundant accumulation, no per-product
+                    // digitization — exact against `eval_exact`.
+                    let pairs: Vec<(BsVector, BsVector)> = terms
+                        .iter()
+                        .map(|&(a, b)| (vals[a.0].clone(), vals[b.0].clone()))
+                        .collect();
+                    fused_mac_bits(&pairs)
+                }
             };
             vals.push(v);
         }
@@ -327,6 +355,13 @@ impl Dfg {
                 Op::ConstMul(c, a) => {
                     let (sd, k) = const_sd(c);
                     mul_window((1 - k, sd.len()), w[a.0], delta)
+                }
+                Op::Mac(ref terms) => {
+                    // δ-composition under accumulation: replay the fused
+                    // row/fold window algebra structurally.
+                    let pairs: Vec<((i32, usize), (i32, usize))> =
+                        terms.iter().map(|&(a, b)| (w[a.0], w[b.0])).collect();
+                    fused_mac_window(&pairs)
                 }
             };
             w.push(win);
@@ -363,11 +398,51 @@ impl Dfg {
                     let (wa, fa) = f[a.0];
                     (2 * wc.max(wa), fc + fa)
                 }
+                Op::Mac(ref terms) => {
+                    // Per-term array-multiplier products folded by the
+                    // same balanced signed adder tree the conventional
+                    // lowering builds.
+                    let prods: Vec<(usize, i32)> = terms
+                        .iter()
+                        .map(|&(a, b)| {
+                            let (wa, fa) = f[a.0];
+                            let (wb, fb) = f[b.0];
+                            (2 * wa.max(wb), fa + fb)
+                        })
+                        .collect();
+                    mac_tc_fold(&prods)
+                }
             };
             f.push(fmt);
         }
         f
     }
+}
+
+/// The two's-complement format of a balanced `chunks(2)` signed adder
+/// tree over per-term product formats — the conventional MAC's format
+/// rule, applying the Add alignment (`frac = max`, aligned widths,
+/// `+1` carry bit) at every combine in exact tree order.
+pub(crate) fn mac_tc_fold(prods: &[(usize, i32)]) -> (usize, i32) {
+    let mut level = prods.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    let (wa, fa) = c[0];
+                    let (wb, fb) = c[1];
+                    let frac = fa.max(fb);
+                    let wa = wa + (frac - fa) as usize;
+                    let wb = wb + (frac - fb) as usize;
+                    (wa.max(wb) + 1, frac)
+                } else {
+                    c[0]
+                }
+            })
+            .collect();
+    }
+    level[0]
 }
 
 /// The window of a (normalized, padded) online multiplication of two
@@ -546,5 +621,70 @@ mod tests {
         let mut d = Dfg::new();
         let _ = d.input("a", InputFmt::default());
         let _ = d.input("a", InputFmt::default());
+    }
+
+    fn mac_dfg(n: usize) -> Dfg {
+        // y = mac((a, g0), (b, g1), (c, g2)) — the fused 1×3 filter.
+        let mut d = Dfg::new();
+        let fmt = InputFmt { msd_pos: 1, digits: n };
+        let a = d.input("a", fmt);
+        let b = d.input("b", fmt);
+        let c = d.input("c", fmt);
+        let g0 = d.constant(Q::new(1, 2));
+        let g1 = d.constant(Q::new(1, 1));
+        let g2 = d.constant(Q::new(1, 2));
+        let y = d.mac(&[(a, g0), (b, g1), (c, g2)]);
+        d.mark_output("y", y);
+        d
+    }
+
+    #[test]
+    fn mac_eval_online_is_exact_against_eval_exact() {
+        // The fused node never digitizes, so unlike Mul the online
+        // reference carries zero truncation error.
+        let d = mac_dfg(4);
+        let windows = d.online_windows();
+        let out_node = d.outputs()[0].1;
+        let q = |v: i128| Q::new(v, 4);
+        for ins in [[q(3), q(-5), q(7)], [q(15), q(15), q(-15)], [q(0), q(1), q(-1)]] {
+            let bs: Vec<BsVector> = ins
+                .iter()
+                .map(|&v| BsVector::from_sd(&SdNumber::from_value(v, 4).unwrap()))
+                .collect();
+            let got = d.eval_online(&bs, 3);
+            let exact = d.eval_exact(&ins);
+            assert_eq!(got[0].value(), exact[0], "ins={ins:?}");
+            assert_eq!((got[0].msd_pos(), got[0].len()), windows[out_node.index()]);
+        }
+    }
+
+    #[test]
+    fn mac_formats_cover_the_value_range() {
+        let d = mac_dfg(4);
+        let y = d.outputs()[0].1;
+        let (w, frac) = d.tc_formats()[y.index()];
+        // |y| ≤ 3 · 1 · 1/2... conservatively the format must hold the
+        // exact value of any input assignment; spot-check the extremes.
+        let q = |v: i128| Q::new(v, 4);
+        let ext = d.eval_exact(&[q(15), q(-15), q(15)])[0];
+        let units = (ext << frac as u32).scaled_to(0).expect("integral at frac scale");
+        assert!(units >= -(1i128 << (w - 1)) && units < (1i128 << (w - 1)));
+    }
+
+    #[test]
+    fn mac_operands_flatten_in_term_order() {
+        let d = mac_dfg(4);
+        let y = d.outputs()[0].1;
+        let ops = d.op(y).operands();
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops[0].index(), 0);
+        assert_eq!(ops[1].index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_mac_is_rejected() {
+        let mut d = Dfg::new();
+        let _ = d.mac(&[]);
     }
 }

@@ -26,14 +26,19 @@
 //!    operator cores from [`ola_arith::synth`] with correct online-delay
 //!    (δ) bookkeeping across operator boundaries.
 //! 5. **Explorer** ([`mod@explore`]): enumerates style × adder allocation ×
-//!    width variants and evaluates each with STA rated frequency, LUT area,
-//!    and empirical overclocking-error curves, emitting a Pareto frontier.
+//!    width variants (plus accumulation length for fused-MAC sweeps) and
+//!    evaluates each with STA rated frequency, LUT area, and empirical
+//!    overclocking-error curves, emitting a Pareto frontier.
 //! 6. **Verifier** ([`mod@verify`], [`absint`]): prove-after-rewrite
 //!    equivalence gates over every semantics-preserving pass (backed by
 //!    [`ola_netlist::equiv`]) and an abstract interpreter deriving sound
 //!    per-`Ts` error bounds that bracket the explorer's measured curves.
+//! 7. **DSP workloads** ([`dsp`]): deterministic FIR / separable-conv2d /
+//!    mat-vec kernel generators in fused-MAC and unfused multiply/add-tree
+//!    flavours, feeding the `repro dsp` experiment.
 
 pub mod absint;
+pub mod dsp;
 pub mod elab;
 pub mod explore;
 pub mod ir;
@@ -43,9 +48,10 @@ pub mod service;
 pub mod verify;
 
 pub use absint::{interpret, sampling_bounds, AbsintReport, SamplingBounds, ValueForm};
+pub use dsp::{conv2d_separable, dyadic_coeff, fir_bank, matvec, MacFusion};
 pub use elab::{elaborate, ElabOptions, Port, PortShape, Style, SynthesizedDatapath};
 pub use explore::{
-    explore, ts_grid, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult,
+    explore, explore_mac, ts_grid, variant_error_curve, DesignPoint, ExploreConfig, ExploreResult,
 };
 pub use ir::{Dfg, InputFmt, NodeId, Op};
 pub use parser::{parse_dfg, ParseError};

@@ -56,6 +56,11 @@ fn copy_op(out: &mut Dfg, map: &[NodeId], op: &Op) -> NodeId {
         Op::Neg(a) => out.neg(map[a.index()]),
         Op::Mul(a, b) => out.mul(map[a.index()], map[b.index()]),
         Op::ConstMul(c, a) => out.const_mul(c, map[a.index()]),
+        Op::Mac(ref terms) => {
+            let mapped: Vec<(NodeId, NodeId)> =
+                terms.iter().map(|&(a, b)| (map[a.index()], map[b.index()])).collect();
+            out.mac(&mapped)
+        }
     }
 }
 
@@ -150,6 +155,40 @@ pub fn constant_fold(dfg: &Dfg) -> Dfg {
                     fold_const_mul(&mut out, c, map[a.index()])
                 }
             }
+            Op::Mac(ref terms) => {
+                // All-constant terms fold into one exact addend; terms
+                // with a zero factor vanish. The accumulation order of
+                // the surviving terms is preserved.
+                let mut csum = Q::ZERO;
+                let mut dropped = false;
+                let mut kept: Vec<(NodeId, NodeId)> = Vec::new();
+                for &(a, b) in terms {
+                    match (cof(&map, &cv, a), cof(&map, &cv, b)) {
+                        (Some(x), Some(y)) => {
+                            dropped = true;
+                            csum += x * y;
+                        }
+                        (Some(x), None) if x.is_zero() => dropped = true,
+                        (None, Some(y)) if y.is_zero() => dropped = true,
+                        _ => kept.push((map[a.index()], map[b.index()])),
+                    }
+                }
+                if kept.is_empty() {
+                    folded += 1;
+                    out.constant(csum)
+                } else {
+                    if dropped {
+                        folded += 1;
+                    }
+                    let m = out.mac(&kept);
+                    if csum.is_zero() {
+                        m
+                    } else {
+                        let c = out.constant(csum);
+                        out.add(m, c)
+                    }
+                }
+            }
         };
         if let Op::Const(c) = *out.op(new) {
             cv.insert(new, c);
@@ -187,6 +226,7 @@ enum Key {
     Neg(NodeId),
     Mul(NodeId, NodeId),
     ConstMul(i128, u32, NodeId),
+    Mac(Vec<(NodeId, NodeId)>),
 }
 
 /// Common-subexpression elimination: structurally identical non-input
@@ -213,6 +253,12 @@ pub fn cse(dfg: &Dfg) -> Dfg {
                 Some(Key::Mul(x, y))
             }
             Op::ConstMul(c, a) => Some(Key::ConstMul(c.numerator(), c.scale(), map[a.index()])),
+            // Each factor pair is order-blind (x·y = y·x, and the fused
+            // window algebra is symmetric per term); the accumulation
+            // order of terms is structural and kept.
+            Op::Mac(ref terms) => Some(Key::Mac(
+                terms.iter().map(|&(a, b)| commute(map[a.index()], map[b.index()])).collect(),
+            )),
         };
         let new = match key {
             Some(k) => {
@@ -582,6 +628,64 @@ mod tests {
         let y_node = r.outputs().iter().find(|(n, _)| n == "y").unwrap().1;
         assert!(matches!(r.op(t_node), Op::Add(..)));
         assert!(matches!(r.op(y_node), Op::Add(..)));
+    }
+
+    #[test]
+    fn mac_terms_fold_and_vanish() {
+        // (a, 0.5) stays; (0.25, 0.5) folds to a constant addend;
+        // (b, 0) vanishes.
+        let mut d = Dfg::new();
+        let a = d.input("a", fmt(4));
+        let b = d.input("b", fmt(4));
+        let half = d.constant(Q::new(1, 1));
+        let quarter = d.constant(Q::new(1, 2));
+        let zero = d.constant(Q::ZERO);
+        let m = d.mac(&[(a, half), (quarter, half), (b, zero)]);
+        d.mark_output("y", m);
+        let f = eliminate_dead(&constant_fold(&d));
+        assert_equivalent(&d, &f);
+        let macs: Vec<_> = f
+            .nodes()
+            .filter_map(|(_, op)| match op {
+                Op::Mac(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(macs.len(), 1);
+        assert_eq!(macs[0].len(), 1, "only the live term survives: {f:?}");
+        // The folded constant product re-enters through an Add.
+        assert!(f.nodes().any(|(_, op)| matches!(op, Op::Add(..))));
+    }
+
+    #[test]
+    fn all_constant_mac_folds_to_a_constant() {
+        let mut d = Dfg::new();
+        let h = d.constant(Q::new(1, 1));
+        let q = d.constant(Q::new(1, 2));
+        let m = d.mac(&[(h, q), (q, q)]);
+        d.mark_output("y", m);
+        let f = eliminate_dead(&constant_fold(&d));
+        assert_eq!(
+            f.eval_exact(&[]),
+            vec![Q::new(1, 2) * Q::new(1, 1) + Q::new(1, 2) * Q::new(1, 2)]
+        );
+        assert!(f.nodes().all(|(_, op)| matches!(op, Op::Const(_))), "{f:?}");
+    }
+
+    #[test]
+    fn cse_merges_macs_with_commuted_factor_pairs() {
+        let mut d = Dfg::new();
+        let a = d.input("a", fmt(4));
+        let b = d.input("b", fmt(4));
+        let c = d.input("c", fmt(4));
+        let m1 = d.mac(&[(a, b), (b, c)]);
+        let m2 = d.mac(&[(b, a), (c, b)]); // factor pairs commuted
+        let s = d.add(m1, m2);
+        d.mark_output("y", s);
+        let r = cse(&d);
+        assert_equivalent(&d, &r);
+        let macs = r.nodes().filter(|(_, op)| matches!(op, Op::Mac(_))).count();
+        assert_eq!(macs, 1, "commuted-pair duplicate merged: {r:?}");
     }
 
     #[test]

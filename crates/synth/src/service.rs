@@ -1,7 +1,7 @@
 //! Typed query entry points for the `ola-serve` analysis service.
 //!
 //! A [`Query`] is the service's unit of work: a datapath written in the
-//! expression language plus the analysis to run on it. Five analyses are
+//! expression language plus the analysis to run on it. Six analyses are
 //! served, mirroring the CLI surfaces:
 //!
 //! * **pareto** — the full design-space exploration ([`explore`]):
@@ -17,7 +17,11 @@
 //!   pipeline is *proved* value-preserving via the staged equivalence
 //!   checker ([`crate::verify`]), and the abstract interpreter
 //!   ([`crate::absint`]) reports sound settled and per-`Ts` sampling
-//!   error bounds.
+//!   error bounds;
+//! * **dsp** — a named DSP kernel ([`crate::dsp`]: FIR bank, separable
+//!   conv2d, mat-vec) compiled in *both* MAC fusion flavours, reporting
+//!   area and rated timing for each plus the overclocking error curve of
+//!   the requested flavour. Takes no `expr` — the kernel is generated.
 //!
 //! Queries are **canonicalizable**: [`Query::canonical`] renders a fully
 //! defaulted, field-ordered JSON form, and [`Query::cache_key`] is the
@@ -34,6 +38,7 @@
 //! violations surface as [`QueryError::BadRequest`] before any compute
 //! runs.
 
+use crate::dsp::MacFusion;
 use crate::elab::{elaborate, ElabOptions, Style, SynthesizedDatapath};
 use crate::explore::{explore, variant_error_curve, ExploreConfig};
 use crate::parser::parse_dfg;
@@ -66,6 +71,9 @@ pub struct Limits {
     pub max_ts_points: usize,
     /// Largest accepted sample count.
     pub max_samples: usize,
+    /// Largest accepted DSP kernel dimension (FIR taps, conv2d edge,
+    /// mat-vec rows/columns).
+    pub max_kernel: usize,
 }
 
 impl Default for Limits {
@@ -76,6 +84,7 @@ impl Default for Limits {
             max_widths: 4,
             max_ts_points: 64,
             max_samples: 4096,
+            max_kernel: 32,
         }
     }
 }
@@ -195,6 +204,36 @@ pub enum Query {
         /// Ts-grid size for the sampling-bound sweep.
         ts_points: usize,
     },
+    /// DSP kernel analysis: a generated kernel compiled in both MAC
+    /// fusion flavours, with the requested flavour's error curve.
+    Dsp {
+        /// Kernel family: `fir`, `conv2d`, or `matvec`.
+        kernel: String,
+        /// Kernel size: FIR taps / conv2d kernel edge / mat-vec columns.
+        size: usize,
+        /// Mat-vec row count (ignored by `fir` and `conv2d`).
+        rows: usize,
+        /// Fusion flavour whose overclocking curve is swept.
+        fusion: MacFusion,
+        /// Most significant digit position of the inputs.
+        msd_pos: i32,
+        /// Input digit width.
+        width: usize,
+        /// Arithmetic style.
+        style: Style,
+        /// Adder allocation.
+        allocation: AdderStructure,
+        /// Online selection granularity.
+        frac_digits: i32,
+        /// Ts-grid size.
+        ts_points: usize,
+        /// Samples per Ts point.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Simulation backend.
+        backend: SimBackend,
+    },
 }
 
 fn field_u64(obj: &JsonValue, key: &str, default: u64) -> Result<u64, QueryError> {
@@ -242,6 +281,14 @@ fn parse_backend(name: &str) -> Result<SimBackend, QueryError> {
         .ok_or_else(|| bad(format!("unknown backend {name:?} (want auto|event|batch)")))
 }
 
+fn parse_fusion(name: &str) -> Result<MacFusion, QueryError> {
+    match name {
+        "fused" => Ok(MacFusion::Fused),
+        "unfused" => Ok(MacFusion::Unfused),
+        other => Err(bad(format!("unknown fusion {other:?} (want fused|unfused)"))),
+    }
+}
+
 impl Query {
     /// Parses and validates a wire-format JSON request body under
     /// `limits`. Unknown `kind`s, malformed fields, and limit violations
@@ -258,10 +305,12 @@ impl Query {
             .get("kind")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| bad("missing string field \"kind\""))?;
-        let expr = body
-            .get("expr")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| bad("missing string field \"expr\""))?;
+        // The dsp kind generates its datapath; every other kind states one.
+        let expr = match body.get("expr") {
+            None if kind == "dsp" => "",
+            None => return Err(bad("missing string field \"expr\"")),
+            Some(v) => v.as_str().ok_or_else(|| bad("field \"expr\" must be a string"))?,
+        };
         if expr.len() > limits.max_expr_len {
             return Err(bad(format!(
                 "expr too long ({} > {} bytes)",
@@ -348,8 +397,37 @@ impl Query {
             "sta" => Ok(Query::Sta { spec: spec(body)?, ts_points }),
             "lint" => Ok(Query::Lint { spec: spec(body)? }),
             "verify" => Ok(Query::Verify { spec: spec(body)?, ts_points }),
+            "dsp" => {
+                let kernel = field_str(body, "kernel", "fir")?;
+                if !matches!(kernel, "fir" | "conv2d" | "matvec") {
+                    return Err(bad(format!("unknown kernel {kernel:?} (want fir|conv2d|matvec)")));
+                }
+                let dim = |key: &str, default: u64| -> Result<usize, QueryError> {
+                    let v = usize::try_from(field_u64(body, key, default)?)
+                        .map_err(|_| bad(format!("{key} out of range")))?;
+                    if v == 0 || v > limits.max_kernel {
+                        return Err(bad(format!("{key} must be in 1..={}", limits.max_kernel)));
+                    }
+                    Ok(v)
+                };
+                Ok(Query::Dsp {
+                    kernel: kernel.to_owned(),
+                    size: dim("size", 4)?,
+                    rows: dim("rows", 2)?,
+                    fusion: parse_fusion(field_str(body, "fusion", "fused")?)?,
+                    msd_pos,
+                    width: width_field(4)?,
+                    style: parse_style(field_str(body, "style", "online")?)?,
+                    allocation: parse_allocation(field_str(body, "allocation", "tree")?)?,
+                    frac_digits,
+                    ts_points,
+                    samples,
+                    seed,
+                    backend,
+                })
+            }
             other => {
-                Err(bad(format!("unknown kind {other:?} (want pareto|sweep|sta|lint|verify)")))
+                Err(bad(format!("unknown kind {other:?} (want pareto|sweep|sta|lint|verify|dsp)")))
             }
         }
     }
@@ -363,6 +441,7 @@ impl Query {
             Query::Sta { .. } => "sta",
             Query::Lint { .. } => "lint",
             Query::Verify { .. } => "verify",
+            Query::Dsp { .. } => "dsp",
         }
     }
 
@@ -414,6 +493,35 @@ impl Query {
             Query::Verify { spec, ts_points } => {
                 fields.extend(spec.canonical_fields());
                 fields.push(("ts_points".into(), JsonValue::U64(*ts_points as u64)));
+            }
+            Query::Dsp {
+                kernel,
+                size,
+                rows,
+                fusion,
+                msd_pos,
+                width,
+                style,
+                allocation,
+                frac_digits,
+                ts_points,
+                samples,
+                seed,
+                backend,
+            } => {
+                fields.push(("kernel".into(), JsonValue::str(kernel)));
+                fields.push(("size".into(), JsonValue::U64(*size as u64)));
+                fields.push(("rows".into(), JsonValue::U64(*rows as u64)));
+                fields.push(("fusion".into(), JsonValue::str(fusion.name())));
+                fields.push(("msd_pos".into(), JsonValue::int(i64::from(*msd_pos))));
+                fields.push(("width".into(), JsonValue::U64(*width as u64)));
+                fields.push(("style".into(), JsonValue::str(style.name())));
+                fields.push(("allocation".into(), JsonValue::str(allocation.name())));
+                fields.push(("frac_digits".into(), JsonValue::int(i64::from(*frac_digits))));
+                fields.push(("ts_points".into(), JsonValue::U64(*ts_points as u64)));
+                fields.push(("samples".into(), JsonValue::U64(*samples as u64)));
+                fields.push(("seed".into(), JsonValue::U64(*seed)));
+                fields.push(("backend".into(), JsonValue::str(backend.label())));
             }
         }
         JsonValue::Object(fields)
@@ -658,6 +766,88 @@ impl Query {
                     ("error_bound".into(), JsonValue::Array(per_ts)),
                 ]))
             }
+            Query::Dsp {
+                kernel,
+                size,
+                rows,
+                fusion,
+                msd_pos,
+                width,
+                style,
+                allocation,
+                frac_digits,
+                ts_points,
+                samples,
+                seed,
+                backend,
+            } => {
+                let fmt = InputFmt { msd_pos: *msd_pos, digits: *width };
+                let build = |f: MacFusion| match kernel.as_str() {
+                    "fir" => crate::dsp::fir_bank(*size, f, fmt),
+                    "conv2d" => crate::dsp::conv2d_separable(*size, f, fmt),
+                    "matvec" => crate::dsp::matvec(*rows, *size, f, fmt),
+                    other => unreachable!("kernel {other:?} validated at parse"),
+                };
+                let delay = FpgaDelay::default();
+                let compile = |f: MacFusion| {
+                    let opt = optimize(&build(f), *allocation);
+                    let opts = ElabOptions::new(*style).with_frac_digits(*frac_digits);
+                    elaborate(&opt, &opts)
+                };
+                // Both flavours are reported so the fused-vs-unfused
+                // contrast is one query away; the curve runs on the
+                // requested flavour only.
+                let flavour_doc = |dp: &SynthesizedDatapath| {
+                    let report = analyze(&dp.netlist, &delay);
+                    JsonValue::Object(vec![
+                        (
+                            "luts".into(),
+                            JsonValue::U64(ola_netlist::area::estimate(&dp.netlist, 4).luts as u64),
+                        ),
+                        ("critical_path".into(), JsonValue::U64(report.critical_path())),
+                        (
+                            "rated_mhz".into(),
+                            report.rated_frequency().map_or(JsonValue::Null, JsonValue::F64),
+                        ),
+                    ])
+                };
+                let fused_dp = compile(MacFusion::Fused);
+                let unfused_dp = compile(MacFusion::Unfused);
+                let swept = match fusion {
+                    MacFusion::Fused => &fused_dp,
+                    MacFusion::Unfused => &unfused_dp,
+                };
+                let critical = analyze(&swept.netlist, &delay).critical_path().max(1);
+                let ts_grid = crate::explore::ts_grid(critical, *ts_points);
+                let (curve, stats) =
+                    variant_error_curve(swept, &delay, &ts_grid, *samples, *seed, *backend);
+                ola_core::obs::registry().counter("ola.dsp.service_queries").add(1);
+                Ok(JsonValue::Object(vec![
+                    ("kind".into(), JsonValue::str("dsp")),
+                    ("kernel".into(), JsonValue::str(kernel)),
+                    ("size".into(), JsonValue::U64(*size as u64)),
+                    ("fusion".into(), JsonValue::str(fusion.name())),
+                    ("fused".into(), flavour_doc(&fused_dp)),
+                    ("unfused".into(), flavour_doc(&unfused_dp)),
+                    (
+                        "ts".into(),
+                        JsonValue::Array(curve.ts.iter().map(|&t| JsonValue::U64(t)).collect()),
+                    ),
+                    (
+                        "mean_abs_error".into(),
+                        JsonValue::Array(
+                            curve.mean_abs_error.iter().map(|&e| JsonValue::F64(e)).collect(),
+                        ),
+                    ),
+                    (
+                        "violation_rate".into(),
+                        JsonValue::Array(
+                            curve.violation_rate.iter().map(|&v| JsonValue::F64(v)).collect(),
+                        ),
+                    ),
+                    ("sta_skipped_points".into(), JsonValue::U64(stats.sta_skipped_points)),
+                ]))
+            }
         }
     }
 }
@@ -796,6 +986,57 @@ mod tests {
             parse_query(&format!(r#"{{"kind":"sta","expr":"{EXPR}","width":3,"ts_points":4}}"#))
                 .unwrap();
         assert_ne!(q.cache_key(), sta.cache_key());
+    }
+
+    #[test]
+    fn dsp_query_needs_no_expr_and_reports_both_fusion_flavours() {
+        let q = parse_query(
+            r#"{"kind":"dsp","kernel":"fir","size":4,"width":3,"ts_points":4,"samples":6}"#,
+        )
+        .unwrap();
+        let a = q.run().unwrap().render();
+        assert_eq!(a, q.run().unwrap().render(), "dsp results are deterministic");
+        let doc = json::parse(&a).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("dsp"));
+        let fused = doc.get("fused").unwrap();
+        let unfused = doc.get("unfused").unwrap();
+        let cp = |d: &JsonValue| d.get("critical_path").unwrap().as_u64().unwrap();
+        assert!(cp(fused) > 0 && cp(unfused) > 0);
+        // The fused online accumulator has no selection chains: shorter
+        // settled latency than the tree of online multipliers.
+        assert!(cp(fused) < cp(unfused), "fused {} vs unfused {}", cp(fused), cp(unfused));
+        assert_eq!(doc.get("ts").unwrap().as_array().unwrap().len(), 4);
+
+        // Fusion selection changes the cache key.
+        let uq = parse_query(
+            r#"{"kind":"dsp","kernel":"fir","size":4,"width":3,"ts_points":4,"samples":6,
+               "fusion":"unfused"}"#,
+        )
+        .unwrap();
+        assert_ne!(q.cache_key(), uq.cache_key());
+    }
+
+    #[test]
+    fn dsp_query_validates_kernel_and_dimensions() {
+        for (body, why) in [
+            (r#"{"kind":"dsp","kernel":"fft"}"#, "unknown kernel"),
+            (r#"{"kind":"dsp","size":0}"#, "zero size"),
+            (r#"{"kind":"dsp","size":4096}"#, "size over limit"),
+            (r#"{"kind":"dsp","kernel":"matvec","rows":0}"#, "zero rows"),
+            (r#"{"kind":"dsp","fusion":"partial"}"#, "unknown fusion"),
+            (r#"{"kind":"sweep"}"#, "non-dsp kinds still require expr"),
+        ] {
+            assert!(parse_query(body).is_err(), "must reject: {why}");
+        }
+        // All three kernels parse and run at small sizes.
+        for kernel in ["fir", "conv2d", "matvec"] {
+            let q = parse_query(&format!(
+                r#"{{"kind":"dsp","kernel":"{kernel}","size":2,"width":2,"ts_points":3,"samples":4}}"#
+            ))
+            .unwrap();
+            assert_eq!(q.kind(), "dsp");
+            assert!(q.run().is_ok(), "{kernel} runs");
+        }
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub fn conventional_caps_ok(dfg: &Dfg) -> bool {
             let (wc, _) = crate::ir::const_tc_format(*c);
             wc <= 63 && wc.max(formats[a.index()].0) <= 31
         }
+        Op::Mac(terms) => {
+            terms.iter().all(|&(a, b)| formats[a.index()].0.max(formats[b.index()].0) <= 31)
+        }
         _ => true,
     })
 }

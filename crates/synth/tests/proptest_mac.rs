@@ -1,0 +1,289 @@
+//! Property-based tests for the fused online MAC subsystem: random
+//! inner-product DAGs (random accumulation lengths, operand widths, and
+//! fixed-point positions, including MACs of MACs) must survive every
+//! pass and both elaborations bit-true against the reference evaluators,
+//! and the fused MAC netlist must be provably equivalent to the
+//! tree-of-multiplies netlist at settlement via the staged equivalence
+//! checker.
+
+use ola_redundant::{BsVector, Q};
+use ola_synth::{
+    allocate_adders, constant_fold, cse, elaborate, eliminate_dead, optimize,
+    prove_pass_equivalence, AdderStructure, Dfg, ElabOptions, InputFmt, NodeId, Style,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A bounded random inner-product DAG: input formats, raw operand draws
+/// for each MAC term (taken modulo the pool size, so every spec is valid
+/// by construction), an optional second accumulation level, and the
+/// value-draw seed.
+#[derive(Clone, Debug)]
+struct MacSpec {
+    inputs: Vec<InputFmt>,
+    terms: Vec<(usize, usize)>,
+    outer_terms: Vec<(usize, usize)>,
+    consts: Vec<(i128, u32)>,
+    seed: u64,
+    frac: i32,
+}
+
+fn fmt_strategy() -> impl Strategy<Value = InputFmt> {
+    (-1i32..=2, 2usize..=4).prop_map(|(msd_pos, digits)| InputFmt { msd_pos, digits })
+}
+
+fn mac_strategy() -> impl Strategy<Value = MacSpec> {
+    (
+        prop::collection::vec(fmt_strategy(), 1..=3),
+        prop::collection::vec((0usize..64, 0usize..64), 1..=5),
+        prop::collection::vec((0usize..64, 0usize..64), 0..=2),
+        prop::collection::vec((-9i128..=9, 0u32..=3), 0..=2),
+        any::<u64>(),
+        3i32..=5,
+    )
+        .prop_map(|(inputs, terms, outer_terms, consts, seed, frac)| MacSpec {
+            inputs,
+            terms,
+            outer_terms,
+            consts,
+            seed,
+            frac,
+        })
+}
+
+fn tc_width(d: &Dfg, id: NodeId) -> usize {
+    d.tc_formats()[id.index()].0
+}
+
+/// Builds the fused graph: a MAC over a random operand pool (inputs plus
+/// a few constants), optionally accumulated again by a second MAC level
+/// when the widths leave room under the conventional array cap.
+fn build_fused(spec: &MacSpec) -> Dfg {
+    let mut d = Dfg::new();
+    let mut pool: Vec<NodeId> =
+        spec.inputs.iter().enumerate().map(|(i, &fmt)| d.input(&format!("x{i}"), fmt)).collect();
+    for &(num, scale) in &spec.consts {
+        pool.push(d.constant(Q::new(num, scale)));
+    }
+    let pick =
+        |pool: &[NodeId], raw: (usize, usize)| (pool[raw.0 % pool.len()], pool[raw.1 % pool.len()]);
+    let terms: Vec<(NodeId, NodeId)> = spec.terms.iter().map(|&t| pick(&pool, t)).collect();
+    let m = d.mac(&terms);
+    let out = if spec.outer_terms.is_empty() {
+        m
+    } else {
+        pool.push(m);
+        let outer: Vec<(NodeId, NodeId)> = spec
+            .outer_terms
+            .iter()
+            .map(|&t| pick(&pool, t))
+            .filter(|&(a, b)| tc_width(&d, a).max(tc_width(&d, b)) <= 14)
+            .collect();
+        if outer.is_empty() {
+            m
+        } else {
+            let m2 = d.mac(&outer);
+            d.add(m, m2)
+        }
+    };
+    d.mark_output("y", out);
+    d
+}
+
+/// Builds the *unfused* counterpart of the same computation: every MAC
+/// term becomes one `Mul` node and the products fold through a balanced
+/// `Add` tree, in the same accumulation order.
+fn build_unfused(spec: &MacSpec) -> Dfg {
+    let mut d = Dfg::new();
+    let mut pool: Vec<NodeId> =
+        spec.inputs.iter().enumerate().map(|(i, &fmt)| d.input(&format!("x{i}"), fmt)).collect();
+    for &(num, scale) in &spec.consts {
+        pool.push(d.constant(Q::new(num, scale)));
+    }
+    let pick =
+        |pool: &[NodeId], raw: (usize, usize)| (pool[raw.0 % pool.len()], pool[raw.1 % pool.len()]);
+    let tree = |d: &mut Dfg, mut terms: Vec<NodeId>| -> NodeId {
+        while terms.len() > 1 {
+            let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+            let mut it = terms.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(d.add(a, b)),
+                    None => next.push(a),
+                }
+            }
+            terms = next;
+        }
+        terms[0]
+    };
+    let prods: Vec<NodeId> = spec
+        .terms
+        .iter()
+        .map(|&t| {
+            let (a, b) = pick(&pool, t);
+            d.mul(a, b)
+        })
+        .collect();
+    let m = tree(&mut d, prods);
+    let out = if spec.outer_terms.is_empty() {
+        m
+    } else {
+        pool.push(m);
+        // Mirror build_fused's width guard against the same pool widths.
+        let outer: Vec<(NodeId, NodeId)> = spec
+            .outer_terms
+            .iter()
+            .map(|&t| pick(&pool, t))
+            .filter(|&(a, b)| tc_width(&d, a).max(tc_width(&d, b)) <= 14)
+            .collect();
+        if outer.is_empty() {
+            m
+        } else {
+            let prods2: Vec<NodeId> = outer.iter().map(|&(a, b)| d.mul(a, b)).collect();
+            let m2 = tree(&mut d, prods2);
+            d.add(m, m2)
+        }
+    };
+    d.mark_output("y", out);
+    d
+}
+
+fn random_tc_inputs(d: &Dfg, rng: &mut ChaCha8Rng) -> Vec<Q> {
+    d.inputs()
+        .iter()
+        .map(|&(_, _, fmt)| {
+            let frac = fmt.msd_pos + fmt.digits as i32 - 1;
+            let bound = 1i128 << fmt.digits;
+            let units = rng.gen_range(-bound..bound);
+            if frac >= 0 {
+                Q::new(units, frac as u32)
+            } else {
+                Q::new(units, 0) << (-frac) as u32
+            }
+        })
+        .collect()
+}
+
+/// Raw `(p, n)` digit draws, so non-canonical encodings (including the
+/// `(1, 1)` zero) flow through every prefix window of the fused MAC.
+fn random_online_inputs(d: &Dfg, rng: &mut ChaCha8Rng) -> Vec<BsVector> {
+    d.inputs()
+        .iter()
+        .map(|&(_, _, fmt)| {
+            let mut v = BsVector::zero(fmt.msd_pos, fmt.digits);
+            for i in 0..fmt.digits {
+                v.set_bits(fmt.msd_pos + i as i32, rng.gen(), rng.gen());
+            }
+            v
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random inner-product DAGs lower conventionally to exactly the
+    /// IR's rational semantics.
+    #[test]
+    fn mac_dags_lower_conventionally_to_exact_semantics(spec in mac_strategy()) {
+        let dfg = build_fused(&spec);
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Conventional));
+        let wires = dp.output_wires();
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        for _ in 0..4 {
+            let ins = random_tc_inputs(&dfg, &mut rng);
+            let want = dfg.eval_exact(&ins);
+            let vals = dp.netlist.eval(&dp.encode_inputs_tc(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            prop_assert_eq!(&dp.decode_output(0, &bits), &want[0], "inputs {:?}", ins);
+        }
+    }
+
+    /// Random inner-product DAGs lower online bit-true against
+    /// `eval_online`, digit plane for digit plane — and, because the
+    /// fused accumulator never digitizes, the settled *value* equals the
+    /// exact semantics too.
+    #[test]
+    fn mac_dags_lower_online_bit_true_and_settled_exact(spec in mac_strategy()) {
+        let dfg = build_fused(&spec);
+        let dp = elaborate(&dfg, &ElabOptions::new(Style::Online).with_frac_digits(spec.frac));
+        let wires = dp.output_wires();
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x9e37_79b9);
+        for _ in 0..4 {
+            let ins = random_online_inputs(&dfg, &mut rng);
+            let want = dfg.eval_online(&ins, spec.frac);
+            let vals = dp.netlist.eval(&dp.encode_inputs_online(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            let got = dp.decode_output_bs(0, &bits);
+            prop_assert_eq!(&got, &want[0], "inputs {:?}", ins);
+            let exact = dfg.eval_exact(&ins.iter().map(BsVector::value).collect::<Vec<_>>());
+            prop_assert_eq!(got.value(), exact[0], "fused MACs are settled exact");
+        }
+    }
+
+    /// Every pass — individually and composed through `optimize` —
+    /// preserves the exact semantics of MAC graphs.
+    #[test]
+    fn passes_preserve_mac_semantics(spec in mac_strategy()) {
+        let dfg = build_fused(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x51f1);
+        let variants: Vec<(&str, Dfg)> = vec![
+            ("constant_fold", constant_fold(&dfg)),
+            ("cse", cse(&dfg)),
+            ("eliminate_dead", eliminate_dead(&dfg)),
+            ("alloc/tree", allocate_adders(&dfg, AdderStructure::BalancedTree)),
+            ("optimize/chain", optimize(&dfg, AdderStructure::LinearChain)),
+            ("optimize/tree", optimize(&dfg, AdderStructure::BalancedTree)),
+            ("optimize/online-chain", optimize(&dfg, AdderStructure::OnlineChained)),
+        ];
+        for _ in 0..4 {
+            let ins = random_tc_inputs(&dfg, &mut rng);
+            let want = dfg.eval_exact(&ins);
+            for (name, v) in &variants {
+                prop_assert_eq!(&v.eval_exact(&ins), &want, "pass {} inputs {:?}", name, ins);
+            }
+        }
+    }
+
+    /// The headline equivalence: the fused-MAC netlist computes the same
+    /// settled values as the tree-of-multiplies netlist, *proved* by the
+    /// staged equivalence checker (both lowered in the conventional
+    /// domain, where both are exact).
+    #[test]
+    fn fused_mac_provably_equals_tree_of_multiplies_at_settlement(spec in mac_strategy()) {
+        let fused = build_fused(&spec);
+        let unfused = build_unfused(&spec);
+        let verdict = prove_pass_equivalence(&fused, &unfused)
+            .expect("mac widths stay under the conventional caps");
+        prop_assert!(verdict.is_equivalent(), "{:?}", verdict);
+    }
+
+    /// Optimized MAC graphs still elaborate bit-true in both styles.
+    #[test]
+    fn optimized_mac_dags_still_elaborate_bit_true(spec in mac_strategy()) {
+        let dfg = build_fused(&spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0xabcd);
+        let opt = optimize(&dfg, AdderStructure::BalancedTree);
+        // Conventional: against the original graph's exact semantics.
+        let dp = elaborate(&opt, &ElabOptions::new(Style::Conventional));
+        let wires = dp.output_wires();
+        for _ in 0..2 {
+            let ins = random_tc_inputs(&dfg, &mut rng);
+            let want = dfg.eval_exact(&ins);
+            let vals = dp.netlist.eval(&dp.encode_inputs_tc(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            prop_assert_eq!(&dp.decode_output(0, &bits), &want[0], "inputs {:?}", ins);
+        }
+        // Online: against the optimized graph's own bit-level reference.
+        let dp = elaborate(&opt, &ElabOptions::new(Style::Online).with_frac_digits(spec.frac));
+        let wires = dp.output_wires();
+        for _ in 0..2 {
+            let ins = random_online_inputs(&opt, &mut rng);
+            let want = opt.eval_online(&ins, spec.frac);
+            let vals = dp.netlist.eval(&dp.encode_inputs_online(&ins));
+            let bits: Vec<bool> = wires.iter().map(|w| vals[w.index()]).collect();
+            prop_assert_eq!(&dp.decode_output_bs(0, &bits), &want[0], "inputs {:?}", ins);
+        }
+    }
+}
